@@ -1,0 +1,95 @@
+"""E10 — Section 7's claim: "very few relation instances are
+strongly-consistent" and "null values and weak satisfiability allow
+constraints to be valid in more instances".
+
+Reproduced series: over seeded workloads built by punching nulls into FD-
+satisfying instances, the fraction that remain strongly vs weakly
+satisfiable as the null density grows.  Expected shape: the weak curve
+stays at 1.0 (the witness completion survives by construction); the strong
+curve collapses as soon as nulls touch determined attributes whose
+determinants repeat — weak ≥ strong everywhere, with a widening gap.
+
+A second series uses *random* (unrepaired) instances, where both curves
+may fall, but weak must dominate strong pointwise.
+"""
+
+import random
+
+from repro.bench.report import Table
+from repro.chase import weakly_satisfiable
+from repro.core.fd import FD
+from repro.testfd import CONVENTION_STRONG, check_fds
+from repro.workloads.generator import (
+    inject_nulls,
+    random_instance,
+    random_satisfiable_instance,
+    random_schema,
+)
+
+FDS = ["A1 -> A2", "A3 -> A4"]
+FD_OBJECTS = [FD.parse(f) for f in FDS]
+TRIALS = 80
+
+
+def main() -> None:
+    rng = random.Random(37)
+    schema = random_schema(4)
+
+    table = Table(
+        f"E10a — satisfaction rate vs null density (satisfiable base, {TRIALS} trials)",
+        ["density", "strong rate", "weak rate"],
+    )
+    for density in (0.0, 0.1, 0.2, 0.4, 0.6):
+        strong = weak = 0
+        for _ in range(TRIALS):
+            base = random_satisfiable_instance(
+                rng.randint(0, 10**6), schema, FD_OBJECTS, 12, pool_size=4
+            )
+            r = inject_nulls(rng, base, density)
+            strong += check_fds(r, FDS, CONVENTION_STRONG).satisfied
+            weak += weakly_satisfiable(r, FDS)
+        table.add_row(density, strong / TRIALS, weak / TRIALS)
+    table.show()
+
+    table = Table(
+        f"E10b — unconstrained random instances ({TRIALS} trials)",
+        ["density", "strong rate", "weak rate"],
+    )
+    for density in (0.0, 0.2, 0.4, 0.6):
+        strong = weak = 0
+        for _ in range(TRIALS):
+            r = inject_nulls(
+                rng,
+                random_instance(rng.randint(0, 10**6), schema, 8, pool_size=3),
+                density,
+            )
+            strong += check_fds(r, FDS, CONVENTION_STRONG).satisfied
+            weak += weakly_satisfiable(r, FDS)
+        table.add_row(density, strong / TRIALS, weak / TRIALS)
+    table.show()
+    print(
+        "\nShape: weak dominates strong at every density; with any"
+        "\nappreciable null density the strong rate collapses — 'very few"
+        "\nrelation instances are strongly-consistent'."
+    )
+
+
+def bench_strong_rate_sweep(benchmark) -> None:
+    rng = random.Random(38)
+    schema = random_schema(4)
+    base = random_satisfiable_instance(rng, schema, FD_OBJECTS, 100, pool_size=10)
+    r = inject_nulls(rng, base, 0.3)
+    benchmark(lambda: check_fds(r, FDS, CONVENTION_STRONG))
+
+
+def bench_weak_rate_sweep(benchmark) -> None:
+    rng = random.Random(39)
+    schema = random_schema(4)
+    base = random_satisfiable_instance(rng, schema, FD_OBJECTS, 100, pool_size=10)
+    r = inject_nulls(rng, base, 0.3)
+    verdict = benchmark(lambda: weakly_satisfiable(r, FDS))
+    assert verdict is True
+
+
+if __name__ == "__main__":
+    main()

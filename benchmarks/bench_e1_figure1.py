@@ -1,0 +1,102 @@
+"""E1 — Figure 1: the employee scheme, its instances, and classical checks.
+
+Paper artifact: Figures 1.1-1.3 plus the section 3 claim "It is trivial to
+verify that the functional dependencies E# -> SL,D# and D# -> CT hold in
+the instance r of figure 1.2."
+
+Reproduced series (printed by ``main()``, recorded in EXPERIMENTS.md):
+per-FD classical verdicts on Figure 1.2, per-tuple three-valued profiles on
+Figure 1.3, and strong/weak verdicts.  The pytest-benchmark half times the
+two checks at scale (the "trivial to verify" claim, quantified).
+"""
+
+import random
+
+from repro.bench.report import Table
+from repro.core.fd import holds_classical
+from repro.core.satisfaction import (
+    fd_value_profile,
+    strongly_satisfied,
+    weakly_satisfied,
+)
+from repro.testfd import CONVENTION_STRONG, CONVENTION_WEAK, check_fds
+from repro.workloads.generator import (
+    inject_nulls,
+    random_satisfiable_instance,
+)
+from repro.workloads.paper import (
+    figure_1_2_instance,
+    figure_1_3_instance,
+    figure_1_scheme,
+)
+
+
+def main() -> None:
+    schema, fds = figure_1_scheme()
+
+    table = Table(
+        "E1a — Figure 1.2 (null-free): classical satisfaction",
+        ["fd", "holds"],
+    )
+    r12 = figure_1_2_instance()
+    for fd in fds:
+        table.add_row(repr(fd), holds_classical(fd, r12))
+    table.show()
+
+    table = Table(
+        "E1b — Figure 1.3 (with nulls): per-tuple values",
+        ["fd", "t1", "t2", "t3"],
+    )
+    r13 = figure_1_3_instance()
+    for fd in fds:
+        profile = fd_value_profile(fd, r13)
+        table.add_row(repr(fd), *[str(v) for v in profile])
+    table.show()
+
+    table = Table(
+        "E1c — Figure 1.3: satisfiability verdicts",
+        ["notion", "verdict"],
+    )
+    table.add_row("strongly satisfied", strongly_satisfied(fds, r13))
+    table.add_row("weakly satisfied", weakly_satisfied(fds, r13))
+    table.add_row(
+        "TEST-FDs strong", check_fds(r13, fds, CONVENTION_STRONG).satisfied
+    )
+    table.add_row(
+        "TEST-FDs weak (chased)",
+        check_fds(r13, fds, CONVENTION_WEAK, ensure_minimal=True).satisfied,
+    )
+    table.show()
+
+
+def _employee_workload(n_rows: int, density: float):
+    schema, fds = figure_1_scheme()
+    rng = random.Random(7)
+    total = random_satisfiable_instance(
+        rng, schema, list(fds), n_rows, pool_size=max(4, n_rows // 4)
+    )
+    return inject_nulls(rng, total, density, attributes=["SL", "CT"]), fds
+
+
+def bench_classical_check_1000_rows(benchmark) -> None:
+    """Classical satisfaction of both FDs on 1000 null-free employee rows."""
+    schema, fds = figure_1_scheme()
+    rng = random.Random(7)
+    r = random_satisfiable_instance(rng, schema, list(fds), 1000, pool_size=256)
+    result = benchmark(
+        lambda: all(holds_classical(fd, r) for fd in fds)
+    )
+    assert result is True
+
+
+def bench_weak_testfds_1000_rows(benchmark) -> None:
+    """Weak TEST-FDs (with chase) on 1000 employee rows, 20% nulls."""
+    r, fds = _employee_workload(1000, density=0.2)
+    outcome = benchmark(
+        lambda: check_fds(r, fds, CONVENTION_WEAK, ensure_minimal=True)
+    )
+    assert outcome.satisfied
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""E3 — Figure 3's complexity claim: TEST-FDs is O(|F| · n log n).
+
+Paper artifact: "The algorithm runs in O(|F|·n·logn) time ... Each FD is
+tested in time n·logn, the time to sort the relation", against the
+footnote's unsorted O(|F|·n²) variant.
+
+Reproduced series: wall time of sort-merge vs pairwise over a geometric
+ladder of n, with log-log slopes.  Expected shape: sort-merge slope ≈ 1
+(n log n reads just above linear), pairwise slope ≈ 2, and the gap widens
+with n — who wins and by how much is the point, not absolute seconds.
+"""
+
+import random
+
+from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
+from repro.core.fd import FDSet
+from repro.testfd import CONVENTION_WEAK, check_fds_pairwise, check_fds_sortmerge
+from repro.workloads.generator import (
+    inject_nulls,
+    random_satisfiable_instance,
+    random_schema,
+)
+
+FDS = FDSet(["A1 -> A2", "A2 A3 -> A4", "A1 -> A5"])
+
+
+def workload(n_rows: int, seed: int = 11):
+    rng = random.Random(seed)
+    schema = random_schema(5)
+    total = random_satisfiable_instance(
+        rng, schema, list(FDS), n_rows, pool_size=max(8, n_rows // 4)
+    )
+    return inject_nulls(rng, total, density=0.15)
+
+
+def main() -> None:
+    sizes = geometric_sizes(200, 2.0, 5)
+    table = Table(
+        "E3 — TEST-FDs scaling (weak convention, satisfiable workload)",
+        ["n", "sortmerge (s)", "pairwise (s)", "pairwise/sortmerge"],
+    )
+    sort_times, pair_times = [], []
+    for n in sizes:
+        r = workload(n)
+        sort_time = time_call(
+            lambda: check_fds_sortmerge(r, FDS, CONVENTION_WEAK), repeat=3
+        )
+        pair_time = time_call(
+            lambda: check_fds_pairwise(r, FDS, CONVENTION_WEAK), repeat=1
+        )
+        sort_times.append(sort_time)
+        pair_times.append(pair_time)
+        table.add_row(n, sort_time, pair_time, f"{pair_time / sort_time:.1f}x")
+    table.show()
+
+    sort_slope = loglog_slope(sizes, sort_times)
+    pair_slope = loglog_slope(sizes, pair_times)
+    print(f"\nlog-log slope, sort-merge: {sort_slope:.2f}  (paper: ~1, n log n)")
+    print(f"log-log slope, pairwise:   {pair_slope:.2f}  (paper: ~2, n²)")
+    print(
+        "shape holds" if pair_slope - sort_slope > 0.5 else "SHAPE DEVIATION"
+    )
+
+
+def bench_sortmerge_2000_rows(benchmark) -> None:
+    r = workload(2000)
+    outcome = benchmark(lambda: check_fds_sortmerge(r, FDS, CONVENTION_WEAK))
+    assert outcome.satisfied
+
+
+def bench_pairwise_2000_rows(benchmark) -> None:
+    r = workload(2000)
+    outcome = benchmark(lambda: check_fds_pairwise(r, FDS, CONVENTION_WEAK))
+    assert outcome.satisfied
+
+
+if __name__ == "__main__":
+    main()

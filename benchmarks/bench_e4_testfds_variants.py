@@ -1,0 +1,114 @@
+"""E4 — Figure 3's "Additional Assumptions": bucket sort and the presorted
+linear case.
+
+Paper artifact: "If bucket sort is used, sorting takes time O(n·p) where p
+is the number of attributes in X ... if there is only one dependency (e.g.
+BCNF with one key), and the relation is already sorted, the test requires
+linear time on the relation size."
+
+Reproduced series: (a) bucket vs comparison-sort TEST-FDs over n; (b) the
+presorted single-FD test vs re-sorting, over n.  Expected shape: bucket ≤
+sort-merge with the gap growing slowly (log n), presorted beating sortmerge
+by the sort factor.
+"""
+
+import random
+
+from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
+from repro.core.fd import FDSet
+from repro.core.relation import Relation
+from repro.core.values import constant_key, is_null
+from repro.testfd import (
+    CONVENTION_WEAK,
+    check_fds_bucket,
+    check_fds_sortmerge,
+    check_single_fd_presorted,
+)
+from repro.workloads.generator import (
+    inject_nulls,
+    random_satisfiable_instance,
+    random_schema,
+)
+
+FDS = FDSet(["A1 A2 -> A3", "A2 -> A4"])
+SINGLE = "A1 -> A2 A3"
+
+
+def workload(n_rows: int, seed: int = 23):
+    rng = random.Random(seed)
+    schema = random_schema(4)
+    total = random_satisfiable_instance(
+        rng, schema, list(FDS), n_rows, pool_size=max(8, n_rows // 4)
+    )
+    return inject_nulls(rng, total, density=0.1)
+
+
+def sorted_single_fd_workload(n_rows: int, seed: int = 29):
+    rng = random.Random(seed)
+    schema = random_schema(3)
+    from repro.core.fd import FD
+
+    total = random_satisfiable_instance(
+        rng, schema, [FD.parse(SINGLE)], n_rows, pool_size=max(8, n_rows // 4)
+    )
+    punched = inject_nulls(rng, total, density=0.1, attributes=["A2", "A3"])
+    ordinals: dict = {}
+
+    def key(row):
+        v = row["A1"]
+        if is_null(v):
+            return (1, ordinals.setdefault(id(v), len(ordinals)))
+        return (0,) + constant_key(v)
+
+    return Relation(punched.schema, sorted(punched.rows, key=key))
+
+
+def main() -> None:
+    sizes = geometric_sizes(250, 2.0, 4)
+
+    table = Table(
+        "E4a — bucket grouping vs comparison sort (weak convention)",
+        ["n", "sortmerge (s)", "bucket (s)", "sortmerge/bucket"],
+    )
+    bucket_times = []
+    for n in sizes:
+        r = workload(n)
+        sm = time_call(lambda: check_fds_sortmerge(r, FDS, CONVENTION_WEAK))
+        bk = time_call(lambda: check_fds_bucket(r, FDS, CONVENTION_WEAK))
+        bucket_times.append(bk)
+        table.add_row(n, sm, bk, f"{sm / bk:.2f}x")
+    table.show()
+    print(f"\nbucket log-log slope: {loglog_slope(sizes, bucket_times):.2f} (paper: ~1, n·p)")
+
+    table = Table(
+        "E4b — single FD, presorted input: linear scan vs full sort-merge",
+        ["n", "sortmerge (s)", "presorted (s)", "sortmerge/presorted"],
+    )
+    presorted_times = []
+    for n in sizes:
+        r = sorted_single_fd_workload(n)
+        sm = time_call(lambda: check_fds_sortmerge(r, [SINGLE], CONVENTION_WEAK))
+        ps = time_call(lambda: check_single_fd_presorted(r, SINGLE))
+        presorted_times.append(ps)
+        table.add_row(n, sm, ps, f"{sm / ps:.2f}x")
+    table.show()
+    print(
+        f"\npresorted log-log slope: {loglog_slope(sizes, presorted_times):.2f}"
+        " (paper: linear)"
+    )
+
+
+def bench_bucket_2000_rows(benchmark) -> None:
+    r = workload(2000)
+    outcome = benchmark(lambda: check_fds_bucket(r, FDS, CONVENTION_WEAK))
+    assert outcome.satisfied
+
+
+def bench_presorted_2000_rows(benchmark) -> None:
+    r = sorted_single_fd_workload(2000)
+    outcome = benchmark(lambda: check_single_fd_presorted(r, SINGLE))
+    assert outcome.satisfied
+
+
+if __name__ == "__main__":
+    main()

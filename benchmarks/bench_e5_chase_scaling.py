@@ -1,0 +1,118 @@
+"""E5 — NS-rule chase complexity: the multi-pass bound vs congruence closure.
+
+Paper artifact: section 6's analysis — "The NS-rules are applied in several
+passes ... Every pass reduces the number of distinct symbols, hence we have
+at most n·p passes.  Therefore, no rule can be applied after O(|F|·n³·p)
+time", against the footnote: "According to a recent result by [Downey et
+al 80] the time complexity of the test is O(|F|·n·log(|F|·n))".
+
+The separation is driven by the *pass count*.  Workload: an FD chain
+``A1 -> A2 -> ... -> Ap`` whose substitutions must cascade forward, with
+the FD list handed to the engine in anti-dependency order — every sweep
+then unlocks exactly one more level, so the pass-based engine performs
+Θ(p) sweeps of Θ(|F|·n) work each (quadratic in the chain width p), while
+congruence closure processes the same merges from a worklist with no
+sweeps at all (linear in p).
+
+Reproduced series: (a) wall time vs chain width p at fixed n — expected
+log-log slopes ≈ 2 (fixpoint) vs ≈ 1 (congruence); (b) wall time vs n at
+fixed p — both near-linear, congruence ahead; fixpoint identity checked at
+every point.
+"""
+
+from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
+from repro.chase import MODE_EXTENDED, canonical_form, chase, congruence_chase
+from repro.core.fd import FD
+from repro.core.relation import Relation
+from repro.core.values import null
+from repro.workloads.generator import attribute_names, random_schema
+
+
+def chain_fds(width: int):
+    """A1 -> A2, ..., A(p-1) -> Ap, listed in ANTI-dependency order."""
+    return [FD(f"A{i}", f"A{i + 1}") for i in range(width - 1, 0, -1)]
+
+
+def chain_workload(width: int, n_rows: int) -> Relation:
+    """Row pairs whose null halves fill level by level along the chain."""
+    schema = random_schema(width)
+    rows = []
+    for j in range(n_rows // 2):
+        key = f"k{j}"
+        full = [key] + [f"v{j}_{i}" for i in range(2, width + 1)]
+        holey = [key] + [null() for _ in range(2, width + 1)]
+        rows.append(full)
+        rows.append(holey)
+    return Relation(schema, rows)
+
+
+def main() -> None:
+    widths = (4, 8, 16, 32)
+    fixed_n = 400
+    table = Table(
+        f"E5a — chase cost vs chain width p (n = {fixed_n} rows)",
+        ["p", "|F|", "passes", "fixpoint (s)", "congruence (s)", "ratio", "same fixpoint"],
+    )
+    fix_times, cong_times = [], []
+    for width in widths:
+        fds = chain_fds(width)
+        r = chain_workload(width, fixed_n)
+        slow = chase(r, fds, mode=MODE_EXTENDED)
+        fast = congruence_chase(r, fds)
+        same = canonical_form(slow.relation) == canonical_form(fast.relation)
+        fix_time = time_call(lambda: chase(r, fds, mode=MODE_EXTENDED), repeat=1)
+        cong_time = time_call(lambda: congruence_chase(r, fds), repeat=1)
+        fix_times.append(fix_time)
+        cong_times.append(cong_time)
+        table.add_row(
+            width, len(fds), slow.passes, fix_time, cong_time,
+            f"{fix_time / cong_time:.1f}x", same,
+        )
+    table.show()
+    print(f"\nfixpoint log-log slope in p:   {loglog_slope(widths, fix_times):.2f}  (expected ~2)")
+    print(f"congruence log-log slope in p: {loglog_slope(widths, cong_times):.2f}  (expected ~1)")
+
+    sizes = geometric_sizes(200, 2.0, 4)
+    fixed_p = 8
+    table = Table(
+        f"E5b — chase cost vs n (chain width p = {fixed_p})",
+        ["n", "fixpoint (s)", "congruence (s)", "ratio", "same fixpoint"],
+    )
+    fix_times, cong_times = [], []
+    fds = chain_fds(fixed_p)
+    for n in sizes:
+        r = chain_workload(fixed_p, n)
+        slow = chase(r, fds, mode=MODE_EXTENDED)
+        fast = congruence_chase(r, fds)
+        same = canonical_form(slow.relation) == canonical_form(fast.relation)
+        fix_time = time_call(lambda: chase(r, fds, mode=MODE_EXTENDED), repeat=1)
+        cong_time = time_call(lambda: congruence_chase(r, fds), repeat=1)
+        fix_times.append(fix_time)
+        cong_times.append(cong_time)
+        table.add_row(n, fix_time, cong_time, f"{fix_time / cong_time:.1f}x", same)
+    table.show()
+    print(f"\nfixpoint log-log slope in n:   {loglog_slope(sizes, fix_times):.2f}")
+    print(f"congruence log-log slope in n: {loglog_slope(sizes, cong_times):.2f}")
+    print(
+        "\n(the paper's O(|F|·n³·p) is a conservative bound; measured"
+        "\nbehaviour is governed by the pass count, which the anti-ordered"
+        "\nchain drives to Θ(p) — and congruence closure avoids outright)"
+    )
+
+
+def bench_fixpoint_chase_chain(benchmark) -> None:
+    fds = chain_fds(12)
+    r = chain_workload(12, 300)
+    result = benchmark(lambda: chase(r, fds, mode=MODE_EXTENDED))
+    assert not result.has_nothing
+
+
+def bench_congruence_chase_chain(benchmark) -> None:
+    fds = chain_fds(12)
+    r = chain_workload(12, 300)
+    result = benchmark(lambda: congruence_chase(r, fds))
+    assert not result.has_nothing
+
+
+if __name__ == "__main__":
+    main()

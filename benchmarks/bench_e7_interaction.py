@@ -1,0 +1,80 @@
+"""E7 — Section 6's opening example: FD interaction under weak semantics.
+
+Paper artifact: F = {A -> B, B -> C} on r = {(a,⊥,c1), (a,⊥,c2)} — "the
+functional dependencies f1 and f2 evaluated independently on r take the
+value unknown (they are weakly satisfied).  This is not the case when the
+dependencies are evaluated simultaneously."
+
+Reproduced series: (a) the example itself, all three notions side by side;
+(b) how *often* the gap bites: over random instances, the fraction that
+are per-FD weakly fine yet jointly unsatisfiable, as null density grows —
+the quantitative case for chasing before testing.
+"""
+
+import random
+
+from repro.bench.report import Table
+from repro.chase import weakly_satisfiable
+from repro.core.satisfaction import weakly_holds_each, weakly_satisfied
+from repro.workloads.generator import (
+    inject_nulls,
+    random_instance,
+    random_schema,
+)
+from repro.workloads.paper import section_6_example
+
+
+def main() -> None:
+    _, fds, relation = section_6_example()
+    table = Table(
+        "E7a — the section 6 example",
+        ["notion", "verdict"],
+    )
+    table.add_row("each FD weakly holds (independent)", weakly_holds_each(fds, relation))
+    table.add_row("jointly weakly satisfied (∃ completion)", weakly_satisfied(fds, relation))
+    table.add_row("chase verdict (Theorem 4b)", weakly_satisfiable(relation, fds))
+    table.show()
+
+    rng = random.Random(13)
+    # finite domains keep the per-FD brute-force evaluation bounded
+    schema = random_schema(3, domain_size=3)
+    fds_fixed = ["A1 -> A2", "A2 -> A3"]
+    table = Table(
+        "E7b — interaction rate over random instances (100 trials each)",
+        ["null density", "per-FD weak", "jointly weak", "gap (interaction)"],
+    )
+    for density in (0.1, 0.3, 0.5, 0.7):
+        per_fd = jointly = gap = 0
+        for trial in range(100):
+            r = inject_nulls(
+                rng,
+                random_instance(rng.randint(0, 10**6), schema, 5, pool_size=2),
+                density,
+            )
+            each = weakly_holds_each(fds_fixed, r)
+            joint = weakly_satisfiable(r, fds_fixed)
+            per_fd += each
+            jointly += joint
+            gap += each and not joint
+        table.add_row(density, per_fd, jointly, gap)
+    table.show()
+    print(
+        "\nShape: the gap column is nonzero — per-FD weak testing"
+        "\noverpromises, exactly the paper's reason for section 6."
+    )
+
+
+def bench_joint_weak_satisfiability(benchmark) -> None:
+    _, fds, relation = section_6_example()
+    verdict = benchmark(lambda: weakly_satisfiable(relation, fds))
+    assert verdict is False
+
+
+def bench_per_fd_weak_evaluation(benchmark) -> None:
+    _, fds, relation = section_6_example()
+    verdict = benchmark(lambda: weakly_holds_each(fds, relation))
+    assert verdict is True
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""E8 — Theorem 1 / Lemmas 2-4: three decision procedures, one relation.
+
+Paper artifact: section 5's chain — Armstrong derivability ≡ logical
+inference of implicational statements in C ≡ FD inference over two-tuple
+relations with nulls (strong satisfiability).
+
+Reproduced series: (a) exhaustive agreement counts of the three procedures
+over random FD sets; (b) cost: attribute closure is polynomial while
+assignment enumeration is 3^n — the practical content of having Armstrong
+completeness rather than only the semantic definition.
+"""
+
+import itertools
+import random
+
+from repro.armstrong.implication import implies
+from repro.bench.report import Table, time_call
+from repro.core.fd import FD
+from repro.core.satisfaction import strongly_holds
+from repro.logic.bridge import assignment_to_relation
+from repro.logic.implicational import infers
+from repro.logic.system_c import assignments_over
+from repro.workloads.generator import attribute_names, random_fds
+
+
+def two_tuple_inference(premises, goal, attributes) -> bool:
+    """Direct Lemma-4 semantics: no two-tuple counterexample relation."""
+    for assignment in assignments_over(attributes):
+        relation = assignment_to_relation(assignment)
+        if all(strongly_holds(fd, relation) for fd in premises):
+            if not strongly_holds(goal, relation):
+                return False
+    return True
+
+
+def main() -> None:
+    rng = random.Random(17)
+    attrs = attribute_names(4)
+    trials = 120
+    agree_all = 0
+    positives = 0
+    for trial in range(trials):
+        premises = list(random_fds(rng.randint(0, 10**6), attrs, 3))
+        goal_lhs = rng.sample(list(attrs), rng.randint(1, 2))
+        goal_rhs = [rng.choice([a for a in attrs if a not in goal_lhs])]
+        goal = FD(goal_lhs, goal_rhs)
+        armstrong = implies(premises, goal)
+        logical = infers(premises, goal)
+        relational = two_tuple_inference(premises, goal, attrs)
+        if armstrong == logical == relational:
+            agree_all += 1
+        positives += armstrong
+    table = Table(
+        f"E8a — agreement of the three procedures ({trials} random cases)",
+        ["statistic", "count"],
+    )
+    table.add_row("all three agree", agree_all)
+    table.add_row("inferences among cases", positives)
+    table.show()
+    assert agree_all == trials, "Theorem 1 equivalence violated!"
+
+    table = Table(
+        "E8b — decision cost vs number of attributes (one implication test)",
+        ["attrs", "closure (s)", "3-valued enumeration (s)", "two-tuple world (s)"],
+    )
+    for n in (4, 5, 6, 7):
+        attrs_n = attribute_names(n)
+        premises = list(random_fds(99, attrs_n, n - 1))
+        goal = FD(attrs_n[0], attrs_n[-1])
+        closure_time = time_call(lambda: implies(premises, goal))
+        logic_time = time_call(lambda: infers(premises, goal), repeat=1)
+        world_time = time_call(
+            lambda: two_tuple_inference(premises, goal, attrs_n), repeat=1
+        )
+        table.add_row(n, closure_time, logic_time, world_time)
+    table.show()
+    print(
+        "\nShape: closure stays flat; the two semantic procedures grow"
+        "\nlike 3^n — completeness is what buys tractability."
+    )
+
+
+def bench_armstrong_implication(benchmark) -> None:
+    attrs = attribute_names(8)
+    premises = list(random_fds(3, attrs, 10))
+    goal = FD(attrs[0], attrs[-1])
+    benchmark(lambda: implies(premises, goal))
+
+
+def bench_c_logic_inference_5_attrs(benchmark) -> None:
+    attrs = attribute_names(5)
+    premises = list(random_fds(3, attrs, 4))
+    goal = FD(attrs[0], attrs[-1])
+    benchmark(lambda: infers(premises, goal))
+
+
+if __name__ == "__main__":
+    main()

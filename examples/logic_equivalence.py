@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Section 5's reduction, end to end: FDs ↔ implicational statements in C.
+
+The paper proves Armstrong completeness over nulls (Theorem 1) by routing
+through Bertram's modal logic C.  This example makes every leg of that
+journey concrete:
+
+1. System C's evaluation scheme and its non-truth-functionality;
+2. implicational statements and the strong/weak inference gap;
+3. Lemma 3: assignments ↔ two-tuple relations with nulls;
+4. a full Armstrong derivation rendered as an I-rule proof tree;
+5. the boundary: why everything lives in the normalized (X ∩ Y = ∅)
+   fragment.
+
+Run:  python examples/logic_equivalence.py
+"""
+
+from repro.core.fd import FD
+from repro.core.satisfaction import strongly_holds, weakly_holds
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.logic import (
+    ImplicationalStatement,
+    Nec,
+    Not,
+    Or,
+    Var,
+    assignment_to_relation,
+    assignments_over,
+    counterexample,
+    derive,
+    evaluate,
+    evaluate_truth_functional,
+    fd_counterexample_relation,
+    infers,
+)
+
+
+def system_c_tour() -> None:
+    print("=" * 64)
+    print("1. System C: rule 1 before everything")
+    print("=" * 64)
+    p = Var("p")
+    excluded_middle = Or((p, Not(p)))
+    a = {"p": UNKNOWN}
+    print(f"V(p ∨ ¬p) with p unknown:           {evaluate(excluded_middle, a)}")
+    print(
+        "without rule 1 (pure Kleene):        "
+        f"{evaluate_truth_functional(excluded_middle, a)}"
+    )
+    print(f"V(V(p)) with p unknown (modal rule): {evaluate(Nec(p), a)}")
+    contradiction = Not(Or((Not(p), Not(Not(p)))))
+    print(
+        "\nC is not truth-functional: a formula and its double negation can"
+        "\ndisagree, because tautology detection fires at every level."
+    )
+
+
+def inference_gap() -> None:
+    print()
+    print("=" * 64)
+    print("2. Strong vs weak logical inference")
+    print("=" * 64)
+    premises = ["A => B", "B => C"]
+    goal = "A => C"
+    print(f"premises: {premises}, goal: {goal}")
+    print(f"  strong inference: {infers(premises, goal)}")
+    print(f"  weak inference:   {infers(premises, goal, weak=True)}")
+    witness = counterexample(premises, goal, weak=True)
+    rendered = {k: str(v) for k, v in witness.items()}
+    print(f"  weak counterexample assignment: {rendered}")
+    print(
+        "\nTransitivity is strongly valid but weakly invalid — the logical"
+        "\nshadow of section 6's 'FDs cannot be tested for weak"
+        "\nsatisfiability independently'."
+    )
+
+
+def lemma_3() -> None:
+    print()
+    print("=" * 64)
+    print("3. Lemma 3: assignments are two-tuple relations")
+    print("=" * 64)
+    assignment = {"A": UNKNOWN, "B": TRUE, "C": FALSE}
+    relation = assignment_to_relation(assignment)
+    print({k: str(v) for k, v in assignment.items()})
+    print()
+    print(relation.to_text(), "\n")
+    for fd_text in ("A -> B", "B -> C", "A -> C"):
+        statement = ImplicationalStatement.from_fd(FD.parse(fd_text))
+        left = strongly_holds(fd_text, relation)
+        right = statement.evaluate(assignment) is TRUE
+        print(
+            f"  {fd_text:10s}  strongly holds: {str(left):5s}  "
+            f"V(statement)=true: {right}"
+        )
+    print("\nThe two columns agree on every FD — that is Lemma 3.")
+
+
+def proof_tree() -> None:
+    print()
+    print("=" * 64)
+    print("4. An I-rule derivation (Lemma 2 made visible)")
+    print("=" * 64)
+    derivation = derive(
+        ["E# => SL D#", "D# => CT"], "E# => SL CT"
+    )
+    print(derivation.render())
+    print(f"\nverified: {derivation.verify()}  ({len(derivation)} steps)")
+
+    print("\nAnd a non-consequence refuted by a relation (Lemma 4):")
+    witness = fd_counterexample_relation(["E# -> SL"], "SL -> E#")
+    print(witness.to_text())
+    print(
+        f"  E# -> SL strongly holds: {strongly_holds('E# -> SL', witness)}"
+    )
+    print(
+        f"  SL -> E# strongly holds: {strongly_holds('SL -> E#', witness)}"
+    )
+
+
+def normalized_boundary() -> None:
+    print()
+    print("=" * 64)
+    print("5. The normalized fragment boundary")
+    print("=" * 64)
+    raw = ImplicationalStatement("A", "A B")
+    a = {"A": UNKNOWN, "B": TRUE}
+    print(f"V(A => AB) at A=unknown, B=true:  {raw.evaluate(a)}")
+    print(f"V(A => B)  at the same assignment: {raw.normalized().evaluate(a)}")
+    print(
+        "\nThe FDs A -> AB and A -> B hold in exactly the same instances,"
+        "\nbut raw C-evaluation distinguishes the statements: the paper's"
+        "\nequivalences live in the X ∩ Y = ∅ fragment (as Proposition 1"
+        "\nassumes), so the library normalizes at the inference boundary."
+    )
+
+
+def main() -> None:
+    system_c_tour()
+    inference_gap()
+    lemma_3()
+    proof_tree()
+    normalized_boundary()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Querying incomplete data: the least-extension rule of section 2.
+
+The paper's motivating example: with dom(marital-status) = {married,
+single} and the tuple ("John", null),
+
+    Q : "Is John married?"            -> lub{yes, no}  = unknown
+    Q': "Is John married or single?"  -> lub{yes, yes} = yes
+
+A truth-functional evaluator answers unknown to both; the least extension
+is sharper because it reasons over *all substitutions* of the null.  This
+example reproduces Q/Q', contrasts Kleene with least-extension evaluation,
+and shows certain/possible selection over a table.
+
+Run:  python examples/null_queries.py
+"""
+
+from repro import Domain, Relation, RelationSchema, null
+from repro.core.truth import from_bool
+from repro.nullsem import (
+    AttrEq,
+    Eq,
+    In,
+    NotP,
+    OrP,
+    evaluate_kleene,
+    evaluate_least_extension,
+    least_extension_truth,
+    least_extension_value,
+    select,
+)
+
+
+def people() -> Relation:
+    schema = RelationSchema(
+        "people",
+        "name marital spouse_city home_city",
+        domains={"marital": Domain(["married", "single"], name="marital")},
+    )
+    return Relation(
+        schema,
+        [
+            ("John", null(), "Oslo", "Oslo"),
+            ("Mary", "married", null(), "Lyon"),
+            ("Ann", "single", "Turin", null()),
+        ],
+    )
+
+
+def q_and_q_prime() -> None:
+    print("=" * 64)
+    print("Q and Q' (the paper's section 2 example)")
+    print("=" * 64)
+    table = people()
+    john = table[0]
+    q = Eq("marital", "married")
+    q_prime = OrP((Eq("marital", "married"), Eq("marital", "single")))
+    print(table.to_text(), "\n")
+    print(f"Q  (John married?)          least-ext: {evaluate_least_extension(q, john)}")
+    print(f"Q' (married or single?)     least-ext: {evaluate_least_extension(q_prime, john)}")
+    print(f"Q' under Kleene (weaker):              {evaluate_kleene(q_prime, john)}")
+
+
+def function_extensions() -> None:
+    print()
+    print("=" * 64)
+    print("Least extensions of ordinary functions")
+    print("=" * 64)
+    marital = Domain(["married", "single"], name="marital")
+    files_jointly = least_extension_truth(
+        lambda status: from_bool(status == "married"), [marital]
+    )
+    tax_code = least_extension_value(
+        lambda status: "J" if status == "married" else "S", [marital]
+    )
+    flat_fee = least_extension_value(lambda status: 120, [marital])
+    unknown_status = null()
+    print(f"files_jointly(⊥) = {files_jointly(unknown_status)}")
+    print(f"tax_code(⊥)      = {tax_code(unknown_status)!r}   (depends on the null)")
+    print(f"flat_fee(⊥)      = {flat_fee(unknown_status)!r}  (insensitive: collapses)")
+
+
+def selections() -> None:
+    print()
+    print("=" * 64)
+    print("Certain vs possible selection")
+    print("=" * 64)
+    table = people()
+    q = Eq("marital", "married")
+    certain = select(table, q, mode="certain")
+    possible = select(table, q, mode="possible")
+    print(f"certainly married: {[row['name'] for row in certain]}")
+    print(f"possibly married:  {[row['name'] for row in possible]}")
+
+    same_city = AttrEq("spouse_city", "home_city")
+    print(
+        "\nspouse in the same city (certain): "
+        f"{[row['name'] for row in select(table, same_city, 'certain')]}"
+    )
+    print(
+        "spouse in the same city (possible): "
+        f"{[row['name'] for row in select(table, same_city, 'possible')]}"
+    )
+    print(
+        "\nJohn qualifies certainly (both cities are Oslo); Mary and Ann"
+        "\nonly possibly — their unknown city might be the other one."
+    )
+
+
+def main() -> None:
+    q_and_q_prime()
+    function_extensions()
+    selections()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Schema design with incomplete information (sections 5 and 7).
+
+Theorem 1 is the paper's licence: Armstrong's rules stay sound and complete
+over nulls (strong satisfiability), so closure, keys, covers, BCNF/3NF and
+lossless-join machinery apply unchanged.  Section 7 then proposes the
+*weakened universal relation assumption*: store components, re-pad with
+nulls, and require only weak satisfiability of the universal instance.
+
+This example designs a small order-management schema end to end and
+round-trips an incomplete universal instance through the design.
+
+Run:  python examples/schema_design.py
+"""
+
+from repro import FDSet, Relation, RelationSchema
+from repro.armstrong import (
+    attribute_closure,
+    candidate_keys,
+    derive_fd,
+    minimal_cover,
+)
+from repro.normalization import (
+    bcnf_decompose,
+    is_3nf,
+    is_bcnf,
+    is_dependency_preserving,
+    is_lossless_join,
+    project_fds,
+    synthesize_3nf,
+    universal_instance,
+    weak_universal_check,
+)
+
+UNIVERSE = "order cust cname item qty price whouse"
+RULES = FDSet(
+    [
+        "order -> cust item qty",
+        "cust -> cname",
+        "item -> price whouse",
+    ]
+)
+
+
+def analyze() -> None:
+    print("=" * 64)
+    print("Dependency analysis")
+    print("=" * 64)
+    print(f"universe: {UNIVERSE}")
+    print(f"rules:    {RULES!r}\n")
+    closure = attribute_closure("order", RULES)
+    print(f"closure(order) = {sorted(closure)}")
+    keys = candidate_keys(UNIVERSE, RULES)
+    print(f"candidate keys: {keys}")
+    cover = minimal_cover(RULES)
+    print(f"minimal cover:  {cover!r}")
+    derivation = derive_fd(RULES, "order -> cname")
+    print("\na derivation of order -> cname (statement system of section 5):")
+    print(derivation.render())
+
+
+def decompose() -> list:
+    print()
+    print("=" * 64)
+    print("BCNF decomposition and 3NF synthesis")
+    print("=" * 64)
+    print(f"universal scheme in BCNF? {is_bcnf(UNIVERSE, RULES)}")
+    components = bcnf_decompose(UNIVERSE, RULES)
+    print("\nBCNF components:")
+    for attrs, local in components:
+        print(f"  {attrs}: {local!r}")
+    schemes = [attrs for attrs, _ in components]
+    print(f"\nlossless join: {is_lossless_join(UNIVERSE, schemes, RULES)}")
+    print(
+        "dependency preserving: "
+        f"{is_dependency_preserving(UNIVERSE, schemes, RULES)}"
+    )
+    synthesized = synthesize_3nf(UNIVERSE, RULES)
+    print(f"\n3NF synthesis: {synthesized}")
+    for component in synthesized:
+        local = project_fds(RULES, component)
+        print(f"  {component}: 3NF={is_3nf(component, local)}")
+    return schemes
+
+
+def weak_universal(schemes: list) -> None:
+    print()
+    print("=" * 64)
+    print("The weakened universal relation assumption (section 7)")
+    print("=" * 64)
+    universal_schema = RelationSchema("U", UNIVERSE)
+
+    orders = Relation(
+        RelationSchema("orders", "order cust item qty"),
+        [(1, "c1", "nails", 10), (2, "c2", "screws", 5)],
+    )
+    customers = Relation(
+        RelationSchema("customers", "cust cname"),
+        [("c1", "Ada"), ("c2", "Bob")],
+    )
+    items = Relation(
+        RelationSchema("items", "item price whouse"),
+        [("nails", 3, "east")],  # note: no record for 'screws' yet
+    )
+
+    padded = universal_instance(universal_schema, [orders, customers, items])
+    print("universal instance, gaps padded with nulls:")
+    print(padded.to_text(), "\n")
+    ok, _ = weak_universal_check(
+        universal_schema, [orders, customers, items], RULES
+    )
+    print(f"weakly satisfies the rules: {ok}")
+    print(
+        "\nNo row is fully filled, yet the state is coherent: this is the"
+        "\npaper's 'more realistic instances may now be perceived; the ones"
+        "\nwhere nulls are allowed'."
+    )
+
+    # now poison it: two different prices for the same item
+    items_bad = Relation(
+        RelationSchema("items", "item price whouse"),
+        [("nails", 3, "east"), ("nails", 4, "west")],
+    )
+    ok_bad, _ = weak_universal_check(
+        universal_schema, [orders, customers, items_bad], RULES
+    )
+    print(f"\nwith conflicting item records: weakly satisfies = {ok_bad}")
+
+
+def main() -> None:
+    analyze()
+    schemes = decompose()
+    weak_universal(schemes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Maintaining an incomplete database: guarded modifications + explanation.
+
+The paper's closing research programme (section 7) separates two channels
+by which a database "acquires information":
+
+* **external** — users insert/update/delete tuples; the database admits a
+  change iff the constraints stay *weakly* satisfiable (not certainly
+  violated);
+* **internal** — the NS-rules ground nulls whose value the constraints
+  force ("the only piece of information that makes the dependency true").
+
+``repro.updates.GuardedRelation`` implements both; this walkthrough runs a
+small ticketing system through a day of edits and narrates every decision
+with ``repro.explain``.
+
+Run:  python examples/update_workflow.py
+"""
+
+from repro import RelationSchema, null
+from repro.chase import MODE_EXTENDED, chase
+from repro.explain import explain_chase, explain_fd_value
+from repro.updates import GuardedRelation
+
+SCHEMA = RelationSchema("tickets", "ticket team priority oncall")
+RULES = [
+    "ticket -> team priority",  # a ticket sits with one team at one priority
+    "team -> oncall",           # each team has one on-call engineer
+]
+
+
+def open_desk() -> GuardedRelation:
+    print("=" * 64)
+    print("Morning: the ticket desk opens")
+    print("=" * 64)
+    guard = GuardedRelation(
+        SCHEMA,
+        RULES,
+        rows=[
+            ("T-1", "storage", "high", "ada"),
+            ("T-2", "network", "low", null()),
+        ],
+    )
+    print(guard.to_text(), "\n")
+    return guard
+
+
+def a_day_of_edits(guard: GuardedRelation) -> None:
+    print("=" * 64)
+    print("A day of edits")
+    print("=" * 64)
+    # a new ticket for storage: its on-call is already determined
+    guard.insert(("T-3", "storage", "low", null()))
+    # a contradictory report: T-1 at a different priority
+    guard.insert(("T-1", "storage", "low", "ada"))
+    # network's on-call comes online
+    guard.fill(1, "oncall", "bob")
+    # someone tries to reassign storage's on-call through a side door
+    guard.update(0, {"oncall": "mal"})
+    # T-2 is resolved
+    guard.delete(1)
+
+    for line in guard.history():
+        print(" ", line)
+    print()
+    print("state at end of day:")
+    print(guard.to_text())
+
+
+def night_audit(guard: GuardedRelation) -> None:
+    print()
+    print("=" * 64)
+    print("Night audit: explanations")
+    print("=" * 64)
+    relation = guard.relation
+    print(explain_fd_value("team -> oncall", relation[0], relation))
+    print()
+    result = chase(relation, RULES, mode=MODE_EXTENDED)
+    print(explain_chase(result))
+
+
+def main() -> None:
+    guard = open_desk()
+    a_day_of_edits(guard)
+    night_audit(guard)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e . --no-use-pep517`` works on offline machines whose
+setuptools predates vendored wheel support (PEP 660 editable installs with
+setuptools < 70 require the separate ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

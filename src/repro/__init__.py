@@ -1,0 +1,154 @@
+"""repro — Functional Dependencies and Incomplete Information.
+
+A complete, from-scratch reproduction of Yannis Vassiliou's VLDB 1980 paper
+"Functional Dependencies and Incomplete Information": the three-valued FD
+interpretation over relations with nulls (Proposition 1), strong and weak
+satisfiability, the System-C equivalence and Armstrong completeness
+(Theorem 1), the NS-rule chase with null-equality constraints and its
+Church-Rosser extension (Theorem 4), and the TEST-FDs algorithm family
+(Figure 3, Theorems 2-3) — plus the classical FD-theory and normalization
+substrate the paper builds on.
+
+Quick tour::
+
+    from repro import (
+        Domain, FD, FDSet, Relation, RelationSchema, null,
+        evaluate_fd, strongly_holds, weakly_satisfied,
+        minimally_incomplete, check_fds,
+    )
+
+    schema = RelationSchema("R", "A B C", domains={"A": Domain(["a1", "a2"])})
+    r = Relation(schema, [(null(), "b1", "c1"), ("a1", "b1", "c2"),
+                          ("a2", "b1", "c3")])
+    evaluate_fd("A B -> C", r[0], r)     # -> false   (Figure 2, case F2)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+per-figure reproduction record.
+"""
+
+from .core import (
+    FALSE,
+    FD,
+    FDSet,
+    NOTHING,
+    TRUE,
+    UNKNOWN,
+    Domain,
+    Null,
+    Proposition1Result,
+    Relation,
+    RelationSchema,
+    Row,
+    TruthValue,
+    UNBOUNDED,
+    as_fd,
+    evaluate_fd,
+    evaluate_fd_brute,
+    fd_value_profile,
+    holds_classical,
+    is_null,
+    lub,
+    null,
+    proposition1_case,
+    satisfying_completion,
+    strongly_holds,
+    strongly_satisfied,
+    weakly_holds,
+    weakly_holds_each,
+    weakly_satisfied,
+)
+from .errors import (
+    ConventionError,
+    DomainError,
+    InconsistentInstanceError,
+    NotMinimallyIncompleteError,
+    NullsNotAllowedError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core data model
+    "Domain",
+    "UNBOUNDED",
+    "FD",
+    "FDSet",
+    "NOTHING",
+    "Null",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "null",
+    "is_null",
+    # truth values
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "TruthValue",
+    "lub",
+    # interpretation + satisfaction
+    "as_fd",
+    "evaluate_fd",
+    "evaluate_fd_brute",
+    "proposition1_case",
+    "Proposition1Result",
+    "fd_value_profile",
+    "holds_classical",
+    "strongly_holds",
+    "strongly_satisfied",
+    "weakly_holds",
+    "weakly_holds_each",
+    "weakly_satisfied",
+    "satisfying_completion",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "NullsNotAllowedError",
+    "ConventionError",
+    "NotMinimallyIncompleteError",
+    "InconsistentInstanceError",
+]
+
+
+def _late_imports() -> None:
+    """Extend the top-level namespace with the higher layers.
+
+    Kept in a function so that a partial checkout (core only) still imports;
+    the full library always succeeds.
+    """
+    global minimally_incomplete, weakly_satisfiable, check_fds  # noqa: PLW0603
+    global GuardedRelation, explain_chase, explain_fd_value  # noqa: PLW0603
+
+    from .chase import minimally_incomplete as _mi
+    from .chase import weakly_satisfiable as _ws
+    from .explain import explain_chase as _ec
+    from .explain import explain_fd_value as _ef
+    from .testfd import check_fds as _cf
+    from .updates import GuardedRelation as _gr
+
+    minimally_incomplete = _mi
+    weakly_satisfiable = _ws
+    check_fds = _cf
+    GuardedRelation = _gr
+    explain_chase = _ec
+    explain_fd_value = _ef
+    __all__.extend(
+        [
+            "minimally_incomplete",
+            "weakly_satisfiable",
+            "check_fds",
+            "GuardedRelation",
+            "explain_chase",
+            "explain_fd_value",
+        ]
+    )
+
+
+try:  # pragma: no cover - exercised implicitly by every import
+    _late_imports()
+except ImportError:  # pragma: no cover - partial-checkout fallback
+    pass

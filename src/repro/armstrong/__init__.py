@@ -1,0 +1,72 @@
+"""Classical FD theory: closure, implication, covers, keys (section 3/5).
+
+By Theorem 1, everything here applies unchanged to relations with nulls
+under strong satisfiability — that is the paper's licence to reuse
+normalization theory in the presence of incomplete information.
+"""
+
+from .closure import (
+    attribute_closure,
+    attribute_closure_linear,
+    closure_trace,
+)
+from .cover import (
+    is_minimal,
+    left_reduce,
+    minimal_cover,
+    remove_redundant,
+    right_reduce,
+)
+from .implication import (
+    equivalent,
+    implied_fds,
+    implies,
+    implies_all,
+    is_redundant,
+    membership_equivalence_class,
+)
+from .keys import (
+    candidate_keys,
+    is_candidate_key,
+    is_superkey,
+    prime_attributes,
+    shrink_to_key,
+)
+from .rules import (
+    check_augmentation,
+    check_decomposition,
+    check_pseudotransitivity,
+    check_reflexivity,
+    check_transitivity,
+    check_union,
+    derive_fd,
+)
+
+__all__ = [
+    "attribute_closure",
+    "attribute_closure_linear",
+    "closure_trace",
+    "is_minimal",
+    "left_reduce",
+    "minimal_cover",
+    "remove_redundant",
+    "right_reduce",
+    "equivalent",
+    "implied_fds",
+    "implies",
+    "implies_all",
+    "is_redundant",
+    "membership_equivalence_class",
+    "candidate_keys",
+    "is_candidate_key",
+    "is_superkey",
+    "prime_attributes",
+    "shrink_to_key",
+    "check_augmentation",
+    "check_decomposition",
+    "check_pseudotransitivity",
+    "check_reflexivity",
+    "check_transitivity",
+    "check_union",
+    "derive_fd",
+]

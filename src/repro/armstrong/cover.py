@@ -1,0 +1,94 @@
+"""Minimal (canonical) covers of FD sets.
+
+A *minimal cover* of ``F`` is an equivalent set ``G`` where every right-hand
+side is a single attribute, no left-hand side contains an extraneous
+attribute, and no member is redundant.  Minimal covers feed 3NF synthesis
+(:mod:`repro.normalization.synthesize`) and keep chase/benchmark FD sets
+small.
+
+The construction is the standard three-pass algorithm; passes are applied
+in a deterministic order so results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.fd import FD, FDInput, FDSet, as_fd
+from .closure import attribute_closure_linear
+from .implication import equivalent, implies
+
+
+def right_reduce(fds: Iterable[FDInput]) -> List[FD]:
+    """Split right-hand sides to single attributes (drop trivial parts)."""
+    out: List[FD] = []
+    seen: set = set()
+    for fd in (as_fd(f) for f in fds):
+        for attr in fd.rhs:
+            if attr in fd.lhs:
+                continue  # trivial component
+            single = FD(fd.lhs, (attr,))
+            if single not in seen:
+                seen.add(single)
+                out.append(single)
+    return out
+
+
+def left_reduce(fds: Iterable[FDInput]) -> List[FD]:
+    """Remove extraneous left-hand attributes.
+
+    An attribute ``a ∈ X`` is extraneous in ``X -> Y`` when
+    ``Y ⊆ closure(X - a, F)``; removal preserves equivalence.  Attributes
+    are tried in the FD's declared order.
+    """
+    working: List[FD] = [as_fd(f) for f in fds]
+    for index, fd in enumerate(working):
+        lhs = list(fd.lhs)
+        changed = True
+        while changed and len(lhs) > 1:
+            changed = False
+            for attr in list(lhs):
+                candidate = [a for a in lhs if a != attr]
+                if set(fd.rhs) <= attribute_closure_linear(candidate, working):
+                    lhs = candidate
+                    working[index] = FD(lhs, fd.rhs)
+                    fd = working[index]
+                    changed = True
+                    break
+    return working
+
+
+def remove_redundant(fds: Iterable[FDInput]) -> List[FD]:
+    """Drop FDs implied by the remaining ones (first-to-last order)."""
+    working: List[FD] = [as_fd(f) for f in fds]
+    index = 0
+    while index < len(working):
+        rest = working[:index] + working[index + 1 :]
+        if implies(rest, working[index]):
+            working.pop(index)
+        else:
+            index += 1
+    return working
+
+
+def minimal_cover(fds: Iterable[FDInput]) -> FDSet:
+    """A minimal cover: right-reduced, left-reduced, irredundant."""
+    return FDSet(remove_redundant(left_reduce(right_reduce(fds))))
+
+
+def is_minimal(fds: Iterable[FDInput]) -> bool:
+    """Check the three minimality conditions directly."""
+    fd_list = [as_fd(f) for f in fds]
+    for fd in fd_list:
+        if len(fd.rhs) != 1 or fd.is_trivial():
+            return False
+    for index, fd in enumerate(fd_list):
+        rest = fd_list[:index] + fd_list[index + 1 :]
+        if implies(rest, fd):
+            return False
+        if len(fd.lhs) > 1:
+            for attr in fd.lhs:
+                reduced = FD([a for a in fd.lhs if a != attr], fd.rhs)
+                if implies(fd_list, reduced):
+                    return False
+    return True

@@ -1,0 +1,92 @@
+"""FD implication, equivalence of FD sets, and restricted FD-set closure.
+
+The membership test ``F ⊨ f`` through attribute closure is Armstrong-
+complete for classical relations, and — by the paper's Theorem 1 — remains
+sound and complete for relations with nulls under *strong* satisfiability.
+(For the weak notion no such test exists per-FD: see section 6 and
+:mod:`repro.chase`.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FD, FDInput, FDSet, as_fd
+from .closure import attribute_closure_linear
+
+
+def implies(fds: Iterable[FDInput], fd: FDInput) -> bool:
+    """``F ⊨ X -> Y``: is the FD a logical consequence of the set?"""
+    fd = as_fd(fd)
+    return set(fd.rhs) <= attribute_closure_linear(fd.lhs, fds)
+
+
+def implies_all(fds: Iterable[FDInput], goals: Iterable[FDInput]) -> bool:
+    """Every goal FD is implied by ``fds``."""
+    fd_list = [as_fd(f) for f in fds]
+    return all(implies(fd_list, goal) for goal in goals)
+
+
+def equivalent(first: Iterable[FDInput], second: Iterable[FDInput]) -> bool:
+    """Two FD sets are equivalent (each implies the other's members)."""
+    first_list = [as_fd(f) for f in first]
+    second_list = [as_fd(f) for f in second]
+    return implies_all(first_list, second_list) and implies_all(
+        second_list, first_list
+    )
+
+
+def is_redundant(fds: Sequence[FDInput], index: int) -> bool:
+    """Is the ``index``-th FD implied by the others?"""
+    fd_list = [as_fd(f) for f in fds]
+    target = fd_list[index]
+    rest = fd_list[:index] + fd_list[index + 1 :]
+    return implies(rest, target)
+
+
+def implied_fds(
+    fds: Iterable[FDInput],
+    attributes: AttrsInput,
+    max_lhs: int | None = None,
+    nontrivial_only: bool = True,
+) -> List[FD]:
+    """All FDs over ``attributes`` implied by ``fds`` (restricted closure F+).
+
+    For each candidate left-hand side ``X`` the maximal implied FD is
+    ``X -> closure(X)``; we emit that one (right-hand sides of smaller FDs
+    are its decompositions).  Exponential in ``len(attributes)``; ``max_lhs``
+    truncates the LHS size for the larger schemas used in benches.
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    bound = len(attrs) if max_lhs is None else min(max_lhs, len(attrs))
+    result: List[FD] = []
+    for size in range(1, bound + 1):
+        for lhs in itertools.combinations(attrs, size):
+            closure = attribute_closure_linear(lhs, fd_list)
+            rhs = tuple(a for a in attrs if a in closure)
+            if nontrivial_only:
+                rhs = tuple(a for a in rhs if a not in lhs)
+            if rhs:
+                result.append(FD(lhs, rhs))
+    return result
+
+
+def membership_equivalence_class(
+    fds: Iterable[FDInput], attributes: AttrsInput
+) -> Set[FrozenSet[str]]:
+    """The distinct closures ``{closure(X) : X ⊆ attributes}``.
+
+    A compact fingerprint of ``F``'s semantics over a universe; two FD sets
+    are equivalent over the universe iff their fingerprints coincide (used
+    as an independent oracle in tests).
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    closures: Set[FrozenSet[str]] = set()
+    for size in range(0, len(attrs) + 1):
+        for lhs in itertools.combinations(attrs, size):
+            closures.add(attribute_closure_linear(lhs, fd_list))
+    return closures

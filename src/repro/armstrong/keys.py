@@ -1,0 +1,102 @@
+"""Candidate keys of a relation scheme under an FD set.
+
+Keys are what normalization (section 5's application domain) revolves
+around: BCNF asks every FD's determinant to be a superkey, 3NF tolerates
+prime right-hand sides.  Enumeration follows the Lucchesi–Osborn strategy:
+start from one key obtained by shrinking the full attribute set, then for
+each found key ``K`` and FD ``X -> Y``, try ``(K - Y) ∪ X`` as the seed of a
+new key.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FDInput, as_fd
+from .closure import attribute_closure_linear
+
+
+def is_superkey(
+    attributes: AttrsInput, candidate: AttrsInput, fds: Iterable[FDInput]
+) -> bool:
+    """Does ``candidate`` determine every attribute of the scheme?"""
+    universe = set(parse_attrs(attributes))
+    return universe <= attribute_closure_linear(candidate, fds)
+
+
+def shrink_to_key(
+    attributes: AttrsInput, seed: AttrsInput, fds: Iterable[FDInput]
+) -> Tuple[str, ...]:
+    """Remove attributes from ``seed`` while it stays a superkey.
+
+    Deterministic: attributes are tried in the seed's declared order, so the
+    same inputs always yield the same key.
+    """
+    fd_list = [as_fd(f) for f in fds]
+    key: List[str] = list(parse_attrs(seed))
+    for attr in list(key):
+        candidate = [a for a in key if a != attr]
+        if candidate and is_superkey(attributes, candidate, fd_list):
+            key = candidate
+    return tuple(key)
+
+
+def candidate_keys(
+    attributes: AttrsInput, fds: Iterable[FDInput], limit: int = 10_000
+) -> List[Tuple[str, ...]]:
+    """All candidate (minimal) keys, in discovery order.
+
+    Lucchesi–Osborn saturation; ``limit`` bounds the queue for pathological
+    inputs (the number of keys can be exponential).
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    first = shrink_to_key(attrs, attrs, fd_list)
+    keys: List[Tuple[str, ...]] = [first]
+    seen: Set[FrozenSet[str]] = {frozenset(first)}
+    queue: deque = deque([first])
+    while queue:
+        key = queue.popleft()
+        for fd in fd_list:
+            seed = tuple(a for a in attrs if (a in fd.lhs) or (a in key and a not in fd.rhs))
+            if not is_superkey(attrs, seed, fd_list):
+                continue  # seed isn't a superkey: no new key from this FD
+            candidate = shrink_to_key(attrs, seed, fd_list)
+            marker = frozenset(candidate)
+            if marker not in seen:
+                if len(keys) >= limit:
+                    raise RuntimeError(
+                        f"more than {limit} candidate keys; raise `limit` "
+                        "if this is intentional"
+                    )
+                seen.add(marker)
+                keys.append(candidate)
+                queue.append(candidate)
+    return keys
+
+
+def is_candidate_key(
+    attributes: AttrsInput, candidate: AttrsInput, fds: Iterable[FDInput]
+) -> bool:
+    """A superkey none of whose proper subsets is a superkey."""
+    cand = parse_attrs(candidate)
+    fd_list = [as_fd(f) for f in fds]
+    if not is_superkey(attributes, cand, fd_list):
+        return False
+    return all(
+        not is_superkey(attributes, [a for a in cand if a != attr], fd_list)
+        for attr in cand
+        if len(cand) > 1
+    )
+
+
+def prime_attributes(
+    attributes: AttrsInput, fds: Iterable[FDInput]
+) -> FrozenSet[str]:
+    """Attributes occurring in at least one candidate key (3NF's notion)."""
+    found: Set[str] = set()
+    for key in candidate_keys(attributes, fds):
+        found.update(key)
+    return frozenset(found)

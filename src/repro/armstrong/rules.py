@@ -1,0 +1,90 @@
+"""Armstrong's axioms as named, checkable rules over FDs.
+
+Theorem 1 of the paper: *Armstrong's inference rules are sound and complete
+for functional dependencies defined on relations with nulls and the
+requirement of strong satisfiability.*  This module gives the axioms a
+first-class, FD-typed form:
+
+* soundness checkers for single rule applications
+  (:func:`check_reflexivity` etc., used by property tests that pit each
+  axiom against brute-force completion semantics);
+* :func:`derive_fd` — a full derivation of an implied FD, delegated to the
+  I-rule proof system of :mod:`repro.logic.derivation` through the
+  statement bridge (the derivation *is* the section-5 reduction in action).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.attributes import is_subset, parse_attrs
+from ..core.fd import FD, FDInput, as_fd
+from ..logic.derivation import Derivation, derive
+from ..logic.implicational import ImplicationalStatement
+
+
+def check_reflexivity(fd: FDInput) -> bool:
+    """Axiom: if ``Y ⊆ X`` then ``X -> Y``."""
+    fd = as_fd(fd)
+    return is_subset(fd.rhs, fd.lhs)
+
+
+def check_augmentation(premise: FDInput, conclusion: FDInput) -> bool:
+    """Axiom: from ``X -> Y`` infer ``XZ -> YZ`` (any ``Z``)."""
+    premise, conclusion = as_fd(premise), as_fd(conclusion)
+    x, y = set(premise.lhs), set(premise.rhs)
+    z = (set(conclusion.lhs) - x) | (set(conclusion.rhs) - y)
+    return set(conclusion.lhs) == x | z and set(conclusion.rhs) == y | z
+
+
+def check_transitivity(
+    first: FDInput, second: FDInput, conclusion: FDInput
+) -> bool:
+    """Axiom: from ``X -> Y`` and ``Y -> Z`` infer ``X -> Z``."""
+    first, second, conclusion = as_fd(first), as_fd(second), as_fd(conclusion)
+    return (
+        set(first.lhs) == set(conclusion.lhs)
+        and set(first.rhs) == set(second.lhs)
+        and set(second.rhs) == set(conclusion.rhs)
+    )
+
+
+def check_union(first: FDInput, second: FDInput, conclusion: FDInput) -> bool:
+    """Derived rule: from ``X -> Y`` and ``X -> Z`` infer ``X -> YZ``."""
+    first, second, conclusion = as_fd(first), as_fd(second), as_fd(conclusion)
+    return (
+        set(first.lhs) == set(conclusion.lhs)
+        and set(second.lhs) == set(conclusion.lhs)
+        and set(conclusion.rhs) == set(first.rhs) | set(second.rhs)
+    )
+
+
+def check_decomposition(premise: FDInput, conclusion: FDInput) -> bool:
+    """Derived rule: from ``X -> YZ`` infer ``X -> Y``."""
+    premise, conclusion = as_fd(premise), as_fd(conclusion)
+    return set(premise.lhs) == set(conclusion.lhs) and set(conclusion.rhs) <= set(
+        premise.rhs
+    )
+
+
+def check_pseudotransitivity(
+    first: FDInput, second: FDInput, conclusion: FDInput
+) -> bool:
+    """Derived rule: from ``X -> Y`` and ``WY -> Z`` infer ``WX -> Z``."""
+    first, second, conclusion = as_fd(first), as_fd(second), as_fd(conclusion)
+    x, y = set(first.lhs), set(first.rhs)
+    if not y <= set(second.lhs):
+        return False
+    w = set(second.lhs) - y
+    return set(conclusion.lhs) == w | x and set(conclusion.rhs) == set(second.rhs)
+
+
+def derive_fd(fds: Iterable[FDInput], goal: FDInput) -> Optional[Derivation]:
+    """An explicit derivation of ``goal`` from ``fds``, or ``None``.
+
+    The proof is constructed in the implicational-statement system (I1-I4)
+    — the section-5 reduction — and is verifiable via
+    :meth:`repro.logic.derivation.Derivation.verify`.
+    """
+    statements = [ImplicationalStatement.from_fd(fd) for fd in fds]
+    return derive(statements, ImplicationalStatement.from_fd(goal))

@@ -1,0 +1,5 @@
+"""Shared helpers for the benchmark harness (benchmarks/)."""
+
+from .report import Table, geometric_sizes, loglog_slope, time_call
+
+__all__ = ["Table", "geometric_sizes", "loglog_slope", "time_call"]

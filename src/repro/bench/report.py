@@ -1,0 +1,107 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Benchmarks print the paper-shaped series (who wins, slopes, crossovers) in
+fixed-width tables that EXPERIMENTS.md quotes verbatim; this module keeps
+the formatting in one place so every bench reads the same.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class Table:
+    """A fixed-width text table with a title."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e5:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def time_call(
+    func: Callable[[], Any], repeat: int = 3, number: int = 1
+) -> float:
+    """Best-of-``repeat`` wall time of calling ``func`` ``number`` times."""
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            func()
+        elapsed = (time.perf_counter() - start) / number
+        best = min(best, elapsed)
+    return best
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    The scaling-shape statistic used by the E3/E5 experiments: a slope
+    near 1 is linear(ish — n log n reads ~1.1), near 2 quadratic, near 3
+    cubic.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    return sxy / sxx
+
+
+def geometric_sizes(start: int, factor: float, count: int) -> List[int]:
+    """Geometric size ladder for scaling sweeps (deduplicated, ascending)."""
+    sizes: List[int] = []
+    value = float(start)
+    for _ in range(count):
+        size = int(round(value))
+        if not sizes or size > sizes[-1]:
+            sizes.append(size)
+        value *= factor
+    return sizes

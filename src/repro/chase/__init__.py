@@ -1,0 +1,46 @@
+"""NS-rule chase, NECs, congruence closure (paper section 6)."""
+
+from .congruence import CongruenceEngine, congruence_chase
+from .incremental import IncrementalChase
+from .engine import (
+    MODE_BASIC,
+    MODE_EXTENDED,
+    STRATEGY_FD_ORDER,
+    STRATEGY_RANDOM,
+    STRATEGY_ROUND_ROBIN,
+    Application,
+    ChaseResult,
+    ChaseState,
+    XSubstitution,
+    chase,
+    x_side_substitutions,
+)
+from .minimal import (
+    canonical_form,
+    church_rosser_orders,
+    is_minimally_incomplete,
+    minimally_incomplete,
+    weakly_satisfiable,
+)
+
+__all__ = [
+    "Application",
+    "ChaseResult",
+    "ChaseState",
+    "CongruenceEngine",
+    "IncrementalChase",
+    "MODE_BASIC",
+    "MODE_EXTENDED",
+    "STRATEGY_FD_ORDER",
+    "STRATEGY_RANDOM",
+    "STRATEGY_ROUND_ROBIN",
+    "XSubstitution",
+    "canonical_form",
+    "chase",
+    "church_rosser_orders",
+    "congruence_chase",
+    "is_minimally_incomplete",
+    "minimally_incomplete",
+    "weakly_satisfiable",
+    "x_side_substitutions",
+]

@@ -1,0 +1,128 @@
+"""Congruence-closure chase (the fast engine behind Theorem 4).
+
+Theorem 4 is proved (via [Graham 80] / [Downey, Sethi, Tarjan 80]) by
+reading the instance as a congruence-closure problem: for every FD
+``X -> Y`` and every tuple ``t``, introduce the "application"
+``f_{X->Y}(t[X]) = t[Y]``; congruence — equal arguments force equal results
+— is then exactly the NS-rule, and the congruence closure of the resulting
+graph is the unique minimally incomplete instance (with *nothing* for
+classes that swallow two distinct constants).
+
+This module implements the signature-table / use-list algorithm (the
+standard efficient congruence closure): each (FD, row) pair is a term whose
+signature is the tuple of its ``X``-cell class roots; a hash table maps
+signatures to a representative row; when a union changes some class, only
+the terms *using* that class are re-signed.  With union-by-size the total
+re-signing work is ``O(m log m)`` term updates — the near-linear bound the
+paper's footnote cites, versus the naive engine's multi-pass
+``O(|F| · n³ · p)``.
+
+The result is bit-for-bit the same partition (and tags) as
+:func:`repro.chase.engine.chase` in extended mode; the test suite and
+experiment E5 verify this on thousands of random instances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, List, Set, Tuple
+
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from .engine import MODE_EXTENDED, ChaseResult, ChaseState
+
+STRATEGY_CONGRUENCE = "congruence"
+
+
+class CongruenceEngine(ChaseState):
+    """Extended-mode chase via congruence closure."""
+
+    def __init__(self, relation: Relation, fds: Iterable[FDInput]) -> None:
+        super().__init__(relation, fds, MODE_EXTENDED)
+        self._nothing()  # materialize the single inconsistent class up front
+
+    def run_congruence(self) -> None:
+        fds = self.fds
+        columns = [
+            (
+                [self.schema.position(a) for a in fd.lhs],
+                [self.schema.position(a) for a in fd.rhs],
+            )
+            for fd in fds
+        ]
+        n_rows = len(self.cells)
+
+        # term = (fd index, row index)
+        signature: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        table: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        uses: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
+        pending: Deque[Tuple[int, int]] = deque()
+
+        def enqueue_result_merge(k: int, i: int, j: int) -> None:
+            for col in columns[k][1]:
+                pending.append((self.cells[i][col], self.cells[j][col]))
+
+        # -- initial signing --------------------------------------------------
+        for k in range(len(fds)):
+            xcols = columns[k][0]
+            for i in range(n_rows):
+                sig = tuple(self.uf.find(self.cells[i][c]) for c in xcols)
+                signature[(k, i)] = sig
+                for root in set(sig):
+                    uses[root].add((k, i))
+                key = (k, sig)
+                if key in table:
+                    enqueue_result_merge(k, table[key], i)
+                else:
+                    table[key] = i
+
+        # -- closure loop ---------------------------------------------------------
+        while pending:
+            first, second = pending.popleft()
+            root_a, root_b = self.uf.find(first), self.uf.find(second)
+            if root_a == root_b:
+                continue
+            survivor = self._merge(root_a, root_b)
+            absorbed = root_b if survivor == root_a else root_a
+
+            # Poisoning: a class that swallowed two distinct constants must
+            # join the single *nothing* class (constants interned per column
+            # then propagate it to every cell holding them).
+            if self.tags[survivor][0] == "nothing":
+                nothing_root = self._nothing()
+                if nothing_root != survivor:
+                    pending.append((survivor, nothing_root))
+
+            # Re-sign every term that used the absorbed class.
+            for term in uses.pop(absorbed, ()):
+                k, i = term
+                old_sig = signature[term]
+                old_key = (k, old_sig)
+                if table.get(old_key) == i:
+                    del table[old_key]
+                new_sig = tuple(self.uf.find(node) for node in old_sig)
+                signature[term] = new_sig
+                for root in set(new_sig):
+                    uses[root].add(term)
+                new_key = (k, new_sig)
+                other = table.get(new_key)
+                if other is None:
+                    table[new_key] = i
+                elif other != i:
+                    enqueue_result_merge(k, other, i)
+            self.passes += 1  # one queue step ~ one merge processed
+
+    def chase_result(self) -> ChaseResult:
+        return self.result(STRATEGY_CONGRUENCE)
+
+
+def congruence_chase(relation: Relation, fds: Iterable[FDInput]) -> ChaseResult:
+    """The unique minimally incomplete instance via congruence closure.
+
+    Semantically identical to
+    ``chase(relation, fds, mode="extended")`` — but near-linear instead of
+    cubic in the number of tuples.
+    """
+    engine = CongruenceEngine(relation, fds)
+    engine.run_congruence()
+    return engine.chase_result()

@@ -1,0 +1,67 @@
+"""Disjoint-set forest (union-find) used by the NS-rule engines.
+
+Plain integer-keyed DSU with path halving and union by size.  The chase
+engines layer *value tags* on top of the partition; keeping the DSU itself
+generic keeps both engines honest about where the semantics lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class UnionFind:
+    """Union-find over the integers ``0 .. n-1`` (growable)."""
+
+    __slots__ = ("parent", "size", "merges")
+
+    def __init__(self, count: int = 0) -> None:
+        self.parent: List[int] = list(range(count))
+        self.size: List[int] = [1] * count
+        #: number of successful (class-reducing) unions so far
+        self.merges: int = 0
+
+    def add(self) -> int:
+        """Create a fresh singleton node; returns its id."""
+        node = len(self.parent)
+        self.parent.append(node)
+        self.size.append(1)
+        return node
+
+    def find(self, node: int) -> int:
+        """Root of ``node``'s class (path halving)."""
+        parent = self.parent
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, first: int, second: int) -> int:
+        """Merge the two classes; returns the surviving root.
+
+        The larger class wins (union by size), which both bounds tree depth
+        and — in the congruence engine — makes "re-sign the smaller class"
+        the cheap side.
+        """
+        a, b = self.find(first), self.find(second)
+        if a == b:
+            return a
+        if self.size[a] < self.size[b]:
+            a, b = b, a
+        self.parent[b] = a
+        self.size[a] += self.size[b]
+        self.merges += 1
+        return a
+
+    def same(self, first: int, second: int) -> bool:
+        return self.find(first) == self.find(second)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def classes(self) -> Dict[int, List[int]]:
+        """root -> members, for inspection and result extraction."""
+        out: Dict[int, List[int]] = {}
+        for node in range(len(self.parent)):
+            out.setdefault(self.find(node), []).append(node)
+        return out

@@ -1,0 +1,202 @@
+"""Command-line interface: FD tools over CSV files.
+
+Usage (also via ``python -m repro``)::
+
+    repro check  --data t.csv --fds "zip -> city state" [--convention weak]
+    repro chase  --data t.csv --fds "zip -> city state" [--mode extended]
+    repro keys       --attrs "A B C" --fds "A -> B"
+    repro closure    --attrs "A B C" --fds "A -> B; B -> C" --of "A"
+    repro normalize  --attrs "A B C" --fds "A -> B; B -> C" [--method bcnf]
+
+Data files are ordinary CSV with a header row naming the attributes; an
+empty cell or a ``-`` cell is read as a fresh null.  Finite domains may be
+declared with ``--domain A=a1,a2,a3`` (repeatable); attributes without a
+declaration get unbounded domains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .armstrong import attribute_closure, candidate_keys, minimal_cover
+from .chase import MODE_BASIC, MODE_EXTENDED, chase
+from .core.attributes import parse_attrs
+from .core.domain import Domain
+from .core.fd import FDSet
+from .core.relation import Relation
+from .core.schema import RelationSchema
+from .core.values import null
+from .errors import ReproError
+from .explain import explain_chase, explain_outcome
+from .normalization import bcnf_decompose, synthesize_3nf
+from .testfd import CONVENTION_STRONG, CONVENTION_WEAK, check_fds
+
+NULL_TOKENS = ("", "-", "NULL", "null")
+
+
+def load_relation(
+    path: str, domains: Optional[Dict[str, Domain]] = None, name: str = "R"
+) -> Relation:
+    """Read a CSV file into a relation; empty/``-`` cells become nulls."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ReproError(f"{path}: empty file") from None
+        schema = RelationSchema(
+            name, [h.strip() for h in header], domains=domains
+        )
+        rows: List[List] = []
+        for lineno, record in enumerate(reader, start=2):
+            if not record or all(not cell.strip() for cell in record):
+                continue
+            if len(record) != len(schema.attributes):
+                raise ReproError(
+                    f"{path}:{lineno}: expected {len(schema.attributes)} "
+                    f"cells, got {len(record)}"
+                )
+            rows.append(
+                [
+                    null() if cell.strip() in NULL_TOKENS else cell.strip()
+                    for cell in record
+                ]
+            )
+    return Relation(schema, rows)
+
+
+def parse_domains(specs: Optional[Sequence[str]]) -> Dict[str, Domain]:
+    domains: Dict[str, Domain] = {}
+    for spec in specs or ():
+        if "=" not in spec:
+            raise ReproError(f"bad --domain {spec!r}; expected ATTR=v1,v2,...")
+        attr, _, values = spec.partition("=")
+        domains[attr.strip()] = Domain(
+            [v.strip() for v in values.split(",") if v.strip()], name=attr
+        )
+    return domains
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    relation = load_relation(args.data, parse_domains(args.domain))
+    fds = FDSet.parse(args.fds)
+    outcome = check_fds(
+        relation,
+        fds,
+        convention=args.convention,
+        ensure_minimal=(args.convention == CONVENTION_WEAK),
+    )
+    print(
+        f"{args.convention} satisfiability of {fds!r}: "
+        f"{'yes' if outcome.satisfied else 'no'}"
+    )
+    if not outcome.satisfied:
+        print(explain_outcome(outcome, relation))
+    return 0 if outcome.satisfied else 1
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    relation = load_relation(args.data, parse_domains(args.domain))
+    fds = FDSet.parse(args.fds)
+    result = chase(relation, fds, mode=args.mode)
+    print(result.relation.to_text())
+    print()
+    print(explain_chase(result))
+    return 1 if result.has_nothing else 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    fds = FDSet.parse(args.fds) if args.fds else FDSet()
+    keys = candidate_keys(args.attrs, fds)
+    for key in keys:
+        print(" ".join(key))
+    return 0
+
+
+def _cmd_closure(args: argparse.Namespace) -> int:
+    fds = FDSet.parse(args.fds) if args.fds else FDSet()
+    closure = attribute_closure(args.of, fds)
+    ordered = [a for a in parse_attrs(args.attrs) if a in closure]
+    print(" ".join(ordered))
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    fds = FDSet.parse(args.fds) if args.fds else FDSet()
+    cover = minimal_cover(fds)
+    print(f"minimal cover: {cover!r}")
+    if args.method == "bcnf":
+        for attrs, local in bcnf_decompose(args.attrs, cover):
+            print(f"{' '.join(attrs)}   [{local!r}]")
+    else:
+        for attrs in synthesize_3nf(args.attrs, cover):
+            print(" ".join(attrs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "functional dependencies over relations with nulls "
+            "(Vassiliou, VLDB 1980)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="TEST-FDs satisfiability")
+    check.add_argument("--data", required=True, help="CSV file with header")
+    check.add_argument("--fds", required=True, help='e.g. "A -> B; B -> C"')
+    check.add_argument(
+        "--convention",
+        choices=[CONVENTION_WEAK, CONVENTION_STRONG],
+        default=CONVENTION_WEAK,
+    )
+    check.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    check.set_defaults(func=_cmd_check)
+
+    chase_cmd = commands.add_parser("chase", help="NS-rule chase")
+    chase_cmd.add_argument("--data", required=True)
+    chase_cmd.add_argument("--fds", required=True)
+    chase_cmd.add_argument(
+        "--mode", choices=[MODE_BASIC, MODE_EXTENDED], default=MODE_EXTENDED
+    )
+    chase_cmd.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    chase_cmd.set_defaults(func=_cmd_chase)
+
+    keys = commands.add_parser("keys", help="candidate keys")
+    keys.add_argument("--attrs", required=True, help='e.g. "A B C"')
+    keys.add_argument("--fds", default="")
+    keys.set_defaults(func=_cmd_keys)
+
+    closure = commands.add_parser("closure", help="attribute closure")
+    closure.add_argument("--attrs", required=True)
+    closure.add_argument("--fds", default="")
+    closure.add_argument("--of", required=True, help="seed attributes")
+    closure.set_defaults(func=_cmd_closure)
+
+    normalize = commands.add_parser("normalize", help="BCNF / 3NF design")
+    normalize.add_argument("--attrs", required=True)
+    normalize.add_argument("--fds", default="")
+    normalize.add_argument(
+        "--method", choices=["bcnf", "3nf"], default="bcnf"
+    )
+    normalize.set_defaults(func=_cmd_normalize)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

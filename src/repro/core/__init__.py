@@ -1,0 +1,134 @@
+"""Core data model and the paper's primary contribution.
+
+This package holds the value/domain/schema/relation substrate (sections 2-3
+of the paper) and the extended, three-valued FD interpretation with its
+strong/weak satisfiability notions (section 4).
+"""
+
+from .attributes import (
+    attrs_difference,
+    attrs_intersection,
+    attrs_union,
+    format_attrs,
+    is_subset,
+    parse_attrs,
+)
+from .domain import UNBOUNDED, Domain, effective_domain
+from .fd import (
+    FD,
+    FDSet,
+    as_fd,
+    all_hold_classical,
+    classical_fd_value,
+    holds_classical,
+    violations_classical,
+)
+from .interpretation import (
+    DEFAULT_LIMIT,
+    Proposition1Result,
+    evaluate_fd,
+    evaluate_fd_brute,
+    proposition1_case,
+)
+from .relation import Relation
+from .satisfaction import (
+    fd_value_profile,
+    satisfaction_summary,
+    satisfying_completion,
+    strongly_holds,
+    strongly_satisfied,
+    strongly_satisfied_bruteforce,
+    weakly_holds,
+    weakly_holds_each,
+    weakly_satisfied,
+)
+from .schema import RelationSchema
+from .truth import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    TruthValue,
+    and_,
+    from_bool,
+    implies_,
+    is_definite,
+    lub,
+    not_,
+    or_,
+)
+from .tuples import Row
+from .values import (
+    NOTHING,
+    Null,
+    approximates,
+    constant_key,
+    is_constant,
+    is_nothing,
+    is_null,
+    null,
+    value_lub,
+)
+
+__all__ = [
+    # attributes
+    "attrs_difference",
+    "attrs_intersection",
+    "attrs_union",
+    "format_attrs",
+    "is_subset",
+    "parse_attrs",
+    # domains
+    "UNBOUNDED",
+    "Domain",
+    "effective_domain",
+    # fds
+    "FD",
+    "FDSet",
+    "as_fd",
+    "all_hold_classical",
+    "classical_fd_value",
+    "holds_classical",
+    "violations_classical",
+    # interpretation
+    "DEFAULT_LIMIT",
+    "Proposition1Result",
+    "evaluate_fd",
+    "evaluate_fd_brute",
+    "proposition1_case",
+    # relation/schema/rows
+    "Relation",
+    "RelationSchema",
+    "Row",
+    # satisfaction
+    "fd_value_profile",
+    "satisfaction_summary",
+    "satisfying_completion",
+    "strongly_holds",
+    "strongly_satisfied",
+    "strongly_satisfied_bruteforce",
+    "weakly_holds",
+    "weakly_holds_each",
+    "weakly_satisfied",
+    # truth values
+    "FALSE",
+    "TRUE",
+    "UNKNOWN",
+    "TruthValue",
+    "and_",
+    "from_bool",
+    "implies_",
+    "is_definite",
+    "lub",
+    "not_",
+    "or_",
+    # values
+    "NOTHING",
+    "Null",
+    "approximates",
+    "constant_key",
+    "is_constant",
+    "is_nothing",
+    "is_null",
+    "null",
+    "value_lub",
+]

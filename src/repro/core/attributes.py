@@ -1,0 +1,80 @@
+"""Attribute names and attribute-set utilities.
+
+Attributes are plain strings (``"A"``, ``"E#"``, ``"salary"``).  Sets of
+attributes — the ``X`` and ``Y`` of an FD ``X -> Y`` — appear throughout the
+paper; this module centralizes parsing and canonical ordering so that every
+algorithm agrees on what ``"E# SL,D#"`` means.
+
+Parsing accepts comma- and/or whitespace-separated names, so all of
+``"A B"``, ``"A,B"`` and ``"A, B"`` denote the same attribute set.  Parsed
+sets are returned as tuples in first-occurrence order with duplicates
+removed; semantic operations (closure, subset tests) treat them as sets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+
+#: The type accepted wherever the library wants "some attributes".
+AttrsInput = Union[str, Iterable[str]]
+
+_SPLIT = re.compile(r"[,\s]+")
+
+
+def parse_attrs(spec: AttrsInput) -> Tuple[str, ...]:
+    """Normalize an attribute specification to a duplicate-free tuple.
+
+    ``spec`` may be a string (``"A B"``, ``"A,B"``) or any iterable of
+    attribute names.  Order of first occurrence is preserved so printed
+    output matches what the user wrote.
+    """
+    if isinstance(spec, str):
+        names = [name for name in _SPLIT.split(spec.strip()) if name]
+    else:
+        names = list(spec)
+    result: list[str] = []
+    seen: set[str] = set()
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid attribute name {name!r}")
+        if name not in seen:
+            seen.add(name)
+            result.append(name)
+    return tuple(result)
+
+
+def attrs_union(*groups: AttrsInput) -> Tuple[str, ...]:
+    """Union of attribute specifications, first-occurrence order."""
+    result: list[str] = []
+    seen: set[str] = set()
+    for group in groups:
+        for name in parse_attrs(group):
+            if name not in seen:
+                seen.add(name)
+                result.append(name)
+    return tuple(result)
+
+
+def attrs_difference(left: AttrsInput, right: AttrsInput) -> Tuple[str, ...]:
+    """Attributes of ``left`` not in ``right``, preserving ``left``'s order."""
+    removed = set(parse_attrs(right))
+    return tuple(name for name in parse_attrs(left) if name not in removed)
+
+
+def attrs_intersection(left: AttrsInput, right: AttrsInput) -> Tuple[str, ...]:
+    """Attributes common to both, in ``left``'s order."""
+    keep = set(parse_attrs(right))
+    return tuple(name for name in parse_attrs(left) if name in keep)
+
+
+def is_subset(left: AttrsInput, right: AttrsInput) -> bool:
+    """True when every attribute of ``left`` occurs in ``right``."""
+    return set(parse_attrs(left)) <= set(parse_attrs(right))
+
+
+def format_attrs(attrs: Sequence[str]) -> str:
+    """Render an attribute tuple the way the paper writes it (``"A B"``)."""
+    return " ".join(attrs) if attrs else "∅"

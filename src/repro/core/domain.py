@@ -1,0 +1,195 @@
+"""Attribute domains.
+
+Section 4 of the paper: "the concept of an attribute domain and its size is
+important.  Domains are finite and are assumed known."  Finite domains are
+what makes the F2 case of Proposition 1 possible at all (an FD can only
+become *false* through an X-null when the substitutions "run out of domain
+values").
+
+The library supports two kinds of domains:
+
+* :class:`Domain` — an explicit finite set of constants, in a fixed
+  deterministic order (insertion order of the constructor argument);
+* :data:`UNBOUNDED` — a domain about which only membership-of-anything is
+  known.  With an unbounded domain an X-null can never exhaust its
+  substitutions, so the F2 case never fires; algorithms that must enumerate
+  completions either raise :class:`repro.errors.DomainError` or switch to
+  the *effective domain* construction (:func:`effective_domain`), which is
+  sound for every question that depends only on the equality pattern of
+  values (all FD questions do — see the function's docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+from ..errors import DomainError
+from .values import is_constant, is_null
+
+
+class Domain:
+    """A finite, ordered attribute domain.
+
+    The iteration order is deterministic (the order values were given in),
+    which keeps completion enumeration, random workload generation and test
+    output reproducible.
+    """
+
+    __slots__ = ("name", "_values", "_index")
+
+    def __init__(self, values: Iterable[Hashable], name: str = "") -> None:
+        ordered: list = []
+        seen: set = set()
+        for value in values:
+            if not is_constant(value):
+                raise DomainError(
+                    f"domain values must be constants, got {value!r}"
+                )
+            if value in seen:
+                raise DomainError(f"duplicate domain value {value!r}")
+            seen.add(value)
+            ordered.append(value)
+        if not ordered:
+            raise DomainError("a finite domain must contain at least one value")
+        self.name = name
+        self._values = tuple(ordered)
+        self._index = {value: i for i, value in enumerate(ordered)}
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def values(self) -> tuple:
+        """The domain's constants, in deterministic order."""
+        return self._values
+
+    @property
+    def is_finite(self) -> bool:
+        return True
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        label = self.name or "Domain"
+        if len(self._values) <= 6:
+            return f"{label}{list(self._values)!r}"
+        return f"{label}[{len(self._values)} values]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    # -- queries used by the algorithms -------------------------------------
+
+    def missing_from(self, present: Iterable[Hashable]) -> list:
+        """Domain values that do not occur in ``present``.
+
+        This is the test behind the X-substitution condition (2) of section
+        4 ("all completions of t[X] appear in r except one ... may be
+        substituted with the value of the domain of X that does not appear").
+        """
+        present_set = set(present)
+        return [value for value in self._values if value not in present_set]
+
+
+class _UnboundedDomain:
+    """A domain with unknown (practically infinite) extent.
+
+    Membership accepts any constant.  Enumeration is impossible; algorithms
+    needing it must go through :func:`effective_domain`.
+    """
+
+    _instance: "_UnboundedDomain | None" = None
+
+    def __new__(cls) -> "_UnboundedDomain":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    name = "unbounded"
+
+    @property
+    def is_finite(self) -> bool:
+        return False
+
+    def __contains__(self, value: Any) -> bool:
+        return is_constant(value)
+
+    def __iter__(self) -> Iterator:
+        raise DomainError("an unbounded domain cannot be enumerated")
+
+    def __len__(self) -> int:
+        raise DomainError("an unbounded domain has no size")
+
+    def __repr__(self) -> str:
+        return "UNBOUNDED"
+
+    def __reduce__(self) -> tuple:
+        return (_UnboundedDomain, ())
+
+    def missing_from(self, present: Iterable[Hashable]) -> list:
+        raise DomainError("an unbounded domain cannot enumerate missing values")
+
+
+UNBOUNDED = _UnboundedDomain()
+
+#: A fresh-symbol prefix that user constants are assumed not to collide
+#: with.  ``effective_domain`` manufactures witnesses with this prefix.
+_FRESH_PREFIX = "†fresh"
+
+
+def effective_domain(
+    column_values: Sequence[Any],
+    declared: "Domain | _UnboundedDomain | None",
+    attribute: str = "",
+) -> Domain:
+    """A finite domain that is *equivalent* to the declared one for FD
+    questions about a specific column.
+
+    If the declared domain is already finite it is returned unchanged.
+    Otherwise a finite surrogate is built from the constants occurring in
+    the column plus ``k + 1`` fresh symbols, where ``k`` is the number of
+    nulls in the column.
+
+    Why this is sound: the truth of any FD statement (classical or extended,
+    universally or existentially quantified over completions) depends only
+    on the *equality pattern* among cell values, never on what the values
+    are.  With ``k`` nulls, any equality pattern over the completed column
+    partitions those nulls among at most ``k`` fresh classes plus the
+    existing constants, so ``k`` fresh symbols realize every reachable
+    pattern; one extra symbol is included so that "pick a value different
+    from all of these" is always possible even when ``k = 0`` constants are
+    present.  Enumerating the surrogate domain therefore visits a
+    representative of every equality pattern the unbounded domain could
+    realize — and no pattern it could not.
+    """
+    if declared is not None and declared.is_finite:
+        return declared  # type: ignore[return-value]
+    constants = []
+    seen: set = set()
+    nulls = 0
+    for value in column_values:
+        if is_null(value):
+            nulls += 1
+        elif is_constant(value) and value not in seen:
+            seen.add(value)
+            constants.append(value)
+    # Fresh symbols must not collide with observed constants — including
+    # fresh symbols injected by an *earlier* effective-domain completion of
+    # the same column — so skip over any occupied labels.
+    fresh: list = []
+    candidate = 0
+    while len(fresh) < nulls + 1:
+        symbol = f"{_FRESH_PREFIX}:{attribute}:{candidate}"
+        candidate += 1
+        if symbol not in seen:
+            fresh.append(symbol)
+    return Domain(constants + fresh, name=f"effective({attribute})")

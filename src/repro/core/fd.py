@@ -1,0 +1,279 @@
+"""Functional dependencies: syntax and the classical interpretation.
+
+Section 3 of the paper: an FD ``f : X -> Y`` is interpreted as a predicate on
+(null-free) instances of ``R``::
+
+    f(t, r) = true   if for every t' in r, either t[X] ≠ t'[X],
+                     or, if t[X] = t'[X], then t[Y] = t'[Y]
+              false  in any other case
+
+``f`` *holds* in ``r`` when ``f(t, r) = true`` for every ``t`` in ``r``.
+
+This module provides the :class:`FD` value type (with a small parser for the
+paper's arrow notation), :class:`FDSet` for sets of dependencies, and the
+classical interpreter (:func:`classical_fd_value`, :func:`holds_classical`).
+The extended (null-aware) interpretation lives in
+:mod:`repro.core.interpretation`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from .attributes import (
+    AttrsInput,
+    attrs_difference,
+    attrs_union,
+    format_attrs,
+    is_subset,
+    parse_attrs,
+)
+from .relation import Relation
+from .schema import RelationSchema
+from .truth import FALSE, TRUE, TruthValue
+from .tuples import Row
+
+_ARROW = re.compile(r"->|→|⟶")
+
+
+class FD:
+    """A functional dependency ``X -> Y`` between attribute sets.
+
+    Instances are immutable and hashable; ``lhs`` and ``rhs`` are
+    duplicate-free attribute tuples.  Construction accepts attribute
+    specifications in any of the library's accepted forms::
+
+        FD("A B", "C")
+        FD(("A", "B"), ("C",))
+        FD.parse("A B -> C")
+        FD.parse("E# -> SL, D#")
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: AttrsInput, rhs: AttrsInput) -> None:
+        self.lhs: Tuple[str, ...] = parse_attrs(lhs)
+        self.rhs: Tuple[str, ...] = parse_attrs(rhs)
+        if not self.lhs:
+            raise SchemaError("an FD needs a non-empty left-hand side")
+        if not self.rhs:
+            raise SchemaError("an FD needs a non-empty right-hand side")
+
+    @classmethod
+    def parse(cls, text: str) -> "FD":
+        """Parse the arrow notation ``"X -> Y"`` (also accepts ``→``)."""
+        parts = _ARROW.split(text)
+        if len(parts) != 2:
+            raise SchemaError(f"cannot parse FD from {text!r}")
+        return cls(parts[0], parts[1])
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes mentioned by the FD (``X ∪ Y``)."""
+        return attrs_union(self.lhs, self.rhs)
+
+    def is_trivial(self) -> bool:
+        """``X -> Y`` with ``Y ⊆ X`` (holds in every instance)."""
+        return is_subset(self.rhs, self.lhs)
+
+    def normalized(self) -> "FD":
+        """The FD with left-hand attributes removed from the right-hand side.
+
+        Proposition 1 is stated for ``X ∩ Y = ∅``; the normalization
+        ``X -> Y  ≡  X -> (Y - X)`` is semantics-preserving (the removed
+        part is trivially determined).  FDs whose right-hand side is wholly
+        contained in the left become ``X -> X`` (kept trivially true rather
+        than empty, so the type invariant "non-empty rhs" is preserved).
+        """
+        reduced = attrs_difference(self.rhs, self.lhs)
+        if not reduced:
+            return FD(self.lhs, self.lhs)
+        return FD(self.lhs, reduced)
+
+    def decompose(self) -> List["FD"]:
+        """Split into single-attribute right-hand sides (Armstrong-equivalent)."""
+        return [FD(self.lhs, (attr,)) for attr in self.rhs]
+
+    def validate(self, schema: RelationSchema) -> "FD":
+        """Check that every mentioned attribute belongs to ``schema``."""
+        schema.validate_attrs(self.lhs)
+        schema.validate_attrs(self.rhs)
+        return self
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FD)
+            and set(self.lhs) == set(other.lhs)
+            and set(self.rhs) == set(other.rhs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.lhs), frozenset(self.rhs)))
+
+    def __repr__(self) -> str:
+        return f"{format_attrs(self.lhs)} -> {format_attrs(self.rhs)}"
+
+
+FDInput = Union[FD, str]
+
+
+def as_fd(value: FDInput) -> FD:
+    """Coerce a string in arrow notation (or an FD) to an :class:`FD`."""
+    if isinstance(value, FD):
+        return value
+    return FD.parse(value)
+
+
+class FDSet:
+    """An ordered, duplicate-free collection of FDs.
+
+    Construction accepts FDs, arrow-notation strings, or a single
+    semicolon/newline separated string::
+
+        FDSet(["A -> B", FD("B", "C")])
+        FDSet.parse("E# -> SL, D#; D# -> CT")
+    """
+
+    __slots__ = ("fds",)
+
+    def __init__(self, fds: Iterable[FDInput] = ()) -> None:
+        materialized: List[FD] = []
+        seen: set = set()
+        for item in fds:
+            fd = as_fd(item)
+            if fd not in seen:
+                seen.add(fd)
+                materialized.append(fd)
+        self.fds: Tuple[FD, ...] = tuple(materialized)
+
+    @classmethod
+    def parse(cls, text: str) -> "FDSet":
+        """Parse a ``;``- or newline-separated list of arrow FDs."""
+        chunks = [c.strip() for c in re.split(r"[;\n]+", text) if c.strip()]
+        return cls(chunks)
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self.fds)
+
+    def __len__(self) -> int:
+        return len(self.fds)
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, FD) and item in set(self.fds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return set(self.fds) == set(other.fds)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.fds))
+
+    def __repr__(self) -> str:
+        return "{" + "; ".join(map(repr, self.fds)) + "}"
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes mentioned by any FD, first-occurrence order."""
+        return attrs_union(*(fd.attributes for fd in self.fds)) if self.fds else ()
+
+    def validate(self, schema: RelationSchema) -> "FDSet":
+        for fd in self.fds:
+            fd.validate(schema)
+        return self
+
+    def normalized(self) -> "FDSet":
+        """Every member normalized (rhs disjoint from lhs); trivial FDs kept."""
+        return FDSet(fd.normalized() for fd in self.fds)
+
+    def decomposed(self) -> "FDSet":
+        """Every member split to single-attribute right-hand sides."""
+        out: List[FD] = []
+        for fd in self.fds:
+            out.extend(fd.decompose())
+        return FDSet(out)
+
+    def union(self, other: Iterable[FDInput]) -> "FDSet":
+        return FDSet(list(self.fds) + [as_fd(f) for f in other])
+
+    def without(self, fd: FDInput) -> "FDSet":
+        target = as_fd(fd)
+        return FDSet(f for f in self.fds if f != target)
+
+
+def classical_fd_value(fd: FDInput, row: Row, relation: Relation) -> TruthValue:
+    """The section-3 predicate ``f(t, r)`` on a null-free instance.
+
+    Raises :class:`repro.errors.NullsNotAllowedError` when the instance (or
+    the row, if it is not part of the instance) contains nulls — the
+    classical interpretation is simply not defined there; use
+    :func:`repro.core.interpretation.evaluate_fd` instead.
+    """
+    fd = as_fd(fd)
+    relation.require_total("the classical FD interpretation")
+    if row.has_null():
+        from ..errors import NullsNotAllowedError
+
+        raise NullsNotAllowedError(
+            "the classical FD interpretation is undefined on rows with nulls"
+        )
+    t_x = row.project(fd.lhs)
+    t_y = row.project(fd.rhs)
+    for other in relation:
+        if other.project(fd.lhs) == t_x and other.project(fd.rhs) != t_y:
+            return FALSE
+    return TRUE
+
+
+def holds_classical(fd: FDInput, relation: Relation) -> bool:
+    """``f`` holds in null-free ``r``: ``f(t, r) = true`` for every ``t``.
+
+    Implemented by grouping rather than the quadratic definition, but
+    equivalent to it (and cross-checked in the tests).
+    """
+    fd = as_fd(fd)
+    relation.require_total("the classical FD interpretation")
+    witness: dict = {}
+    for row in relation:
+        key = row.project(fd.lhs)
+        image = row.project(fd.rhs)
+        if key in witness:
+            if witness[key] != image:
+                return False
+        else:
+            witness[key] = image
+    return True
+
+
+def all_hold_classical(fds: Iterable[FDInput], relation: Relation) -> bool:
+    """Every FD of ``fds`` holds in the null-free instance."""
+    return all(holds_classical(fd, relation) for fd in fds)
+
+
+def violations_classical(
+    fd: FDInput, relation: Relation
+) -> List[Tuple[Row, Row]]:
+    """All violating row pairs (for diagnostics and tests)."""
+    fd = as_fd(fd)
+    relation.require_total("the classical FD interpretation")
+    groups: dict = {}
+    out: List[Tuple[Row, Row]] = []
+    for row in relation:
+        groups.setdefault(row.project(fd.lhs), []).append(row)
+    for rows in groups.values():
+        first = rows[0]
+        first_image = first.project(fd.rhs)
+        for other in rows[1:]:
+            if other.project(fd.rhs) != first_image:
+                out.append((first, other))
+    return out

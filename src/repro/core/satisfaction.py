@@ -1,0 +1,219 @@
+"""Strong and weak satisfiability of functional dependencies.
+
+Section 4 defines, for a single FD ``f`` and instance ``r``:
+
+* ``f`` **(strongly) holds** in ``r``  iff  ``f(t, r) = true`` for every
+  tuple ``t`` — equivalently, ``f`` holds classically in *every* completion
+  of ``r``;
+* ``f`` **weakly holds** in ``r``  iff  ``f(t, r) ≠ false`` for every ``t``.
+
+Section 6 shows that for a *set* ``F`` the members interact: each FD can
+weakly hold on its own while no single completion satisfies them all (the
+``{A→B, B→C}`` example).  The set-level notions are therefore:
+
+* **strong satisfaction** of ``F`` — every member strongly holds.  (The
+  paper notes FDs "can be tested for strong satisfiability independently";
+  universal quantification over completions distributes over conjunction.)
+* **weak satisfaction** of ``F`` — some single completion of ``r``
+  satisfies every member classically.  This joint, existential notion is
+  what Theorems 3 and 4 decide, and it is *strictly stronger* than "every
+  member weakly holds".
+
+Every notion here has a brute-force completion-enumeration form (ground
+truth; exponential) next to the per-tuple evaluator form; the test suite
+verifies their agreement, and the efficient algorithms live in
+:mod:`repro.testfd` and :mod:`repro.chase`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .fd import FDInput, FDSet, as_fd, holds_classical
+from .interpretation import DEFAULT_LIMIT, evaluate_fd
+from .relation import Relation
+from .truth import FALSE, TRUE, UNKNOWN, TruthValue
+from .tuples import Row
+
+
+def fd_value_profile(
+    fd: FDInput, relation: Relation, method: str = "auto", limit: int = DEFAULT_LIMIT
+) -> List[TruthValue]:
+    """``f(t, r)`` for every tuple ``t`` of ``r``, in row order."""
+    fd = as_fd(fd)
+    return [
+        evaluate_fd(fd, row, relation, method=method, limit=limit)
+        for row in relation
+    ]
+
+
+def strongly_holds(
+    fd: FDInput, relation: Relation, method: str = "auto", limit: int = DEFAULT_LIMIT
+) -> bool:
+    """``f(t, r) = true`` for every tuple (section 4's *strongly holds*)."""
+    return all(
+        value is TRUE
+        for value in fd_value_profile(fd, relation, method=method, limit=limit)
+    )
+
+
+def weakly_holds(
+    fd: FDInput, relation: Relation, method: str = "auto", limit: int = DEFAULT_LIMIT
+) -> bool:
+    """``f(t, r) ≠ false`` for every tuple (section 4's *weakly holds*).
+
+    This is the per-FD notion; for sets use :func:`weakly_satisfied`, which
+    accounts for the interaction effects of section 6.
+    """
+    return all(
+        value is not FALSE
+        for value in fd_value_profile(fd, relation, method=method, limit=limit)
+    )
+
+
+# ---------------------------------------------------------------------------
+# set-level notions
+# ---------------------------------------------------------------------------
+
+
+def strongly_satisfied(
+    fds: Iterable[FDInput],
+    relation: Relation,
+    method: str = "auto",
+    limit: int = DEFAULT_LIMIT,
+) -> bool:
+    """Every FD of ``F`` strongly holds in ``r``.
+
+    Equivalent to: every completion of ``r`` classically satisfies every
+    member of ``F`` (see :func:`strongly_satisfied_bruteforce`).
+    """
+    return all(
+        strongly_holds(fd, relation, method=method, limit=limit) for fd in fds
+    )
+
+
+def weakly_holds_each(
+    fds: Iterable[FDInput],
+    relation: Relation,
+    method: str = "auto",
+    limit: int = DEFAULT_LIMIT,
+) -> bool:
+    """Each member weakly holds *independently* (the pre-section-6 notion).
+
+    Strictly weaker than :func:`weakly_satisfied`: the paper's ``{A→B, B→C}``
+    example passes this test but admits no completion satisfying both.
+    """
+    return all(
+        weakly_holds(fd, relation, method=method, limit=limit) for fd in fds
+    )
+
+
+def strongly_satisfied_bruteforce(
+    fds: Iterable[FDInput], relation: Relation, limit: int = DEFAULT_LIMIT
+) -> bool:
+    """Ground truth for strong satisfaction: all completions satisfy all FDs."""
+    fd_list = [as_fd(fd) for fd in fds]
+    attrs = _relevant_attributes(fd_list, relation)
+    for completed in relation.completions(attributes=attrs, limit=limit):
+        grounded = _ground(completed, attrs)
+        if not all(holds_classical(fd, grounded) for fd in fd_list):
+            return False
+    return True
+
+
+def weakly_satisfied(
+    fds: Iterable[FDInput],
+    relation: Relation,
+    limit: int = DEFAULT_LIMIT,
+) -> bool:
+    """Joint weak satisfaction: *some* completion satisfies every FD.
+
+    This is the semantic notion decided efficiently by Theorem 3 (the
+    weak-convention TEST-FDs on a minimally incomplete instance) and
+    Theorem 4 (no *nothing* in the chase fixpoint); this function is the
+    brute-force ground truth the tests compare those algorithms against.
+    """
+    fd_list = [as_fd(fd) for fd in fds]
+    attrs = _relevant_attributes(fd_list, relation)
+    for completed in relation.completions(attributes=attrs, limit=limit):
+        grounded = _ground(completed, attrs)
+        if all(holds_classical(fd, grounded) for fd in fd_list):
+            return True
+    return False
+
+
+def satisfying_completion(
+    fds: Iterable[FDInput],
+    relation: Relation,
+    limit: int = DEFAULT_LIMIT,
+) -> Optional[Relation]:
+    """A completion of ``r`` satisfying every FD, or ``None``.
+
+    The witness of :func:`weakly_satisfied` — useful in examples and for
+    explaining *why* an instance is repairable.
+    """
+    fd_list = [as_fd(fd) for fd in fds]
+    attrs = _relevant_attributes(fd_list, relation)
+    for completed in relation.completions(attributes=attrs, limit=limit):
+        grounded = _ground(completed, attrs)
+        if all(holds_classical(fd, grounded) for fd in fd_list):
+            return completed
+    return None
+
+
+def satisfaction_summary(
+    fds: Iterable[FDInput],
+    relation: Relation,
+    method: str = "auto",
+    limit: int = DEFAULT_LIMIT,
+) -> Dict[str, object]:
+    """A report used by examples and benches: per-FD profiles + verdicts."""
+    fd_list = [as_fd(fd) for fd in fds]
+    profiles = {
+        repr(fd): fd_value_profile(fd, relation, method=method, limit=limit)
+        for fd in fd_list
+    }
+    return {
+        "profiles": profiles,
+        "strongly_satisfied": all(
+            all(v is TRUE for v in profile) for profile in profiles.values()
+        ),
+        "weakly_holds_each": all(
+            all(v is not FALSE for v in profile) for profile in profiles.values()
+        ),
+        "weakly_satisfied": weakly_satisfied(fd_list, relation, limit=limit),
+    }
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _relevant_attributes(fds: List, relation: Relation) -> Tuple[str, ...]:
+    """Attributes mentioned by any FD — completions elsewhere are irrelevant."""
+    mentioned: List[str] = []
+    seen: set = set()
+    for fd in fds:
+        for attr in fd.attributes:
+            if attr not in seen:
+                seen.add(attr)
+                mentioned.append(attr)
+    return tuple(a for a in relation.schema.attributes if a in seen)
+
+
+def _ground(relation: Relation, attrs: Tuple[str, ...]) -> Relation:
+    """Restrict to ``attrs`` so classical checks never see leftover nulls.
+
+    Completions are taken only over the FD-relevant attributes; columns the
+    FDs never mention may still hold nulls, which the classical interpreter
+    (rightly) refuses.  Projecting them away is semantics-preserving for
+    the FDs in question.  Projection keeps duplicates: completions that
+    collapse tuples must still be checked against the same multiset of
+    projections (a duplicate never violates an FD, so this is harmless
+    either way, but it keeps the correspondence with the paper's sets
+    obvious).
+    """
+    if attrs == relation.schema.attributes:
+        return relation
+    return relation.project(attrs, distinct=False)

@@ -1,0 +1,125 @@
+"""Relation schemes.
+
+A :class:`RelationSchema` is the paper's *relation scheme* ``R``: a named,
+ordered collection of attributes, each with a domain.  Domains default to
+:data:`repro.core.domain.UNBOUNDED`; algorithms that need finiteness say so
+explicitly (see :mod:`repro.core.domain`).
+
+The running example of Figure 1.1::
+
+    R = RelationSchema(
+        "R", "E# SL D# CT",
+        domains={"CT": Domain(["permanent", "temporary"], name="CT")},
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple, Union
+
+from ..errors import SchemaError
+from .attributes import AttrsInput, parse_attrs
+from .domain import UNBOUNDED, Domain, _UnboundedDomain
+
+DomainLike = Union[Domain, _UnboundedDomain]
+
+
+class RelationSchema:
+    """A relation scheme: name, ordered attributes, per-attribute domains."""
+
+    __slots__ = ("name", "attributes", "_positions", "_domains")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: AttrsInput,
+        domains: Optional[Mapping[str, DomainLike]] = None,
+    ) -> None:
+        attrs = parse_attrs(attributes)
+        if not attrs:
+            raise SchemaError("a relation scheme needs at least one attribute")
+        if isinstance(attributes, str):
+            # parse_attrs silently deduplicates; a scheme with a repeated
+            # attribute is almost certainly a typo, so detect it here.
+            raw = [a for a in parse_attrs(attributes)]
+            if len(raw) != len(set(raw)):  # pragma: no cover - defensive
+                raise SchemaError("duplicate attribute in scheme")
+        self.name = name
+        self.attributes: Tuple[str, ...] = attrs
+        self._positions = {attr: i for i, attr in enumerate(attrs)}
+        resolved: dict[str, DomainLike] = {attr: UNBOUNDED for attr in attrs}
+        if domains:
+            for attr, dom in domains.items():
+                if attr not in self._positions:
+                    raise SchemaError(
+                        f"domain given for unknown attribute {attr!r}"
+                    )
+                resolved[attr] = dom
+        self._domains = resolved
+
+    # -- structure ----------------------------------------------------------
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` within the scheme's column order."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} is not in scheme {self.name}"
+            ) from None
+
+    def positions(self, attributes: AttrsInput) -> Tuple[int, ...]:
+        """Column indexes for a set of attributes (validates membership)."""
+        return tuple(self.position(a) for a in parse_attrs(attributes))
+
+    def domain(self, attribute: str) -> DomainLike:
+        """The (possibly unbounded) domain of ``attribute``."""
+        self.position(attribute)  # validation
+        return self._domains[attribute]
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.attributes == other.attributes
+            and self._domains == other._domains
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+    # -- derived schemes -----------------------------------------------------
+
+    def project(self, attributes: AttrsInput, name: str = "") -> "RelationSchema":
+        """A sub-scheme over ``attributes`` (order taken from this scheme)."""
+        keep = set(parse_attrs(attributes))
+        unknown = keep - set(self.attributes)
+        if unknown:
+            raise SchemaError(
+                f"cannot project {self.name} onto unknown attributes {sorted(unknown)}"
+            )
+        attrs = tuple(a for a in self.attributes if a in keep)
+        return RelationSchema(
+            name or f"{self.name}[{' '.join(attrs)}]",
+            attrs,
+            domains={a: self._domains[a] for a in attrs},
+        )
+
+    def validate_attrs(self, attributes: AttrsInput) -> Tuple[str, ...]:
+        """Parse and check that every attribute belongs to this scheme."""
+        attrs = parse_attrs(attributes)
+        for attr in attrs:
+            self.position(attr)
+        return attrs

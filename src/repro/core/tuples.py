@@ -1,0 +1,226 @@
+"""Rows (the paper's *tuples*) of a relation instance.
+
+A :class:`Row` holds one value per attribute of its schema.  Values are
+constants, :class:`repro.core.values.Null` objects, or — in chase output —
+:data:`repro.core.values.NOTHING`.  Rows are immutable; substitution returns
+a new row.
+
+The name ``Row`` avoids shadowing Python's built-in ``tuple``; everywhere in
+documentation "row" and the paper's "tuple" are interchangeable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+from ..errors import DomainError, SchemaError
+from .attributes import AttrsInput, parse_attrs
+from .domain import effective_domain
+from .schema import RelationSchema
+from .values import NOTHING, Null, is_constant, is_null
+
+
+class Row:
+    """One tuple of a relation instance, bound to a schema."""
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: RelationSchema, values: Sequence[Any]) -> None:
+        values = tuple(values)
+        if len(values) != len(schema.attributes):
+            raise SchemaError(
+                f"row arity {len(values)} does not match scheme "
+                f"{schema!r} with {len(schema.attributes)} attributes"
+            )
+        self.schema = schema
+        self.values = values
+
+    @classmethod
+    def from_mapping(
+        cls, schema: RelationSchema, mapping: Mapping[str, Any]
+    ) -> "Row":
+        """Build a row from an attribute→value mapping.
+
+        Missing attributes are **not** silently nulled — every attribute must
+        be present, to catch typos; use an explicit ``null()`` for unknowns.
+        """
+        missing = [a for a in schema.attributes if a not in mapping]
+        if missing:
+            raise SchemaError(f"missing values for attributes {missing}")
+        extra = [a for a in mapping if a not in schema]
+        if extra:
+            raise SchemaError(f"values for unknown attributes {sorted(extra)}")
+        return cls(schema, [mapping[a] for a in schema.attributes])
+
+    # -- access ---------------------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> Any:
+        """The value of a single attribute: ``row["A"]``."""
+        return self.values[self.schema.position(attribute)]
+
+    def project(self, attributes: AttrsInput) -> Tuple[Any, ...]:
+        """``t[X]`` — the projection of the row on an attribute set.
+
+        Returned as a plain tuple of values (ordered as in ``attributes``),
+        which is how all comparison code consumes projections.
+        """
+        return tuple(self.values[i] for i in self.schema.positions(attributes))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The row as an attribute→value dict (a copy)."""
+        return dict(zip(self.schema.attributes, self.values))
+
+    # -- null structure ---------------------------------------------------------
+
+    def null_attributes(self, attributes: AttrsInput | None = None) -> Tuple[str, ...]:
+        """Attributes (within ``attributes``, default all) whose value is null."""
+        attrs = (
+            self.schema.attributes
+            if attributes is None
+            else parse_attrs(attributes)
+        )
+        return tuple(a for a in attrs if is_null(self[a]))
+
+    def has_null(self, attributes: AttrsInput | None = None) -> bool:
+        """``t[X] = null`` in the paper's notation: some value in X is null."""
+        return bool(self.null_attributes(attributes))
+
+    def is_total(self, attributes: AttrsInput | None = None) -> bool:
+        """``t[X] ≠ null``: no value in X is null (NOTHING counts as non-null)."""
+        return not self.has_null(attributes)
+
+    def nulls(self) -> Tuple[Null, ...]:
+        """All null objects in the row, in column order."""
+        return tuple(v for v in self.values if is_null(v))
+
+    # -- substitution and completion ----------------------------------------------
+
+    def substitute(self, replacements: Mapping[Null, Any]) -> "Row":
+        """A new row with each null replaced per ``replacements``.
+
+        Nulls not mentioned are kept.  Replacement by identity (a null
+        mapped to itself) is allowed and is a no-op.
+        """
+        return Row(
+            self.schema,
+            [replacements.get(v, v) if is_null(v) else v for v in self.values],
+        )
+
+    def completions(
+        self,
+        attributes: AttrsInput | None = None,
+        column_values: Mapping[str, Sequence[Any]] | None = None,
+    ) -> Iterator["Row"]:
+        """``AP(t, R')`` — all completions of the row on ``attributes``.
+
+        A *completion* substitutes every null among ``attributes`` (default:
+        all attributes) by a domain constant; values outside ``attributes``
+        are untouched (they may stay null, matching the paper's
+        projection-scoped definition ``AP(t, XY)``).
+
+        For attributes with unbounded domains, an *effective domain* is
+        constructed from ``column_values`` (the values seen in that column
+        of the enclosing relation) — see
+        :func:`repro.core.domain.effective_domain` for the soundness
+        argument.  If the caller does not supply ``column_values`` the
+        row's own values are all that is available, which is only adequate
+        for free-standing rows; :class:`repro.core.relation.Relation`
+        always passes the full columns.
+        """
+        attrs = (
+            self.schema.attributes
+            if attributes is None
+            else self.schema.validate_attrs(attributes)
+        )
+        null_attrs = [a for a in attrs if is_null(self[a])]
+        if not null_attrs:
+            yield self
+            return
+        # One choice per distinct null *object*: a null occupying several
+        # positions is the same unknown and must be substituted consistently,
+        # so its choice set is the intersection of the involved domains.
+        order: list[Null] = []
+        allowed: Dict[int, list] = {}
+        for attr in null_attrs:
+            value = self[attr]
+            declared = self.schema.domain(attr)
+            if declared.is_finite:
+                domain_values = list(declared)
+            else:
+                column = (
+                    column_values.get(attr, self.project((attr,)))
+                    if column_values is not None
+                    else self.project((attr,))
+                )
+                domain_values = list(effective_domain(column, None, attr))
+            key = id(value)
+            if key not in allowed:
+                allowed[key] = domain_values
+                order.append(value)
+            else:
+                keep = set(domain_values)
+                allowed[key] = [v for v in allowed[key] if v in keep]
+        for combo in itertools.product(*(allowed[id(n)] for n in order)):
+            yield self.substitute(dict(zip(order, combo)))
+
+    def approximates(self, other: "Row") -> bool:
+        """Row-wise approximation order: every value approximates pointwise.
+
+        ``t ⊑ t'`` holds when ``t'`` agrees with ``t`` everywhere except
+        possibly where ``t`` is null — i.e. ``t'`` is at least as informative.
+        (This is the tuple-lattice order behind the name ``AP``: the
+        completions of ``t`` are exactly the total rows that ``t``
+        approximates.)
+        """
+        from .values import approximates as value_approximates
+
+        if self.schema.attributes != other.schema.attributes:
+            return False
+        return all(
+            value_approximates(a, b) for a, b in zip(self.values, other.values)
+        )
+
+    # -- plumbing -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same scheme attributes, identical values.
+
+        Null values compare by identity, so two rows with *different* null
+        objects in the same position are **not** equal — they denote
+        possibly-different unknowns.
+        """
+        return (
+            isinstance(other, Row)
+            and self.schema.attributes == other.schema.attributes
+            and all(
+                (a is b) or (is_constant(a) and is_constant(b) and a == b)
+                for a, b in zip(self.values, other.values)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                v if is_constant(v) else id(v) if is_null(v) else "NOTHING"
+                for v in self.values
+            )
+        )
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(_render(v) for v in self.values)
+        return f"({rendered})"
+
+
+def _render(value: Any) -> str:
+    if is_null(value):
+        return repr(value)
+    if value is NOTHING:
+        return "NOTHING"
+    return repr(value)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class.  Subclasses separate the main failure families:
+schema misuse, value/domain misuse, and algorithm preconditions (e.g. running
+a null-free algorithm on an instance with nulls, or a convention that the
+paper explicitly says cannot be combined with sorting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema was constructed or used inconsistently.
+
+    Raised for duplicate attribute names, references to attributes that are
+    not part of the schema, rows of the wrong arity, and similar structural
+    mistakes.
+    """
+
+
+class DomainError(ReproError):
+    """A value is outside its attribute's declared domain, or an operation
+    required a finite domain and the attribute's domain is unbounded.
+
+    The paper assumes "domains are finite and are assumed known" (section 4).
+    The library additionally supports unbounded domains; algorithms that
+    genuinely need finiteness (brute-force completion enumeration, the F2
+    "run out of domain values" case) raise this error instead of silently
+    guessing.
+    """
+
+
+class NullsNotAllowedError(ReproError):
+    """A classical (null-free) algorithm received an instance with nulls.
+
+    Section 3 of the paper defines functional dependencies on relations
+    "which at all times must contain tuples with non-null entries"; the
+    classical interpreter refuses nulls rather than misinterpreting them.
+    """
+
+
+class ConventionError(ReproError):
+    """A TEST-FDs variant was combined with a null convention it cannot
+    implement.
+
+    The paper's own footnote to Figure 3 notes that sorting null values under
+    the *strong* convention (where a null compares equal to everything) is
+    problematic and recommends the unsorted pairwise variant; the sort-merge
+    implementation raises this error when the strong convention is requested
+    on an instance where a left-hand side contains nulls.
+    """
+
+
+class NotMinimallyIncompleteError(ReproError):
+    """The weak-convention TEST-FDs requires a minimally incomplete instance.
+
+    Theorem 3 only guarantees correctness of the weak-convention test on
+    instances where no NS-rule is applicable.  Callers that want the check on
+    arbitrary instances should chase first (``repro.chase.minimal``).
+    """
+
+
+class InconsistentInstanceError(ReproError):
+    """An operation that requires a consistent instance met the *nothing*
+    element (the inconsistent data value of section 6)."""

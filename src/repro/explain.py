@@ -1,0 +1,122 @@
+"""Human-readable explanations of the library's verdicts.
+
+The paper's notions answer *yes/no/unknown*; adopting them in practice
+needs the *why*: which Proposition 1 condition fired, which tuples witness
+a TEST-FDs failure, which NS-rules forced which substitutions.  This
+module renders those narratives (used by the CLI and handy in notebooks);
+each function returns plain text with one fact per line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from .chase.engine import ChaseResult
+from .core.fd import FDInput, as_fd
+from .core.interpretation import evaluate_fd, proposition1_case
+from .core.relation import Relation
+from .core.truth import FALSE, TRUE, UNKNOWN
+from .core.tuples import Row
+from .core.values import is_null
+from .errors import ReproError
+from .testfd.pairwise import TestFDsOutcome
+
+_CONDITION_TEXT = {
+    "T1": "the tuple is total and no tuple agrees on X while differing on Y",
+    "T2": "Y has a null but the tuple's X value is unique in the instance",
+    "T3": (
+        "X has a null and every completion of it present in the instance "
+        "agrees with the tuple's Y value"
+    ),
+    "F1": "a tuple agrees on X and differs on Y (a classical violation)",
+    "F2": (
+        "every domain value for the X null appears in the instance and all "
+        "of them disagree with the tuple's Y value (substitutions exhausted)"
+    ),
+}
+
+
+def explain_fd_value(fd: FDInput, row: Row, relation: Relation) -> str:
+    """Narrate ``f(t, r)``: the value, and the Proposition 1 condition when
+    its setting applies (the rest of the instance null-free)."""
+    fd = as_fd(fd)
+    value = evaluate_fd(fd, row, relation)
+    lines: List[str] = [f"f = {fd!r} evaluated at t = {row!r}"]
+    nulls = row.null_attributes(fd.attributes)
+    if nulls:
+        lines.append(f"t carries nulls on: {', '.join(nulls)}")
+    else:
+        lines.append("t is total on the dependency's attributes")
+    lines.append(f"value: {value}")
+    try:
+        condition = proposition1_case(fd, row, relation).condition
+    except ReproError:
+        condition = None
+        lines.append(
+            "(other tuples carry nulls too: evaluated over their "
+            "completions, outside Proposition 1's single-null setting)"
+        )
+    if condition is not None:
+        lines.append(
+            f"Proposition 1 condition [{condition}]: "
+            f"{_CONDITION_TEXT[condition]}"
+        )
+    elif value is UNKNOWN:
+        lines.append(
+            "no condition applies: some substitutions satisfy the "
+            "dependency and some violate it"
+        )
+    return "\n".join(lines)
+
+
+def explain_outcome(outcome: TestFDsOutcome, relation: Relation) -> str:
+    """Narrate a TEST-FDs answer, including the violating pair on *no*."""
+    if outcome.satisfied:
+        return "TEST-FDs: yes — no violating pair of tuples exists"
+    witness = outcome.witness
+    first = relation[witness.first_row]
+    second = relation[witness.second_row]
+    return "\n".join(
+        [
+            "TEST-FDs: no",
+            f"violated dependency: {witness.fd!r}",
+            f"tuple {witness.first_row}: {first!r}",
+            f"tuple {witness.second_row}: {second!r}",
+            (
+                f"they agree on {' '.join(witness.fd.lhs)} but their "
+                f"{witness.attribute} values conflict"
+            ),
+        ]
+    )
+
+
+def explain_chase(result: ChaseResult) -> str:
+    """Narrate a chase run: every rule firing, then the outcome."""
+    lines: List[str] = [result.summary()]
+    for app in result.applications:
+        if app.action == "substitute":
+            what = "grounded a null from its partner's constant"
+        elif app.action == "nec":
+            what = "linked two unknowns (null equality constraint)"
+        else:
+            what = "found conflicting constants: poisoned to nothing"
+        lines.append(
+            f"  {app.fd!r} on rows {app.first_row},{app.second_row} "
+            f"at {app.attribute}: {what}"
+        )
+    if result.substitutions:
+        lines.append("forced substitutions:")
+        for original, value in result.substitutions.items():
+            lines.append(f"  {original!r} := {value!r}")
+    for nec in result.nec_classes:
+        lines.append(
+            "null equality constraint: " + " := ".join(repr(n) for n in nec)
+        )
+    if result.has_nothing:
+        lines.append(
+            "the instance is NOT weakly satisfiable: some cells are "
+            "inconsistent (nothing)"
+        )
+    else:
+        lines.append("the instance is weakly satisfiable (no nothing)")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""System C and the implicational-statement reduction (paper section 5)."""
+
+from .bridge import (
+    assignment_to_relation,
+    fd_counterexample_relation,
+    fd_strongly_holds_two_tuple,
+    lemma3_agrees,
+    relation_to_assignment,
+)
+from .derivation import (
+    ALL_RULES,
+    Derivation,
+    Step,
+    check_step,
+    derivable,
+    derive,
+    variable_closure,
+)
+from .implicational import (
+    ImplicationalStatement,
+    as_statement,
+    counterexample,
+    infers,
+    strong_consequences,
+)
+from .syntax import And, Formula, Nec, Not, Or, Var, conj, implies, variables_of
+from .system_c import (
+    assignments_over,
+    evaluate,
+    evaluate_truth_functional,
+    is_c_tautology,
+)
+from .tautology import is_contradiction, is_tautology
+
+__all__ = [
+    # syntax
+    "And",
+    "Formula",
+    "Nec",
+    "Not",
+    "Or",
+    "Var",
+    "conj",
+    "implies",
+    "variables_of",
+    # tautology oracle
+    "is_contradiction",
+    "is_tautology",
+    # evaluation scheme
+    "assignments_over",
+    "evaluate",
+    "evaluate_truth_functional",
+    "is_c_tautology",
+    # implicational statements
+    "ImplicationalStatement",
+    "as_statement",
+    "counterexample",
+    "infers",
+    "strong_consequences",
+    # derivations
+    "ALL_RULES",
+    "Derivation",
+    "Step",
+    "check_step",
+    "derivable",
+    "derive",
+    "variable_closure",
+    # bridge
+    "assignment_to_relation",
+    "fd_counterexample_relation",
+    "fd_strongly_holds_two_tuple",
+    "lemma3_agrees",
+    "relation_to_assignment",
+]

@@ -1,0 +1,146 @@
+"""The FD ↔ implicational-statement bridge (section 5, Lemmas 3 and 4).
+
+The paper's central reduction: fix a two-tuple relation ``s = {t, t'}`` and
+an assignment ``a`` of truth values to attribute names such that, for every
+attribute ``A``::
+
+    t[A] = t'[A]              iff  a(A) = true
+    t[A] ≠ t'[A]              iff  a(A) = false
+    t[A] or t'[A] = null      iff  a(A) = unknown
+
+Then (Lemma 3) ``X -> Y`` *strongly holds* in ``s`` iff ``V(X => Y, a) =
+true``, and (Lemma 4) in the world of two-tuple relations an FD is inferred
+from a set ``F`` iff the corresponding statement is a logical inference of
+the corresponding statements.  Theorem 1 (Armstrong soundness/completeness
+over nulls) is the composition of these lemmas with Lemma 2.
+
+This module constructs the witnesses in both directions, which is what the
+tests and experiment E8 exercise exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.fd import FD, FDInput, as_fd
+from ..core.relation import Relation
+from ..core.satisfaction import strongly_holds
+from ..core.schema import RelationSchema
+from ..core.truth import FALSE, TRUE, UNKNOWN, TruthValue
+from ..core.values import is_null, null
+from ..errors import ReproError, SchemaError
+from .implicational import ImplicationalStatement, StatementInput, as_statement
+from .system_c import Assignment
+
+
+def assignment_to_relation(
+    assignment: Mapping[str, TruthValue],
+    null_in_second: bool = True,
+    name: str = "s",
+) -> Relation:
+    """The two-tuple relation realizing an assignment (Lemma 3's mapping).
+
+    For each attribute: *true* → the two rows share a constant; *false* →
+    two distinct constants; *unknown* → a null in one row and a constant in
+    the other (``null_in_second`` picks the row; the paper allows either,
+    and the tests verify the lemma for both placements).
+
+    Domains are left unbounded: the lemma's argument is domain-independent
+    (it never relies on exhausting a domain) and an unbounded domain keeps
+    the F2 corner out of the way.
+    """
+    attrs = tuple(assignment)
+    if not attrs:
+        raise SchemaError("an assignment over no attributes has no relation")
+    schema = RelationSchema(name, attrs)
+    first: list = []
+    second: list = []
+    for attr in attrs:
+        value = assignment[attr]
+        if value is TRUE:
+            first.append(f"c_{attr}")
+            second.append(f"c_{attr}")
+        elif value is FALSE:
+            first.append(f"c_{attr}")
+            second.append(f"d_{attr}")
+        elif value is UNKNOWN:
+            if null_in_second:
+                first.append(f"c_{attr}")
+                second.append(null(f"{attr}"))
+            else:
+                first.append(null(f"{attr}"))
+                second.append(f"c_{attr}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a truth value: {value!r}")
+    return Relation(schema, [first, second])
+
+
+def relation_to_assignment(relation: Relation) -> Dict[str, TruthValue]:
+    """Read the assignment off a two-tuple relation (the inverse mapping).
+
+    *unknown* is produced whenever at least one of the two values is null —
+    including the both-null case, which the paper's "t[A] or t'[A] = null"
+    covers.
+    """
+    if len(relation) != 2:
+        raise ReproError(
+            f"the bridge is defined on two-tuple relations, got {len(relation)}"
+        )
+    t, t_prime = relation.rows
+    assignment: Dict[str, TruthValue] = {}
+    for attr in relation.schema.attributes:
+        mine, theirs = t[attr], t_prime[attr]
+        if is_null(mine) or is_null(theirs):
+            assignment[attr] = UNKNOWN
+        elif mine == theirs:
+            assignment[attr] = TRUE
+        else:
+            assignment[attr] = FALSE
+    return assignment
+
+
+def fd_strongly_holds_two_tuple(fd: FDInput, relation: Relation) -> bool:
+    """Strong satisfaction of an FD on a two-tuple relation (Lemma 3 LHS)."""
+    if len(relation) != 2:
+        raise ReproError("Lemma 3 concerns two-tuple relations")
+    return strongly_holds(as_fd(fd), relation)
+
+
+def lemma3_agrees(
+    fd: FDInput,
+    assignment: Mapping[str, TruthValue],
+    null_in_second: bool = True,
+) -> bool:
+    """One instance of Lemma 3: both sides of the iff, compared.
+
+    Returns True when the FD's strong satisfaction in the realized relation
+    coincides with ``V(X => Y, a) = true``.
+    """
+    fd = as_fd(fd)
+    statement = ImplicationalStatement.from_fd(fd)
+    relation = assignment_to_relation(assignment, null_in_second=null_in_second)
+    left = fd_strongly_holds_two_tuple(fd, relation)
+    right = statement.evaluate(assignment) is TRUE
+    return left == right
+
+
+def fd_counterexample_relation(
+    premises: Iterable[FDInput],
+    conclusion: FDInput,
+    weak: bool = False,
+) -> Optional[Relation]:
+    """A two-tuple relation witnessing non-inference (Lemma 4 in action).
+
+    Searches assignment space via the logic side, then realizes the witness
+    as a relation: the premises all (strongly / not-falsely) hold in it
+    while the conclusion does not.  Returns ``None`` when the inference is
+    valid.
+    """
+    from .implicational import counterexample
+
+    statements = [as_statement(as_fd(p)) for p in premises]
+    goal = as_statement(as_fd(conclusion))
+    witness = counterexample(statements, goal, weak=weak)
+    if witness is None:
+        return None
+    return assignment_to_relation(witness)

@@ -1,0 +1,245 @@
+"""The I1-I4 proof system for implicational statements (Lemma 2) with
+explicit, checkable derivations.
+
+Lemma 2 (implicational completeness) gives sound and complete inference
+rules for implicational statements in C.  We implement them as named proof
+rules producing *derivation trees* that can be verified step by step:
+
+* ``I1`` (reflexivity)      if ``Y ⊆ X`` then ``X => Y``;
+* ``I2`` (transitivity)     from ``X => Y`` and ``Y => Z`` infer ``X => Z``;
+* ``I3`` (union)            from ``X => Y`` and ``X => Z`` infer ``X => YZ``;
+* ``I4`` (decomposition)    from ``X => YZ`` infer ``X => Y`` (and ``X => Z``).
+
+Armstrong's *augmentation* is also provided as a checkable rule, but note
+that both augmentation and union are only sound in the **normalized
+fragment** (conclusions whose right-hand side is disjoint from the left) —
+see :mod:`repro.logic.implicational` for the counterexample.  Derivability
+and proof construction therefore normalize statements on entry; the I1-I4
+system is then sound and complete w.r.t. strong logical inference, which is
+exactly Lemma 2.
+
+:func:`derive` builds a derivation of a goal from premises, or returns
+``None``; it decides derivability with the variable-closure algorithm (the
+same computation as Armstrong attribute closure, which is the point of the
+paper's section 5) and then assembles an honest tree whose every node is
+locally checked by :func:`check_step`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .implicational import ImplicationalStatement, StatementInput, as_statement
+
+RULE_PREMISE = "premise"
+RULE_REFLEXIVITY = "I1-reflexivity"
+RULE_TRANSITIVITY = "I2-transitivity"
+RULE_UNION = "I3-union"
+RULE_DECOMPOSITION = "I4-decomposition"
+RULE_AUGMENTATION = "derived-augmentation"
+
+ALL_RULES = (
+    RULE_PREMISE,
+    RULE_REFLEXIVITY,
+    RULE_TRANSITIVITY,
+    RULE_UNION,
+    RULE_DECOMPOSITION,
+    RULE_AUGMENTATION,
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One node of a derivation tree."""
+
+    statement: ImplicationalStatement
+    rule: str
+    inputs: Tuple["Step", ...] = ()
+
+    def size(self) -> int:
+        """Number of steps in the subtree (shared steps counted once)."""
+        seen: Set[int] = set()
+
+        def walk(step: "Step") -> None:
+            if id(step) in seen:
+                return
+            seen.add(id(step))
+            for child in step.inputs:
+                walk(child)
+
+        walk(self)
+        return len(seen)
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable proof tree."""
+        lines = [f"{'  ' * indent}{self.statement!r}   [{self.rule}]"]
+        for child in self.inputs:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def check_step(step: Step, premises: Iterable[StatementInput]) -> bool:
+    """Local validity of a single step (not recursive).
+
+    Each rule's side condition is verified against the step's inputs; a
+    premise step must literally occur among ``premises``.
+    """
+    stmt = step.statement
+    if step.rule == RULE_PREMISE:
+        return any(as_statement(p) == stmt for p in premises) and not step.inputs
+    if step.rule == RULE_REFLEXIVITY:
+        return not step.inputs and set(stmt.rhs) <= set(stmt.lhs)
+    if step.rule == RULE_AUGMENTATION:
+        if len(step.inputs) != 1:
+            return False
+        inner = step.inputs[0].statement
+        # stmt = X∪Z => Y∪Z for some Z, where inner = X => Y.  If any Z
+        # works, the canonical Z = (lhs - X) ∪ (rhs - Y) works.
+        x, y = set(inner.lhs), set(inner.rhs)
+        z = (set(stmt.lhs) - x) | (set(stmt.rhs) - y)
+        return set(stmt.lhs) == x | z and set(stmt.rhs) == y | z
+    if step.rule == RULE_TRANSITIVITY:
+        if len(step.inputs) != 2:
+            return False
+        first, second = (s.statement for s in step.inputs)
+        return (
+            set(first.lhs) == set(stmt.lhs)
+            and set(first.rhs) == set(second.lhs)
+            and set(second.rhs) == set(stmt.rhs)
+        )
+    if step.rule == RULE_DECOMPOSITION:
+        if len(step.inputs) != 1:
+            return False
+        inner = step.inputs[0].statement
+        return set(inner.lhs) == set(stmt.lhs) and set(stmt.rhs) <= set(inner.rhs)
+    if step.rule == RULE_UNION:
+        if len(step.inputs) != 2:
+            return False
+        first, second = (s.statement for s in step.inputs)
+        return (
+            set(first.lhs) == set(stmt.lhs)
+            and set(second.lhs) == set(stmt.lhs)
+            and set(stmt.rhs) == set(first.rhs) | set(second.rhs)
+        )
+    return False
+
+
+@dataclass
+class Derivation:
+    """A finished derivation: the goal plus its proof tree."""
+
+    goal: ImplicationalStatement
+    root: Step
+    premises: Tuple[ImplicationalStatement, ...]
+
+    def verify(self) -> bool:
+        """Check every step locally and that the root proves the goal."""
+        if self.root.statement != self.goal:
+            return False
+        ok = True
+
+        def walk(step: Step) -> None:
+            nonlocal ok
+            if not check_step(step, self.premises):
+                ok = False
+            for child in step.inputs:
+                walk(child)
+
+        walk(self.root)
+        return ok
+
+    def render(self) -> str:
+        return self.root.render()
+
+    def __len__(self) -> int:
+        return self.root.size()
+
+
+def derivable(
+    premises: Iterable[StatementInput], goal: StatementInput
+) -> bool:
+    """Derivability via variable closure (sound + complete per Lemma 2).
+
+    Statements are normalized on entry, matching :func:`infers` (the
+    closure itself is insensitive to normalization — ``U => W`` and
+    ``U => W - U`` contribute the same variables).
+    """
+    goal = as_statement(goal).normalized()
+    closure = variable_closure(goal.lhs, premises)
+    return set(goal.rhs) <= closure
+
+
+def variable_closure(
+    seed: Sequence[str], premises: Iterable[StatementInput]
+) -> Set[str]:
+    """The closure of ``seed`` under the implicational statements.
+
+    The fixpoint of "if lhs ⊆ closure, add rhs" — identical in shape to
+    Armstrong attribute closure, which is exactly the correspondence the
+    paper's section 5 sets up.
+    """
+    statements = [as_statement(p) for p in premises]
+    closure: Set[str] = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for statement in statements:
+            if set(statement.lhs) <= closure and not (
+                set(statement.rhs) <= closure
+            ):
+                closure.update(statement.rhs)
+                changed = True
+    return closure
+
+
+def derive(
+    premises: Iterable[StatementInput], goal: StatementInput
+) -> Optional[Derivation]:
+    """Construct an I1-I4 derivation of ``goal`` from ``premises``.
+
+    Returns ``None`` when no derivation exists.  The construction follows
+    the textbook completeness argument: maintain ``X => C`` for the growing
+    closure ``C`` of ``X``; each firing premise ``U => V`` with ``U ⊆ C``
+    extends it via reflexivity + transitivity + union; finish with one
+    decomposition down to the goal's right-hand side.
+    """
+    goal = as_statement(goal).normalized()
+    premise_list = [as_statement(p).normalized() for p in premises]
+    if not derivable(premise_list, goal):
+        return None
+
+    lhs = tuple(goal.lhs)
+    # X => X by reflexivity.
+    current = Step(ImplicationalStatement(lhs, lhs), RULE_REFLEXIVITY)
+    closure: Set[str] = set(lhs)
+
+    changed = True
+    while changed and not set(goal.rhs) <= closure:
+        changed = False
+        for statement in premise_list:
+            if set(statement.lhs) <= closure and not set(statement.rhs) <= closure:
+                # X => U  (decomposition of the running X => C)
+                to_u = Step(
+                    ImplicationalStatement(lhs, statement.lhs),
+                    RULE_DECOMPOSITION,
+                    (current,),
+                )
+                # X => V  (transitivity with the premise U => V)
+                premise_step = Step(statement, RULE_PREMISE)
+                to_v = Step(
+                    ImplicationalStatement(lhs, statement.rhs),
+                    RULE_TRANSITIVITY,
+                    (to_u, premise_step),
+                )
+                # X => C ∪ V  (union)
+                closure.update(statement.rhs)
+                current = Step(
+                    ImplicationalStatement(lhs, tuple(sorted(closure))),
+                    RULE_UNION,
+                    (current, to_v),
+                )
+                changed = True
+
+    final = Step(goal, RULE_DECOMPOSITION, (current,))
+    return Derivation(goal=goal, root=final, premises=tuple(premise_list))

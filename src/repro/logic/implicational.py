@@ -1,0 +1,229 @@
+"""Implicational statements and logical inference in System C (section 5).
+
+An *implicational statement* has the form ``X => Y`` where ``X``, ``Y`` are
+conjunctive terms of propositional variables — syntactically the mirror
+image of a functional dependency.  The paper's Lemma 2 gives a sound and
+complete rule set (I1-I4) for these statements; this module provides the
+semantic side:
+
+* ``f`` is **logically inferred** by ``F`` iff every assignment giving all
+  members of ``F`` the value *true* also gives ``f`` *true*;
+* **weak logical inference** relaxes both sides to "not false".
+
+Both are decided by enumerating the ``3^n`` assignments over the mentioned
+variables (n is small in all of the paper's uses; the Armstrong engine in
+:mod:`repro.armstrong` is the scalable route and Theorem 1 says they agree).
+
+**The normalized fragment.**  The FD ↔ statement correspondence (and the
+completeness of the I-rules) holds on statements whose right-hand side is
+disjoint from the left — the same ``X ∩ Y = ∅`` assumption Proposition 1
+makes for FDs.  Outside that fragment the C-evaluation genuinely
+distinguishes statements that are FD-equivalent: with ``a(A) = unknown``
+and ``a(B) = true``, ``V(A => B) = true`` but ``V(A => AB) = unknown``
+(the conjunction ``A ∧ B`` on the right is stuck at unknown), even though
+the FDs ``A -> B`` and ``A -> AB`` hold in exactly the same instances.  In
+particular *augmentation is unsound* for raw statements.  Inference-level
+functions (:func:`infers`, :func:`counterexample`, and the derivation
+system) therefore normalize every statement on entry — the reading under
+which every equivalence the paper claims is exactly true; raw evaluation of
+unnormalized statements stays available through
+:meth:`ImplicationalStatement.evaluate` and is exercised in the tests to
+document the divergence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.attributes import parse_attrs
+from ..core.fd import FD, FDInput, as_fd
+from ..core.truth import FALSE, TRUE, UNKNOWN, TruthValue, and_, or_, not_
+from ..errors import SchemaError
+from .syntax import Formula, conj, implies, variables_of
+from .system_c import Assignment, assignments_over, evaluate
+
+_ARROW = re.compile(r"=>|⇒")
+
+
+class ImplicationalStatement:
+    """``X => Y`` with ``X``, ``Y`` conjunctions of propositional variables."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs, rhs) -> None:
+        self.lhs: Tuple[str, ...] = parse_attrs(lhs)
+        self.rhs: Tuple[str, ...] = parse_attrs(rhs)
+        if not self.lhs or not self.rhs:
+            raise SchemaError("implicational statements need non-empty sides")
+
+    @classmethod
+    def parse(cls, text: str) -> "ImplicationalStatement":
+        parts = _ARROW.split(text)
+        if len(parts) != 2:
+            raise SchemaError(f"cannot parse implicational statement {text!r}")
+        return cls(parts[0], parts[1])
+
+    @classmethod
+    def from_fd(cls, fd: FDInput) -> "ImplicationalStatement":
+        """The statement corresponding to an FD (same attribute names).
+
+        The FD is normalized first (``X -> Y`` reads as ``X -> Y - X``):
+        the correspondence of Lemma 3 lives in the normalized fragment —
+        Proposition 1 assumes ``X ∩ Y = ∅`` on the relation side too.
+        """
+        fd = as_fd(fd).normalized()
+        return cls(fd.lhs, fd.rhs)
+
+    def to_fd(self) -> FD:
+        """The FD corresponding to this statement."""
+        return FD(self.lhs, self.rhs)
+
+    def is_trivial(self) -> bool:
+        """``Y ⊆ X`` — true under every assignment (rule 1)."""
+        return set(self.rhs) <= set(self.lhs)
+
+    def normalized(self) -> "ImplicationalStatement":
+        """The statement with left-hand variables removed from the right.
+
+        This is the FD-faithful reading (see the module docstring); a fully
+        trivial statement normalizes to ``X => X``.
+        """
+        reduced = tuple(v for v in self.rhs if v not in set(self.lhs))
+        if not reduced:
+            return ImplicationalStatement(self.lhs, self.lhs)
+        return ImplicationalStatement(self.lhs, reduced)
+
+    # -- semantics ------------------------------------------------------------
+
+    def to_formula(self) -> Formula:
+        """``¬(x1 ∧ ... ∧ xk) ∨ (y1 ∧ ... ∧ ym)`` — the defined implication."""
+        return implies(conj(self.lhs), conj(self.rhs))
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.lhs) | set(self.rhs)))
+
+    def evaluate(self, assignment: Assignment) -> TruthValue:
+        """``V(X => Y, a)`` via System C (rule 1 applies when Y ⊆ X)."""
+        return evaluate(self.to_formula(), assignment)
+
+    def evaluate_fast(self, assignment: Assignment) -> TruthValue:
+        """Direct evaluation without building the formula tree.
+
+        Mirrors System C exactly for this statement shape: the statement is
+        a classical tautology iff ``rhs ⊆ lhs`` (then *true*), otherwise
+        Kleene ``¬X ∨ Y`` — with rule 1 also applying to the conjunctive
+        subterms, which are never tautologies, so the structural rules
+        suffice below top level.  Cross-checked against :meth:`evaluate`
+        in the test suite.
+        """
+        if set(self.rhs) <= set(self.lhs):
+            return TRUE
+        lhs_value = and_(*(assignment[name] for name in self.lhs))
+        rhs_value = and_(*(assignment[name] for name in self.rhs))
+        return or_(not_(lhs_value), rhs_value)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ImplicationalStatement)
+            and set(self.lhs) == set(other.lhs)
+            and set(self.rhs) == set(other.rhs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.lhs), frozenset(self.rhs)))
+
+    def __repr__(self) -> str:
+        return f"{' '.join(self.lhs)} => {' '.join(self.rhs)}"
+
+
+StatementInput = Union[ImplicationalStatement, str, FD]
+
+
+def as_statement(value: StatementInput) -> ImplicationalStatement:
+    """Coerce strings (``"A B => C"``) and FDs to implicational statements."""
+    if isinstance(value, ImplicationalStatement):
+        return value
+    if isinstance(value, FD):
+        return ImplicationalStatement.from_fd(value)
+    return ImplicationalStatement.parse(value)
+
+
+# ---------------------------------------------------------------------------
+# logical inference
+# ---------------------------------------------------------------------------
+
+
+def _all_variables(
+    premises: Sequence[ImplicationalStatement],
+    conclusion: ImplicationalStatement,
+) -> Tuple[str, ...]:
+    names: set = set(conclusion.variables)
+    for premise in premises:
+        names.update(premise.variables)
+    return tuple(sorted(names))
+
+
+def infers(
+    premises: Iterable[StatementInput],
+    conclusion: StatementInput,
+    weak: bool = False,
+) -> bool:
+    """Is ``conclusion`` (weakly) logically inferred from ``premises``?
+
+    Strong: every assignment making all premises *true* makes the
+    conclusion *true*.  Weak: every assignment keeping all premises
+    *not-false* keeps the conclusion *not-false*.
+    """
+    return counterexample(premises, conclusion, weak=weak) is None
+
+
+def counterexample(
+    premises: Iterable[StatementInput],
+    conclusion: StatementInput,
+    weak: bool = False,
+) -> Optional[Dict[str, TruthValue]]:
+    """A witnessing assignment against the inference, or ``None``.
+
+    Statements are normalized on entry (see the module docstring).  The
+    witness is the bridge to the two-tuple relations of Lemma 3: feed it to
+    :func:`repro.logic.bridge.assignment_to_relation` to exhibit the
+    counterexample *relation*.
+    """
+    premise_list = [as_statement(p).normalized() for p in premises]
+    goal = as_statement(conclusion).normalized()
+    for assignment in assignments_over(_all_variables(premise_list, goal)):
+        if weak:
+            if all(p.evaluate_fast(assignment) is not FALSE for p in premise_list):
+                if goal.evaluate_fast(assignment) is FALSE:
+                    return assignment
+        else:
+            if all(p.evaluate_fast(assignment) is TRUE for p in premise_list):
+                if goal.evaluate_fast(assignment) is not TRUE:
+                    return assignment
+    return None
+
+
+def strong_consequences(
+    premises: Iterable[StatementInput], variables: Sequence[str]
+) -> List[ImplicationalStatement]:
+    """All statements over ``variables`` strongly inferred from ``premises``.
+
+    Exponential in ``len(variables)``; used by the equivalence experiment
+    (E8) on small universes to compare against Armstrong closure.
+    """
+    premise_list = [as_statement(p) for p in premises]
+    names = tuple(variables)
+    out: List[ImplicationalStatement] = []
+    for size in range(1, len(names) + 1):
+        for lhs in itertools.combinations(names, size):
+            for rsize in range(1, len(names) + 1):
+                for rhs in itertools.combinations(names, rsize):
+                    statement = ImplicationalStatement(lhs, rhs)
+                    if infers(premise_list, statement):
+                        out.append(statement)
+    return out

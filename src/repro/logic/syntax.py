@@ -1,0 +1,154 @@
+"""Formula syntax for System C (section 5).
+
+System C [Bertram 73] is a modal propositional logic for unknown outcomes.
+Its language is classical propositional logic — negation, conjunction,
+disjunction — extended with the unary operator ``V`` ("necessarily true"),
+here spelled :class:`Nec`.  Implication is *defined*:
+``P => Q := not P or Q``.
+
+Formulas are immutable, hashable trees, so they can be memoized by the
+tautology oracle and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+
+class Formula:
+    """Base class for System C formulas.  Use the leaf/connective classes.
+
+    Operator sugar: ``~p`` for negation, ``p & q`` / ``p | q`` for the binary
+    connectives, ``p >> q`` for defined implication.
+    """
+
+    __slots__ = ()
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return implies(self, other)
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A propositional variable."""
+
+    __slots__ = ("name",)
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"¬{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction (at least one operand)."""
+
+    __slots__ = ("operands",)
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ValueError("And needs at least one operand")
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction (at least one operand)."""
+
+    __slots__ = ("operands",)
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ValueError("Or needs at least one operand")
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Nec(Formula):
+    """The modal operator ``V`` — "necessarily true"."""
+
+    __slots__ = ("operand",)
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"V{_wrap(self.operand)}"
+
+
+def _wrap(formula: Formula) -> str:
+    if isinstance(formula, (Var, Not, Nec)):
+        return repr(formula)
+    return f"({formula!r})"
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+VarsInput = Union[str, Iterable[str]]
+
+
+def variables_of(formula: Formula) -> Tuple[str, ...]:
+    """All propositional variables of a formula, sorted."""
+    found: set = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, Var):
+            found.add(node.name)
+        elif isinstance(node, (Not, Nec)):
+            walk(node.operand)
+        elif isinstance(node, (And, Or)):
+            for op in node.operands:
+                walk(op)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a formula: {node!r}")
+
+    walk(formula)
+    return tuple(sorted(found))
+
+
+def conj(names: VarsInput) -> Formula:
+    """A conjunctive term of variables: ``conj("A B")`` is ``A ∧ B``.
+
+    A single variable yields the bare :class:`Var` (the paper's
+    "X = A ∧ B or simply X = AB" convention).
+    """
+    if isinstance(names, str):
+        names = names.split()
+    parts = tuple(Var(name) for name in names)
+    if not parts:
+        raise ValueError("a conjunctive term needs at least one variable")
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Defined implication: ``P => Q := ¬P ∨ Q`` (section 5)."""
+    return Or((Not(antecedent), consequent))

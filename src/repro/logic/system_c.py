@@ -1,0 +1,99 @@
+"""System C's evaluation scheme (section 5, rules 1-5).
+
+Let ``P(p1, ..., pn)`` be a well-formed formula and ``a`` an assignment of
+truth values (three-valued) to its variables.  ``V(P, a)`` is defined by:
+
+1. if ``P`` is a tautology in classical two-valued logic, ``V(P) = true``;
+2. if ``P = p_i``, then ``V(P) = a_i``;
+3. if ``P = ¬Q``: true / false / unknown as ``V(Q)`` is false / true /
+   unknown;
+4. if ``P = Q ∨ S`` (resp. ``∧``): Kleene disjunction (conjunction);
+5. if ``P = V Q``: true if ``V(Q) = true``, otherwise false.
+
+Rule 1 is *always applied first*, at every recursion level — this is what
+makes C non-truth-functional: ``p ∨ ¬p`` evaluates to true (it is a
+tautology) even when ``a(p) = unknown`` would make the structural rules
+answer unknown.
+
+A C-*tautology* is a formula taking the value true under every (3-valued)
+assignment; Bertram proved the axiomatization sound and complete for this
+evaluation scheme, so :func:`is_c_tautology` doubles as a theoremhood
+oracle for the fragment we need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..core.truth import FALSE, TRUE, UNKNOWN, TruthValue, and_, not_, or_
+from .syntax import And, Formula, Nec, Not, Or, Var, variables_of
+from .tautology import is_tautology
+
+Assignment = Mapping[str, TruthValue]
+
+
+def evaluate(formula: Formula, assignment: Assignment) -> TruthValue:
+    """``V(P, a)`` — the evaluation scheme of System C.
+
+    Raises ``KeyError`` if the formula mentions a variable the assignment
+    does not cover (silent defaults would mask test bugs).
+    """
+    # Rule 1 first, at every level.
+    if is_tautology(formula):
+        return TRUE
+    if isinstance(formula, Var):
+        return assignment[formula.name]
+    if isinstance(formula, Not):
+        return not_(evaluate(formula.operand, assignment))
+    if isinstance(formula, And):
+        return and_(*(evaluate(op, assignment) for op in formula.operands))
+    if isinstance(formula, Or):
+        return or_(*(evaluate(op, assignment) for op in formula.operands))
+    if isinstance(formula, Nec):
+        inner = evaluate(formula.operand, assignment)
+        return TRUE if inner is TRUE else FALSE
+    raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
+
+
+def evaluate_truth_functional(formula: Formula, assignment: Assignment) -> TruthValue:
+    """The same recursion *without* rule 1 (pure Kleene + modal rule 5).
+
+    Exposed to demonstrate C's non-truth-functionality: the paper's example
+    is ``p ∨ ¬p``, true under :func:`evaluate` but unknown here when
+    ``a(p) = unknown``.
+    """
+    if isinstance(formula, Var):
+        return assignment[formula.name]
+    if isinstance(formula, Not):
+        return not_(evaluate_truth_functional(formula.operand, assignment))
+    if isinstance(formula, And):
+        return and_(
+            *(evaluate_truth_functional(op, assignment) for op in formula.operands)
+        )
+    if isinstance(formula, Or):
+        return or_(
+            *(evaluate_truth_functional(op, assignment) for op in formula.operands)
+        )
+    if isinstance(formula, Nec):
+        inner = evaluate_truth_functional(formula.operand, assignment)
+        return TRUE if inner is TRUE else FALSE
+    raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
+
+
+def assignments_over(names: Iterable[str]) -> Iterator[Dict[str, TruthValue]]:
+    """All ``3^n`` three-valued assignments over the given variables."""
+    names = tuple(names)
+    for combo in itertools.product((TRUE, FALSE, UNKNOWN), repeat=len(names)):
+        yield dict(zip(names, combo))
+
+
+def is_c_tautology(
+    formula: Formula, variables: Optional[Tuple[str, ...]] = None
+) -> bool:
+    """True when ``V(P, a) = true`` for *every* three-valued assignment."""
+    names = variables if variables is not None else variables_of(formula)
+    return all(
+        evaluate(formula, assignment) is TRUE
+        for assignment in assignments_over(names)
+    )

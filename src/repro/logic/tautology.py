@@ -1,0 +1,82 @@
+"""Two-valued tautology oracle for System C's evaluation rule 1.
+
+C's evaluation scheme is *not* truth-functional precisely because of rule
+1: "If P is a tautology in the classical two-valued logic, V(P) = true" —
+applied before any structural rule.  The oracle here decides classical
+tautology-hood by truth-table enumeration; the formulas arising from
+implicational statements are tiny, and results are memoized on the (hashable)
+formula.
+
+Modal subformulas ``V Q`` are treated as opaque atoms for the classical
+check: two-valued logic says nothing about the modal operator, so a formula
+can only be a classical tautology by virtue of its propositional skeleton.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from .syntax import And, Formula, Nec, Not, Or, Var
+
+
+def _atoms(formula: Formula) -> Tuple[Formula, ...]:
+    """The classical atoms: variables and outermost modal subformulas."""
+    found: List[Formula] = []
+    seen: set = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, (Var, Nec)):
+            if node not in seen:
+                seen.add(node)
+                found.append(node)
+        elif isinstance(node, Not):
+            walk(node.operand)
+        elif isinstance(node, (And, Or)):
+            for op in node.operands:
+                walk(op)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a formula: {node!r}")
+
+    walk(formula)
+    return tuple(found)
+
+
+def evaluate_two_valued(formula: Formula, assignment: Dict[Formula, bool]) -> bool:
+    """Classical evaluation with atoms (vars and Nec-subformulas) assigned."""
+    if isinstance(formula, (Var, Nec)):
+        return assignment[formula]
+    if isinstance(formula, Not):
+        return not evaluate_two_valued(formula.operand, assignment)
+    if isinstance(formula, And):
+        return all(evaluate_two_valued(op, assignment) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate_two_valued(op, assignment) for op in formula.operands)
+    raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=65536)
+def is_tautology(formula: Formula) -> bool:
+    """Is ``formula`` a classical two-valued tautology?
+
+    Truth-table enumeration over the formula's atoms (variables plus opaque
+    modal subformulas), memoized.
+    """
+    atoms = _atoms(formula)
+    for bits in itertools.product((False, True), repeat=len(atoms)):
+        if not evaluate_two_valued(formula, dict(zip(atoms, bits))):
+            return False
+    return True
+
+
+@lru_cache(maxsize=65536)
+def is_contradiction(formula: Formula) -> bool:
+    """Is ``formula`` classically unsatisfiable?  (Not used by C's rules —
+    the paper's scheme only privileges tautologies — but exposed because the
+    asymmetry is part of what makes C interesting to poke at in tests.)"""
+    atoms = _atoms(formula)
+    for bits in itertools.product((False, True), repeat=len(atoms)):
+        if evaluate_two_valued(formula, dict(zip(atoms, bits))):
+            return False
+    return True

@@ -1,0 +1,47 @@
+"""Normalization theory on top of Theorem 1 (sections 1, 5, 7)."""
+
+from .decompose import (
+    bcnf_decompose,
+    bcnf_violations,
+    is_3nf,
+    is_bcnf,
+)
+from .lossless import (
+    binary_split_is_lossless,
+    is_lossless_join,
+    join_tableau,
+)
+from .preserve import (
+    is_dependency_preserving,
+    preserved_closure,
+    unpreserved_fds,
+)
+from .projection import project_fds
+from .synthesize import synthesize_3nf
+from .universal import (
+    decompose_instance,
+    join_all,
+    natural_join,
+    universal_instance,
+    weak_universal_check,
+)
+
+__all__ = [
+    "bcnf_decompose",
+    "bcnf_violations",
+    "binary_split_is_lossless",
+    "decompose_instance",
+    "is_3nf",
+    "is_bcnf",
+    "is_dependency_preserving",
+    "is_lossless_join",
+    "join_all",
+    "join_tableau",
+    "natural_join",
+    "preserved_closure",
+    "project_fds",
+    "synthesize_3nf",
+    "universal_instance",
+    "unpreserved_fds",
+    "weak_universal_check",
+]

@@ -1,0 +1,97 @@
+"""BCNF decomposition and normal-form predicates.
+
+Theorem 1 is what licenses running this machinery over schemas whose
+instances will contain nulls: the implication structure of FDs (hence key
+computation, hence the normal forms) is unchanged under strong
+satisfiability with nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..armstrong.closure import attribute_closure_linear
+from ..armstrong.keys import candidate_keys, is_superkey, prime_attributes
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FD, FDInput, FDSet, as_fd
+from .projection import project_fds
+
+
+def bcnf_violations(
+    attributes: AttrsInput, fds: Iterable[FDInput]
+) -> List[FD]:
+    """Nontrivial FDs (over the scheme) whose determinant is not a superkey.
+
+    Checks the *given* FDs, which suffices for the is-in-BCNF decision when
+    ``fds`` is (equivalent to) the projection onto the scheme — checking
+    every implied FD is equivalent because a violating implied FD's
+    determinant closure is witnessed by some given FD's firing.
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    out: List[FD] = []
+    for fd in fd_list:
+        reduced = fd.normalized()
+        if reduced.is_trivial():
+            continue
+        if not set(reduced.attributes) <= set(attrs):
+            continue
+        if not is_superkey(attrs, reduced.lhs, fd_list):
+            out.append(reduced)
+    return out
+
+
+def is_bcnf(attributes: AttrsInput, fds: Iterable[FDInput]) -> bool:
+    """Every nontrivial FD has a superkey determinant."""
+    return not bcnf_violations(attributes, fds)
+
+
+def is_3nf(attributes: AttrsInput, fds: Iterable[FDInput]) -> bool:
+    """Every nontrivial FD has a superkey determinant or prime RHS."""
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    prime = prime_attributes(attrs, fd_list)
+    for fd in bcnf_violations(attrs, fd_list):
+        if not set(fd.rhs) <= prime:
+            return False
+    return True
+
+
+def bcnf_decompose(
+    attributes: AttrsInput,
+    fds: Iterable[FDInput],
+    max_lhs: Optional[int] = None,
+) -> List[Tuple[Tuple[str, ...], FDSet]]:
+    """Lossless BCNF decomposition by recursive violation splitting.
+
+    Returns ``[(component_attributes, projected_fds), ...]``.  Each split
+    replaces ``R`` by ``(X ∪ closure(X) ∩ R)`` and ``(R - closure(X)) ∪ X``
+    for a violating ``X -> Y`` — the standard lossless step (the shared
+    attributes ``X`` determine the first component).  Dependency
+    preservation is *not* guaranteed (it cannot be, in general, for BCNF);
+    use :mod:`repro.normalization.preserve` to check what survived.
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+
+    result: List[Tuple[Tuple[str, ...], FDSet]] = []
+    stack: List[Tuple[str, ...]] = [attrs]
+    while stack:
+        component = stack.pop()
+        local = project_fds(fd_list, component, max_lhs=max_lhs)
+        violations = bcnf_violations(component, local)
+        if not violations:
+            result.append((component, local))
+            continue
+        fd = violations[0]
+        closure = attribute_closure_linear(fd.lhs, local)
+        inside = tuple(a for a in component if a in closure)
+        rest = tuple(
+            a for a in component if a in fd.lhs or a not in closure
+        )
+        if set(inside) == set(component):  # pragma: no cover - defensive
+            result.append((component, local))
+            continue
+        stack.append(inside)
+        stack.append(rest)
+    return sorted(result, key=lambda pair: pair[0])

@@ -1,0 +1,70 @@
+"""Dependency preservation of a decomposition.
+
+A decomposition preserves ``F`` when the union of the projections of ``F``
+onto the components implies all of ``F``.  Computing projections is
+exponential; the standard polynomial test avoids it: for each FD
+``X -> Y`` in ``F``, iterate ``Z := Z ∪ (closure_F(Z ∩ Ri) ∩ Ri)`` over the
+components until fixpoint, starting from ``Z = X``; the FD is preserved
+iff ``Y ⊆ Z``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..armstrong.closure import attribute_closure_linear
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FD, FDInput, as_fd
+
+
+def preserved_closure(
+    seed: AttrsInput,
+    fds: Iterable[FDInput],
+    components: Sequence[AttrsInput],
+) -> Set[str]:
+    """The closure of ``seed`` under the *projected* dependencies, computed
+    without materializing any projection."""
+    fd_list = [as_fd(f) for f in fds]
+    component_sets = [set(parse_attrs(c)) for c in components]
+    closure: Set[str] = set(parse_attrs(seed))
+    changed = True
+    while changed:
+        changed = False
+        for component in component_sets:
+            inside = closure & component
+            if not inside:
+                continue
+            gained = (
+                set(attribute_closure_linear(tuple(inside), fd_list)) & component
+            )
+            if not gained <= closure:
+                closure |= gained
+                changed = True
+    return closure
+
+
+def is_dependency_preserving(
+    attributes: AttrsInput,
+    components: Sequence[AttrsInput],
+    fds: Iterable[FDInput],
+) -> bool:
+    """Does the decomposition preserve every FD of ``fds``?"""
+    fd_list = [as_fd(f) for f in fds]
+    return all(
+        set(fd.rhs) <= preserved_closure(fd.lhs, fd_list, components)
+        for fd in fd_list
+    )
+
+
+def unpreserved_fds(
+    attributes: AttrsInput,
+    components: Sequence[AttrsInput],
+    fds: Iterable[FDInput],
+) -> List[FD]:
+    """The FDs lost by the decomposition (for diagnostics)."""
+    fd_list = [as_fd(f) for f in fds]
+    return [
+        fd
+        for fd in fd_list
+        if not set(fd.rhs) <= preserved_closure(fd.lhs, fd_list, components)
+    ]

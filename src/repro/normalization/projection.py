@@ -1,0 +1,45 @@
+"""Projection of FD sets onto sub-schemes.
+
+``project_fds(F, S)`` is the set of nontrivial FDs over the attributes of
+``S`` implied by ``F`` — the dependency set a decomposition component
+inherits.  Computed via attribute closure over subsets of ``S``
+(exponential in ``|S|``; the standard hardness, guarded by ``max_lhs``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional
+
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FD, FDInput, FDSet, as_fd
+from ..armstrong.closure import attribute_closure_linear
+from ..armstrong.cover import minimal_cover
+
+
+def project_fds(
+    fds: Iterable[FDInput],
+    attributes: AttrsInput,
+    minimize: bool = True,
+    max_lhs: Optional[int] = None,
+) -> FDSet:
+    """FDs of ``F+`` whose attributes all lie within ``attributes``.
+
+    For each ``X ⊆ attributes`` the maximal projected FD is
+    ``X -> (closure(X) ∩ attributes) - X``.  With ``minimize=True`` the
+    result is returned as a minimal cover (recommended: raw projections
+    are extremely redundant).
+    """
+    attrs = parse_attrs(attributes)
+    fd_list = [as_fd(f) for f in fds]
+    bound = len(attrs) if max_lhs is None else min(max_lhs, len(attrs))
+    projected: List[FD] = []
+    for size in range(1, bound + 1):
+        for lhs in itertools.combinations(attrs, size):
+            closure = attribute_closure_linear(lhs, fd_list)
+            rhs = tuple(a for a in attrs if a in closure and a not in lhs)
+            if rhs:
+                projected.append(FD(lhs, rhs))
+    if minimize:
+        return minimal_cover(projected)
+    return FDSet(projected)

@@ -1,0 +1,60 @@
+"""3NF synthesis (Bernstein) from a minimal cover.
+
+The dependency-preserving, lossless 3NF construction: one scheme per
+minimal-cover FD (grouping FDs with equal left-hand sides), plus a key
+scheme when no component contains a candidate key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..armstrong.cover import minimal_cover
+from ..armstrong.keys import candidate_keys
+from ..core.attributes import AttrsInput, attrs_union, parse_attrs
+from ..core.fd import FDInput, FDSet, as_fd
+
+
+def synthesize_3nf(
+    attributes: AttrsInput, fds: Iterable[FDInput]
+) -> List[Tuple[str, ...]]:
+    """Bernstein synthesis into 3NF component schemes.
+
+    Steps: minimal cover; one scheme ``X ∪ Y`` per group of cover FDs with
+    the same determinant ``X``; add one candidate key as its own scheme if
+    no component contains one; drop components subsumed by others.
+    """
+    attrs = parse_attrs(attributes)
+    cover = minimal_cover(fds)
+
+    grouped: Dict[FrozenSet[str], List] = {}
+    for fd in cover:
+        grouped.setdefault(frozenset(fd.lhs), []).append(fd)
+
+    components: List[Tuple[str, ...]] = []
+    for lhs_key, members in grouped.items():
+        scheme = attrs_union(
+            members[0].lhs, *(fd.rhs for fd in members)
+        )
+        components.append(scheme)
+
+    # attributes mentioned by no FD must still be stored somewhere
+    covered = set().union(*(set(c) for c in components)) if components else set()
+    leftover = tuple(a for a in attrs if a not in covered)
+    if leftover:
+        components.append(leftover)
+
+    keys = candidate_keys(attrs, cover)
+    if not any(
+        any(set(key) <= set(component) for key in keys)
+        for component in components
+    ):
+        components.append(keys[0])
+
+    # drop subsumed components (a scheme contained in another is redundant)
+    components.sort(key=len, reverse=True)
+    kept: List[Tuple[str, ...]] = []
+    for component in components:
+        if not any(set(component) <= set(other) for other in kept):
+            kept.append(component)
+    return sorted(kept)

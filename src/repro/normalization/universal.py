@@ -1,0 +1,136 @@
+"""Universal relation instances with nulls (sections 1 and 7).
+
+The paper's closing argument: the *practical* attack on the universal
+relation assumption — "it is not realistic to assume that a universal
+relation instance will have all rows filled with values" — is answered by
+nulls: pad the gaps, and ask for the dependencies to be only *weakly*
+satisfied.  This module builds exactly that object:
+
+* :func:`universal_instance` — the outer-union of component instances,
+  with a fresh null per missing cell;
+* :func:`weak_universal_check` — the weakened universal relation
+  assumption: the padded instance weakly satisfies ``F`` (decided by the
+  chase, Theorem 4(b));
+* :func:`decompose_instance` / :func:`natural_join` — the classical
+  round-trip operators used by the examples and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..chase.minimal import weakly_satisfiable
+from ..core.attributes import AttrsInput, parse_attrs
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.values import is_null, null
+from ..errors import NullsNotAllowedError, SchemaError
+
+
+def universal_instance(
+    schema: RelationSchema, components: Iterable[Relation]
+) -> Relation:
+    """Outer-union the component instances into one universal instance.
+
+    Every component row becomes a universal row with a fresh null in each
+    attribute the component lacks — the "gaps ... filled with some special
+    values" of the introduction.
+    """
+    rows: List[List] = []
+    for component in components:
+        for attr in component.schema.attributes:
+            if attr not in schema:
+                raise SchemaError(
+                    f"component attribute {attr!r} not in universal scheme"
+                )
+        for row in component.rows:
+            values = []
+            mapping = row.as_dict()
+            for attr in schema.attributes:
+                values.append(mapping.get(attr, None))
+            rows.append([null() if v is None else v for v in values])
+    return Relation(schema, rows)
+
+
+def weak_universal_check(
+    schema: RelationSchema,
+    components: Iterable[Relation],
+    fds: Iterable[FDInput],
+) -> Tuple[bool, Relation]:
+    """The weakened universal relation assumption, decided.
+
+    Returns ``(weakly_satisfiable, padded_instance)``: whether some
+    completion of the padded universal instance satisfies every FD.
+    """
+    padded = universal_instance(schema, components)
+    return weakly_satisfiable(padded, list(fds)), padded
+
+
+def decompose_instance(
+    relation: Relation, components: Sequence[AttrsInput]
+) -> List[Relation]:
+    """Project an instance onto each component scheme (with dedup)."""
+    return [relation.project(component) for component in components]
+
+
+def natural_join(first: Relation, second: Relation) -> Relation:
+    """Classical natural join (total join columns required).
+
+    Join attributes with nulls have no classical equality semantics; the
+    paper's whole point is to *avoid* needing this operator on incomplete
+    instances (use :func:`universal_instance` + the chase instead), so the
+    operator refuses nulls on the join attributes rather than inventing a
+    semantics.
+    """
+    shared = [
+        attr
+        for attr in first.schema.attributes
+        if attr in second.schema.attributes
+    ]
+    for relation in (first, second):
+        if any(is_null(row[attr]) for row in relation.rows for attr in shared):
+            raise NullsNotAllowedError(
+                "natural join is undefined on null join attributes"
+            )
+    attrs = list(first.schema.attributes) + [
+        a for a in second.schema.attributes if a not in first.schema.attributes
+    ]
+    schema = RelationSchema(
+        f"{first.schema.name}⋈{second.schema.name}",
+        attrs,
+        domains={
+            a: (
+                first.schema.domain(a)
+                if a in first.schema
+                else second.schema.domain(a)
+            )
+            for a in attrs
+        },
+    )
+    index: Dict[Tuple, List] = {}
+    for row in second.rows:
+        index.setdefault(row.project(shared), []).append(row)
+    rows: List[List] = []
+    for row in first.rows:
+        for match in index.get(row.project(shared), []):
+            merged = row.as_dict()
+            merged.update(
+                {
+                    a: match[a]
+                    for a in second.schema.attributes
+                    if a not in first.schema
+                }
+            )
+            rows.append([merged[a] for a in attrs])
+    return Relation(schema, rows).distinct()
+
+
+def join_all(relations: Sequence[Relation]) -> Relation:
+    """Left-fold natural join over a list of instances."""
+    if not relations:
+        raise SchemaError("cannot join zero relations")
+    result = relations[0]
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+    return result

@@ -1,0 +1,49 @@
+"""Least-extension semantics for functions and queries (paper section 2)."""
+
+from .lattice import (
+    information_content,
+    is_consistent_pair,
+    row_approximates,
+    row_lub,
+    rows_lub,
+)
+from .least_extension import (
+    least_extension_truth,
+    least_extension_value,
+    substitutions,
+)
+from .queries import (
+    AndP,
+    AttrEq,
+    Eq,
+    In,
+    NotP,
+    OrP,
+    Pred,
+    evaluate_kleene,
+    evaluate_least_extension,
+    referenced_attributes,
+    select,
+)
+
+__all__ = [
+    "AndP",
+    "AttrEq",
+    "Eq",
+    "In",
+    "NotP",
+    "OrP",
+    "Pred",
+    "evaluate_kleene",
+    "evaluate_least_extension",
+    "information_content",
+    "is_consistent_pair",
+    "least_extension_truth",
+    "least_extension_value",
+    "referenced_attributes",
+    "row_approximates",
+    "row_lub",
+    "rows_lub",
+    "select",
+    "substitutions",
+]

@@ -1,0 +1,69 @@
+"""The approximation lattice of section 2.
+
+"The introduction of the null in a database domain makes the domain a
+lattice with an approximation ordering.  Null carries less information than
+all other domain values."  The value-level order and join live in
+:mod:`repro.core.values`; this module lifts them to rows and exposes the
+pieces the least-extension machinery needs.
+
+Structure (per domain): ``null`` at the bottom, the domain constants as an
+antichain above it, and — once section 6 adds it — ``NOTHING`` as the
+over-defined top.  The truth-value variant puts ``unknown`` above
+``true``/``false`` (that is the order in which ``lub{yes, no} = unknown``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..core.schema import RelationSchema
+from ..core.tuples import Row
+from ..core.values import NOTHING, approximates, is_null, value_lub
+from ..errors import SchemaError
+
+
+def row_approximates(lower: Row, upper: Row) -> bool:
+    """Pointwise approximation order on rows (``t ⊑ t'``)."""
+    return lower.approximates(upper)
+
+
+def row_lub(first: Row, second: Row) -> Row:
+    """Pointwise join of two rows over the same scheme.
+
+    Conflicting constants join to ``NOTHING`` — the row-level counterpart
+    of the extended NS-rule.
+    """
+    if first.schema.attributes != second.schema.attributes:
+        raise SchemaError("row join requires identical schemes")
+    return Row(
+        first.schema,
+        [value_lub(a, b) for a, b in zip(first.values, second.values)],
+    )
+
+
+def rows_lub(rows: Iterable[Row]) -> Optional[Row]:
+    """Join of a collection of rows (``None`` for an empty collection)."""
+    result: Optional[Row] = None
+    for row in rows:
+        result = row if result is None else row_lub(result, row)
+    return result
+
+
+def is_consistent_pair(first: Row, second: Row) -> bool:
+    """Do the rows have an upper bound below ``NOTHING``?
+
+    True when no attribute carries two distinct constants — i.e. the two
+    rows could describe the same real-world tuple.
+    """
+    return all(
+        value is not NOTHING for value in row_lub(first, second).values
+    )
+
+
+def information_content(row: Row) -> int:
+    """Number of non-null cells — the row's height in the product order.
+
+    The NS-rules only ever increase this (a substitution grounds a null);
+    it is the measure behind the finiteness argument of section 6.
+    """
+    return sum(0 if is_null(value) else 1 for value in row.values)

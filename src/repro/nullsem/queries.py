@@ -1,0 +1,268 @@
+"""Queries over rows with nulls: least-extension vs Kleene evaluation.
+
+Section 2's running example: on ``R(name, marital-status)`` with
+``dom(marital-status) = {married, single}`` and the tuple ``("John", ⊥)``:
+
+* ``Q``  = "Is John married?"              → ``lub{yes, no} = unknown``;
+* ``Q'`` = "Is John married or single?"    → ``lub{yes, yes} = yes``.
+
+A truth-functional (Kleene) evaluator answers *unknown* to both — it
+cannot see that the disjunction exhausts the domain.  The least-extension
+evaluator is exact but enumerates substitutions; the paper cites
+[Vassiliou 79] for syntactic transformations that avoid the enumeration.
+This module provides:
+
+* a small predicate AST (:class:`Pred` constructors);
+* :func:`evaluate_kleene` — linear, three-valued, *under-informative*;
+* :func:`evaluate_least_extension` — exact, enumerates only the nulls the
+  predicate actually references (the library's stand-in for the
+  transformation: exponential only in the *relevant* nulls);
+* :func:`select` — certain/possible selection over a relation.
+
+Invariant (tested): wherever Kleene answers definitely, the least
+extension agrees; the least extension is always at least as definite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, List, Sequence, Tuple
+
+from ..core.domain import Domain, effective_domain
+from ..core.relation import Relation
+from ..core.truth import FALSE, TRUE, UNKNOWN, TruthValue, and_, from_bool, lub, not_, or_
+from ..core.tuples import Row
+from ..core.values import is_null
+from ..errors import DomainError
+
+
+class Pred:
+    """Base class for query predicates over a single row."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Pred") -> "Pred":
+        return AndP((self, other))
+
+    def __or__(self, other: "Pred") -> "Pred":
+        return OrP((self, other))
+
+    def __invert__(self) -> "Pred":
+        return NotP(self)
+
+
+@dataclass(frozen=True)
+class Eq(Pred):
+    """``attribute = constant``."""
+
+    __slots__ = ("attribute", "constant")
+    attribute: str
+    constant: Any
+
+
+@dataclass(frozen=True)
+class In(Pred):
+    """``attribute ∈ constants``."""
+
+    __slots__ = ("attribute", "constants")
+    attribute: str
+    constants: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class AttrEq(Pred):
+    """``attribute = attribute`` (within one row)."""
+
+    __slots__ = ("first", "second")
+    first: str
+    second: str
+
+
+@dataclass(frozen=True)
+class NotP(Pred):
+    __slots__ = ("operand",)
+    operand: Pred
+
+
+@dataclass(frozen=True)
+class AndP(Pred):
+    __slots__ = ("operands",)
+    operands: Tuple[Pred, ...]
+
+
+@dataclass(frozen=True)
+class OrP(Pred):
+    __slots__ = ("operands",)
+    operands: Tuple[Pred, ...]
+
+
+def referenced_attributes(pred: Pred) -> FrozenSet[str]:
+    """The attributes a predicate reads."""
+    if isinstance(pred, Eq):
+        return frozenset((pred.attribute,))
+    if isinstance(pred, In):
+        return frozenset((pred.attribute,))
+    if isinstance(pred, AttrEq):
+        return frozenset((pred.first, pred.second))
+    if isinstance(pred, NotP):
+        return referenced_attributes(pred.operand)
+    if isinstance(pred, (AndP, OrP)):
+        out: FrozenSet[str] = frozenset()
+        for op in pred.operands:
+            out |= referenced_attributes(op)
+        return out
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _evaluate_total(pred: Pred, row: Row) -> bool:
+    """Two-valued evaluation on a row that is total on the referenced attrs."""
+    if isinstance(pred, Eq):
+        return row[pred.attribute] == pred.constant
+    if isinstance(pred, In):
+        return row[pred.attribute] in pred.constants
+    if isinstance(pred, AttrEq):
+        return row[pred.first] == row[pred.second]
+    if isinstance(pred, NotP):
+        return not _evaluate_total(pred.operand, row)
+    if isinstance(pred, AndP):
+        return all(_evaluate_total(op, row) for op in pred.operands)
+    if isinstance(pred, OrP):
+        return any(_evaluate_total(op, row) for op in pred.operands)
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def evaluate_kleene(pred: Pred, row: Row) -> TruthValue:
+    """Truth-functional evaluation: null comparisons are *unknown*.
+
+    Linear in the predicate size; under-informative (see module docstring).
+    """
+    if isinstance(pred, Eq):
+        value = row[pred.attribute]
+        if is_null(value):
+            return UNKNOWN
+        return from_bool(value == pred.constant)
+    if isinstance(pred, In):
+        value = row[pred.attribute]
+        if is_null(value):
+            return UNKNOWN
+        return from_bool(value in pred.constants)
+    if isinstance(pred, AttrEq):
+        first, second = row[pred.first], row[pred.second]
+        if first is second and is_null(first):
+            return TRUE  # the same unknown value equals itself
+        if is_null(first) or is_null(second):
+            return UNKNOWN
+        return from_bool(first == second)
+    if isinstance(pred, NotP):
+        return not_(evaluate_kleene(pred.operand, row))
+    if isinstance(pred, AndP):
+        return and_(*(evaluate_kleene(op, row) for op in pred.operands))
+    if isinstance(pred, OrP):
+        return or_(*(evaluate_kleene(op, row) for op in pred.operands))
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _mentioned_constants(pred: Pred) -> List[Any]:
+    """Every constant the predicate compares against, in syntax order."""
+    if isinstance(pred, Eq):
+        return [pred.constant]
+    if isinstance(pred, In):
+        return list(pred.constants)
+    if isinstance(pred, AttrEq):
+        return []
+    if isinstance(pred, NotP):
+        return _mentioned_constants(pred.operand)
+    if isinstance(pred, (AndP, OrP)):
+        out: List[Any] = []
+        for op in pred.operands:
+            out.extend(_mentioned_constants(op))
+        return out
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _relevant_groundings(pred: Pred, row: Row) -> Iterator[Row]:
+    """Groundings of the row restricted to the predicate's attributes.
+
+    This is the "transformed" evaluation: nulls in unreferenced columns are
+    never enumerated.  For unbounded domains, the candidate pool is exact
+    by the equality-pattern argument: a one-row predicate only ever tests a
+    cell's equality against *mentioned* constants, the row's own referenced
+    constants, or other referenced cells — so the pool of those constants
+    plus one shared fresh symbol per referenced null (plus one) realizes
+    every distinguishable outcome, and no others.
+    """
+    refs = referenced_attributes(pred)
+    null_attrs = [
+        a for a in row.schema.attributes if a in refs and is_null(row[a])
+    ]
+    if not null_attrs:
+        yield row
+        return
+
+    pool: List[Any] = []
+    seen: set = set()
+    for constant in _mentioned_constants(pred):
+        if constant not in seen:
+            seen.add(constant)
+            pool.append(constant)
+    for attr in refs:
+        value = row[attr]
+        if not is_null(value) and value not in seen:
+            seen.add(value)
+            pool.append(value)
+    pool.extend(f"‡fresh:{i}" for i in range(len(null_attrs) + 1))
+
+    # one choice per distinct null object; positions sharing a null
+    # intersect their domains
+    order: List[Any] = []
+    allowed: dict = {}
+    for attr in null_attrs:
+        value = row[attr]
+        declared = row.schema.domain(attr)
+        candidates = list(declared) if declared.is_finite else list(pool)
+        key = id(value)
+        if key not in allowed:
+            allowed[key] = candidates
+            order.append(value)
+        else:
+            keep = set(candidates)
+            allowed[key] = [v for v in allowed[key] if v in keep]
+    for combo in itertools.product(*(allowed[id(n)] for n in order)):
+        yield row.substitute(dict(zip(order, combo)))
+
+
+def evaluate_least_extension(pred: Pred, row: Row) -> TruthValue:
+    """Exact least-extension evaluation (the section 2 semantics).
+
+    ``lub`` of the two-valued evaluations over all relevant groundings;
+    exponential only in the number of *referenced* null cells.
+    """
+    outcomes: List[TruthValue] = []
+    for grounded in _relevant_groundings(pred, row):
+        outcomes.append(from_bool(_evaluate_total(pred, grounded)))
+        if TRUE in outcomes and FALSE in outcomes:
+            return UNKNOWN
+    return lub(outcomes)
+
+
+def select(
+    relation: Relation, pred: Pred, mode: str = "certain"
+) -> Relation:
+    """Selection over an instance with nulls.
+
+    ``mode="certain"`` keeps rows whose least-extension value is *true*
+    (they satisfy the predicate under every completion); ``mode="possible"``
+    keeps rows whose value is not *false* (some completion satisfies it) —
+    the same strong/weak duality as FD satisfiability.
+    """
+    if mode not in ("certain", "possible"):
+        raise ValueError(f"unknown selection mode {mode!r}")
+    kept = []
+    for row in relation.rows:
+        value = evaluate_least_extension(pred, row)
+        if mode == "certain" and value is TRUE:
+            kept.append(row)
+        elif mode == "possible" and value is not FALSE:
+            kept.append(row)
+    return Relation(relation.schema, kept)

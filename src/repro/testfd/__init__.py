@@ -1,0 +1,100 @@
+"""The TEST-FDs algorithm family (Figure 3, Theorems 2-3).
+
+High-level entry point::
+
+    from repro.testfd import check_fds
+
+    check_fds(r, fds, convention="strong")   # Theorem 2
+    check_fds(r, fds, convention="weak", ensure_minimal=True)   # Theorem 3
+
+``convention="strong"`` decides *strong* satisfiability on arbitrary
+instances.  ``convention="weak"`` decides *weak* satisfiability **provided
+the instance is minimally incomplete** (Theorem 3's precondition);
+``ensure_minimal=True`` chases with the basic NS-rules first,
+``verify_minimal=True`` instead raises when the precondition fails.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from ..core.values import Null, is_null
+from ..errors import ConventionError, NotMinimallyIncompleteError
+from .bucket import check_fds_bucket, check_single_fd_presorted
+from .conventions import (
+    CONVENTION_STRONG,
+    CONVENTION_WEAK,
+    class_function,
+    x_equal,
+    y_unequal,
+)
+from .pairwise import TestFDsOutcome, Witness, check_fds_pairwise
+from .sortmerge import check_fds_sortmerge
+
+__all__ = [
+    "CONVENTION_STRONG",
+    "CONVENTION_WEAK",
+    "TestFDsOutcome",
+    "Witness",
+    "check_fds",
+    "check_fds_bucket",
+    "check_fds_pairwise",
+    "check_fds_sortmerge",
+    "check_single_fd_presorted",
+    "class_function",
+    "x_equal",
+    "y_unequal",
+]
+
+
+def check_fds(
+    relation: Relation,
+    fds: Iterable[FDInput],
+    convention: str = CONVENTION_WEAK,
+    method: str = "auto",
+    null_classes: Optional[Mapping[Null, Any]] = None,
+    ensure_minimal: bool = False,
+    verify_minimal: bool = False,
+) -> TestFDsOutcome:
+    """Run TEST-FDs with the requested convention and method.
+
+    ``method``: ``"sortmerge"`` (Figure 3), ``"pairwise"`` (the footnote's
+    O(n²) variant), ``"bucket"`` (the bucket-sort variant), or ``"auto"``
+    — sort-merge where the convention permits it, falling back to pairwise
+    for the strong convention on instances with left-hand-side nulls.
+
+    For the weak convention, Theorem 3 requires a minimally incomplete
+    instance; ``ensure_minimal=True`` chases first (basic NS-rules; the
+    chase's NECs are carried into the comparisons automatically because its
+    output shares one ``Null`` object per class).
+    """
+    fd_list = list(fds)
+    if convention == CONVENTION_WEAK and ensure_minimal:
+        from ..chase import MODE_BASIC, minimally_incomplete
+
+        result = minimally_incomplete(relation, fd_list, mode=MODE_BASIC)
+        relation = result.relation
+    elif convention == CONVENTION_WEAK and verify_minimal:
+        from ..chase import is_minimally_incomplete
+
+        if not is_minimally_incomplete(relation, fd_list):
+            raise NotMinimallyIncompleteError(
+                "Theorem 3 requires a minimally incomplete instance; pass "
+                "ensure_minimal=True to chase first"
+            )
+
+    if method == "sortmerge":
+        return check_fds_sortmerge(relation, fd_list, convention, null_classes)
+    if method == "pairwise":
+        return check_fds_pairwise(relation, fd_list, convention, null_classes)
+    if method == "bucket":
+        return check_fds_bucket(relation, fd_list, convention, null_classes)
+    if method != "auto":
+        raise ValueError(f"unknown TEST-FDs method {method!r}")
+
+    try:
+        return check_fds_sortmerge(relation, fd_list, convention, null_classes)
+    except ConventionError:
+        return check_fds_pairwise(relation, fd_list, convention, null_classes)

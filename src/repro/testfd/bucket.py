@@ -1,0 +1,165 @@
+"""Hash/bucket-grouping TEST-FDs variants (Figure 3, "Additional
+Assumptions").
+
+The paper: "If bucket sort is used, sorting takes time O(n·p) where p is
+the number of attributes in X for a dependency X -> Y.  Furthermore, if
+there is only one dependency (e.g. BCNF with one key), and the relation is
+already sorted, the test requires linear time on the relation size."
+
+:func:`check_fds_bucket` replaces the comparison sort with dictionary
+grouping on X-keys — the natural realization of bucket sort on equality
+keys — giving ``O(|F| · n · p)`` total.  Key-equality must coincide with
+the convention's equality comparison, which holds for the weak convention
+(and for the strong one only on null-free left-hand sides, as with
+sort-merge).
+
+:func:`check_single_fd_presorted` is the linear special case: one FD, the
+relation already sorted on its left-hand side; a single adjacent-pair scan
+decides.  The function *verifies* sortedness (also linear) rather than
+trusting the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.fd import FDInput, as_fd
+from ..core.relation import Relation
+from ..core.values import Null, is_null
+from ..errors import ConventionError, ReproError
+from .conventions import (
+    CONVENTION_STRONG,
+    CONVENTION_WEAK,
+    class_function,
+    ensure_no_nothing,
+    y_unequal,
+)
+from .pairwise import TestFDsOutcome, Witness
+from .sortmerge import _sort_key
+
+
+def _bucket_key(values, cols, convention, class_of) -> Tuple:
+    key: List[Any] = []
+    for c in cols:
+        value = values[c]
+        if is_null(value):
+            key.append(("null", class_of(value)))
+        else:
+            key.append(("const", value))
+    return tuple(key)
+
+
+def check_fds_bucket(
+    relation: Relation,
+    fds: Iterable[FDInput],
+    convention: str = CONVENTION_WEAK,
+    null_classes: Optional[Mapping[Null, Any]] = None,
+) -> TestFDsOutcome:
+    """TEST-FDs with bucket (hash) grouping: ``O(|F| · n · p)``."""
+    ensure_no_nothing(relation)
+    class_of = class_function(null_classes)
+    for fd in (as_fd(f).normalized() for f in fds):
+        if fd.is_trivial():
+            continue
+        lhs_cols = [relation.schema.position(a) for a in fd.lhs]
+        rhs_cols = [(a, relation.schema.position(a)) for a in fd.rhs]
+        if convention == CONVENTION_STRONG and any(
+            is_null(row.values[c]) for row in relation.rows for c in lhs_cols
+        ):
+            raise ConventionError(
+                "bucket TEST-FDs cannot group nulls under the strong "
+                "convention; use check_fds_pairwise"
+            )
+        # bucket -> per-Y-attribute (anchor value, anchor row); the weak
+        # convention prefers constants as anchors (same refinement as
+        # sort-merge — see repro.testfd.sortmerge's module docstring)
+        buckets: Dict[Tuple, Dict[int, Tuple[Any, int]]] = {}
+        for index, row in enumerate(relation.rows):
+            key = _bucket_key(row.values, lhs_cols, convention, class_of)
+            anchors = buckets.get(key)
+            if anchors is None:
+                buckets[key] = {
+                    c: (row.values[c], index) for _, c in rhs_cols
+                }
+                continue
+            for attr, c in rhs_cols:
+                anchor_value, anchor_index = anchors[c]
+                if (
+                    convention == CONVENTION_WEAK
+                    and is_null(anchor_value)
+                    and not is_null(row.values[c])
+                ):
+                    anchors[c] = (row.values[c], index)
+                    continue
+                if y_unequal(
+                    convention, anchor_value, row.values[c], class_of
+                ):
+                    return TestFDsOutcome(
+                        False, Witness(fd, anchor_index, index, attr)
+                    )
+    return TestFDsOutcome(True, None)
+
+
+def check_single_fd_presorted(
+    relation: Relation,
+    fd: FDInput,
+    convention: str = CONVENTION_WEAK,
+    null_classes: Optional[Mapping[Null, Any]] = None,
+) -> TestFDsOutcome:
+    """The linear special case: one FD, relation already sorted on its LHS.
+
+    Verifies the sort order (raises :class:`repro.errors.ReproError` when
+    the input is not sorted — silently wrong answers are worse than an
+    O(n) check), then decides with one adjacent-run scan.
+    """
+    fd = as_fd(fd).normalized()
+    ensure_no_nothing(relation)
+    class_of = class_function(null_classes)
+    if fd.is_trivial():
+        return TestFDsOutcome(True, None)
+    lhs_cols = [relation.schema.position(a) for a in fd.lhs]
+    rhs_cols = [(a, relation.schema.position(a)) for a in fd.rhs]
+    if convention == CONVENTION_STRONG and any(
+        is_null(row.values[c]) for row in relation.rows for c in lhs_cols
+    ):
+        raise ConventionError(
+            "the presorted test cannot order nulls under the strong "
+            "convention; use check_fds_pairwise"
+        )
+
+    class_ordinals: dict = {}
+    keys = [
+        tuple(_sort_key(row.values[c], class_of, class_ordinals) for c in lhs_cols)
+        for row in relation.rows
+    ]
+    for previous, current in zip(keys, keys[1:]):
+        if current < previous:
+            raise ReproError(
+                "check_single_fd_presorted requires the relation to be "
+                "sorted on the FD's left-hand side"
+            )
+
+    run_start = 0
+    anchors = {
+        c: (relation.rows[0].values[c], 0) for _, c in rhs_cols
+    } if relation.rows else {}
+    for index in range(1, len(relation.rows)):
+        row_values = relation.rows[index].values
+        if keys[index] != keys[run_start]:
+            run_start = index
+            anchors = {c: (row_values[c], index) for _, c in rhs_cols}
+            continue
+        for attr, c in rhs_cols:
+            anchor_value, anchor_index = anchors[c]
+            if (
+                convention == CONVENTION_WEAK
+                and is_null(anchor_value)
+                and not is_null(row_values[c])
+            ):
+                anchors[c] = (row_values[c], index)
+                continue
+            if y_unequal(convention, anchor_value, row_values[c], class_of):
+                return TestFDsOutcome(
+                    False, Witness(fd, anchor_index, index, attr)
+                )
+    return TestFDsOutcome(True, None)

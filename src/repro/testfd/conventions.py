@@ -1,0 +1,110 @@
+"""Null comparison conventions for TEST-FDs (Theorems 2 and 3).
+
+Figure 3's algorithm is convention-parametric: it only ever asks two kinds
+of question — an *equality* comparison on X-values and an *inequality*
+comparison on Y-values — and the two theorems differ exactly in how those
+comparisons treat nulls:
+
+* **strong** (Theorem 2): "Any equality comparison where a null is involved
+  is positive.  Also, any inequality comparison where a null is involved is
+  positive, unless both values compared are null and they belong to the
+  same equivalence class."
+* **weak** (Theorem 3): "Any inequality comparison where a null is involved
+  is negative.  Also, any equality comparison where a null is involved is
+  negative, unless both values compared are null and they belong to the
+  same equivalence class."
+
+Note the comparisons are deliberately *not* complements of each other:
+under either convention the same two values can compare neither equal nor
+unequal.
+
+Equivalence classes (the NECs of section 6) are represented the way the
+chase emits them — nulls of one class are the *same* ``Null`` object — and
+an explicit ``null_classes`` mapping can overlay additional classes.
+
+The assumptions inherited from the paper's setting: within one tuple each
+null position is a distinct unknown unless NEC-related, constants occurring
+in a column belong to its domain, and no domain is a singleton.  The
+*nothing* element never appears in TEST-FDs inputs (an instance containing
+it is already known inconsistent — Theorem 4(b)); conventions refuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from ..core.values import Null, is_nothing, is_null
+from ..errors import InconsistentInstanceError
+
+CONVENTION_STRONG = "strong"
+CONVENTION_WEAK = "weak"
+
+ClassOf = Callable[[Null], Any]
+
+
+def class_function(null_classes: Optional[Mapping[Null, Any]]) -> ClassOf:
+    """Build the null→equivalence-class mapping used by comparisons.
+
+    Default: object identity (the chase's shared-null representation);
+    ``null_classes`` entries overlay explicit class keys.
+    """
+    if null_classes is None:
+        return id
+    return lambda n: null_classes.get(n, id(n))
+
+
+def _reject_nothing(value: Any) -> None:
+    if is_nothing(value):
+        raise InconsistentInstanceError(
+            "TEST-FDs is undefined on instances containing the nothing "
+            "element; the instance is already known not weakly satisfiable"
+        )
+
+
+def ensure_no_nothing(relation) -> None:
+    """Entry guard for the TEST-FDs variants: refuse *nothing* upfront.
+
+    The per-comparison checks would only fire when a comparison happens to
+    touch the inconsistent cell; the contract is stronger — an instance
+    containing *nothing* is already known inconsistent and must be refused
+    regardless of where the cell sits.
+    """
+    for row in relation.rows:
+        for value in row.values:
+            _reject_nothing(value)
+
+
+def x_equal(convention: str, first: Any, second: Any, class_of: ClassOf) -> bool:
+    """The equality comparison on a pair of X-values."""
+    _reject_nothing(first)
+    _reject_nothing(second)
+    first_null, second_null = is_null(first), is_null(second)
+    if convention == CONVENTION_STRONG:
+        if first_null or second_null:
+            return True
+        return first == second
+    if convention == CONVENTION_WEAK:
+        if first_null and second_null:
+            return class_of(first) == class_of(second)
+        if first_null or second_null:
+            return False
+        return first == second
+    raise ValueError(f"unknown convention {convention!r}")
+
+
+def y_unequal(convention: str, first: Any, second: Any, class_of: ClassOf) -> bool:
+    """The inequality comparison on a pair of Y-values."""
+    _reject_nothing(first)
+    _reject_nothing(second)
+    first_null, second_null = is_null(first), is_null(second)
+    if convention == CONVENTION_STRONG:
+        if first_null and second_null:
+            return class_of(first) != class_of(second)
+        if first_null or second_null:
+            return True
+        return first != second
+    if convention == CONVENTION_WEAK:
+        if first_null or second_null:
+            return False
+        return first != second
+    raise ValueError(f"unknown convention {convention!r}")

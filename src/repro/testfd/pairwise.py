@@ -1,0 +1,77 @@
+"""The unsorted O(|F|·n²) TEST-FDs variant (Figure 3's footnote).
+
+"Another problem is sorting the null values under the above convention.
+Alternatively, another version of TEST-FDs may be used, where the relation
+is not sorted and each tuple is tested against every other tuple in the
+relation.  The running time is now O(|F|·n²)."
+
+This variant works under *both* conventions on arbitrary instances — in
+particular it is the general decision procedure for Theorem 2, where the
+strong convention's null-matches-everything equality cannot be realized by
+a total sort order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, NamedTuple, Optional, Tuple
+
+from ..core.fd import FD, FDInput, as_fd
+from ..core.relation import Relation
+from ..core.values import Null
+from .conventions import (
+    CONVENTION_WEAK,
+    class_function,
+    ensure_no_nothing,
+    x_equal,
+    y_unequal,
+)
+
+
+class Witness(NamedTuple):
+    """A violating pair found by a TEST-FDs run."""
+
+    fd: FD
+    first_row: int
+    second_row: int
+    attribute: str
+
+
+class TestFDsOutcome(NamedTuple):
+    """The yes/no answer of TEST-FDs plus the violating pair on *no*."""
+
+    satisfied: bool
+    witness: Optional[Witness]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self.satisfied
+
+
+def check_fds_pairwise(
+    relation: Relation,
+    fds: Iterable[FDInput],
+    convention: str = CONVENTION_WEAK,
+    null_classes: Optional[Mapping[Null, Any]] = None,
+) -> TestFDsOutcome:
+    """TEST-FDs by exhaustive pair comparison: ``O(|F| · n² · width)``."""
+    ensure_no_nothing(relation)
+    class_of = class_function(null_classes)
+    rows = relation.rows
+    for fd in (as_fd(f).normalized() for f in fds):
+        if fd.is_trivial():
+            continue
+        lhs_cols = [relation.schema.position(a) for a in fd.lhs]
+        rhs_cols = [(a, relation.schema.position(a)) for a in fd.rhs]
+        for i in range(len(rows)):
+            first = rows[i].values
+            for j in range(i + 1, len(rows)):
+                second = rows[j].values
+                if all(
+                    x_equal(convention, first[c], second[c], class_of)
+                    for c in lhs_cols
+                ):
+                    for attr, c in rhs_cols:
+                        if y_unequal(convention, first[c], second[c], class_of):
+                            return TestFDsOutcome(
+                                False, Witness(fd, i, j, attr)
+                            )
+    return TestFDsOutcome(True, None)

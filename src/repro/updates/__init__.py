@@ -1,0 +1,15 @@
+"""Modification operations under weak/strong consistency (section 7)."""
+
+from .guarded import (
+    POLICY_STRONG,
+    POLICY_WEAK,
+    GuardedRelation,
+    UpdateResult,
+)
+
+__all__ = [
+    "GuardedRelation",
+    "POLICY_STRONG",
+    "POLICY_WEAK",
+    "UpdateResult",
+]

@@ -1,0 +1,245 @@
+"""Modification operations under weak consistency (section 7's programme).
+
+The paper closes with: "more research is needed on the semantics of the
+ways a database acquires information.  This acquisition may be internal
+(non-ambiguous substitution of nulls), or external (modification
+operations by the users)" — pointing at [Graham and Vassiliou 80].  This
+module implements that programme on top of the machinery the paper *did*
+pin down:
+
+* **admission** — an external modification is accepted iff the resulting
+  instance stays (weakly or strongly, per policy) satisfiable; weak
+  admission is decided by the chase (Theorem 4(b)), strong admission by
+  TEST-FDs under the strong convention (Theorem 2);
+* **internal acquisition** — after an accepted change, the NS-rules may
+  ground nulls or link them with NECs; ``propagate=True`` adopts the
+  minimally incomplete instance, so the database only ever stores forced,
+  never guessed, information;
+* **grounding** — a user may :meth:`GuardedRelation.fill` a null with a
+  concrete value; the fill is admitted iff it is consistent with every
+  substitution the constraints force.
+
+Deletions are always admitted: removing a tuple removes constraints, and
+both satisfiability notions are preserved under subsets (each surviving
+tuple's completions only lose potential violators) — asserted in tests
+rather than trusted.
+
+The guard re-chases after each accepted change — stateless and correct
+for mixed workloads.  For append-only streams,
+:class:`repro.chase.IncrementalChase` maintains the fixpoint in amortized
+near-linear total time (ablation A2); it is not used here because
+admission may *reject* a change, and congruence merges are not invertible
+(rollback would need an O(n) state snapshot per attempt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..chase.engine import MODE_BASIC, ChaseResult
+from ..chase.minimal import minimally_incomplete, weakly_satisfiable
+from ..core.fd import FDInput, FDSet, as_fd
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Row
+from ..core.values import NOTHING, Null, is_null
+from ..errors import ReproError, SchemaError
+from ..testfd import CONVENTION_STRONG, check_fds
+
+POLICY_WEAK = "weak"
+POLICY_STRONG = "strong"
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one modification attempt."""
+
+    accepted: bool
+    operation: str
+    reason: str
+    #: substitutions the chase adopted after this operation (null -> value)
+    forced: Dict[Null, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class GuardedRelation:
+    """A relation instance that enforces an FD set across modifications.
+
+    The guard is *optimistic about nulls*: under the default ``weak``
+    policy a change is rejected only when it makes the constraints
+    certainly violated (no completion satisfies them) — the paper's answer
+    to "overconstrained" databases whose validity checks otherwise mostly
+    prove "that most of the data is dirty".
+
+    With ``propagate=True`` (default) every accepted change is followed by
+    the basic NS-rule chase, adopting forced substitutions and NECs — the
+    "internal acquisition" channel.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        fds: Iterable[FDInput],
+        rows: Iterable[Sequence[Any]] = (),
+        policy: str = POLICY_WEAK,
+        propagate: bool = True,
+    ) -> None:
+        if policy not in (POLICY_WEAK, POLICY_STRONG):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.schema = schema
+        self.fds = FDSet([as_fd(fd).validate(schema) for fd in fds])
+        self.policy = policy
+        self.propagate = propagate
+        self.log: List[UpdateResult] = []
+        initial = Relation(schema, rows)
+        if not self._admissible(initial):
+            raise ReproError(
+                f"initial instance does not satisfy the FDs under the "
+                f"{policy!r} policy"
+            )
+        self._relation = self._settle(initial)[0]
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def relation(self) -> Relation:
+        """The current instance (chased, when propagation is on)."""
+        return self._relation
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    def __iter__(self):
+        return iter(self._relation)
+
+    def to_text(self) -> str:
+        return self._relation.to_text()
+
+    # -- policy plumbing -----------------------------------------------------------
+
+    def _admissible(self, candidate: Relation) -> bool:
+        if self.policy == POLICY_STRONG:
+            return check_fds(candidate, self.fds, CONVENTION_STRONG).satisfied
+        return weakly_satisfiable(candidate, self.fds)
+
+    def _settle(self, candidate: Relation) -> Tuple[Relation, Dict[Null, Any]]:
+        """Apply internal acquisition; returns (instance, forced subs)."""
+        if not self.propagate:
+            return candidate, {}
+        result: ChaseResult = minimally_incomplete(
+            candidate, self.fds, mode=MODE_BASIC
+        )
+        forced = {
+            original: value
+            for original, value in result.substitutions.items()
+            if value is not NOTHING
+        }
+        return result.relation, forced
+
+    def _attempt(
+        self, operation: str, candidate: Relation, detail: str
+    ) -> UpdateResult:
+        if not self._admissible(candidate):
+            outcome = UpdateResult(
+                False,
+                operation,
+                f"{detail}: would make the constraints "
+                + (
+                    "unsatisfiable in every completion"
+                    if self.policy == POLICY_WEAK
+                    else "not strongly satisfied"
+                ),
+            )
+        else:
+            settled, forced = self._settle(candidate)
+            self._relation = settled
+            outcome = UpdateResult(True, operation, detail, forced)
+        self.log.append(outcome)
+        return outcome
+
+    # -- modifications ---------------------------------------------------------------
+
+    def insert(self, values: Union[Sequence[Any], Row]) -> UpdateResult:
+        """Admit a new tuple if the constraints stay satisfiable."""
+        row = values if isinstance(values, Row) else Row(self.schema, values)
+        candidate = self._relation.with_rows([row])
+        return self._attempt("insert", candidate, f"insert {row!r}")
+
+    def delete(self, index: int) -> UpdateResult:
+        """Remove the tuple at ``index`` (always admissible)."""
+        if not 0 <= index < len(self._relation):
+            raise SchemaError(f"no row at index {index}")
+        removed = self._relation[index]
+        rows = [r for i, r in enumerate(self._relation.rows) if i != index]
+        return self._attempt(
+            "delete", Relation(self.schema, rows), f"delete {removed!r}"
+        )
+
+    def update(self, index: int, changes: Dict[str, Any]) -> UpdateResult:
+        """Modify attributes of the tuple at ``index`` (check-then-swap)."""
+        if not 0 <= index < len(self._relation):
+            raise SchemaError(f"no row at index {index}")
+        current = self._relation[index]
+        mapping = current.as_dict()
+        for attr, value in changes.items():
+            if attr not in self.schema:
+                raise SchemaError(f"unknown attribute {attr!r}")
+            mapping[attr] = value
+        replacement = Row.from_mapping(self.schema, mapping)
+        rows = [
+            replacement if i == index else r
+            for i, r in enumerate(self._relation.rows)
+        ]
+        return self._attempt(
+            "update",
+            Relation(self.schema, rows),
+            f"update row {index} with {changes}",
+        )
+
+    def fill(self, index: int, attribute: str, value: Any) -> UpdateResult:
+        """Ground a null with a user-supplied constant.
+
+        Rejected when the cell is not null, or when the constraints force a
+        *different* value for it (the chase's substitution is "the only
+        value that a user can insert without the creation of an
+        inconsistency" — section 4).
+        """
+        if not 0 <= index < len(self._relation):
+            raise SchemaError(f"no row at index {index}")
+        cell = self._relation[index][attribute]
+        if not is_null(cell):
+            return self._attempt_rejection(
+                "fill",
+                f"fill row {index}.{attribute}: cell is not null "
+                f"(holds {cell!r})",
+            )
+        substitution = {cell: value}
+        rows = [row.substitute(substitution) for row in self._relation.rows]
+        return self._attempt(
+            "fill",
+            Relation(self.schema, rows),
+            f"fill row {index}.{attribute} := {value!r}",
+        )
+
+    def _attempt_rejection(self, operation: str, reason: str) -> UpdateResult:
+        outcome = UpdateResult(False, operation, reason)
+        self.log.append(outcome)
+        return outcome
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def history(self) -> List[str]:
+        """One line per attempted operation, for audits and examples."""
+        return [
+            f"{'ACCEPT' if entry.accepted else 'REJECT'} {entry.operation}: "
+            f"{entry.reason}"
+            + (
+                f" [forced {len(entry.forced)} substitution(s)]"
+                if entry.forced
+                else ""
+            )
+            for entry in self.log
+        ]

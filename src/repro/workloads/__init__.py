@@ -1,0 +1,39 @@
+"""Paper figure instances and seeded random workload generators."""
+
+from .generator import (
+    attribute_names,
+    inject_nulls,
+    random_fds,
+    random_instance,
+    random_satisfiable_instance,
+    random_schema,
+    satisfiable_with_nulls,
+)
+from .paper import (
+    Figure2Case,
+    figure_1_2_instance,
+    figure_1_3_instance,
+    figure_1_scheme,
+    figure_2_cases,
+    figure_2_fd,
+    figure_5,
+    section_6_example,
+)
+
+__all__ = [
+    "Figure2Case",
+    "attribute_names",
+    "figure_1_2_instance",
+    "figure_1_3_instance",
+    "figure_1_scheme",
+    "figure_2_cases",
+    "figure_2_fd",
+    "figure_5",
+    "inject_nulls",
+    "random_fds",
+    "random_instance",
+    "random_satisfiable_instance",
+    "random_schema",
+    "satisfiable_with_nulls",
+    "section_6_example",
+]

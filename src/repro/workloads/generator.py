@@ -1,0 +1,221 @@
+"""Seeded workload generators for tests, examples and benchmarks.
+
+Everything takes an explicit ``random.Random`` (or a seed) — benchmark
+series must be reproducible run to run, and the EXPERIMENTS.md numbers are
+regenerated from fixed seeds.
+
+The central generators:
+
+* :func:`random_satisfiable_instance` — a null-free instance in which a
+  given FD set holds (built by repair passes, so arbitrary FD interactions
+  are handled);
+* :func:`inject_nulls` — punch fresh nulls into an instance.  Punching
+  nulls into a satisfying instance preserves *weak* satisfiability by
+  construction (the original instance is a witness completion), which is
+  how benchmark workloads with known ground truth are made;
+* :func:`random_instance` — unconstrained random instance (violation-heavy);
+* :func:`random_fds` — random FD sets over a scheme.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.domain import Domain
+from ..core.fd import FD, FDSet
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Row
+from ..core.values import is_null, null
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed_or_rng: RandomLike) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def attribute_names(count: int) -> Tuple[str, ...]:
+    """A1, A2, ... — stable attribute names for generated schemas."""
+    return tuple(f"A{i}" for i in range(1, count + 1))
+
+
+def random_schema(
+    n_attrs: int,
+    domain_size: Optional[int] = None,
+    name: str = "R",
+) -> RelationSchema:
+    """A scheme with ``n_attrs`` attributes.
+
+    ``domain_size=None`` leaves every domain unbounded (the usual setting);
+    a number gives each attribute the finite domain ``{v1..vk}``.
+    """
+    attrs = attribute_names(n_attrs)
+    domains = None
+    if domain_size is not None:
+        domains = {
+            attr: Domain([f"{attr.lower()}v{i}" for i in range(domain_size)], name=attr)
+            for attr in attrs
+        }
+    return RelationSchema(name, attrs, domains=domains)
+
+
+def random_fds(
+    seed_or_rng: RandomLike,
+    attributes: Sequence[str],
+    count: int,
+    max_lhs: int = 2,
+) -> FDSet:
+    """``count`` random nontrivial FDs with small left-hand sides."""
+    rng = _rng(seed_or_rng)
+    attrs = list(attributes)
+    fds: List[FD] = []
+    guard = 0
+    while len(fds) < count and guard < count * 50:
+        guard += 1
+        lhs_size = rng.randint(1, min(max_lhs, len(attrs)))
+        lhs = rng.sample(attrs, lhs_size)
+        remaining = [a for a in attrs if a not in lhs]
+        if not remaining:
+            continue
+        rhs = [rng.choice(remaining)]
+        fd = FD(lhs, rhs)
+        if fd not in fds:
+            fds.append(fd)
+    return FDSet(fds)
+
+
+def _value_pool(schema: RelationSchema, attr: str, pool_size: int) -> List:
+    declared = schema.domain(attr)
+    if declared.is_finite:
+        return list(declared)
+    return [f"{attr.lower()}v{i}" for i in range(pool_size)]
+
+
+def random_instance(
+    seed_or_rng: RandomLike,
+    schema: RelationSchema,
+    n_rows: int,
+    pool_size: int = 4,
+) -> Relation:
+    """Unconstrained random rows (values drawn per column from a pool).
+
+    Small pools make FD violations likely — the workload for "does the
+    tester find the violation" benches.
+    """
+    rng = _rng(seed_or_rng)
+    pools = {attr: _value_pool(schema, attr, pool_size) for attr in schema.attributes}
+    rows = [
+        [rng.choice(pools[attr]) for attr in schema.attributes]
+        for _ in range(n_rows)
+    ]
+    return Relation(schema, rows)
+
+
+def random_satisfiable_instance(
+    seed_or_rng: RandomLike,
+    schema: RelationSchema,
+    fds: Iterable[FD],
+    n_rows: int,
+    pool_size: int = 8,
+    max_passes: int = 50,
+) -> Relation:
+    """A null-free instance in which every FD of ``fds`` holds.
+
+    Random rows are *repaired*: for each FD, rows are grouped by left-hand
+    side and every group's right-hand values are overwritten with the
+    group's first row's values.  Repairing one FD can break another (its
+    left-hand side may have changed), so passes repeat to a fixpoint; in
+    the rare non-converging case the still-violating rows are dropped,
+    keeping the guarantee unconditional.
+    """
+    rng = _rng(seed_or_rng)
+    fd_list = [fd.normalized() for fd in fds]
+    pools = {attr: _value_pool(schema, attr, pool_size) for attr in schema.attributes}
+    rows: List[List] = [
+        [rng.choice(pools[attr]) for attr in schema.attributes]
+        for _ in range(n_rows)
+    ]
+    positions = {attr: schema.position(attr) for attr in schema.attributes}
+
+    def violations_exist() -> bool:
+        for fd in fd_list:
+            seen: dict = {}
+            for row in rows:
+                key = tuple(row[positions[a]] for a in fd.lhs)
+                image = tuple(row[positions[a]] for a in fd.rhs)
+                if seen.setdefault(key, image) != image:
+                    return True
+        return False
+
+    for _ in range(max_passes):
+        changed = False
+        for fd in fd_list:
+            representative: dict = {}
+            for row in rows:
+                key = tuple(row[positions[a]] for a in fd.lhs)
+                image = tuple(row[positions[a]] for a in fd.rhs)
+                kept = representative.setdefault(key, image)
+                if kept != image:
+                    for attr, value in zip(fd.rhs, kept):
+                        row[positions[attr]] = value
+                    changed = True
+        if not changed:
+            break
+    if violations_exist():  # pragma: no cover - repair almost always converges
+        surviving: List[List] = []
+        for row in rows:
+            candidate = Relation(schema, surviving + [row])
+            from ..core.fd import all_hold_classical
+
+            if all_hold_classical(fd_list, candidate):
+                surviving.append(row)
+        rows = surviving
+    return Relation(schema, rows)
+
+
+def inject_nulls(
+    seed_or_rng: RandomLike,
+    relation: Relation,
+    density: float,
+    attributes: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Replace each (eligible) cell by a fresh null with probability
+    ``density``.  Cells outside ``attributes`` (default: all) are kept."""
+    rng = _rng(seed_or_rng)
+    eligible = set(attributes or relation.schema.attributes)
+    rows = []
+    for row in relation.rows:
+        values = []
+        for attr, value in zip(relation.schema.attributes, row.values):
+            if attr in eligible and not is_null(value) and rng.random() < density:
+                values.append(null())
+            else:
+                values.append(value)
+        rows.append(values)
+    return Relation(relation.schema, rows)
+
+
+def satisfiable_with_nulls(
+    seed_or_rng: RandomLike,
+    schema: RelationSchema,
+    fds: Iterable[FD],
+    n_rows: int,
+    density: float,
+    pool_size: int = 8,
+) -> Tuple[Relation, Relation]:
+    """A weakly-satisfiable instance with nulls plus its witness completion.
+
+    Built by generating a satisfying null-free instance and punching nulls:
+    the original instance completes the punched one, so weak satisfiability
+    holds by construction.
+    """
+    rng = _rng(seed_or_rng)
+    total = random_satisfiable_instance(
+        rng, schema, fds, n_rows, pool_size=pool_size
+    )
+    return inject_nulls(rng, total, density), total

@@ -1,0 +1,162 @@
+"""The paper's worked figures as constructible objects.
+
+The scanned figures in the source are illegible; these are reconstructions
+satisfying every property the prose states about them (see DESIGN.md §4 for
+the constraint-by-constraint derivation).  Each constructor returns fresh
+objects (fresh nulls), so tests can mutate freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.domain import Domain
+from ..core.fd import FD, FDSet
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.truth import FALSE, TRUE, TruthValue
+from ..core.values import null
+
+
+def figure_1_scheme() -> Tuple[RelationSchema, FDSet]:
+    """Figure 1.1: R(E#, SL, D#, CT) with E# -> SL,D# and D# -> CT.
+
+    E# is the employee serial number, SL the salary, D# the department,
+    CT the contract type.
+    """
+    schema = RelationSchema(
+        "R",
+        "E# SL D# CT",
+        domains={"CT": Domain(["permanent", "temporary"], name="CT")},
+    )
+    fds = FDSet(["E# -> SL D#", "D# -> CT"])
+    return schema, fds
+
+
+def figure_1_2_instance() -> Relation:
+    """Figure 1.2: a null-free instance in which both FDs hold."""
+    schema, _ = figure_1_scheme()
+    return Relation(
+        schema,
+        [
+            (101, 50, "d1", "permanent"),
+            (102, 60, "d1", "permanent"),
+            (103, 50, "d2", "temporary"),
+        ],
+    )
+
+
+def figure_1_3_instance() -> Relation:
+    """Figure 1.3: the instance with nulls.
+
+    Nulls sit on SL and CT so that both FDs still *weakly* hold (no
+    substitution is forced into contradiction).
+    """
+    schema, _ = figure_1_scheme()
+    return Relation(
+        schema,
+        [
+            (101, null(), "d1", "permanent"),
+            (102, 60, "d1", null()),
+            (103, 50, "d2", "temporary"),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class Figure2Case:
+    """One of Figure 2's four instances with its expected evaluation."""
+
+    name: str
+    relation: Relation
+    expected_value: TruthValue
+    expected_condition: str
+
+
+def figure_2_fd() -> FD:
+    """Figure 2's dependency f : AB -> C."""
+    return FD("A B", "C")
+
+
+def figure_2_cases() -> List[Figure2Case]:
+    """The four instances r1-r4; ``t1`` is always the first row.
+
+    * r1: null in t1[C]; unique AB pair        -> true  by [T2]
+    * r2: null in t1[A]; no completion in r    -> true  by [T3]
+    * r3: null in t1[A]; agreeing completion   -> true  by [T3]
+    * r4: dom(A) = {a1, a2}; both completions
+      present, all disagreeing on C            -> false by [F2]
+    """
+    plain = RelationSchema("R", "A B C")
+    restricted = RelationSchema(
+        "R", "A B C", domains={"A": Domain(["a1", "a2"], name="A")}
+    )
+    return [
+        Figure2Case(
+            "r1",
+            Relation(plain, [("a1", "b1", null()), ("a2", "b2", "c2")]),
+            TRUE,
+            "T2",
+        ),
+        Figure2Case(
+            "r2",
+            Relation(plain, [(null(), "b1", "c1"), ("a2", "b2", "c2")]),
+            TRUE,
+            "T3",
+        ),
+        Figure2Case(
+            "r3",
+            Relation(plain, [(null(), "b1", "c1"), ("a2", "b1", "c1")]),
+            TRUE,
+            "T3",
+        ),
+        Figure2Case(
+            "r4",
+            Relation(
+                restricted,
+                [
+                    (null(), "b1", "c1"),
+                    ("a1", "b1", "c2"),
+                    ("a2", "b1", "c3"),
+                ],
+            ),
+            FALSE,
+            "F2",
+        ),
+    ]
+
+
+def section_6_example() -> Tuple[RelationSchema, FDSet, Relation]:
+    """Section 6's opener: F = {A -> B, B -> C} on r = {(a,⊥,c1), (a,⊥,c2)}.
+
+    Each FD weakly holds on its own; jointly they are unsatisfiable: B -> C
+    forces the two B-nulls apart, which makes A -> B false.
+    """
+    schema = RelationSchema("R", "A B C")
+    fds = FDSet(["A -> B", "B -> C"])
+    relation = Relation(
+        schema, [("a", null(), "c1"), ("a", null(), "c2")]
+    )
+    return schema, fds, relation
+
+
+def figure_5() -> Tuple[RelationSchema, FDSet, Relation]:
+    """Figure 5: F = {A -> B, C -> B} on a three-tuple instance.
+
+    Applying A -> B first substitutes b1 for the null; C -> B first
+    substitutes b2 — two different minimally incomplete states under the
+    basic rules.  The extended rules drive the whole B column to *nothing*
+    in either order.
+    """
+    schema = RelationSchema("R", "A B C")
+    fds = FDSet(["A -> B", "C -> B"])
+    relation = Relation(
+        schema,
+        [
+            ("a1", null(), "c1"),
+            ("a1", "b1", "c2"),
+            ("a2", "b2", "c1"),
+        ],
+    )
+    return schema, fds, relation

@@ -1,0 +1,100 @@
+"""Tests for attribute closure (naive and linear-time)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.closure import (
+    attribute_closure,
+    attribute_closure_linear,
+    closure_trace,
+)
+from repro.core.fd import FD
+
+
+class TestNaiveClosure:
+    def test_chain(self):
+        assert attribute_closure("A", ["A -> B", "B -> C"]) == {"A", "B", "C"}
+
+    def test_needs_full_lhs(self):
+        assert attribute_closure("A", ["A B -> C"]) == {"A"}
+        assert attribute_closure("A B", ["A B -> C"]) == {"A", "B", "C"}
+
+    def test_no_fds(self):
+        assert attribute_closure("A B", []) == {"A", "B"}
+
+    def test_cascading_multiattribute(self):
+        fds = ["A -> B", "B C -> D", "A -> C"]
+        assert attribute_closure("A", fds) == {"A", "B", "C", "D"}
+
+    def test_cycle(self):
+        fds = ["A -> B", "B -> A"]
+        assert attribute_closure("A", fds) == {"A", "B"}
+        assert attribute_closure("B", fds) == {"A", "B"}
+
+
+class TestLinearClosure:
+    def test_matches_naive_on_known_cases(self):
+        cases = [
+            ("A", ["A -> B", "B -> C"]),
+            ("A B", ["A B -> C", "C -> D", "D -> A"]),
+            ("C", ["A -> B"]),
+            ("E#", ["E# -> SL D#", "D# -> CT"]),
+        ]
+        for seed, fds in cases:
+            assert attribute_closure_linear(seed, fds) == attribute_closure(
+                seed, fds
+            )
+
+    def test_fd_firing_once(self):
+        # an FD whose LHS attribute appears twice in other FDs
+        fds = ["A -> B", "A -> C", "B C -> D"]
+        assert attribute_closure_linear("A", fds) == {"A", "B", "C", "D"}
+
+
+class TestClosureTrace:
+    def test_trace_replays_to_closure(self):
+        fds = ["A -> B", "B -> C", "C -> D"]
+        trace = closure_trace("A", fds)
+        reached = {"A"}
+        for fd, new in trace:
+            assert set(fd.lhs) <= reached
+            reached.update(new)
+        assert reached == attribute_closure("A", fds)
+
+    def test_trace_empty_when_nothing_fires(self):
+        assert closure_trace("A", ["B -> C"]) == []
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence and algebraic laws
+# ---------------------------------------------------------------------------
+
+_attr = st.sampled_from(["A", "B", "C", "D", "E"])
+_side = st.lists(_attr, min_size=1, max_size=3, unique=True)
+
+
+@st.composite
+def fd_sets(draw, max_size=6):
+    count = draw(st.integers(min_value=0, max_value=max_size))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@given(_side, fd_sets())
+@settings(max_examples=150, deadline=None)
+def test_linear_equals_naive(seed, fds):
+    assert attribute_closure_linear(seed, fds) == attribute_closure(seed, fds)
+
+
+@given(_side, fd_sets())
+@settings(max_examples=100, deadline=None)
+def test_closure_is_extensive_and_idempotent(seed, fds):
+    closure = attribute_closure(seed, fds)
+    assert set(seed) <= closure
+    assert attribute_closure(tuple(closure), fds) == closure
+
+
+@given(_side, _side, fd_sets())
+@settings(max_examples=100, deadline=None)
+def test_closure_is_monotone(seed_a, seed_b, fds):
+    union = tuple(dict.fromkeys(seed_a + seed_b))
+    assert attribute_closure(seed_a, fds) <= attribute_closure(union, fds)

@@ -1,0 +1,88 @@
+"""Tests for minimal covers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.cover import (
+    is_minimal,
+    left_reduce,
+    minimal_cover,
+    remove_redundant,
+    right_reduce,
+)
+from repro.armstrong.implication import equivalent
+from repro.core.fd import FD, FDSet
+
+
+class TestPasses:
+    def test_right_reduce_splits(self):
+        out = right_reduce(["A -> B C"])
+        assert set(out) == {FD("A", "B"), FD("A", "C")}
+
+    def test_right_reduce_drops_trivial_components(self):
+        out = right_reduce(["A -> A B"])
+        assert out == [FD("A", "B")]
+
+    def test_left_reduce_removes_extraneous(self):
+        # in  A B -> C  with  A -> B,  B is extraneous
+        out = left_reduce(["A B -> C", "A -> B"])
+        assert FD("A", "C") in out
+
+    def test_left_reduce_keeps_needed(self):
+        out = left_reduce(["A B -> C"])
+        assert out == [FD("A B", "C")]
+
+    def test_remove_redundant(self):
+        out = remove_redundant(["A -> B", "B -> C", "A -> C"])
+        assert FD("A", "C") not in out
+        assert len(out) == 2
+
+
+class TestMinimalCover:
+    def test_textbook_example(self):
+        fds = ["A -> B C", "B -> C", "A -> B", "A B -> C"]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert is_minimal(cover)
+        assert cover == FDSet(["A -> B", "B -> C"])
+
+    def test_already_minimal_unchanged_up_to_equivalence(self):
+        fds = ["A -> B", "B -> C"]
+        cover = minimal_cover(fds)
+        assert set(cover) == {FD("A", "B"), FD("B", "C")}
+
+    def test_is_minimal_rejects_composite_rhs(self):
+        assert not is_minimal(["A -> B C"])
+
+    def test_is_minimal_rejects_redundancy(self):
+        assert not is_minimal(["A -> B", "B -> C", "A -> C"])
+
+    def test_is_minimal_rejects_extraneous_lhs(self):
+        assert not is_minimal(["A -> B", "A B -> C"])
+
+    def test_empty(self):
+        assert list(minimal_cover([])) == []
+        assert is_minimal([])
+
+
+# ---------------------------------------------------------------------------
+# property-based: covers are equivalent and minimal
+# ---------------------------------------------------------------------------
+
+_attr = st.sampled_from(["A", "B", "C", "D"])
+_side = st.lists(_attr, min_size=1, max_size=3, unique=True)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@given(fd_sets())
+@settings(max_examples=80, deadline=None)
+def test_minimal_cover_is_equivalent_and_minimal(fds):
+    nontrivial = [fd for fd in fds if not fd.is_trivial()]
+    cover = minimal_cover(fds)
+    assert equivalent(cover, nontrivial)
+    assert is_minimal(cover)

@@ -1,0 +1,126 @@
+"""Tests for candidate-key enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.closure import attribute_closure_linear
+from repro.armstrong.keys import (
+    candidate_keys,
+    is_candidate_key,
+    is_superkey,
+    prime_attributes,
+    shrink_to_key,
+)
+from repro.core.fd import FD
+
+
+class TestSuperkeys:
+    def test_whole_scheme_is_superkey(self):
+        assert is_superkey("A B", "A B", [])
+
+    def test_determinant_chain(self):
+        assert is_superkey("A B C", "A", ["A -> B", "B -> C"])
+
+    def test_not_superkey(self):
+        assert not is_superkey("A B C", "A", ["A -> B"])
+
+
+class TestShrink:
+    def test_shrinks_to_minimal(self):
+        key = shrink_to_key("A B C", "A B C", ["A -> B", "B -> C"])
+        assert key == ("A",)
+
+    def test_deterministic_order(self):
+        # both A and B alone are keys; shrinking tries A-removal first,
+        # keeping B... then C; deterministic outcome
+        key1 = shrink_to_key("A B", "A B", ["A -> B", "B -> A"])
+        key2 = shrink_to_key("A B", "A B", ["A -> B", "B -> A"])
+        assert key1 == key2
+
+
+class TestCandidateKeys:
+    def test_single_key(self):
+        keys = candidate_keys("A B C", ["A -> B", "B -> C"])
+        assert keys == [("A",)]
+
+    def test_two_keys_cycle(self):
+        keys = candidate_keys("A B", ["A -> B", "B -> A"])
+        assert {frozenset(k) for k in keys} == {frozenset("A"), frozenset("B")}
+
+    def test_paper_scheme(self):
+        keys = candidate_keys("E# SL D# CT", ["E# -> SL D#", "D# -> CT"])
+        assert keys == [("E#",)]
+
+    def test_composite_key(self):
+        keys = candidate_keys("A B C", ["A B -> C"])
+        assert keys == [("A", "B")]
+
+    def test_many_keys(self):
+        # R(A,B,C) with A->B, B->C, C->A: every single attribute is a key
+        keys = candidate_keys("A B C", ["A -> B", "B -> C", "C -> A"])
+        assert {frozenset(k) for k in keys} == {
+            frozenset("A"),
+            frozenset("B"),
+            frozenset("C"),
+        }
+
+    def test_no_fds_key_is_everything(self):
+        assert candidate_keys("A B", []) == [("A", "B")]
+
+
+class TestPrimeAttributes:
+    def test_prime(self):
+        prime = prime_attributes("A B C", ["A -> B", "B -> A", "A -> C"])
+        assert prime == {"A", "B"}
+
+    def test_is_candidate_key(self):
+        fds = ["A -> B", "B -> C"]
+        assert is_candidate_key("A B C", "A", fds)
+        assert not is_candidate_key("A B C", "A B", fds)  # not minimal
+        assert not is_candidate_key("A B C", "B", fds)  # not a superkey
+
+
+# ---------------------------------------------------------------------------
+# property-based key laws
+# ---------------------------------------------------------------------------
+
+_attr = st.sampled_from(["A", "B", "C", "D"])
+_side = st.lists(_attr, min_size=1, max_size=2, unique=True)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@given(fd_sets())
+@settings(max_examples=80, deadline=None)
+def test_every_enumerated_key_is_candidate(fds):
+    attrs = "A B C D"
+    for key in candidate_keys(attrs, fds):
+        assert is_candidate_key(attrs, key, fds)
+
+
+@given(fd_sets())
+@settings(max_examples=80, deadline=None)
+def test_keys_are_pairwise_incomparable(fds):
+    keys = [frozenset(k) for k in candidate_keys("A B C D", fds)]
+    for i, first in enumerate(keys):
+        for second in keys[i + 1 :]:
+            assert not first <= second and not second <= first
+
+
+@given(fd_sets())
+@settings(max_examples=60, deadline=None)
+def test_lucchesi_osborn_finds_all_keys_small_universe(fds):
+    """Cross-check enumeration against brute force over all subsets."""
+    import itertools
+
+    attrs = ("A", "B", "C", "D")
+    brute = set()
+    for size in range(1, 5):
+        for combo in itertools.combinations(attrs, size):
+            if is_candidate_key(attrs, combo, fds):
+                brute.add(frozenset(combo))
+    assert {frozenset(k) for k in candidate_keys(attrs, fds)} == brute

@@ -1,0 +1,127 @@
+"""Tests for Armstrong rule checkers and FD-level derivations.
+
+Includes the per-axiom soundness test against brute-force strong
+satisfiability over relations with nulls — the axioms' side of Theorem 1.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.rules import (
+    check_augmentation,
+    check_decomposition,
+    check_pseudotransitivity,
+    check_reflexivity,
+    check_transitivity,
+    check_union,
+    derive_fd,
+)
+from repro.core.fd import FD
+from repro.core.satisfaction import strongly_holds
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.logic.bridge import assignment_to_relation
+
+
+class TestCheckers:
+    def test_reflexivity(self):
+        assert check_reflexivity("A B -> A")
+        assert not check_reflexivity("A -> B")
+
+    def test_augmentation(self):
+        assert check_augmentation("A -> B", "A C -> B C")
+        assert check_augmentation("A -> B", "A -> A B")  # Z ⊆ X allowed
+        assert not check_augmentation("A -> B", "A C -> B")
+
+    def test_transitivity(self):
+        assert check_transitivity("A -> B", "B -> C", "A -> C")
+        assert not check_transitivity("A -> B", "C -> D", "A -> D")
+
+    def test_union(self):
+        assert check_union("A -> B", "A -> C", "A -> B C")
+        assert not check_union("A -> B", "B -> C", "A -> B C")
+
+    def test_decomposition(self):
+        assert check_decomposition("A -> B C", "A -> B")
+        assert not check_decomposition("A -> B", "A -> C")
+
+    def test_pseudotransitivity(self):
+        assert check_pseudotransitivity("A -> B", "B C -> D", "A C -> D")
+        assert not check_pseudotransitivity("A -> B", "C -> D", "A C -> D")
+
+
+class TestDeriveFd:
+    def test_derivation_for_paper_fds(self):
+        derivation = derive_fd(["E# -> SL D#", "D# -> CT"], "E# -> CT")
+        assert derivation is not None
+        assert derivation.verify()
+
+    def test_none_for_non_consequence(self):
+        assert derive_fd(["A -> B"], "B -> A") is None
+
+
+# ---------------------------------------------------------------------------
+# Axiom soundness over relations WITH NULLS (strong satisfiability)
+# ---------------------------------------------------------------------------
+
+ALL = [TRUE, FALSE, UNKNOWN]
+
+
+def _strong_in_all_two_tuple_worlds(premise_fds, conclusion_fd, attrs):
+    """Check premises-strong => conclusion-strong over every two-tuple
+    relation with nulls on `attrs` (via the assignment enumeration)."""
+    for values in itertools.product(ALL, repeat=len(attrs)):
+        assignment = dict(zip(attrs, values))
+        for placement in (True, False):
+            relation = assignment_to_relation(assignment, null_in_second=placement)
+            if all(strongly_holds(fd, relation) for fd in premise_fds):
+                if not strongly_holds(conclusion_fd, relation):
+                    return False
+    return True
+
+
+class TestAxiomSoundnessWithNulls:
+    """Armstrong's axioms remain sound on two-tuple relations with nulls
+    under strong satisfiability (one half of Theorem 1), checked by brute
+    force over every null pattern."""
+
+    def test_reflexivity_sound(self):
+        assert _strong_in_all_two_tuple_worlds([], FD("A B", "A"), ("A", "B"))
+
+    def test_transitivity_sound(self):
+        assert _strong_in_all_two_tuple_worlds(
+            [FD("A", "B"), FD("B", "C")], FD("A", "C"), ("A", "B", "C")
+        )
+
+    def test_augmentation_sound(self):
+        assert _strong_in_all_two_tuple_worlds(
+            [FD("A", "B")], FD("A C", "B C"), ("A", "B", "C")
+        )
+
+    def test_union_sound(self):
+        assert _strong_in_all_two_tuple_worlds(
+            [FD("A", "B"), FD("A", "C")], FD("A", "B C"), ("A", "B", "C")
+        )
+
+    def test_pseudotransitivity_sound(self):
+        assert _strong_in_all_two_tuple_worlds(
+            [FD("A", "B"), FD("B C", "D")], FD("A C", "D"), ("A", "B", "C", "D")
+        )
+
+    def test_transitivity_not_weakly_sound(self):
+        """The contrast: under WEAK satisfiability transitivity fails (the
+        same phenomenon as section 6's example)."""
+        from repro.core.satisfaction import weakly_holds
+
+        found_gap = False
+        for values in itertools.product(ALL, repeat=3):
+            assignment = dict(zip(("A", "B", "C"), values))
+            relation = assignment_to_relation(assignment)
+            if weakly_holds(FD("A", "B"), relation) and weakly_holds(
+                FD("B", "C"), relation
+            ):
+                if not weakly_holds(FD("A", "C"), relation):
+                    found_gap = True
+                    break
+        assert found_gap

@@ -1,0 +1,79 @@
+"""Tests for the union-find substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind(3)
+        assert not uf.same(0, 1)
+        assert uf.find(2) == 2
+
+    def test_union_merges(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert not uf.same(0, 2)
+
+    def test_union_returns_surviving_root(self):
+        uf = UnionFind(2)
+        root = uf.union(0, 1)
+        assert uf.find(0) == uf.find(1) == root
+
+    def test_union_by_size(self):
+        uf = UnionFind(4)
+        big = uf.union(0, 1)
+        survivor = uf.union(big, 2)
+        assert survivor == big  # the larger class keeps its root
+        assert uf.union(survivor, 3) == big
+
+    def test_merge_count(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(0, 1)  # no-op
+        uf.union(1, 2)
+        assert uf.merges == 2
+
+    def test_add_grows(self):
+        uf = UnionFind(1)
+        node = uf.add()
+        assert node == 1
+        assert len(uf) == 2
+        uf.union(0, node)
+        assert uf.same(0, 1)
+
+    def test_classes(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        classes = uf.classes()
+        sizes = sorted(len(members) for members in classes.values())
+        assert sizes == [1, 1, 2]
+
+
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_matches_naive_partition(pairs):
+    """Union-find agrees with a naive partition refinement."""
+    uf = UnionFind(20)
+    naive = {i: {i} for i in range(20)}
+    for a, b in pairs:
+        uf.union(a, b)
+        if naive[a] is not naive[b]:
+            merged = naive[a] | naive[b]
+            for member in merged:
+                naive[member] = merged
+    for i in range(20):
+        for j in range(20):
+            assert uf.same(i, j) == (naive[i] is naive[j])
+
+
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_class_count_decreases_by_real_merges(pairs):
+    uf = UnionFind(10)
+    for a, b in pairs:
+        uf.union(a, b)
+    assert len(uf.classes()) == 10 - uf.merges

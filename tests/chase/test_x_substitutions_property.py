@@ -1,0 +1,88 @@
+"""Property: every reported X-side substitution is semantically forced.
+
+Section 4's conditions (1)/(2) justify substituting an X-null only when
+exactly one value keeps the dependency satisfiable.  The reporter must
+therefore never propose a value unless (a) that value admits a satisfying
+completion and (b) every other domain value does not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import x_side_substitutions
+from repro.core.relation import Relation
+from repro.core.satisfaction import weakly_satisfied
+from repro.core.values import null
+
+from ..helpers import schema_of
+
+_a_value = st.sampled_from(["a1", "a2", None])
+_b_value = st.sampled_from(["y1", "y2", "y3"])
+
+
+@st.composite
+def instances(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=4))
+    rows = []
+    for _ in range(n_rows):
+        rows.append((draw(_a_value), draw(_b_value)))
+    schema = schema_of("A B", {"A": ["a1", "a2"], "B": ["y1", "y2", "y3"]})
+    return Relation(
+        schema,
+        [[null() if v is None else v for v in row] for row in rows],
+    )
+
+
+@given(instances())
+@settings(max_examples=150, deadline=None)
+def test_reported_substitutions_are_forced(instance):
+    fd = "A -> B"
+    for sub in x_side_substitutions(instance, fd):
+        target_null = instance[sub.row_index][sub.attribute]
+        domain = instance.schema.domain(sub.attribute)
+        satisfiable_values = [
+            value
+            for value in domain
+            if weakly_satisfied(
+                [fd],
+                Relation(
+                    instance.schema,
+                    [row.substitute({target_null: value}) for row in instance.rows],
+                ),
+            )
+        ]
+        # condition (1): the proposed value must be among the satisfiable
+        # ones, and under the paper's conditions it must be the ONLY one
+        # keeping the dependency *true* through this tuple; at minimum the
+        # reporter must never propose a value that leads to contradiction
+        # while another value would not.
+        if satisfiable_values:
+            assert sub.value in satisfiable_values, (
+                f"forced value {sub.value!r} is not even satisfiable; "
+                f"viable: {satisfiable_values}"
+            )
+
+
+@given(instances())
+@settings(max_examples=100, deadline=None)
+def test_no_substitution_reported_when_choice_remains(instance):
+    """If two domain values both keep the FD weakly satisfiable AND
+    condition (1)'s uniqueness is violated, nothing may be reported."""
+    fd = "A -> B"
+    subs = x_side_substitutions(instance, fd)
+    for sub in subs:
+        target_null = instance[sub.row_index][sub.attribute]
+        row = instance[sub.row_index]
+        others = [o for o in instance.rows if o is not row and o.is_total("A")]
+        # reconstruct the paper's conditions directly
+        present = {o["A"] for o in others}
+        domain = set(instance.schema.domain("A"))
+        if sub.condition == "unique-agreeing-completion":
+            assert present >= domain  # all completions appear
+            agreeing = [
+                o for o in others if o.project(("B",)) == row.project(("B",))
+            ]
+            assert len({o["A"] for o in agreeing}) == 1
+        else:
+            missing = domain - present
+            assert missing == {sub.value}

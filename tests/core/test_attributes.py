@@ -1,0 +1,60 @@
+"""Tests for attribute parsing and set utilities."""
+
+import pytest
+
+from repro.core.attributes import (
+    attrs_difference,
+    attrs_intersection,
+    attrs_union,
+    format_attrs,
+    is_subset,
+    parse_attrs,
+)
+from repro.errors import SchemaError
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "spec",
+        ["A B", "A,B", "A, B", " A  ,  B ", ["A", "B"], ("A", "B")],
+    )
+    def test_equivalent_forms(self, spec):
+        assert parse_attrs(spec) == ("A", "B")
+
+    def test_multichar_names(self):
+        # the paper's E#, SL, D#, CT
+        assert parse_attrs("E# SL, D#") == ("E#", "SL", "D#")
+
+    def test_duplicates_removed_keeping_first(self):
+        assert parse_attrs("A B A C B") == ("A", "B", "C")
+
+    def test_empty_string(self):
+        assert parse_attrs("") == ()
+        assert parse_attrs("   ") == ()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_attrs([""])
+        with pytest.raises(SchemaError):
+            parse_attrs([3])  # type: ignore[list-item]
+
+
+class TestSetAlgebra:
+    def test_union_keeps_first_occurrence_order(self):
+        assert attrs_union("B A", "A C") == ("B", "A", "C")
+
+    def test_difference(self):
+        assert attrs_difference("A B C", "B") == ("A", "C")
+        assert attrs_difference("A", "A") == ()
+
+    def test_intersection(self):
+        assert attrs_intersection("A B C", "C A") == ("A", "C")
+
+    def test_is_subset(self):
+        assert is_subset("A", "A B")
+        assert is_subset("", "A")
+        assert not is_subset("A C", "A B")
+
+    def test_format(self):
+        assert format_attrs(("A", "B")) == "A B"
+        assert format_attrs(()) == "∅"

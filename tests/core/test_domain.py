@@ -1,0 +1,88 @@
+"""Tests for finite / unbounded domains and the effective-domain surrogate."""
+
+import pytest
+
+from repro.core.domain import UNBOUNDED, Domain, effective_domain
+from repro.core.values import null
+from repro.errors import DomainError
+
+
+class TestFiniteDomain:
+    def test_membership_and_order(self):
+        d = Domain(["a", "b", "c"])
+        assert "a" in d and "z" not in d
+        assert list(d) == ["a", "b", "c"]
+        assert len(d) == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            Domain(["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_rejects_null_values(self):
+        with pytest.raises(DomainError):
+            Domain(["a", null()])
+
+    def test_equality_is_by_values(self):
+        assert Domain(["a", "b"]) == Domain(["a", "b"])
+        assert Domain(["a", "b"]) != Domain(["b", "a"])  # order is identity
+
+    def test_missing_from(self):
+        d = Domain(["a", "b", "c"])
+        assert d.missing_from(["a", "c"]) == ["b"]
+        assert d.missing_from(["a", "b", "c"]) == []
+
+    def test_is_finite(self):
+        assert Domain(["x"]).is_finite
+
+
+class TestUnboundedDomain:
+    def test_membership_accepts_constants_only(self):
+        assert "anything" in UNBOUNDED
+        assert 42 in UNBOUNDED
+        assert null() not in UNBOUNDED
+
+    def test_not_finite(self):
+        assert not UNBOUNDED.is_finite
+
+    def test_enumeration_raises(self):
+        with pytest.raises(DomainError):
+            list(UNBOUNDED)
+        with pytest.raises(DomainError):
+            len(UNBOUNDED)
+        with pytest.raises(DomainError):
+            UNBOUNDED.missing_from(["a"])
+
+
+class TestEffectiveDomain:
+    def test_finite_domain_passes_through(self):
+        d = Domain(["a"])
+        assert effective_domain(["a", null()], d, "A") is d
+
+    def test_contains_column_constants_plus_fresh(self):
+        column = ["x", null(), "y", null()]
+        d = effective_domain(column, None, "A")
+        assert "x" in d and "y" in d
+        # 2 nulls -> 3 fresh symbols, plus the 2 constants
+        assert len(d) == 5
+
+    def test_no_nulls_still_one_fresh(self):
+        d = effective_domain(["x"], None, "A")
+        assert len(d) == 2  # 'x' + one fresh (enables "pick a different value")
+
+    def test_fresh_symbols_avoid_collisions(self):
+        first = effective_domain([null()], None, "A")
+        fresh_value = [v for v in first if str(v).startswith("†fresh")][0]
+        # Feed a fresh symbol back in as a constant: no duplicate explosion.
+        second = effective_domain([fresh_value, null()], None, "A")
+        assert len(set(second)) == len(second)
+        assert fresh_value in second
+
+    def test_deterministic(self):
+        column = ["x", null(), "y"]
+        assert list(effective_domain(column, None, "A")) == list(
+            effective_domain(column, None, "A")
+        )

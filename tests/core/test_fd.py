@@ -1,0 +1,158 @@
+"""Tests for FD syntax, parsing, and the classical interpretation."""
+
+import pytest
+
+from repro.core.fd import (
+    FD,
+    FDSet,
+    all_hold_classical,
+    as_fd,
+    classical_fd_value,
+    holds_classical,
+    violations_classical,
+)
+from repro.core.truth import FALSE, TRUE
+from repro.errors import NullsNotAllowedError, SchemaError
+
+from ..helpers import rel
+
+
+class TestFDSyntax:
+    def test_parse_arrow(self):
+        fd = FD.parse("A B -> C")
+        assert fd.lhs == ("A", "B") and fd.rhs == ("C",)
+
+    def test_parse_paper_notation(self):
+        fd = FD.parse("E# -> SL, D#")
+        assert fd.lhs == ("E#",) and fd.rhs == ("SL", "D#")
+
+    def test_parse_unicode_arrow(self):
+        assert FD.parse("A → B") == FD("A", "B")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            FD.parse("A B C")
+        with pytest.raises(SchemaError):
+            FD.parse("A -> B -> C")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(SchemaError):
+            FD("", "B")
+        with pytest.raises(SchemaError):
+            FD("A", "")
+
+    def test_equality_is_set_based(self):
+        assert FD("A B", "C") == FD("B A", "C")
+        assert hash(FD("A B", "C")) == hash(FD("B A", "C"))
+
+    def test_trivial(self):
+        assert FD("A B", "A").is_trivial()
+        assert not FD("A", "B").is_trivial()
+
+    def test_normalized_removes_lhs_from_rhs(self):
+        assert FD("A", "A B").normalized() == FD("A", "B")
+
+    def test_normalized_trivial_stays_nonempty(self):
+        normalized = FD("A B", "A").normalized()
+        assert normalized.rhs  # type invariant preserved
+        assert normalized.is_trivial()
+
+    def test_decompose(self):
+        assert FD("A", "B C").decompose() == [FD("A", "B"), FD("A", "C")]
+
+    def test_attributes(self):
+        assert FD("A B", "C A").attributes == ("A", "B", "C")
+
+    def test_repr_round_trips(self):
+        fd = FD("E#", "SL D#")
+        assert FD.parse(repr(fd)) == fd
+
+
+class TestFDSet:
+    def test_parse_semicolons(self):
+        fds = FDSet.parse("A -> B; B -> C")
+        assert len(fds) == 2
+        assert FD("A", "B") in fds
+
+    def test_duplicates_collapsed(self):
+        fds = FDSet(["A -> B", "A->B", FD("A", "B")])
+        assert len(fds) == 1
+
+    def test_union_and_without(self):
+        fds = FDSet(["A -> B"])
+        more = fds.union(["B -> C"])
+        assert len(more) == 2
+        assert len(more.without("A -> B")) == 1
+
+    def test_attributes(self):
+        assert FDSet.parse("A -> B; C -> A").attributes == ("A", "B", "C")
+
+    def test_decomposed(self):
+        assert FDSet(["A -> B C"]).decomposed() == FDSet(["A -> B", "A -> C"])
+
+    def test_set_equality(self):
+        assert FDSet.parse("A->B; B->C") == FDSet.parse("B -> C; A -> B")
+
+    def test_as_fd_coercion(self):
+        assert as_fd("A -> B") == FD("A", "B")
+        fd = FD("A", "B")
+        assert as_fd(fd) is fd
+
+
+class TestClassicalInterpretation:
+    """Section 3: f(t, r) on null-free instances."""
+
+    def test_figure_1_2_dependencies_hold(self):
+        # E# -> SL,D# and D# -> CT hold in the reconstructed Figure 1.2
+        r = rel(
+            "E# SL D# CT",
+            [
+                (101, 50, "d1", "permanent"),
+                (102, 60, "d1", "permanent"),
+                (103, 50, "d2", "temporary"),
+            ],
+        )
+        assert holds_classical("E# -> SL D#", r)
+        assert holds_classical("D# -> CT", r)
+        assert all_hold_classical(["E# -> SL D#", "D# -> CT"], r)
+
+    def test_violation_detected(self):
+        r = rel("A B", [("a", 1), ("a", 2)])
+        assert not holds_classical("A -> B", r)
+
+    def test_per_tuple_values(self):
+        r = rel("A B", [("a", 1), ("a", 2), ("b", 3)])
+        assert classical_fd_value("A -> B", r[0], r) is FALSE
+        assert classical_fd_value("A -> B", r[2], r) is TRUE
+
+    def test_group_vs_pairwise_equivalence(self):
+        # holds_classical (grouping) agrees with the quadratic definition
+        r = rel("A B C", [(1, 2, 3), (1, 2, 4), (2, 2, 4), (2, 2, 4)])
+        for fd in ["A -> B", "A -> C", "B -> A", "A B -> C"]:
+            quadratic = all(
+                classical_fd_value(fd, t, r) is TRUE for t in r
+            )
+            assert holds_classical(fd, r) == quadratic
+
+    def test_trivial_fd_always_holds(self):
+        r = rel("A B", [(1, 2), (1, 3)])
+        assert holds_classical("A B -> A", r)
+
+    def test_nulls_rejected(self):
+        r = rel("A B", [("a", "-")])
+        with pytest.raises(NullsNotAllowedError):
+            holds_classical("A -> B", r)
+        with pytest.raises(NullsNotAllowedError):
+            classical_fd_value("A -> B", r[0], r)
+
+    def test_violations_reported(self):
+        r = rel("A B", [("a", 1), ("a", 2), ("b", 1)])
+        pairs = violations_classical("A -> B", r)
+        assert len(pairs) == 1
+        first, second = pairs[0]
+        assert first["A"] == second["A"] == "a"
+
+    def test_multi_attribute_lhs(self):
+        r = rel("A B C", [(1, 1, "x"), (1, 2, "y"), (2, 1, "y")])
+        assert holds_classical("A B -> C", r)
+        assert not holds_classical("A -> C", r)

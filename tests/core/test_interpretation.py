@@ -1,0 +1,289 @@
+"""Tests for the extended FD interpretation (section 4, Proposition 1).
+
+Includes the Figure 2 reproduction, agreement of all three evaluators, the
+documented corner where the literal Proposition 1 is incomplete, and
+hypothesis property tests comparing the polynomial case analysis against
+the brute-force least-extension definition.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.core.interpretation import (
+    evaluate_fd,
+    evaluate_fd_brute,
+    proposition1_case,
+)
+from repro.core.relation import Relation
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.core.values import null
+from repro.errors import ReproError
+
+from ..helpers import rel, schema_of
+
+
+class TestFigure2:
+    """The four worked instances of Figure 2: R(A, B, C), f: AB -> C."""
+
+    FD_ = "A B -> C"
+
+    def test_r1_true_by_T2(self):
+        r1 = rel("A B C", [("a1", "b1", "-"), ("a2", "b2", "c2")])
+        result = proposition1_case(self.FD_, r1[0], r1)
+        assert result.value is TRUE and result.condition == "T2"
+        assert evaluate_fd(self.FD_, r1[0], r1) is TRUE
+        assert evaluate_fd_brute(self.FD_, r1[0], r1) is TRUE
+
+    def test_r2_true_by_T3(self):
+        r2 = rel("A B C", [("-", "b1", "c1"), ("a2", "b2", "c2")])
+        result = proposition1_case(self.FD_, r2[0], r2)
+        assert result.value is TRUE and result.condition == "T3"
+        assert evaluate_fd(self.FD_, r2[0], r2) is TRUE
+        assert evaluate_fd_brute(self.FD_, r2[0], r2) is TRUE
+
+    def test_r3_true_by_T3(self):
+        r3 = rel("A B C", [("-", "b1", "c1"), ("a2", "b1", "c1")])
+        result = proposition1_case(self.FD_, r3[0], r3)
+        assert result.value is TRUE and result.condition == "T3"
+        assert evaluate_fd(self.FD_, r3[0], r3) is TRUE
+        assert evaluate_fd_brute(self.FD_, r3[0], r3) is TRUE
+
+    def test_r4_false_by_F2(self):
+        # "Assume that for the instance r4 the domain of A has only two
+        #  values: a1, a2" -> f(t1, r4) = false because of [F2].
+        r4 = rel(
+            "A B C",
+            [("-", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b1", "c3")],
+            domains={"A": ["a1", "a2"]},
+        )
+        result = proposition1_case(self.FD_, r4[0], r4)
+        assert result.value is FALSE and result.condition == "F2"
+        assert evaluate_fd(self.FD_, r4[0], r4) is FALSE
+        assert evaluate_fd_brute(self.FD_, r4[0], r4) is FALSE
+
+    def test_r4_with_unbounded_domain_is_not_false(self):
+        # F2 needs to "run out of domain values"; without the domain-size
+        # restriction the same instance evaluates to unknown.
+        r4 = rel(
+            "A B C",
+            [("-", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b1", "c3")],
+        )
+        assert evaluate_fd(self.FD_, r4[0], r4) is UNKNOWN
+        assert evaluate_fd_brute(self.FD_, r4[0], r4) is UNKNOWN
+
+    def test_total_tuples_of_r4_are_unknown(self):
+        r4 = rel(
+            "A B C",
+            [("-", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b1", "c3")],
+            domains={"A": ["a1", "a2"]},
+        )
+        for index in (1, 2):
+            # Proposition 1's setting (r - {t} null-free) does not apply to
+            # the total tuples here: the null lives in another row.
+            with pytest.raises(ReproError):
+                proposition1_case(self.FD_, r4[index], r4)
+            # Semantically they are unknown: the null tuple's completion may
+            # or may not collide with them.
+            assert evaluate_fd(self.FD_, r4[index], r4) is UNKNOWN
+            assert evaluate_fd_brute(self.FD_, r4[index], r4) is UNKNOWN
+
+
+class TestPropositionOneCases:
+    def test_T1_and_F1_classical_rows(self):
+        r = rel("A B", [("a", 1), ("a", 2), ("b", 3)])
+        assert proposition1_case("A -> B", r[0], r) == (FALSE, "F1")
+        assert proposition1_case("A -> B", r[2], r) == (TRUE, "T1")
+
+    def test_T2_requires_unique_lhs(self):
+        r = rel("A B", [("a", "-"), ("b", 1)])
+        assert proposition1_case("A -> B", r[0], r) == (TRUE, "T2")
+
+    def test_y_null_with_match_is_unknown(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        result = proposition1_case("A -> B", r[0], r)
+        assert result.value is UNKNOWN and result.condition is None
+        assert evaluate_fd("A -> B", r[0], r) is UNKNOWN
+
+    def test_F2_single_attribute_lhs(self):
+        # "the number of actual determining objects is smaller than the
+        #  number of determined objects" - both domain values present, the
+        #  null tuple disagrees with all of them.
+        r = rel(
+            "A B",
+            [("-", 99), ("a1", 1), ("a2", 2)],
+            domains={"A": ["a1", "a2"]},
+        )
+        assert proposition1_case("A -> B", r[0], r) == (FALSE, "F2")
+        assert evaluate_fd_brute("A -> B", r[0], r) is FALSE
+
+    def test_F2_blocked_by_missing_completion(self):
+        r = rel(
+            "A B",
+            [("-", 99), ("a1", 1)],
+            domains={"A": ["a1", "a2"]},
+        )
+        result = proposition1_case("A -> B", r[0], r)
+        assert result.value is UNKNOWN
+        assert evaluate_fd_brute("A -> B", r[0], r) is UNKNOWN
+
+    def test_trivial_fd_reports_T1(self):
+        r = rel("A B", [("a", "-")])
+        assert proposition1_case("A B -> A", r[0], r).value is TRUE
+
+    def test_rest_with_nulls_rejected(self):
+        r = rel("A B", [("a", "-"), ("a", "-")])
+        with pytest.raises(ReproError):
+            proposition1_case("A -> B", r[0], r)
+
+    def test_literal_gap_two_disagreeing_matches(self):
+        """The documented erratum: t[Y] null, two matches that disagree.
+
+        Every substitution of the null violates against one of the matching
+        tuples, so the least-extension value is FALSE; the literal
+        Proposition 1 has no applicable F case and answers UNKNOWN.  (The
+        instance is already strongly violated at the two total tuples, which
+        is why the paper's case analysis never meets it in practice.)
+        """
+        r = rel("A B", [("a", "-"), ("a", 1), ("a", 2)])
+        assert evaluate_fd_brute("A -> B", r[0], r) is FALSE
+        assert evaluate_fd("A -> B", r[0], r) is FALSE
+        literal = proposition1_case("A -> B", r[0], r)
+        assert literal.value is UNKNOWN  # the paper's five cases miss this
+
+
+class TestSharedNulls:
+    def test_shared_null_within_tuple_links_substitutions(self):
+        # t = (n, n) with FD A -> B: every completion sets A = B, and the
+        # other row (x, x) agrees, so no completion can violate through it
+        # unless values differ; with domain {x, y} both substitutions keep
+        # the FD true (y is unique on the left).
+        n = null()
+        schema = schema_of("A B", domains={"A": ["x", "y"], "B": ["x", "y"]})
+        r = Relation(schema, [(n, n), ("x", "x")])
+        assert evaluate_fd("A -> B", r[0], r) is TRUE
+        assert evaluate_fd_brute("A -> B", r[0], r) is TRUE
+
+    def test_shared_null_within_tuple_can_force_false(self):
+        # (n, n) against (x, y) and (y, x) with dom {x, y}: both
+        # completions (x,x) and (y,y) violate.
+        n = null()
+        schema = schema_of("A B", domains={"A": ["x", "y"], "B": ["x", "y"]})
+        r = Relation(schema, [(n, n), ("x", "y"), ("y", "x")])
+        assert evaluate_fd("A -> B", r[0], r) is FALSE
+        assert evaluate_fd_brute("A -> B", r[0], r) is FALSE
+
+    def test_null_shared_across_rows_goes_brute(self):
+        n = null()
+        schema = schema_of("A B", domains={"A": ["x", "y"], "B": ["x", "y"]})
+        r = Relation(schema, [("x", n), ("x", n)])
+        # same unknown on both sides: every completion gives equal B values
+        assert evaluate_fd("A -> B", r[0], r) is TRUE
+
+    def test_distinct_nulls_across_rows_stay_unknown(self):
+        schema = schema_of("A B", domains={"A": ["x", "y"], "B": ["x", "y"]})
+        r = Relation(schema, [("x", null()), ("x", null())])
+        assert evaluate_fd("A -> B", r[0], r) is UNKNOWN
+
+
+class TestMethodsAgree:
+    def test_rest_with_nulls_auto_matches_brute(self):
+        r = rel(
+            "A B",
+            [("a", "-"), ("-", 1), ("a", 2)],
+            domains={"A": ["a", "b"], "B": [1, 2, 99]},
+        )
+        for row in r:
+            assert evaluate_fd("A -> B", row, r) is evaluate_fd_brute(
+                "A -> B", row, r
+            )
+
+    def test_explicit_methods_validate_preconditions(self):
+        r = rel("A B", [("a", "-"), ("-", 1)])
+        with pytest.raises(ReproError):
+            evaluate_fd("A -> B", r[0], r, method="cases")
+        with pytest.raises(ReproError):
+            evaluate_fd("A -> B", r[0], r, method="enumerate")
+        with pytest.raises(ValueError):
+            evaluate_fd("A -> B", r[0], r, method="nope")
+
+    def test_external_row_evaluation(self):
+        # evaluating a tuple not in r: quantification runs over all of r
+        r = rel("A B", [("a", 1)])
+        from repro.core.tuples import Row
+
+        external = Row(r.schema, ("a", 2))
+        assert evaluate_fd("A -> B", external, r) is FALSE
+
+
+# ---------------------------------------------------------------------------
+# property-based cross-checks
+# ---------------------------------------------------------------------------
+
+_value_or_null = st.one_of(st.none(), st.sampled_from(["v0", "v1", "v2"]))
+
+
+@st.composite
+def small_instances(draw, columns=3, max_rows=3):
+    """Random small instances over finite domains with scattered nulls."""
+    attrs = "A B C"[: 2 * columns - 1]
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = []
+    for _ in range(n_rows):
+        rows.append([draw(_value_or_null) for _ in range(columns)])
+    domains = {name: ["v0", "v1", "v2"] for name in attrs.split()}
+    materialized = [
+        [null() if v is None else v for v in row] for row in rows
+    ]
+    schema = schema_of(attrs, domains)
+    return Relation(schema, materialized)
+
+
+@given(small_instances(), st.sampled_from(["A -> B", "B -> C", "A B -> C", "C -> A B"]))
+@settings(max_examples=60, deadline=None)
+def test_auto_agrees_with_brute_force(instance, fd_text):
+    for row in instance:
+        fast = evaluate_fd(fd_text, row, instance)
+        slow = evaluate_fd_brute(fd_text, row, instance)
+        assert fast is slow, (
+            f"disagreement on {fd_text} at {row!r} in\n{instance.to_text()}"
+        )
+
+
+@given(small_instances(columns=2, max_rows=3))
+@settings(max_examples=80, deadline=None)
+def test_cases_and_enumerate_agree_when_rest_total(instance):
+    fd = FD("A", "B")
+    for row in instance:
+        others_total = all(
+            other.is_total("A B") for other in instance if other is not row
+        )
+        if not others_total:
+            continue
+        assert evaluate_fd(fd, row, instance, method="cases") is evaluate_fd(
+            fd, row, instance, method="enumerate"
+        )
+
+
+@given(small_instances(columns=2, max_rows=3))
+@settings(max_examples=60, deadline=None)
+def test_literal_proposition_never_contradicts_semantics(instance):
+    """Where the literal Proposition 1 answers definitely, it is right.
+
+    (Its only failure mode is answering UNKNOWN too often — the erratum
+    corner — never answering TRUE/FALSE wrongly.)
+    """
+    fd = FD("A", "B")
+    for row in instance:
+        others_total = all(
+            other.is_total("A B") for other in instance if other is not row
+        )
+        if not others_total or row.has_null("A"):
+            # literal Prop 1 also assumes distinct nulls per position; the
+            # generator never shares nulls so only rest-totality matters
+            continue
+        literal = proposition1_case(fd, row, instance)
+        semantic = evaluate_fd_brute(fd, row, instance)
+        if literal.value is not UNKNOWN:
+            assert literal.value is semantic

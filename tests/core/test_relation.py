@@ -1,0 +1,170 @@
+"""Tests for relation instances: columns, projection, completions AP(r, X)."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.values import NOTHING, null
+from repro.errors import DomainError, NullsNotAllowedError, SchemaError
+
+from ..helpers import rel, schema_of
+
+
+class TestConstruction:
+    def test_rows_from_sequences(self):
+        r = rel("A B", [("a", "b"), ("a2", "b2")])
+        assert len(r) == 2
+        assert r[0]["A"] == "a"
+
+    def test_row_schema_mismatch_rejected(self):
+        r1 = rel("A B", [("a", "b")])
+        other_schema = schema_of("X Y")
+        with pytest.raises(SchemaError):
+            Relation(other_schema, [r1[0]])
+
+    def test_from_dicts(self):
+        schema = schema_of("A B")
+        r = Relation.from_dicts(schema, [{"A": 1, "B": 2}])
+        assert r[0].values == (1, 2)
+
+    def test_with_rows_appends(self):
+        r = rel("A B", [("a", "b")])
+        extended = r.with_rows([("c", "d")])
+        assert len(extended) == 2 and len(r) == 1
+
+
+class TestNullStructure:
+    def test_has_nulls_scoped(self):
+        r = rel("A B", [("a", "-")])
+        assert r.has_nulls()
+        assert r.has_nulls("B")
+        assert not r.has_nulls("A")
+
+    def test_null_count_counts_cells(self):
+        n = null()
+        schema = schema_of("A B")
+        r = Relation(schema, [(n, n), ("a", null())])
+        assert r.null_count() == 3
+        assert len(r.nulls()) == 2  # distinct null objects
+
+    def test_is_total_rejects_nothing_too(self):
+        schema = schema_of("A")
+        assert not Relation(schema, [(NOTHING,)]).is_total()
+        assert Relation(schema, [("a",)]).is_total()
+
+    def test_require_total(self):
+        r = rel("A", [("-",)])
+        with pytest.raises(NullsNotAllowedError):
+            r.require_total("testing")
+
+
+class TestColumnsAndDomains:
+    def test_column(self):
+        r = rel("A B", [("a", 1), ("b", 2)])
+        assert r.column("B") == (1, 2)
+
+    def test_column_constants_skips_nulls(self):
+        r = rel("A", [("x",), ("-",), ("x",), ("y",)])
+        assert r.column_constants("A") == ("x", "y")
+
+    def test_enumeration_domain_prefers_declared(self):
+        r = rel("A", [("a1",), ("-",)], domains={"A": ["a1", "a2", "a3"]})
+        assert list(r.enumeration_domain("A")) == ["a1", "a2", "a3"]
+
+    def test_enumeration_domain_effective_for_unbounded(self):
+        r = rel("A", [("x",), ("-",)])
+        dom = r.enumeration_domain("A")
+        assert "x" in dom
+        assert len(dom) == 3  # 'x' + (1 null + 1) fresh
+
+
+class TestProjection:
+    def test_project_distinct_collapses(self):
+        r = rel("A B", [("a", "b"), ("a", "b"), ("a", "c")])
+        assert len(r.project("A B")) == 2
+        assert len(r.project("A")) == 1
+
+    def test_project_keeps_duplicates_when_asked(self):
+        r = rel("A B", [("a", "b"), ("a", "c")])
+        assert len(r.project("A", distinct=False)) == 2
+
+    def test_projected_nulls_stay_distinct(self):
+        r = rel("A B", [("-", "b"), ("-", "b")])
+        assert len(r.project("A")) == 2  # two different unknowns
+
+    def test_distinct_dedupes_whole_rows(self):
+        schema = schema_of("A")
+        row = ("a",)
+        r = Relation(schema, [row, row, ("b",)])
+        assert len(r.distinct()) == 2
+
+
+class TestCompletions:
+    def test_total_instance_single_completion(self):
+        r = rel("A B", [("a", "b")])
+        assert len(list(r.completions())) == 1
+
+    def test_ap_r_counts(self):
+        r = rel(
+            "A B",
+            [("-", "b1"), ("a1", "-")],
+            domains={"A": ["a1", "a2"], "B": ["b1", "b2", "b3"]},
+        )
+        completions = list(r.completions())
+        assert len(completions) == 2 * 3
+        assert r.completion_count() == 6
+
+    def test_completion_substitutes_consistently_across_rows(self):
+        n = null()
+        schema = schema_of("A B", domains={"A": ["a1", "a2"]})
+        r = Relation(schema, [(n, "b"), (n, "c")])
+        for completed in r.completions():
+            assert completed[0]["A"] == completed[1]["A"]
+        assert r.completion_count() == 2
+
+    def test_null_classes_link_distinct_nulls(self):
+        n, m = null(), null()
+        schema = schema_of("A B", domains={"A": ["a1", "a2"]})
+        r = Relation(schema, [(n, "b"), (m, "c")])
+        linked = list(r.completions(null_classes={n: "cls", m: "cls"}))
+        assert len(linked) == 2
+        for completed in linked:
+            assert completed[0]["A"] == completed[1]["A"]
+        unlinked = list(r.completions())
+        assert len(unlinked) == 4
+
+    def test_scoped_completion_leaves_other_columns(self):
+        r = rel("A B", [("-", "-")], domains={"A": ["a1"], "B": ["b1"]})
+        completed = list(r.completions("A"))
+        assert len(completed) == 1
+        assert completed[0][0].has_null("B")
+
+    def test_limit_guards_blowup(self):
+        rows = [("-", "-") for _ in range(8)]
+        r = rel("A B", rows, domains={"A": list(range(10)), "B": list(range(10))})
+        with pytest.raises(DomainError):
+            list(r.completions(limit=1000))
+
+    def test_cross_column_class_intersects_domains(self):
+        n = null()
+        schema = schema_of("A B", domains={"A": ["x", "y"], "B": ["y", "z"]})
+        r = Relation(schema, [(n, n)])
+        completed = list(r.completions())
+        assert [c[0]["A"] for c in completed] == ["y"]
+
+
+class TestRendering:
+    def test_to_text_plain_nulls(self):
+        r = rel("A B", [("a", "-")])
+        text = r.to_text()
+        assert "A" in text and "a" in text and "-" in text
+
+    def test_to_text_labels_shared_nulls(self):
+        n = null("7")
+        schema = schema_of("A B")
+        r = Relation(schema, [(n, n)])
+        assert "-7" in r.to_text()
+
+    def test_equality_is_set_like(self):
+        r1 = rel("A", [("a",), ("b",)])
+        r2 = rel("A", [("b",), ("a",)])
+        assert r1 == r2

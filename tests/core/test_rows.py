@@ -1,0 +1,148 @@
+"""Tests for rows: projection, null structure, substitution, completions."""
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.schema import RelationSchema
+from repro.core.tuples import Row
+from repro.core.values import NOTHING, null
+from repro.errors import SchemaError
+
+from ..helpers import schema_of
+
+
+@pytest.fixture
+def schema():
+    return schema_of("A B C", domains={"A": ["a1", "a2"], "B": ["b1", "b2", "b3"]})
+
+
+class TestConstruction:
+    def test_arity_checked(self, schema):
+        with pytest.raises(SchemaError):
+            Row(schema, ("x",))
+
+    def test_from_mapping(self, schema):
+        row = Row.from_mapping(schema, {"A": "a1", "B": "b1", "C": "c"})
+        assert row.values == ("a1", "b1", "c")
+
+    def test_from_mapping_missing_attr(self, schema):
+        with pytest.raises(SchemaError):
+            Row.from_mapping(schema, {"A": "a1", "B": "b1"})
+
+    def test_from_mapping_extra_attr(self, schema):
+        with pytest.raises(SchemaError):
+            Row.from_mapping(schema, {"A": "a1", "B": "b1", "C": "c", "D": 1})
+
+
+class TestAccessAndProjection:
+    def test_getitem(self, schema):
+        row = Row(schema, ("a1", "b1", "c"))
+        assert row["B"] == "b1"
+
+    def test_project_follows_requested_order(self, schema):
+        row = Row(schema, ("a1", "b1", "c"))
+        assert row.project("C A") == ("c", "a1")
+
+    def test_as_dict(self, schema):
+        row = Row(schema, ("a1", "b1", "c"))
+        assert row.as_dict() == {"A": "a1", "B": "b1", "C": "c"}
+
+
+class TestNullStructure:
+    def test_null_attributes(self, schema):
+        row = Row(schema, (null(), "b1", null()))
+        assert row.null_attributes() == ("A", "C")
+        assert row.null_attributes("B C") == ("C",)
+
+    def test_has_null_is_the_paper_notation(self, schema):
+        # t[X] = null means SOME attribute of X is null
+        row = Row(schema, (null(), "b1", "c"))
+        assert row.has_null("A B")
+        assert not row.has_null("B C")
+        assert row.is_total("B C")
+
+    def test_nothing_is_not_null(self, schema):
+        row = Row(schema, (NOTHING, "b1", "c"))
+        assert not row.has_null()
+
+    def test_nulls_returns_objects(self, schema):
+        n = null()
+        row = Row(schema, (n, "b1", n))
+        assert row.nulls() == (n, n)
+
+
+class TestSubstitution:
+    def test_substitute_replaces_all_occurrences(self, schema):
+        n = null()
+        row = Row(schema, (n, "b1", n))
+        out = row.substitute({n: "a1"})
+        assert out.values == ("a1", "b1", "a1")
+
+    def test_substitute_leaves_unmentioned_nulls(self, schema):
+        n, m = null(), null()
+        row = Row(schema, (n, m, "c"))
+        out = row.substitute({n: "a1"})
+        assert out.values[0] == "a1"
+        assert out.values[1] is m
+
+    def test_original_row_unchanged(self, schema):
+        n = null()
+        row = Row(schema, (n, "b1", "c"))
+        row.substitute({n: "a1"})
+        assert row.values[0] is n
+
+
+class TestCompletions:
+    def test_total_row_has_one_completion(self, schema):
+        row = Row(schema, ("a1", "b1", "c"))
+        assert list(row.completions()) == [row]
+
+    def test_ap_t_enumerates_domain(self, schema):
+        # AP(t, {A}) for t with null A over dom(A) = {a1, a2}
+        row = Row(schema, (null(), "b1", "c"))
+        completed = list(row.completions("A"))
+        assert [r["A"] for r in completed] == ["a1", "a2"]
+        assert all(r["B"] == "b1" for r in completed)
+
+    def test_completions_scoped_to_attributes(self, schema):
+        # a null outside the requested attribute set is left in place
+        n = null()
+        row = Row(schema, (null(), "b1", n))
+        completed = list(row.completions("A B"))
+        assert all(r.values[2] is n for r in completed)
+
+    def test_shared_null_completed_consistently(self, schema):
+        n = null()
+        row = Row(schema, (n, "b1", n))
+        for completed in row.completions("A C"):
+            assert completed["A"] == completed["C"]
+
+    def test_product_over_several_nulls(self, schema):
+        row = Row(schema, (null(), null(), "c"))
+        assert len(list(row.completions("A B"))) == 2 * 3
+
+
+class TestApproximationOrder:
+    def test_completion_is_above(self, schema):
+        row = Row(schema, (null(), "b1", "c"))
+        for completed in row.completions("A"):
+            assert row.approximates(completed)
+            if completed != row:
+                assert not completed.approximates(row)
+
+    def test_reflexive(self, schema):
+        row = Row(schema, (null(), "b1", "c"))
+        assert row.approximates(row)
+
+
+class TestEqualityAndHash:
+    def test_constant_rows_compare_by_value(self, schema):
+        assert Row(schema, ("a1", "b1", "c")) == Row(schema, ("a1", "b1", "c"))
+
+    def test_distinct_nulls_make_rows_distinct(self, schema):
+        assert Row(schema, (null(), "b1", "c")) != Row(schema, (null(), "b1", "c"))
+
+    def test_same_null_object_rows_equal(self, schema):
+        n = null()
+        assert Row(schema, (n, "b1", "c")) == Row(schema, (n, "b1", "c"))
+        assert hash(Row(schema, (n, "b1", "c"))) == hash(Row(schema, (n, "b1", "c")))

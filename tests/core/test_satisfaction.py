@@ -1,0 +1,180 @@
+"""Tests for strong/weak satisfiability, including the section 6 interaction
+example showing that weak satisfiability of a *set* is not per-FD."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.satisfaction import (
+    fd_value_profile,
+    satisfaction_summary,
+    satisfying_completion,
+    strongly_holds,
+    strongly_satisfied,
+    strongly_satisfied_bruteforce,
+    weakly_holds,
+    weakly_holds_each,
+    weakly_satisfied,
+)
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.core.values import null
+
+from ..helpers import rel, schema_of
+
+
+class TestSingleFD:
+    def test_strong_implies_weak(self):
+        r = rel("A B", [("a", 1), ("b", 2)])
+        assert strongly_holds("A -> B", r)
+        assert weakly_holds("A -> B", r)
+
+    def test_unknown_blocks_strong_not_weak(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        assert not strongly_holds("A -> B", r)
+        assert weakly_holds("A -> B", r)
+
+    def test_false_blocks_both(self):
+        r = rel("A B", [("a", 1), ("a", 2)])
+        assert not strongly_holds("A -> B", r)
+        assert not weakly_holds("A -> B", r)
+
+    def test_profile_matches_paper_notions(self):
+        r = rel("A B", [("a", "-"), ("b", 1), ("b", 2)])
+        profile = fd_value_profile("A -> B", r)
+        assert profile == [TRUE, FALSE, FALSE]
+
+
+class TestSetLevel:
+    def test_figure_1_3_weakly_satisfied(self):
+        # Figure 1.3: the employee instance with nulls; both FDs survive
+        r = rel(
+            "E# SL D# CT",
+            [
+                (101, "-", "d1", "permanent"),
+                (102, 60, "d1", "-"),
+                (103, 50, "d2", "temporary"),
+            ],
+        )
+        fds = ["E# -> SL D#", "D# -> CT"]
+        assert weakly_satisfied(fds, r)
+        assert not strongly_satisfied(fds, r)
+
+    def test_section6_interaction_example(self):
+        """F = {A -> B, B -> C} on r = {(a, ⊥, c1), (a, ⊥, c2)}.
+
+        Each FD, evaluated independently, takes the value unknown (weakly
+        holds); but B -> C forces the two B-nulls to be distinct, which
+        makes A -> B false — no completion satisfies both.
+        """
+        r = rel(
+            "A B C",
+            [("a", "-", "c1"), ("a", "-", "c2")],
+            domains={"B": ["b1", "b2"]},
+        )
+        fds = ["A -> B", "B -> C"]
+        # independently: both weakly hold (all values unknown)
+        assert weakly_holds_each(fds, r)
+        assert all(
+            v is UNKNOWN for v in fd_value_profile("A -> B", r)
+        )
+        assert all(
+            v is UNKNOWN for v in fd_value_profile("B -> C", r)
+        )
+        # jointly: no completion satisfies both
+        assert not weakly_satisfied(fds, r)
+        assert satisfying_completion(fds, r) is None
+
+    def test_satisfying_completion_is_a_witness(self):
+        r = rel(
+            "A B",
+            [("a", "-"), ("a", 1)],
+            domains={"B": [1, 2]},
+        )
+        witness = satisfying_completion(["A -> B"], r)
+        assert witness is not None
+        assert witness.is_total()
+        assert witness[0]["B"] == 1  # the only consistent substitution
+
+    def test_strong_bruteforce_agrees(self):
+        instances = [
+            rel("A B", [("a", 1), ("b", 2)]),
+            rel("A B", [("a", "-"), ("b", 2)], domains={"B": [1, 2]}),
+            rel("A B", [("a", "-"), ("a", 2)], domains={"B": [1, 2]}),
+            rel("A B", [("a", 1), ("a", 2)]),
+        ]
+        for r in instances:
+            assert strongly_satisfied(["A -> B"], r) == (
+                strongly_satisfied_bruteforce(["A -> B"], r)
+            )
+
+    def test_summary_shape(self):
+        r = rel("A B", [("a", "-"), ("a", 1)], domains={"B": [1, 2]})
+        summary = satisfaction_summary(["A -> B"], r)
+        assert summary["weakly_satisfied"] is True
+        assert summary["strongly_satisfied"] is False
+        assert "A -> B" in summary["profiles"]
+
+    def test_irrelevant_null_columns_ignored(self):
+        # a null in a column no FD mentions must not affect satisfiability
+        r = rel("A B C", [("a", 1, "-"), ("b", 2, "-")])
+        assert strongly_satisfied(["A -> B"], r)
+        assert weakly_satisfied(["A -> B"], r)
+
+
+class TestSharedNullsAcrossRows:
+    def test_shared_null_is_one_unknown(self):
+        n = null()
+        schema = schema_of("A B", domains={"B": [1, 2]})
+        r = Relation(schema, [("a", n), ("a", n)])
+        # the same unknown value on both rows: A -> B holds strongly
+        assert strongly_holds("A -> B", r)
+
+    def test_distinct_nulls_are_independent_unknowns(self):
+        schema = schema_of("A B", domains={"B": [1, 2]})
+        r = Relation(schema, [("a", null()), ("a", null())])
+        assert not strongly_holds("A -> B", r)
+        assert weakly_holds("A -> B", r)
+
+
+# ---------------------------------------------------------------------------
+# property-based: set-level notions vs brute force
+# ---------------------------------------------------------------------------
+
+_value_or_null = st.one_of(st.none(), st.sampled_from(["v0", "v1"]))
+
+
+@st.composite
+def tiny_instances(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=3))
+    rows = [
+        [draw(_value_or_null) for _ in range(3)] for _ in range(n_rows)
+    ]
+    schema = schema_of("A B C", {n: ["v0", "v1"] for n in "ABC"})
+    return Relation(
+        schema, [[null() if v is None else v for v in row] for row in rows]
+    )
+
+
+@given(tiny_instances())
+@settings(max_examples=100, deadline=None)
+def test_strong_satisfaction_equals_all_completions(instance):
+    fds = ["A -> B", "B -> C"]
+    assert strongly_satisfied(fds, instance) == strongly_satisfied_bruteforce(
+        fds, instance
+    )
+
+
+@given(tiny_instances())
+@settings(max_examples=100, deadline=None)
+def test_weak_satisfaction_implies_each_weakly_holds(instance):
+    fds = ["A -> B", "B -> C"]
+    if weakly_satisfied(fds, instance):
+        assert weakly_holds_each(fds, instance)
+
+
+@given(tiny_instances())
+@settings(max_examples=100, deadline=None)
+def test_strong_implies_weak_setwise(instance):
+    fds = ["A -> B", "A B -> C"]
+    if strongly_satisfied(fds, instance):
+        assert weakly_satisfied(fds, instance)

@@ -1,0 +1,89 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.core.domain import UNBOUNDED, Domain
+from repro.core.schema import RelationSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def employee_schema():
+    """Figure 1.1's scheme R(E#, SL, D#, CT)."""
+    return RelationSchema(
+        "R",
+        "E# SL D# CT",
+        domains={"CT": Domain(["permanent", "temporary"], name="CT")},
+    )
+
+
+class TestConstruction:
+    def test_attributes_in_order(self, employee_schema):
+        assert employee_schema.attributes == ("E#", "SL", "D#", "CT")
+
+    def test_needs_at_least_one_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", "")
+
+    def test_domain_for_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", "A", domains={"B": Domain(["x"])})
+
+    def test_default_domain_is_unbounded(self, employee_schema):
+        assert employee_schema.domain("E#") is UNBOUNDED
+
+    def test_declared_domain_returned(self, employee_schema):
+        assert "permanent" in employee_schema.domain("CT")
+
+
+class TestAccess:
+    def test_position(self, employee_schema):
+        assert employee_schema.position("E#") == 0
+        assert employee_schema.position("CT") == 3
+
+    def test_position_unknown_attribute(self, employee_schema):
+        with pytest.raises(SchemaError):
+            employee_schema.position("ZZ")
+
+    def test_positions_many(self, employee_schema):
+        assert employee_schema.positions("SL D#") == (1, 2)
+
+    def test_contains_len_iter(self, employee_schema):
+        assert "SL" in employee_schema
+        assert "ZZ" not in employee_schema
+        assert len(employee_schema) == 4
+        assert list(employee_schema) == ["E#", "SL", "D#", "CT"]
+
+    def test_repr(self, employee_schema):
+        assert repr(employee_schema) == "R(E#, SL, D#, CT)"
+
+
+class TestProjection:
+    def test_project_keeps_schema_order(self, employee_schema):
+        sub = employee_schema.project("D# E#")
+        assert sub.attributes == ("E#", "D#")
+
+    def test_project_carries_domains(self, employee_schema):
+        sub = employee_schema.project("CT")
+        assert "temporary" in sub.domain("CT")
+
+    def test_project_unknown_attribute(self, employee_schema):
+        with pytest.raises(SchemaError):
+            employee_schema.project("E# ZZ")
+
+    def test_validate_attrs(self, employee_schema):
+        assert employee_schema.validate_attrs("SL, CT") == ("SL", "CT")
+        with pytest.raises(SchemaError):
+            employee_schema.validate_attrs("Q")
+
+
+class TestEquality:
+    def test_same_schemas_equal(self):
+        a = RelationSchema("R", "A B")
+        b = RelationSchema("R", "A B")
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_domains_unequal(self):
+        a = RelationSchema("R", "A", domains={"A": Domain(["x"])})
+        b = RelationSchema("R", "A")
+        assert a != b

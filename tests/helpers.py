@@ -1,0 +1,53 @@
+"""Shared builders for the test suite.
+
+These keep test bodies close to the paper's notation: ``rel("A B C", rows)``
+builds a schema + instance in one line, with ``"-"`` strings standing for
+fresh nulls (each occurrence a distinct null, as in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro import Domain, Relation, RelationSchema, null
+
+NULL_TOKEN = "-"
+
+
+def schema_of(
+    attributes: str,
+    domains: Optional[Mapping[str, Sequence[Any]]] = None,
+    name: str = "R",
+) -> RelationSchema:
+    """Build a schema; ``domains`` maps attribute -> list of values."""
+    resolved = (
+        {attr: Domain(values, name=attr) for attr, values in domains.items()}
+        if domains
+        else None
+    )
+    return RelationSchema(name, attributes, domains=resolved)
+
+
+def rel(
+    attributes: str | RelationSchema,
+    rows: Iterable[Sequence[Any]],
+    domains: Optional[Mapping[str, Sequence[Any]]] = None,
+) -> Relation:
+    """Build an instance; the string ``"-"`` denotes a fresh null per cell.
+
+    Use explicit ``null()`` objects to share one null across cells.
+    """
+    schema = (
+        attributes
+        if isinstance(attributes, RelationSchema)
+        else schema_of(attributes, domains)
+    )
+    materialized = [
+        [null() if value == NULL_TOKEN else value for value in row] for row in rows
+    ]
+    return Relation(schema, materialized)
+
+
+def truth_names(values) -> list:
+    """Render truth values compactly for assertion messages."""
+    return [str(v) for v in values]

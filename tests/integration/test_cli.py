@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_relation, main, parse_domains
+from repro.core.values import is_null
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def customers_csv(tmp_path):
+    path = tmp_path / "customers.csv"
+    path.write_text(
+        "name,zip,city\n"
+        "Ada,10001,New York\n"
+        "Bob,10001,-\n"
+        "Cid,60601,Chicago\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(
+        "name,zip,city\n"
+        "Ada,10001,New York\n"
+        "Mal,10001,Newark\n"
+    )
+    return str(path)
+
+
+class TestLoader:
+    def test_header_and_rows(self, customers_csv):
+        r = load_relation(customers_csv)
+        assert r.schema.attributes == ("name", "zip", "city")
+        assert len(r) == 3
+
+    def test_null_tokens(self, customers_csv):
+        r = load_relation(customers_csv)
+        assert is_null(r[1]["city"])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("A,B\n\n1,2\n")
+        assert len(load_relation(str(path))) == 1
+
+    def test_arity_error(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("A,B\n1\n")
+        with pytest.raises(ReproError):
+            load_relation(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(ReproError):
+            load_relation(str(path))
+
+    def test_parse_domains(self):
+        domains = parse_domains(["A=a1,a2", "B=x"])
+        assert list(domains["A"]) == ["a1", "a2"]
+        with pytest.raises(ReproError):
+            parse_domains(["A"])
+
+
+class TestCheck:
+    def test_satisfiable(self, customers_csv, capsys):
+        code = main(["check", "--data", customers_csv, "--fds", "zip -> city"])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_violation(self, dirty_csv, capsys):
+        code = main(["check", "--data", dirty_csv, "--fds", "zip -> city"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no" in out and "zip -> city" in out
+
+    def test_strong_convention(self, customers_csv, capsys):
+        code = main(
+            [
+                "check", "--data", customers_csv,
+                "--fds", "zip -> city", "--convention", "strong",
+            ]
+        )
+        assert code == 1  # the null city blocks strong satisfaction
+
+    def test_missing_file(self, capsys):
+        code = main(["check", "--data", "/nonexistent.csv", "--fds", "A -> B"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestChase:
+    def test_grounds_null(self, customers_csv, capsys):
+        code = main(["chase", "--data", customers_csv, "--fds", "zip -> city"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "New York" in out
+        assert "grounded a null" in out
+
+    def test_conflict_exit_code(self, dirty_csv, capsys):
+        code = main(["chase", "--data", dirty_csv, "--fds", "zip -> city"])
+        assert code == 1
+        assert "NOT weakly satisfiable" in capsys.readouterr().out
+
+
+class TestDesignCommands:
+    def test_keys(self, capsys):
+        code = main(
+            ["keys", "--attrs", "A B C", "--fds", "A -> B; B -> C"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "A"
+
+    def test_closure(self, capsys):
+        code = main(
+            [
+                "closure", "--attrs", "A B C",
+                "--fds", "A -> B; B -> C", "--of", "A",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "A B C"
+
+    def test_normalize_bcnf(self, capsys):
+        code = main(
+            ["normalize", "--attrs", "A B C", "--fds", "A -> B; B -> C"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal cover" in out
+        assert "B C" in out
+
+    def test_normalize_3nf(self, capsys):
+        code = main(
+            [
+                "normalize", "--attrs", "A B C",
+                "--fds", "A -> B; B -> C", "--method", "3nf",
+            ]
+        )
+        assert code == 0
+        assert "A B" in capsys.readouterr().out

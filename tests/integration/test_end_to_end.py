@@ -1,0 +1,92 @@
+"""End-to-end scenario: design a schema, store incomplete data, maintain it.
+
+One continuous story exercising every layer together:
+
+1. design: closure/keys/BCNF over the paper's employee scheme;
+2. storage: component instances, re-padded to a universal instance with
+   nulls (section 7's weakened universal relation assumption);
+3. maintenance: chase-based acquisition and guarded modifications;
+4. verification: TEST-FDs verdicts match brute-force semantics throughout.
+"""
+
+from repro.armstrong import candidate_keys
+from repro.chase import minimally_incomplete, weakly_satisfiable
+from repro.core.relation import Relation
+from repro.core.satisfaction import weakly_satisfied
+from repro.core.schema import RelationSchema
+from repro.core.values import is_null, null
+from repro.normalization import (
+    bcnf_decompose,
+    decompose_instance,
+    is_lossless_join,
+    universal_instance,
+)
+from repro.testfd import CONVENTION_WEAK, check_fds
+from repro.updates import GuardedRelation
+from repro.workloads.paper import figure_1_scheme
+
+
+def test_full_employee_lifecycle():
+    schema, fds = figure_1_scheme()
+
+    # -- 1. design ---------------------------------------------------------
+    assert candidate_keys(schema.attributes, fds) == [("E#",)]
+    components = bcnf_decompose(schema.attributes, fds)
+    schemes = [attrs for attrs, _ in components]
+    assert is_lossless_join(schema.attributes, schemes, fds)
+
+    # -- 2. storage: total data, decomposed, then re-padded ------------------
+    total = Relation(
+        schema,
+        [
+            (1, 50, "d1", "permanent"),
+            (2, 60, "d1", "permanent"),
+            (3, 70, "d2", "temporary"),
+        ],
+    )
+    parts = decompose_instance(total, schemes)
+    padded = universal_instance(schema, parts)
+    # the padded instance has gaps but remains weakly consistent
+    assert padded.has_nulls()
+    assert weakly_satisfiable(padded, fds)
+
+    # -- 3. maintenance: chase grounds what the components jointly know ------
+    settled = minimally_incomplete(padded, fds)
+    # each employee's padded row recovered its salary and department
+    by_e = {}
+    for row in settled.relation.rows:
+        key = row["E#"]
+        if not is_null(key):
+            by_e.setdefault(key, []).append(row)
+    assert any(row["CT"] == "permanent" for row in by_e[1])
+
+    # -- 4. guarded modifications on top ---------------------------------------
+    guard = GuardedRelation(
+        schema, fds, rows=[tuple(r.values) for r in total.rows]
+    )
+    assert guard.insert((4, null(), "d1", null())).accepted
+    assert guard.relation[3]["CT"] == "permanent"  # acquired internally
+    assert not guard.insert((1, 99, "d1", "permanent")).accepted
+
+    # -- 5. verification: fast tests match semantics -----------------------------
+    outcome = check_fds(
+        guard.relation, fds, CONVENTION_WEAK, ensure_minimal=True
+    )
+    assert outcome.satisfied
+    assert weakly_satisfied(fds, guard.relation)
+
+
+def test_conflicting_sources_detected_end_to_end():
+    schema, fds = figure_1_scheme()
+    hr_feed = Relation(
+        RelationSchema("hr", "E# SL D#"), [(1, 50, "d1")]
+    )
+    payroll_feed = Relation(
+        RelationSchema("payroll", "E# SL CT"), [(1, 55, "permanent")]
+    )
+    padded = universal_instance(schema, [hr_feed, payroll_feed])
+    # the two sources disagree on employee 1's salary
+    assert not weakly_satisfiable(padded, fds)
+    outcome = check_fds(padded, fds, CONVENTION_WEAK, ensure_minimal=True)
+    assert not outcome.satisfied
+    assert outcome.witness.fd.lhs == ("E#",)

@@ -1,0 +1,64 @@
+"""Tests for the explanation renderer."""
+
+from repro.chase import MODE_EXTENDED, chase
+from repro.explain import explain_chase, explain_fd_value, explain_outcome
+from repro.testfd import CONVENTION_WEAK, check_fds
+from repro.workloads.paper import figure_2_cases, figure_2_fd, section_6_example
+
+from ..helpers import rel
+
+
+class TestExplainFdValue:
+    def test_figure2_conditions_narrated(self):
+        fd = figure_2_fd()
+        for case in figure_2_cases():
+            text = explain_fd_value(fd, case.relation[0], case.relation)
+            assert f"[{case.expected_condition}]" in text
+            assert str(case.expected_value) in text
+
+    def test_unknown_without_condition(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        text = explain_fd_value("A -> B", r[0], r)
+        assert "unknown" in text
+        assert "no condition applies" in text
+
+    def test_outside_proposition1_setting(self):
+        r = rel("A B", [("a", "-"), ("-", 1)])
+        text = explain_fd_value("A -> B", r[0], r)
+        assert "outside Proposition 1" in text
+
+    def test_total_tuple(self):
+        r = rel("A B", [("a", 1)])
+        text = explain_fd_value("A -> B", r[0], r)
+        assert "total" in text
+
+
+class TestExplainOutcome:
+    def test_yes(self):
+        r = rel("A B", [("a", 1)])
+        outcome = check_fds(r, ["A -> B"], CONVENTION_WEAK)
+        assert "yes" in explain_outcome(outcome, r)
+
+    def test_no_with_witness(self):
+        r = rel("A B", [("a", 1), ("a", 2)])
+        outcome = check_fds(r, ["A -> B"], CONVENTION_WEAK)
+        text = explain_outcome(outcome, r)
+        assert "no" in text and "A -> B" in text and "conflict" in text
+
+
+class TestExplainChase:
+    def test_narrates_each_action_kind(self):
+        _, fds, relation = section_6_example()
+        result = chase(relation, fds, mode=MODE_EXTENDED)
+        text = explain_chase(result)
+        assert "linked two unknowns" in text
+        assert "poisoned to nothing" in text
+        assert "NOT weakly satisfiable" in text
+
+    def test_narrates_substitutions(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        result = chase(r, ["A -> B"])
+        text = explain_chase(result)
+        assert "grounded a null" in text
+        assert ":= 1" in text
+        assert "weakly satisfiable (no nothing)" in text

@@ -1,0 +1,143 @@
+"""Tests for the FD ↔ implicational bridge: Lemmas 3 and 4, exhaustively."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.core.satisfaction import strongly_holds
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.errors import ReproError
+from repro.logic.bridge import (
+    assignment_to_relation,
+    fd_counterexample_relation,
+    fd_strongly_holds_two_tuple,
+    lemma3_agrees,
+    relation_to_assignment,
+)
+from repro.logic.implicational import ImplicationalStatement
+from repro.logic.system_c import assignments_over
+
+from ..helpers import rel
+
+ALL = [TRUE, FALSE, UNKNOWN]
+
+
+class TestAssignmentToRelation:
+    def test_true_gives_equal_constants(self):
+        r = assignment_to_relation({"A": TRUE})
+        assert r[0]["A"] == r[1]["A"]
+
+    def test_false_gives_distinct_constants(self):
+        r = assignment_to_relation({"A": FALSE})
+        assert r[0]["A"] != r[1]["A"]
+
+    def test_unknown_gives_one_null(self):
+        r = assignment_to_relation({"A": UNKNOWN})
+        from repro.core.values import is_null
+
+        values = [r[0]["A"], r[1]["A"]]
+        assert sum(1 for v in values if is_null(v)) == 1
+
+    def test_null_placement_flag(self):
+        r_second = assignment_to_relation({"A": UNKNOWN}, null_in_second=True)
+        r_first = assignment_to_relation({"A": UNKNOWN}, null_in_second=False)
+        from repro.core.values import is_null
+
+        assert is_null(r_second[1]["A"]) and not is_null(r_second[0]["A"])
+        assert is_null(r_first[0]["A"]) and not is_null(r_first[1]["A"])
+
+    def test_round_trip(self):
+        assignment = {"A": TRUE, "B": FALSE, "C": UNKNOWN}
+        r = assignment_to_relation(assignment)
+        assert relation_to_assignment(r) == assignment
+
+
+class TestRelationToAssignment:
+    def test_requires_two_tuples(self):
+        with pytest.raises(ReproError):
+            relation_to_assignment(rel("A", [("x",)]))
+
+    def test_both_null_reads_unknown(self):
+        r = rel("A", [("-",), ("-",)])
+        assert relation_to_assignment(r) == {"A": UNKNOWN}
+
+    def test_fd_strongly_holds_requires_two_tuples(self):
+        with pytest.raises(ReproError):
+            fd_strongly_holds_two_tuple("A -> A", rel("A", [("x",)]))
+
+
+class TestLemma3Exhaustive:
+    """Lemma 3 over every assignment of two and three attributes, both null
+    placements — the paper's equivalence, verified wholesale."""
+
+    def test_two_attributes_fd_a_to_b(self):
+        for a_val, b_val in itertools.product(ALL, ALL):
+            assignment = {"A": a_val, "B": b_val}
+            for placement in (True, False):
+                assert lemma3_agrees("A -> B", assignment, null_in_second=placement), (
+                    f"Lemma 3 fails at {assignment} placement={placement}"
+                )
+
+    def test_three_attributes_all_fd_shapes(self):
+        fds = ["A -> B", "A B -> C", "C -> A B", "A -> B C"]
+        for values in itertools.product(ALL, repeat=3):
+            assignment = dict(zip("ABC", values))
+            for fd in fds:
+                for placement in (True, False):
+                    assert lemma3_agrees(fd, assignment, null_in_second=placement), (
+                        f"Lemma 3 fails for {fd} at {assignment} "
+                        f"placement={placement}"
+                    )
+
+    def test_statement_true_iff_fd_strong(self):
+        # spot-check the two directions separately on a mixed assignment
+        assignment = {"A": UNKNOWN, "B": TRUE}
+        statement = ImplicationalStatement("A", "B")
+        relation = assignment_to_relation(assignment)
+        assert statement.evaluate(assignment) is TRUE
+        assert strongly_holds(FD("A", "B"), relation)
+
+
+class TestLemma4Witnesses:
+    def test_invalid_inference_realized_as_relation(self):
+        witness = fd_counterexample_relation(["A -> B"], "B -> A")
+        assert witness is not None
+        # premises strongly hold in the witness, the conclusion does not
+        assert strongly_holds(FD("A", "B"), witness)
+        assert not strongly_holds(FD("B", "A"), witness)
+
+    def test_valid_inference_has_no_witness(self):
+        assert fd_counterexample_relation(["A -> B", "B -> C"], "A -> C") is None
+
+    def test_weak_witness_for_transitivity(self):
+        from repro.core.satisfaction import weakly_holds
+
+        witness = fd_counterexample_relation(
+            ["A -> B", "B -> C"], "A -> C", weak=True
+        )
+        assert witness is not None
+        assert weakly_holds(FD("A", "B"), witness)
+        assert weakly_holds(FD("B", "C"), witness)
+        assert not weakly_holds(FD("A", "C"), witness)
+
+
+# ---------------------------------------------------------------------------
+# property-based Lemma 3
+# ---------------------------------------------------------------------------
+
+truth_values = st.sampled_from(ALL)
+
+
+@given(
+    st.fixed_dictionaries(
+        {"A": truth_values, "B": truth_values, "C": truth_values, "D": truth_values}
+    ),
+    st.sampled_from(["A -> B", "A B -> C D", "D -> A", "B C -> A", "A D -> B C"]),
+    st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_lemma3_property(assignment, fd, placement):
+    assert lemma3_agrees(fd, assignment, null_in_second=placement)

@@ -1,0 +1,152 @@
+"""Tests for the I1-I4 derivation system: soundness, completeness, proofs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.derivation import (
+    RULE_AUGMENTATION,
+    RULE_DECOMPOSITION,
+    RULE_PREMISE,
+    RULE_REFLEXIVITY,
+    RULE_TRANSITIVITY,
+    RULE_UNION,
+    Step,
+    check_step,
+    derivable,
+    derive,
+    variable_closure,
+)
+from repro.logic.implicational import ImplicationalStatement, infers
+
+S = ImplicationalStatement
+
+
+class TestVariableClosure:
+    def test_basic_chain(self):
+        closure = variable_closure(["A"], ["A => B", "B => C"])
+        assert closure == {"A", "B", "C"}
+
+    def test_requires_full_lhs(self):
+        closure = variable_closure(["A"], ["A B => C"])
+        assert closure == {"A"}
+
+    def test_multi_attribute_seed(self):
+        closure = variable_closure(["A", "B"], ["A B => C", "C => D"])
+        assert closure == {"A", "B", "C", "D"}
+
+
+class TestDerivable:
+    def test_transitivity(self):
+        assert derivable(["A => B", "B => C"], "A => C")
+
+    def test_not_derivable(self):
+        assert not derivable(["A => B"], "B => A")
+
+    def test_reflexivity_from_empty(self):
+        assert derivable([], "A B => B")
+
+
+class TestCheckStep:
+    def test_premise_must_occur(self):
+        step = Step(S("A", "B"), RULE_PREMISE)
+        assert check_step(step, ["A => B"])
+        assert not check_step(step, ["A => C"])
+
+    def test_reflexivity(self):
+        assert check_step(Step(S("A B", "A"), RULE_REFLEXIVITY), [])
+        assert not check_step(Step(S("A", "B"), RULE_REFLEXIVITY), [])
+
+    def test_augmentation(self):
+        inner = Step(S("A", "B"), RULE_PREMISE)
+        good = Step(S("A C", "B C"), RULE_AUGMENTATION, (inner,))
+        assert check_step(good, ["A => B"])
+        # augmenting with Z already inside X is fine: A => B gives A => A B
+        also_good = Step(S("A", "A B"), RULE_AUGMENTATION, (inner,))
+        assert check_step(also_good, ["A => B"])
+        bad = Step(S("A C", "B"), RULE_AUGMENTATION, (inner,))
+        assert not check_step(bad, ["A => B"])
+
+    def test_transitivity(self):
+        first = Step(S("A", "B"), RULE_PREMISE)
+        second = Step(S("B", "C"), RULE_PREMISE)
+        good = Step(S("A", "C"), RULE_TRANSITIVITY, (first, second))
+        assert check_step(good, ["A => B", "B => C"])
+        bad = Step(S("A", "C"), RULE_TRANSITIVITY, (second, first))
+        assert not check_step(bad, ["A => B", "B => C"])
+
+    def test_decomposition(self):
+        inner = Step(S("A", "B C"), RULE_PREMISE)
+        assert check_step(Step(S("A", "B"), RULE_DECOMPOSITION, (inner,)), ["A => B C"])
+        assert not check_step(
+            Step(S("A", "D"), RULE_DECOMPOSITION, (inner,)), ["A => B C"]
+        )
+
+    def test_union(self):
+        first = Step(S("A", "B"), RULE_PREMISE)
+        second = Step(S("A", "C"), RULE_PREMISE)
+        good = Step(S("A", "B C"), RULE_UNION, (first, second))
+        assert check_step(good, ["A => B", "A => C"])
+
+    def test_unknown_rule_rejected(self):
+        assert not check_step(Step(S("A", "B"), "made-up"), ["A => B"])
+
+
+class TestDerive:
+    def test_none_when_underivable(self):
+        assert derive(["A => B"], "C => B") is None
+
+    def test_derivation_verifies(self):
+        derivation = derive(["A => B", "B => C"], "A => C")
+        assert derivation is not None
+        assert derivation.verify()
+        assert len(derivation) >= 3
+
+    def test_derivation_render_mentions_rules(self):
+        derivation = derive(["A => B", "B => C"], "A => C")
+        text = derivation.render()
+        assert "I2-transitivity" in text
+        assert "premise" in text
+
+    def test_reflexive_goal(self):
+        derivation = derive([], "A B => A")
+        assert derivation is not None and derivation.verify()
+
+    def test_goal_with_multi_rhs(self):
+        derivation = derive(["A => B", "B => C"], "A => B C")
+        assert derivation is not None and derivation.verify()
+
+    def test_deep_chain(self):
+        premises = [f"V{i} => V{i + 1}" for i in range(8)]
+        derivation = derive(premises, "V0 => V8")
+        assert derivation is not None and derivation.verify()
+
+
+# ---------------------------------------------------------------------------
+# soundness + completeness against semantic inference (Lemma 2)
+# ---------------------------------------------------------------------------
+
+_sides = st.lists(
+    st.sampled_from(["A", "B", "C", "D"]), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def statements(draw):
+    return S(tuple(draw(_sides)), tuple(draw(_sides)))
+
+
+@given(st.lists(statements(), max_size=4), statements())
+@settings(max_examples=100, deadline=None)
+def test_lemma2_soundness_and_completeness(premises, goal):
+    """Derivable(I1-I4) == strongly inferred in C (Lemma 2), exhaustively."""
+    assert derivable(premises, goal) == infers(premises, goal)
+
+
+@given(st.lists(statements(), max_size=3), statements())
+@settings(max_examples=50, deadline=None)
+def test_constructed_proofs_always_verify(premises, goal):
+    derivation = derive(premises, goal)
+    if derivation is not None:
+        assert derivation.verify()
+        # derivations are over the normalized fragment
+        assert derivation.root.statement == goal.normalized()

@@ -1,0 +1,216 @@
+"""Tests for implicational statements and (weak) logical inference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.errors import SchemaError
+from repro.logic.implicational import (
+    ImplicationalStatement,
+    as_statement,
+    counterexample,
+    infers,
+    strong_consequences,
+)
+from repro.logic.system_c import assignments_over
+
+
+class TestSyntax:
+    def test_parse(self):
+        s = ImplicationalStatement.parse("A B => C")
+        assert s.lhs == ("A", "B") and s.rhs == ("C",)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            ImplicationalStatement.parse("A B C")
+
+    def test_fd_round_trip(self):
+        fd = FD("A B", "C")
+        assert ImplicationalStatement.from_fd(fd).to_fd() == fd
+
+    def test_as_statement_coercions(self):
+        assert as_statement("A => B") == ImplicationalStatement("A", "B")
+        assert as_statement(FD("A", "B")) == ImplicationalStatement("A", "B")
+
+    def test_set_equality(self):
+        assert ImplicationalStatement("A B", "C") == ImplicationalStatement("B A", "C")
+
+    def test_variables_sorted(self):
+        assert ImplicationalStatement("B", "A C").variables == ("A", "B", "C")
+
+
+class TestEvaluation:
+    def test_rule_one_reflexive_statement(self):
+        s = ImplicationalStatement("A B", "A")
+        for assignment in assignments_over(["A", "B"]):
+            assert s.evaluate(assignment) is TRUE
+
+    def test_kleene_table_single_vars(self):
+        s = ImplicationalStatement("A", "B")
+        table = {
+            (TRUE, TRUE): TRUE,
+            (TRUE, FALSE): FALSE,
+            (TRUE, UNKNOWN): UNKNOWN,
+            (FALSE, TRUE): TRUE,
+            (FALSE, FALSE): TRUE,
+            (FALSE, UNKNOWN): TRUE,
+            (UNKNOWN, TRUE): TRUE,
+            (UNKNOWN, FALSE): UNKNOWN,
+            (UNKNOWN, UNKNOWN): UNKNOWN,
+        }
+        for (a, b), expected in table.items():
+            assert s.evaluate({"A": a, "B": b}) is expected
+
+    def test_fast_evaluation_agrees_with_formula(self):
+        statements = [
+            ImplicationalStatement("A", "B"),
+            ImplicationalStatement("A B", "C"),
+            ImplicationalStatement("A", "B C"),
+            ImplicationalStatement("A B", "B"),
+            ImplicationalStatement("A B", "A B"),
+        ]
+        for s in statements:
+            for assignment in assignments_over(s.variables):
+                assert s.evaluate(assignment) is s.evaluate_fast(assignment)
+
+
+class TestInference:
+    def test_transitivity_chain(self):
+        assert infers(["A => B", "B => C"], "A => C")
+
+    def test_augmentation(self):
+        assert infers(["A => B"], "A C => B C")
+
+    def test_no_inference_without_connection(self):
+        assert not infers(["A => B"], "B => A")
+        assert not infers(["A => B"], "C => B")
+
+    def test_union_and_decomposition(self):
+        assert infers(["A => B", "A => C"], "A => B C")
+        assert infers(["A => B C"], "A => B")
+
+    def test_reflexivity_from_nothing(self):
+        assert infers([], "A B => A")
+
+    def test_counterexample_is_a_witness(self):
+        witness = counterexample(["A => B"], "B => A")
+        assert witness is not None
+        s_premise = ImplicationalStatement("A", "B")
+        s_goal = ImplicationalStatement("B", "A")
+        assert s_premise.evaluate(witness) is TRUE
+        assert s_goal.evaluate(witness) is not TRUE
+
+    def test_counterexample_none_for_valid(self):
+        assert counterexample(["A => B", "B => C"], "A => C") is None
+
+
+class TestWeakInference:
+    def test_weak_transitivity_fails(self):
+        """Weak inference does NOT support transitivity.
+
+        a(A)=true, a(B)=unknown, a(C)=false keeps both premises not-false
+        (A=>B is unknown, B=>C is unknown) while A=>C is false — mirroring
+        section 6's observation that FDs cannot be tested for weak
+        satisfiability independently.
+        """
+        assert not infers(["A => B", "B => C"], "A => C", weak=True)
+        witness = counterexample(["A => B", "B => C"], "A => C", weak=True)
+        assert witness is not None
+        assert witness["A"] is TRUE and witness["C"] is FALSE
+
+    def test_weak_reflexivity_still_holds(self):
+        assert infers([], "A B => A", weak=True)
+
+    def test_weak_decomposition_holds(self):
+        # X => YZ not-false forces X => Y not-false: And can only lose truth
+        assert infers(["A => B C"], "A => B", weak=True)
+
+    def test_strong_inference_does_not_imply_weak(self):
+        # the classic gap: transitivity is strongly valid, weakly invalid
+        assert infers(["A => B", "B => C"], "A => C", weak=False)
+        assert not infers(["A => B", "B => C"], "A => C", weak=True)
+
+
+class TestStrongConsequences:
+    def test_small_universe(self):
+        consequences = strong_consequences(["A => B"], ["A", "B"])
+        assert ImplicationalStatement("A", "B") in consequences
+        assert ImplicationalStatement("A", "A B") in consequences
+        assert ImplicationalStatement("B", "B") in consequences
+        assert ImplicationalStatement("B", "A") not in consequences
+
+
+# ---------------------------------------------------------------------------
+# property-based checks
+# ---------------------------------------------------------------------------
+
+_sides = st.lists(
+    st.sampled_from(["A", "B", "C"]), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def statements(draw):
+    return ImplicationalStatement(tuple(draw(_sides)), tuple(draw(_sides)))
+
+
+@given(statements(), statements())
+@settings(max_examples=80, deadline=None)
+def test_inference_is_reflexive_and_monotone(s1, s2):
+    assert infers([s1], s1)
+    assert infers([s1, s2], s1)
+
+
+@given(statements())
+@settings(max_examples=80, deadline=None)
+def test_weak_inference_from_self(s):
+    assert infers([s], s, weak=True)
+
+
+@given(st.lists(statements(), max_size=3), statements())
+@settings(max_examples=60, deadline=None)
+def test_strong_inference_decided_consistently_with_c_evaluation(premises, goal):
+    """infers() agrees with raw C evaluation of the *normalized* statements."""
+    from repro.core.truth import TRUE as T
+
+    norm_premises = [p.normalized() for p in premises]
+    norm_goal = goal.normalized()
+    names = sorted(
+        {v for s in norm_premises for v in s.variables} | set(norm_goal.variables)
+    )
+    expected = all(
+        norm_goal.evaluate(a) is T
+        for a in assignments_over(names)
+        if all(p.evaluate(a) is T for p in norm_premises)
+    )
+    assert infers(premises, goal) == expected
+
+
+class TestNormalizedFragment:
+    """The divergence that motivates boundary normalization (see module doc)."""
+
+    def test_unnormalized_statement_diverges_from_fd_reading(self):
+        # V(A => AB) is unknown at a = {A: unknown, B: true} ...
+        raw = ImplicationalStatement("A", "A B")
+        a = {"A": UNKNOWN, "B": TRUE}
+        assert raw.evaluate(a) is UNKNOWN
+        # ... while the FD-equivalent normalized statement is true.
+        assert raw.normalized() == ImplicationalStatement("A", "B")
+        assert raw.normalized().evaluate(a) is TRUE
+
+    def test_augmentation_unsound_on_raw_statements(self):
+        # premises true, raw augmented conclusion not true
+        premise = ImplicationalStatement("A", "B")
+        conclusion = ImplicationalStatement("A C", "B C")
+        a = {"A": TRUE, "B": TRUE, "C": UNKNOWN}
+        assert premise.evaluate(a) is TRUE
+        assert conclusion.evaluate(a) is UNKNOWN
+        # normalized, the inference is accepted (and sound)
+        assert infers([premise], conclusion)
+
+    def test_trivial_statements(self):
+        assert ImplicationalStatement("A B", "A").is_trivial()
+        trivial = ImplicationalStatement("A B", "B A").normalized()
+        assert trivial.is_trivial()

@@ -1,0 +1,71 @@
+"""Tests for System C formula syntax."""
+
+import pytest
+
+from repro.logic.syntax import (
+    And,
+    Nec,
+    Not,
+    Or,
+    Var,
+    conj,
+    implies,
+    variables_of,
+)
+
+
+class TestConstruction:
+    def test_var(self):
+        assert Var("p").name == "p"
+        assert repr(Var("p")) == "p"
+
+    def test_structural_equality_and_hash(self):
+        assert Var("p") == Var("p")
+        assert Not(Var("p")) == Not(Var("p"))
+        assert hash(And((Var("p"), Var("q")))) == hash(And((Var("p"), Var("q"))))
+        assert And((Var("p"), Var("q"))) != And((Var("q"), Var("p")))
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_operator_sugar(self):
+        p, q = Var("p"), Var("q")
+        assert ~p == Not(p)
+        assert (p & q) == And((p, q))
+        assert (p | q) == Or((p, q))
+        assert (p >> q) == Or((Not(p), q))
+
+
+class TestBuilders:
+    def test_conj_single_variable_is_bare_var(self):
+        assert conj("A") == Var("A")
+        assert conj(["A"]) == Var("A")
+
+    def test_conj_many(self):
+        assert conj("A B") == And((Var("A"), Var("B")))
+
+    def test_conj_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conj("")
+
+    def test_implies_is_defined_not_primitive(self):
+        # P => Q := ¬P ∨ Q
+        formula = implies(Var("p"), Var("q"))
+        assert formula == Or((Not(Var("p")), Var("q")))
+
+
+class TestVariables:
+    def test_collects_and_sorts(self):
+        formula = Or((Not(Var("q")), And((Var("a"), Nec(Var("m"))))))
+        assert variables_of(formula) == ("a", "m", "q")
+
+    def test_duplicates_once(self):
+        formula = And((Var("p"), Var("p")))
+        assert variables_of(formula) == ("p",)
+
+    def test_repr_is_readable(self):
+        formula = implies(conj("A B"), conj("C"))
+        assert "∧" in repr(formula) and "∨" in repr(formula)

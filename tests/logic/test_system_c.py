@@ -1,0 +1,201 @@
+"""Tests for the System C evaluation scheme (rules 1-5) and its quirks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.logic.syntax import And, Nec, Not, Or, Var, conj, implies
+from repro.logic.system_c import (
+    assignments_over,
+    evaluate,
+    evaluate_truth_functional,
+    is_c_tautology,
+)
+from repro.logic.tautology import is_contradiction, is_tautology
+
+p, q = Var("p"), Var("q")
+
+
+class TestTautologyOracle:
+    def test_excluded_middle(self):
+        assert is_tautology(Or((p, Not(p))))
+
+    def test_variable_not_tautology(self):
+        assert not is_tautology(p)
+
+    def test_implication_tautology_iff_rhs_subset(self):
+        assert is_tautology(implies(conj("A B"), conj("A")))
+        assert not is_tautology(implies(conj("A"), conj("A B")))
+
+    def test_modal_subformulas_are_opaque(self):
+        # Vp ∨ ¬Vp is a tautology by skeleton; Vp ∨ ¬p is not.
+        assert is_tautology(Or((Nec(p), Not(Nec(p)))))
+        assert not is_tautology(Or((Nec(p), Not(p))))
+
+    def test_contradiction(self):
+        assert is_contradiction(And((p, Not(p))))
+        assert not is_contradiction(p)
+
+
+class TestEvaluationRules:
+    def test_rule2_variable(self):
+        for value in (TRUE, FALSE, UNKNOWN):
+            assert evaluate(p, {"p": value}) is value
+
+    def test_rule3_negation(self):
+        assert evaluate(Not(p), {"p": TRUE}) is FALSE
+        assert evaluate(Not(p), {"p": FALSE}) is TRUE
+        assert evaluate(Not(p), {"p": UNKNOWN}) is UNKNOWN
+
+    def test_rule4_kleene(self):
+        a = {"p": UNKNOWN, "q": TRUE}
+        assert evaluate(Or((p, q)), a) is TRUE
+        assert evaluate(And((p, q)), a) is UNKNOWN
+
+    def test_rule5_necessity_collapses_unknown(self):
+        assert evaluate(Nec(p), {"p": TRUE}) is TRUE
+        assert evaluate(Nec(p), {"p": FALSE}) is FALSE
+        assert evaluate(Nec(p), {"p": UNKNOWN}) is FALSE
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(p, {})
+
+
+class TestRuleOnePrecedence:
+    """The paper's worked example: p ∨ ¬p."""
+
+    def test_paper_example_p_or_not_p(self):
+        formula = Or((p, Not(p)))
+        a = {"p": UNKNOWN}
+        # Rule 1 fires: the formula is a two-valued tautology.
+        assert evaluate(formula, a) is TRUE
+        # "if evaluated without rule 1 it has the value unknown"
+        assert evaluate_truth_functional(formula, a) is UNKNOWN
+
+    def test_non_truth_functionality(self):
+        # p∧¬p and its negation: the negation is a tautology (true), while
+        # the conjunction itself evaluates to unknown — C assigns different
+        # values to Q and ¬¬Q in general.
+        contradiction = And((p, Not(p)))
+        a = {"p": UNKNOWN}
+        assert evaluate(contradiction, a) is UNKNOWN
+        assert evaluate(Not(contradiction), a) is TRUE
+
+    def test_rule_one_applies_at_depth(self):
+        # V(...) of a tautology: rule 1 on the operand makes Nec true.
+        formula = Nec(Or((p, Not(p))))
+        assert evaluate(formula, {"p": UNKNOWN}) is TRUE
+
+
+class TestCTautologies:
+    def test_classical_tautologies_are_c_tautologies(self):
+        assert is_c_tautology(Or((p, Not(p))))
+        assert is_c_tautology(implies(conj("A B"), conj("B")))
+
+    def test_modal_t_axiom(self):
+        # Vp => p holds under V: if Vp true then p true; if Vp false the
+        # implication's antecedent is false... but with unknown p, ¬Vp is
+        # true, so the implication is true: a C-tautology.
+        assert is_c_tautology(implies(Nec(p), p))
+
+    def test_p_implies_nec_p_fails(self):
+        # p => Vp is NOT a C-tautology (p unknown: ¬p ∨ Vp = unknown ∨ false).
+        assert not is_c_tautology(implies(p, Nec(p)))
+
+    def test_variable_is_not(self):
+        assert not is_c_tautology(p)
+
+
+class TestAssignmentEnumeration:
+    def test_counts(self):
+        assert len(list(assignments_over(["a", "b"]))) == 9
+        assert len(list(assignments_over([]))) == 1
+
+    def test_covers_all_values(self):
+        seen = {frozenset(a.items()) for a in assignments_over(["x"])}
+        assert len(seen) == 3
+
+
+# ---------------------------------------------------------------------------
+# property-based structure checks
+# ---------------------------------------------------------------------------
+
+truth_values = st.sampled_from([TRUE, FALSE, UNKNOWN])
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return Var(draw(st.sampled_from("pqr")))
+    kind = draw(st.sampled_from(["var", "not", "and", "or", "nec"]))
+    if kind == "var":
+        return Var(draw(st.sampled_from("pqr")))
+    if kind in ("not", "nec"):
+        inner = draw(formulas(depth=depth - 1))
+        return Not(inner) if kind == "not" else Nec(inner)
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return And((left, right)) if kind == "and" else Or((left, right))
+
+
+def _has_nec(node):
+    if isinstance(node, Nec):
+        return True
+    if hasattr(node, "operand"):
+        return _has_nec(node.operand)
+    if hasattr(node, "operands"):
+        return any(_has_nec(op) for op in node.operands)
+    return False
+
+
+@given(formulas(), st.fixed_dictionaries({"p": truth_values, "q": truth_values, "r": truth_values}))
+@settings(max_examples=150, deadline=None)
+def test_rule_one_refines_kleene_on_nec_free_formulas(formula, assignment):
+    """For Nec-free formulas, V only *refines* the Kleene value.
+
+    Rule 1 promotes tautologous subformulas from unknown to true; Kleene
+    connectives are monotone in the information order, so a definite Kleene
+    value is never changed — only unknowns can become definite.  (With the
+    modal operator this fails — Nec is not monotone — which is why the
+    property is restricted; C's non-truth-functional surprises live there.)
+    """
+    if _has_nec(formula):
+        return
+    with_rule = evaluate(formula, assignment)
+    without_rule = evaluate_truth_functional(formula, assignment)
+    assert without_rule is UNKNOWN or with_rule is without_rule
+
+
+@given(formulas())
+@settings(max_examples=100, deadline=None)
+def test_two_valued_assignments_agree_with_classical_logic(formula):
+    """On definite assignments without modal operators, V is classical."""
+    from repro.logic.syntax import variables_of
+    from repro.logic.tautology import evaluate_two_valued
+    from repro.logic.syntax import Nec as NecCls
+
+    def has_nec(node):
+        if isinstance(node, NecCls):
+            return True
+        if hasattr(node, "operand"):
+            return has_nec(node.operand)
+        if hasattr(node, "operands"):
+            return any(has_nec(op) for op in node.operands)
+        return False
+
+    if has_nec(formula):
+        return
+    names = variables_of(formula)
+    for bits in [
+        dict(zip(names, combo))
+        for combo in __import__("itertools").product([True, False], repeat=len(names))
+    ]:
+        classical = evaluate_two_valued(
+            formula, {Var(n): v for n, v in bits.items()}
+        )
+        three_valued = evaluate(
+            formula, {n: (TRUE if v else FALSE) for n, v in bits.items()}
+        )
+        assert three_valued is (TRUE if classical else FALSE)

@@ -1,0 +1,116 @@
+"""Tests for BCNF/3NF predicates, decomposition, and FD projection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.implication import equivalent, implies
+from repro.armstrong.keys import is_superkey
+from repro.core.fd import FD, FDSet
+from repro.normalization.decompose import (
+    bcnf_decompose,
+    bcnf_violations,
+    is_3nf,
+    is_bcnf,
+)
+from repro.normalization.lossless import is_lossless_join
+from repro.normalization.projection import project_fds
+
+
+class TestProjection:
+    def test_projection_finds_transitive_fd(self):
+        fds = ["A -> B", "B -> C"]
+        projected = project_fds(fds, "A C")
+        assert implies(projected, "A -> C")
+        assert all(set(fd.attributes) <= {"A", "C"} for fd in projected)
+
+    def test_projection_drops_outside_fds(self):
+        projected = project_fds(["A -> B"], "A C")
+        assert list(projected) == []
+
+    def test_unminimized_projection(self):
+        projected = project_fds(["A -> B"], "A B", minimize=False)
+        assert implies(projected, "A -> B")
+
+
+class TestNormalFormPredicates:
+    def test_bcnf_holds_for_key_determined(self):
+        assert is_bcnf("A B C", ["A -> B C"])
+
+    def test_bcnf_fails_for_non_key_determinant(self):
+        assert not is_bcnf("A B C", ["A -> B C", "B -> C"])
+        violations = bcnf_violations("A B C", ["A -> B C", "B -> C"])
+        assert FD("B", "C") in violations
+
+    def test_3nf_tolerates_prime_rhs(self):
+        # R(A,B,C): AB -> C, C -> B; C -> B violates BCNF but B is prime
+        fds = ["A B -> C", "C -> B"]
+        assert not is_bcnf("A B C", fds)
+        assert is_3nf("A B C", fds)
+
+    def test_3nf_fails_for_transitive_nonprime(self):
+        assert not is_3nf("A B C", ["A -> B", "B -> C"])
+
+    def test_paper_scheme_not_bcnf(self):
+        # R(E#, SL, D#, CT): D# -> CT has a non-key determinant
+        fds = ["E# -> SL D#", "D# -> CT"]
+        assert not is_bcnf("E# SL D# CT", fds)
+        assert not is_3nf("E# SL D# CT", fds)  # CT is not prime
+
+
+class TestBcnfDecomposition:
+    def test_paper_scheme_decomposition(self):
+        fds = ["E# -> SL D#", "D# -> CT"]
+        components = bcnf_decompose("E# SL D# CT", fds)
+        schemes = [c for c, _ in components]
+        # every component is in BCNF under its projected FDs
+        for attrs, local in components:
+            assert is_bcnf(attrs, local)
+        # the decomposition is lossless
+        assert is_lossless_join("E# SL D# CT", schemes, fds)
+        # D#, CT live together so D# -> CT is enforceable locally
+        assert any({"D#", "CT"} <= set(s) for s in schemes)
+
+    def test_bcnf_input_is_returned_whole(self):
+        components = bcnf_decompose("A B", ["A -> B"])
+        assert [c for c, _ in components] == [("A", "B")]
+
+    def test_classic_abc_transitive(self):
+        components = bcnf_decompose("A B C", ["A -> B", "B -> C"])
+        schemes = [set(c) for c, _ in components]
+        assert {"B", "C"} in schemes
+        assert {"A", "B"} in schemes
+
+
+# ---------------------------------------------------------------------------
+# property-based: decomposition invariants
+# ---------------------------------------------------------------------------
+
+_attr = st.sampled_from(["A", "B", "C", "D"])
+_side = st.lists(_attr, min_size=1, max_size=2, unique=True)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@given(fd_sets())
+@settings(max_examples=60, deadline=None)
+def test_bcnf_decomposition_components_are_bcnf_and_lossless(fds):
+    attrs = "A B C D"
+    components = bcnf_decompose(attrs, fds)
+    for component_attrs, local in components:
+        assert is_bcnf(component_attrs, local)
+    assert is_lossless_join(attrs, [c for c, _ in components], fds)
+
+
+@given(fd_sets())
+@settings(max_examples=60, deadline=None)
+def test_components_cover_all_attributes(fds):
+    attrs = ("A", "B", "C", "D")
+    components = bcnf_decompose(attrs, fds)
+    covered = set()
+    for component_attrs, _ in components:
+        covered.update(component_attrs)
+    assert covered == set(attrs)

@@ -1,0 +1,47 @@
+"""Property: FD projection is semantically exact.
+
+``project_fds(F, S)`` must be equivalent (over S) to the restriction of
+``F+`` — i.e. for every FD over S, implication by the projection coincides
+with implication by the original set.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armstrong.implication import implies
+from repro.core.fd import FD
+from repro.normalization.projection import project_fds
+
+_attr = st.sampled_from(["A", "B", "C", "D"])
+_side = st.lists(_attr, min_size=1, max_size=2, unique=True)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@given(fd_sets(), st.lists(_attr, min_size=2, max_size=3, unique=True))
+@settings(max_examples=80, deadline=None)
+def test_projection_is_semantically_exact(fds, sub_attrs):
+    projected = project_fds(fds, sub_attrs)
+    # every FD over the sub-scheme: implication by projection == by original
+    for lhs_size in range(1, len(sub_attrs)):
+        for lhs in itertools.combinations(sub_attrs, lhs_size):
+            for rhs_attr in sub_attrs:
+                if rhs_attr in lhs:
+                    continue
+                goal = FD(lhs, (rhs_attr,))
+                assert implies(projected, goal) == implies(fds, goal), (
+                    f"projection differs on {goal!r}"
+                )
+
+
+@given(fd_sets(), st.lists(_attr, min_size=2, max_size=3, unique=True))
+@settings(max_examples=80, deadline=None)
+def test_projection_mentions_only_sub_attributes(fds, sub_attrs):
+    for fd in project_fds(fds, sub_attrs):
+        assert set(fd.attributes) <= set(sub_attrs)

@@ -1,0 +1,145 @@
+"""Tests for 3NF synthesis, the tableau lossless-join test, and dependency
+preservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.normalization.decompose import is_3nf
+from repro.normalization.lossless import (
+    binary_split_is_lossless,
+    is_lossless_join,
+    join_tableau,
+)
+from repro.normalization.preserve import (
+    is_dependency_preserving,
+    unpreserved_fds,
+)
+from repro.normalization.projection import project_fds
+from repro.normalization.synthesize import synthesize_3nf
+
+
+class TestSynthesis:
+    def test_paper_scheme(self):
+        fds = ["E# -> SL D#", "D# -> CT"]
+        components = synthesize_3nf("E# SL D# CT", fds)
+        assert sorted(map(sorted, components)) == [
+            ["CT", "D#"],
+            ["D#", "E#", "SL"],
+        ]
+        for component in components:
+            local = project_fds(fds, component)
+            assert is_3nf(component, local)
+        assert is_dependency_preserving("E# SL D# CT", components, fds)
+        assert is_lossless_join("E# SL D# CT", components, fds)
+
+    def test_key_component_added_when_missing(self):
+        # A -> B with extra attribute C: key is AC, no FD component holds it
+        components = synthesize_3nf("A B C", ["A -> B"])
+        assert any(set(c) >= {"A", "C"} for c in components)
+
+    def test_attribute_outside_fds_kept(self):
+        components = synthesize_3nf("A B Z", ["A -> B"])
+        assert any("Z" in c for c in components)
+
+    def test_subsumed_components_dropped(self):
+        components = synthesize_3nf("A B C", ["A -> B", "A -> C"])
+        assert components == [("A", "B", "C")]
+
+
+class TestLosslessJoin:
+    def test_tableau_structure(self):
+        tableau = join_tableau("A B C", ["A B", "B C"])
+        assert len(tableau) == 2
+        assert tableau[0]["A"] == "a_A"
+        from repro.core.values import is_null
+
+        assert is_null(tableau[0]["C"])
+
+    def test_classic_lossless(self):
+        assert is_lossless_join("A B C", ["A B", "B C"], ["B -> C"])
+
+    def test_classic_lossy(self):
+        assert not is_lossless_join("A B C", ["A B", "B C"], [])
+
+    def test_disjoint_components_lossy(self):
+        assert not is_lossless_join("A B", ["A", "B"], [])
+
+    def test_three_way(self):
+        fds = ["A -> B", "B -> C"]
+        assert is_lossless_join("A B C", ["A B", "B C"], fds)
+        assert is_lossless_join("A B C D", ["A B", "B C", "A D"], fds)
+
+    def test_component_equal_to_scheme(self):
+        assert is_lossless_join("A B", ["A B"], [])
+
+
+class TestDependencyPreservation:
+    def test_preserving_decomposition(self):
+        fds = ["A -> B", "B -> C"]
+        assert is_dependency_preserving("A B C", ["A B", "B C"], fds)
+
+    def test_losing_decomposition(self):
+        # splitting A->C across AB / BC loses it when B determines nothing
+        fds = ["A -> C"]
+        assert not is_dependency_preserving("A B C", ["A B", "B C"], fds)
+        assert unpreserved_fds("A B C", ["A B", "B C"], fds) == [FD("A", "C")]
+
+    def test_classic_bcnf_loss(self):
+        # R(A,B,C), AB -> C, C -> B: BCNF split loses AB -> C
+        fds = ["A B -> C", "C -> B"]
+        components = [("C", "B"), ("A", "C")]
+        assert not is_dependency_preserving("A B C", components, fds)
+
+    def test_indirect_preservation(self):
+        # the textbook subtlety: an FD can be preserved without any single
+        # component containing its attributes
+        fds = ["A -> B", "B -> C", "C -> A"]
+        components = [("A", "B"), ("B", "C")]
+        assert is_dependency_preserving("A B C", components, fds)
+
+
+# ---------------------------------------------------------------------------
+# property-based: binary tableau test == closure shortcut; synthesis laws
+# ---------------------------------------------------------------------------
+
+_attr = st.sampled_from(["A", "B", "C", "D"])
+_side = st.lists(_attr, min_size=1, max_size=2, unique=True)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    return [FD(tuple(draw(_side)), tuple(draw(_side))) for _ in range(count)]
+
+
+@st.composite
+def binary_splits(draw):
+    attrs = ("A", "B", "C", "D")
+    first = draw(st.lists(st.sampled_from(attrs), min_size=1, max_size=4, unique=True))
+    rest = [a for a in attrs if a not in first]
+    overlap = draw(st.lists(st.sampled_from(first), min_size=0, max_size=2, unique=True))
+    second = tuple(rest + overlap) or ("A",)
+    return tuple(first), second
+
+
+@given(fd_sets(), binary_splits())
+@settings(max_examples=100, deadline=None)
+def test_binary_shortcut_matches_tableau(fds, split):
+    first, second = split
+    universe = tuple(dict.fromkeys(first + second))
+    assert binary_split_is_lossless(universe, first, second, fds) == (
+        is_lossless_join(universe, [first, second], fds)
+    )
+
+
+@given(fd_sets())
+@settings(max_examples=60, deadline=None)
+def test_synthesis_is_3nf_lossless_preserving(fds):
+    attrs = "A B C D"
+    nontrivial = [fd for fd in fds if not fd.is_trivial()]
+    components = synthesize_3nf(attrs, nontrivial)
+    assert is_dependency_preserving(attrs, components, nontrivial)
+    assert is_lossless_join(attrs, components, nontrivial)
+    for component in components:
+        assert is_3nf(component, project_fds(nontrivial, component))

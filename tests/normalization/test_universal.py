@@ -1,0 +1,110 @@
+"""Tests for the universal relation with nulls (the paper's section 7)."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.satisfaction import weakly_satisfied
+from repro.core.values import is_null
+from repro.errors import NullsNotAllowedError, SchemaError
+from repro.normalization.universal import (
+    decompose_instance,
+    join_all,
+    natural_join,
+    universal_instance,
+    weak_universal_check,
+)
+
+from ..helpers import rel, schema_of
+
+
+def _employee_world():
+    universal = schema_of("E# SL D# CT")
+    emp = rel("E# SL D#", [(1, 50, "d1"), (2, 60, "d2")])
+    dept = rel("D# CT", [("d1", "perm"), ("d2", "temp")])
+    return universal, emp, dept
+
+
+class TestUniversalInstance:
+    def test_padding_with_fresh_nulls(self):
+        universal, emp, dept = _employee_world()
+        padded = universal_instance(universal, [emp, dept])
+        assert len(padded) == 4
+        # employee rows lack CT
+        assert is_null(padded[0]["CT"])
+        # department rows lack E#, SL
+        assert is_null(padded[2]["E#"]) and is_null(padded[2]["SL"])
+
+    def test_each_gap_is_a_distinct_unknown(self):
+        universal, emp, dept = _employee_world()
+        padded = universal_instance(universal, [emp, dept])
+        assert padded[2]["E#"] is not padded[3]["E#"]
+
+    def test_unknown_component_attribute_rejected(self):
+        universal = schema_of("A B")
+        with pytest.raises(SchemaError):
+            universal_instance(universal, [rel("A Z", [(1, 2)])])
+
+
+class TestWeakUniversalCheck:
+    def test_consistent_world(self):
+        universal, emp, dept = _employee_world()
+        ok, padded = weak_universal_check(
+            universal, [emp, dept], ["E# -> SL D#", "D# -> CT"]
+        )
+        assert ok
+        assert weakly_satisfied(["E# -> SL D#", "D# -> CT"], padded)
+
+    def test_inconsistent_world(self):
+        # the two components disagree on employee 1's department
+        universal = schema_of("E# D# CT")
+        first = rel("E# D#", [(1, "d1")])
+        second = rel("E# CT D#", [(1, "perm", "d2")])
+        ok, _ = weak_universal_check(
+            universal, [first, second], ["E# -> D#"]
+        )
+        assert not ok
+
+    def test_nulls_bridge_the_components(self):
+        # E# -> SL holds weakly even though one component never stores SL
+        universal = schema_of("E# SL")
+        with_sl = rel("E# SL", [(1, 50)])
+        without_sl = rel("E#", [(1,)])
+        ok, padded = weak_universal_check(universal, [with_sl, without_sl], ["E# -> SL"])
+        assert ok
+
+
+class TestJoinOperators:
+    def test_round_trip_join(self):
+        universal, emp, dept = _employee_world()
+        total = rel(
+            "E# SL D# CT",
+            [(1, 50, "d1", "perm"), (2, 60, "d2", "temp")],
+        )
+        parts = decompose_instance(total, ["E# SL D#", "D# CT"])
+        rejoined = join_all(parts)
+        assert set(
+            tuple(row.values) for row in rejoined
+        ) == set(tuple(row.values) for row in total)
+
+    def test_join_refuses_null_join_columns(self):
+        left = rel("A B", [("-", 1)])
+        right = rel("A C", [("x", 2)])
+        with pytest.raises(NullsNotAllowedError):
+            natural_join(left, right)
+
+    def test_join_without_shared_attrs_is_product(self):
+        left = rel("A", [(1,), (2,)])
+        right = rel("B", [("x",)])
+        product = natural_join(left, right)
+        assert len(product) == 2
+
+    def test_join_all_requires_input(self):
+        with pytest.raises(SchemaError):
+            join_all([])
+
+    def test_lossy_projection_grows_join(self):
+        # classic lossy example: projections join to MORE tuples
+        total = rel("A B C", [(1, "x", "p"), (2, "x", "q")])
+        parts = decompose_instance(total, ["A B", "B C"])
+        rejoined = join_all(parts)
+        assert len(rejoined) == 4

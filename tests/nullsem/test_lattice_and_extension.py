@@ -1,0 +1,146 @@
+"""Tests for the approximation lattice and least extensions of functions."""
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.relation import Relation
+from repro.core.truth import FALSE, TRUE, UNKNOWN, from_bool
+from repro.core.values import NOTHING, is_null, null
+from repro.errors import DomainError, SchemaError
+from repro.nullsem.lattice import (
+    information_content,
+    is_consistent_pair,
+    row_approximates,
+    row_lub,
+    rows_lub,
+)
+from repro.nullsem.least_extension import (
+    least_extension_truth,
+    least_extension_value,
+    substitutions,
+)
+
+from ..helpers import rel, schema_of
+
+
+class TestRowLattice:
+    def test_row_lub_pointwise(self):
+        schema = schema_of("A B")
+        first = rel(schema, [("x", "-")])[0]
+        second = rel(schema, [("x", "y")])[0]
+        joined = row_lub(first, second)
+        assert joined.values == ("x", "y")
+
+    def test_row_lub_conflict_is_nothing(self):
+        schema = schema_of("A")
+        first = rel(schema, [("x",)])[0]
+        second = rel(schema, [("y",)])[0]
+        assert row_lub(first, second).values == (NOTHING,)
+
+    def test_row_lub_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            row_lub(rel("A", [("x",)])[0], rel("B", [("x",)])[0])
+
+    def test_rows_lub_many(self):
+        schema = schema_of("A B")
+        r = rel(schema, [("x", "-"), ("-", "y")])
+        joined = rows_lub(r.rows)
+        assert joined.values == ("x", "y")
+        assert rows_lub([]) is None
+
+    def test_consistency(self):
+        schema = schema_of("A B")
+        r = rel(schema, [("x", "-"), ("x", "y"), ("z", "y")])
+        assert is_consistent_pair(r[0], r[1])
+        assert not is_consistent_pair(r[1], r[2])
+
+    def test_information_content(self):
+        r = rel("A B C", [("x", "-", "-")])
+        assert information_content(r[0]) == 1
+
+    def test_approximation_via_completion(self):
+        r = rel("A B", [("x", "-")], domains={"B": ["u", "v"]})
+        for completed in r[0].completions():
+            assert row_approximates(r[0], completed)
+
+
+class TestSubstitutions:
+    def test_grounds_nulls_over_domains(self):
+        d = Domain(["u", "v"])
+        grounded = list(substitutions((null(), "k"), [d, d]))
+        assert [g[0] for g in grounded] == ["u", "v"]
+        assert all(g[1] == "k" for g in grounded)
+
+    def test_shared_null_consistent(self):
+        n = null()
+        d = Domain(["u", "v"])
+        grounded = list(substitutions((n, n), [d, d]))
+        assert grounded == [("u", "u"), ("v", "v")]
+
+    def test_shared_null_intersects_domains(self):
+        n = null()
+        grounded = list(
+            substitutions((n, n), [Domain(["u", "v"]), Domain(["v", "w"])])
+        )
+        assert grounded == [("v", "v")]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DomainError):
+            list(substitutions(("x",), []))
+
+
+class TestLeastExtensionTruth:
+    """The paper's Q / Q' example."""
+
+    MARITAL = Domain(["married", "single"], name="marital-status")
+
+    def test_q_is_unknown(self):
+        # Q: "Is John married?" -> lub{yes, no} = unknown
+        is_married = least_extension_truth(
+            lambda status: from_bool(status == "married"), [self.MARITAL]
+        )
+        assert is_married(null()) is UNKNOWN
+
+    def test_q_prime_is_yes(self):
+        # Q': "Is John married or single?" -> lub{yes, yes} = yes
+        married_or_single = least_extension_truth(
+            lambda status: from_bool(status in ("married", "single")),
+            [self.MARITAL],
+        )
+        assert married_or_single(null()) is TRUE
+
+    def test_definite_inputs_pass_through(self):
+        is_married = least_extension_truth(
+            lambda status: from_bool(status == "married"), [self.MARITAL]
+        )
+        assert is_married("married") is TRUE
+        assert is_married("single") is FALSE
+
+    def test_all_no_is_no(self):
+        is_other = least_extension_truth(
+            lambda status: from_bool(status == "divorced"), [self.MARITAL]
+        )
+        assert is_other(null()) is FALSE
+
+
+class TestLeastExtensionValue:
+    def test_agreeing_function_collapses(self):
+        d = Domain([1, 2, 3])
+        constant_7 = least_extension_value(lambda x: 7, [d])
+        assert constant_7(null()) == 7
+
+    def test_disagreeing_function_returns_null(self):
+        d = Domain([1, 2, 3])
+        double = least_extension_value(lambda x: x * 2, [d])
+        assert is_null(double(null()))
+
+    def test_partial_nulls(self):
+        d = Domain([1, 2])
+        add = least_extension_value(lambda x, y: x + y, [d, d])
+        assert add(1, 2) == 3
+        assert is_null(add(null(), 2))
+
+    def test_insensitive_argument(self):
+        d = Domain([1, 2])
+        first = least_extension_value(lambda x, y: x, [d, d])
+        assert first(1, null()) == 1

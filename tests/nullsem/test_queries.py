@@ -1,0 +1,176 @@
+"""Tests for query evaluation over rows with nulls (section 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.truth import FALSE, TRUE, UNKNOWN, is_definite
+from repro.core.values import null
+from repro.nullsem.queries import (
+    AndP,
+    AttrEq,
+    Eq,
+    In,
+    NotP,
+    OrP,
+    evaluate_kleene,
+    evaluate_least_extension,
+    referenced_attributes,
+    select,
+)
+
+from ..helpers import rel, schema_of
+
+
+def _john(status="-"):
+    return rel(
+        "name marital",
+        [("John", status)],
+        domains={"marital": ["married", "single"]},
+    )[0]
+
+
+class TestPaperExample:
+    def test_q_unknown_under_both(self):
+        q = Eq("marital", "married")
+        row = _john()
+        assert evaluate_least_extension(q, row) is UNKNOWN
+        assert evaluate_kleene(q, row) is UNKNOWN
+
+    def test_q_prime_separates_the_evaluators(self):
+        q_prime = OrP((Eq("marital", "married"), Eq("marital", "single")))
+        row = _john()
+        # least extension sees the domain is exhausted: yes
+        assert evaluate_least_extension(q_prime, row) is TRUE
+        # Kleene cannot: unknown
+        assert evaluate_kleene(q_prime, row) is UNKNOWN
+
+    def test_definite_row_agrees(self):
+        q_prime = OrP((Eq("marital", "married"), Eq("marital", "single")))
+        assert evaluate_least_extension(q_prime, _john("married")) is TRUE
+        assert evaluate_kleene(q_prime, _john("married")) is TRUE
+
+
+class TestPredicates:
+    def test_in_predicate(self):
+        row = _john()
+        assert evaluate_least_extension(In("marital", ("married", "single")), row) is TRUE
+        assert evaluate_least_extension(In("marital", ("married",)), row) is UNKNOWN
+
+    def test_negation_duality(self):
+        row = _john()
+        q = Eq("marital", "married")
+        not_q = NotP(q)
+        assert evaluate_least_extension(not_q, row) is UNKNOWN
+        impossible = NotP(OrP((Eq("marital", "married"), Eq("marital", "single"))))
+        assert evaluate_least_extension(impossible, row) is FALSE
+
+    def test_attr_eq_with_shared_null(self):
+        n = null()
+        schema = schema_of("A B")
+        row = Relation(schema, [(n, n)])[0]
+        assert evaluate_least_extension(AttrEq("A", "B"), row) is TRUE
+        assert evaluate_kleene(AttrEq("A", "B"), row) is TRUE
+
+    def test_attr_eq_with_distinct_nulls_unbounded(self):
+        row = rel("A B", [("-", "-")])[0]
+        assert evaluate_least_extension(AttrEq("A", "B"), row) is UNKNOWN
+
+    def test_attr_eq_null_vs_constant_unbounded(self):
+        row = rel("A B", [("-", "x")])[0]
+        # the null could be 'x' or something else
+        assert evaluate_least_extension(AttrEq("A", "B"), row) is UNKNOWN
+
+    def test_attr_eq_singleton_domain_forced(self):
+        row = rel("A B", [("-", "x")], domains={"A": ["x"]})[0]
+        assert evaluate_least_extension(AttrEq("A", "B"), row) is TRUE
+
+    def test_unreferenced_nulls_do_not_matter(self):
+        row = rel("A B C", [("x", "-", "-")])[0]
+        assert evaluate_least_extension(Eq("A", "x"), row) is TRUE
+
+    def test_referenced_attributes(self):
+        pred = AndP((Eq("A", 1), NotP(AttrEq("B", "C"))))
+        assert referenced_attributes(pred) == {"A", "B", "C"}
+
+
+class TestSelect:
+    def _people(self):
+        return rel(
+            "name marital",
+            [
+                ("John", "-"),
+                ("Mary", "married"),
+                ("Ann", "single"),
+            ],
+            domains={"marital": ["married", "single"]},
+        )
+
+    def test_certain_selection(self):
+        out = select(self._people(), Eq("marital", "married"), mode="certain")
+        assert [row["name"] for row in out] == ["Mary"]
+
+    def test_possible_selection(self):
+        out = select(self._people(), Eq("marital", "married"), mode="possible")
+        assert [row["name"] for row in out] == ["John", "Mary"]
+
+    def test_exhaustive_predicate_certain_for_all(self):
+        q_prime = OrP((Eq("marital", "married"), Eq("marital", "single")))
+        out = select(self._people(), q_prime, mode="certain")
+        assert len(out) == 3
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            select(self._people(), Eq("marital", "married"), mode="maybe")
+
+
+# ---------------------------------------------------------------------------
+# property: Kleene is a sound under-approximation of the least extension
+# ---------------------------------------------------------------------------
+
+_preds = st.deferred(
+    lambda: st.one_of(
+        st.builds(Eq, st.sampled_from(["A", "B"]), st.sampled_from(["u", "v", "w"])),
+        st.builds(AttrEq, st.just("A"), st.just("B")),
+        st.builds(NotP, _preds),
+        st.builds(lambda p, q: AndP((p, q)), _preds, _preds),
+        st.builds(lambda p, q: OrP((p, q)), _preds, _preds),
+    )
+)
+
+_cells = st.sampled_from(["u", "v", None])
+
+
+@given(_preds, _cells, _cells)
+@settings(max_examples=200, deadline=None)
+def test_kleene_refined_by_least_extension(pred, a_val, b_val):
+    row = rel(
+        "A B",
+        [(a_val or "-", b_val or "-")],
+        domains={"A": ["u", "v", "w"], "B": ["u", "v", "w"]},
+    )[0]
+    kleene = evaluate_kleene(pred, row)
+    exact = evaluate_least_extension(pred, row)
+    if is_definite(kleene):
+        assert exact is kleene
+
+
+@given(_preds, _cells, _cells)
+@settings(max_examples=100, deadline=None)
+def test_least_extension_matches_full_enumeration(pred, a_val, b_val):
+    """The relevant-nulls shortcut equals grounding the whole row."""
+    from repro.core.truth import from_bool, lub
+    from repro.nullsem.queries import _evaluate_total
+
+    row = rel(
+        "A B C",
+        [(a_val or "-", b_val or "-", "-")],  # C is never referenced
+        domains={"A": ["u", "v", "w"], "B": ["u", "v", "w"], "C": ["u", "v"]},
+    )[0]
+    exact = evaluate_least_extension(pred, row)
+    brute = lub(
+        from_bool(_evaluate_total(pred, grounded))
+        for grounded in row.completions()
+    )
+    assert exact is brute

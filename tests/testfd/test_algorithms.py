@@ -1,0 +1,220 @@
+"""Tests for the TEST-FDs variants: agreement across variants and the
+Theorem 2 / Theorem 3 semantics."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import MODE_BASIC, minimally_incomplete
+from repro.core.relation import Relation
+from repro.core.satisfaction import (
+    strongly_satisfied,
+    weakly_satisfied,
+)
+from repro.core.values import null
+from repro.errors import ConventionError, NotMinimallyIncompleteError, ReproError
+from repro.testfd import (
+    CONVENTION_STRONG,
+    CONVENTION_WEAK,
+    check_fds,
+    check_fds_bucket,
+    check_fds_pairwise,
+    check_fds_sortmerge,
+    check_single_fd_presorted,
+)
+
+from ..helpers import rel, schema_of
+
+
+class TestBasicAnswers:
+    def test_clean_instance_passes_both_conventions(self):
+        r = rel("A B", [("a", 1), ("b", 2)])
+        for convention in (CONVENTION_STRONG, CONVENTION_WEAK):
+            assert check_fds(r, ["A -> B"], convention).satisfied
+
+    def test_classical_violation_fails_both(self):
+        r = rel("A B", [("a", 1), ("a", 2)])
+        for convention in (CONVENTION_STRONG, CONVENTION_WEAK):
+            outcome = check_fds(r, ["A -> B"], convention)
+            assert not outcome.satisfied
+            assert outcome.witness is not None
+            assert outcome.witness.attribute == "B"
+
+    def test_null_in_y_fails_strong_passes_weak(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        assert not check_fds(r, ["A -> B"], CONVENTION_STRONG).satisfied
+        assert check_fds(r, ["A -> B"], CONVENTION_WEAK, ensure_minimal=True).satisfied
+
+    def test_trivial_fds_never_fail(self):
+        r = rel("A B", [("-", "-"), ("-", "-")])
+        assert check_fds(r, ["A B -> A"], CONVENTION_STRONG, method="pairwise").satisfied
+
+    def test_witness_identifies_rows(self):
+        r = rel("A B", [("x", 1), ("y", 2), ("x", 3)])
+        outcome = check_fds(r, ["A -> B"], CONVENTION_WEAK)
+        assert (outcome.witness.first_row, outcome.witness.second_row) == (0, 2)
+
+
+class TestStrongConventionRouting:
+    def test_sortmerge_refuses_lhs_nulls(self):
+        r = rel("A B", [("-", 1), ("a", 2)])
+        with pytest.raises(ConventionError):
+            check_fds_sortmerge(r, ["A -> B"], CONVENTION_STRONG)
+        with pytest.raises(ConventionError):
+            check_fds_bucket(r, ["A -> B"], CONVENTION_STRONG)
+
+    def test_auto_falls_back_to_pairwise(self):
+        r = rel("A B", [("-", 1), ("a", 2)])
+        outcome = check_fds(r, ["A -> B"], CONVENTION_STRONG, method="auto")
+        # null in X matches 'a', Y differs -> not strongly satisfied
+        assert not outcome.satisfied
+
+    def test_sortmerge_strong_works_when_lhs_total(self):
+        r = rel("A B", [("a", "-"), ("b", 1)])
+        assert check_fds_sortmerge(r, ["A -> B"], CONVENTION_STRONG).satisfied
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            check_fds(rel("A", [("a",)]), [], method="quantum")
+
+
+class TestTheorem3Preconditions:
+    def test_verify_minimal_raises_on_non_minimal(self):
+        r = rel("A B", [("a", "-"), ("a", 1)])
+        with pytest.raises(NotMinimallyIncompleteError):
+            check_fds(r, ["A -> B"], CONVENTION_WEAK, verify_minimal=True)
+
+    def test_ensure_minimal_chases_first(self):
+        # non-minimal instance whose chase reveals the inconsistency:
+        # section 6's example
+        r = rel("A B C", [("a", "-", "c1"), ("a", "-", "c2")])
+        fds = ["A -> B", "B -> C"]
+        # without chasing, the weak test sees no violation (nulls differ)
+        assert check_fds(r, fds, CONVENTION_WEAK).satisfied
+        # with the NEC from the chase, it correctly answers no
+        assert not check_fds(r, fds, CONVENTION_WEAK, ensure_minimal=True).satisfied
+        # matching the brute-force semantics
+        assert not weakly_satisfied(fds, r)
+
+    def test_nec_via_shared_nulls_detected(self):
+        n = null()
+        schema = schema_of("A B C")
+        r = Relation(schema, [("a", n, "c1"), ("a2", n, "c2")])
+        assert not check_fds(r, ["B -> C"], CONVENTION_WEAK).satisfied
+
+    def test_explicit_null_classes_parameter(self):
+        n, m = null(), null()
+        schema = schema_of("B C")
+        r = Relation(schema, [(n, "c1"), (m, "c2")])
+        assert check_fds(r, ["B -> C"], CONVENTION_WEAK).satisfied
+        outcome = check_fds(
+            r, ["B -> C"], CONVENTION_WEAK, null_classes={n: "k", m: "k"}
+        )
+        assert not outcome.satisfied
+
+
+class TestPresortedLinear:
+    def test_accepts_sorted(self):
+        r = rel("A B", [("a", 1), ("a", 1), ("b", 2)])
+        assert check_single_fd_presorted(r, "A -> B").satisfied
+
+    def test_detects_violation(self):
+        r = rel("A B", [("a", 1), ("a", 2)])
+        assert not check_single_fd_presorted(r, "A -> B").satisfied
+
+    def test_rejects_unsorted(self):
+        r = rel("A B", [("b", 1), ("a", 2)])
+        with pytest.raises(ReproError):
+            check_single_fd_presorted(r, "A -> B")
+
+    def test_same_class_nulls_must_be_adjacent(self):
+        n = null()
+        schema = schema_of("A B")
+        r = Relation(schema, [(n, 1), ("z", 2), (n, 3)])
+        with pytest.raises(ReproError):
+            check_single_fd_presorted(r, "A -> B")
+
+
+# ---------------------------------------------------------------------------
+# property-based: variant agreement + Theorems 2 and 3
+# ---------------------------------------------------------------------------
+
+_cell = st.sampled_from(["v0", "v1", "v2", None])
+_fd_pool = ["A -> B", "B -> C", "A B -> C", "C -> A"]
+
+
+@st.composite
+def instances(draw, max_rows=5):
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = [[draw(_cell) for _ in range(3)] for _ in range(n_rows)]
+    schema = schema_of("A B C")
+    return Relation(
+        schema, [[null() if v is None else v for v in row] for row in rows]
+    )
+
+
+@st.composite
+def fd_sets(draw):
+    return draw(
+        st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=3, unique=True)
+    )
+
+
+@given(instances(), fd_sets(), st.sampled_from([CONVENTION_STRONG, CONVENTION_WEAK]))
+@settings(max_examples=150, deadline=None)
+def test_variants_agree(instance, fds, convention):
+    """pairwise == sortmerge == bucket (wherever each is defined)."""
+    reference = check_fds_pairwise(instance, fds, convention)
+    for variant in (check_fds_sortmerge, check_fds_bucket):
+        try:
+            outcome = variant(instance, fds, convention)
+        except ConventionError:
+            assert convention == CONVENTION_STRONG
+            continue
+        assert outcome.satisfied == reference.satisfied
+
+
+@given(instances(max_rows=4), fd_sets())
+@settings(max_examples=100, deadline=None)
+def test_theorem2_strong_convention_decides_strong_satisfiability(instance, fds):
+    assume(instance.completion_count() <= 20_000)
+    outcome = check_fds(instance, fds, CONVENTION_STRONG)
+    assert outcome.satisfied == strongly_satisfied(fds, instance)
+
+
+@given(instances(max_rows=4), fd_sets())
+@settings(max_examples=100, deadline=None)
+def test_theorem3_weak_convention_on_minimal_instances(instance, fds):
+    """After the basic chase, the weak-convention test decides weak
+    satisfiability (= existence of a satisfying completion)."""
+    assume(instance.completion_count() <= 20_000)
+    outcome = check_fds(instance, fds, CONVENTION_WEAK, ensure_minimal=True)
+    assert outcome.satisfied == weakly_satisfied(fds, instance)
+
+
+@given(instances(), fd_sets())
+@settings(max_examples=80, deadline=None)
+def test_single_fd_presorted_agrees_after_sorting(instance, fds):
+    from repro.core.values import constant_key, is_null
+
+    fd = fds[0]
+    from repro.core.fd import as_fd
+
+    lhs = as_fd(fd).lhs
+    ordinals = {}
+
+    def key(row):
+        out = []
+        for attr in lhs:
+            v = row[attr]
+            if is_null(v):
+                out.append((1, ordinals.setdefault(id(v), len(ordinals))))
+            else:
+                out.append((0,) + constant_key(v))
+        return tuple(out)
+
+    ordered = Relation(instance.schema, sorted(instance.rows, key=key))
+    expected = check_fds_pairwise(ordered, [fd], CONVENTION_WEAK)
+    assert (
+        check_single_fd_presorted(ordered, fd).satisfied == expected.satisfied
+    )

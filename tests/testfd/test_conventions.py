@@ -1,0 +1,96 @@
+"""Tests for the strong/weak null comparison conventions."""
+
+import pytest
+
+from repro.core.values import NOTHING, null
+from repro.errors import InconsistentInstanceError
+from repro.testfd.conventions import (
+    CONVENTION_STRONG,
+    CONVENTION_WEAK,
+    class_function,
+    x_equal,
+    y_unequal,
+)
+
+ID = class_function(None)
+
+
+class TestStrongConvention:
+    """Theorem 2's convention: null-involving comparisons are positive."""
+
+    def test_equality_with_null_positive(self):
+        n = null()
+        assert x_equal(CONVENTION_STRONG, n, "a", ID)
+        assert x_equal(CONVENTION_STRONG, "a", n, ID)
+        assert x_equal(CONVENTION_STRONG, n, null(), ID)
+
+    def test_equality_constants_ordinary(self):
+        assert x_equal(CONVENTION_STRONG, "a", "a", ID)
+        assert not x_equal(CONVENTION_STRONG, "a", "b", ID)
+
+    def test_inequality_with_null_positive(self):
+        n = null()
+        assert y_unequal(CONVENTION_STRONG, n, "a", ID)
+        assert y_unequal(CONVENTION_STRONG, "a", n, ID)
+
+    def test_inequality_same_class_exception(self):
+        # "... unless both values compared are null and they belong to the
+        #  same equivalence class"
+        n, m = null(), null()
+        assert y_unequal(CONVENTION_STRONG, n, m, ID)
+        assert not y_unequal(CONVENTION_STRONG, n, n, ID)
+        classes = class_function({n: "k", m: "k"})
+        assert not y_unequal(CONVENTION_STRONG, n, m, classes)
+
+    def test_inequality_constants_ordinary(self):
+        assert y_unequal(CONVENTION_STRONG, "a", "b", ID)
+        assert not y_unequal(CONVENTION_STRONG, "a", "a", ID)
+
+
+class TestWeakConvention:
+    """Theorem 3's convention: null-involving comparisons are negative."""
+
+    def test_equality_with_null_negative(self):
+        n = null()
+        assert not x_equal(CONVENTION_WEAK, n, "a", ID)
+        assert not x_equal(CONVENTION_WEAK, n, null(), ID)
+
+    def test_equality_same_class_exception(self):
+        n, m = null(), null()
+        assert x_equal(CONVENTION_WEAK, n, n, ID)
+        classes = class_function({n: "k", m: "k"})
+        assert x_equal(CONVENTION_WEAK, n, m, classes)
+
+    def test_inequality_with_null_negative(self):
+        n = null()
+        assert not y_unequal(CONVENTION_WEAK, n, "a", ID)
+        assert not y_unequal(CONVENTION_WEAK, n, null(), ID)
+        assert not y_unequal(CONVENTION_WEAK, n, n, ID)
+
+    def test_constants_ordinary(self):
+        assert x_equal(CONVENTION_WEAK, 3, 3, ID)
+        assert y_unequal(CONVENTION_WEAK, 3, 4, ID)
+
+
+class TestConventionStructure:
+    def test_comparisons_are_not_complements(self):
+        """The same pair can be neither equal nor unequal."""
+        n = null()
+        # weak: null vs constant -> not equal AND not unequal
+        assert not x_equal(CONVENTION_WEAK, n, "a", ID)
+        assert not y_unequal(CONVENTION_WEAK, n, "a", ID)
+        # strong: null vs constant -> equal AND unequal
+        assert x_equal(CONVENTION_STRONG, n, "a", ID)
+        assert y_unequal(CONVENTION_STRONG, n, "a", ID)
+
+    def test_nothing_rejected(self):
+        with pytest.raises(InconsistentInstanceError):
+            x_equal(CONVENTION_WEAK, NOTHING, "a", ID)
+        with pytest.raises(InconsistentInstanceError):
+            y_unequal(CONVENTION_STRONG, "a", NOTHING, ID)
+
+    def test_unknown_convention(self):
+        with pytest.raises(ValueError):
+            x_equal("median", "a", "a", ID)
+        with pytest.raises(ValueError):
+            y_unequal("median", "a", "a", ID)

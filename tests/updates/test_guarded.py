@@ -1,0 +1,234 @@
+"""Tests for GuardedRelation: modification operations under weak/strong
+consistency (the section 7 programme)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.satisfaction import weakly_satisfied
+from repro.core.schema import RelationSchema
+from repro.core.values import is_null, null
+from repro.errors import ReproError, SchemaError
+from repro.updates import (
+    POLICY_STRONG,
+    POLICY_WEAK,
+    GuardedRelation,
+    UpdateResult,
+)
+
+from ..helpers import schema_of
+
+
+def employee_guard(**kwargs):
+    schema = schema_of("E# SL D# CT")
+    return GuardedRelation(
+        schema,
+        ["E# -> SL D#", "D# -> CT"],
+        rows=[
+            (101, 50, "d1", "permanent"),
+            (102, null(), "d1", null()),
+        ],
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_initially_consistent(self):
+        guard = employee_guard()
+        assert len(guard) == 2
+
+    def test_initially_inconsistent_rejected(self):
+        schema = schema_of("A B")
+        with pytest.raises(ReproError):
+            GuardedRelation(schema, ["A -> B"], rows=[("a", 1), ("a", 2)])
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GuardedRelation(schema_of("A"), [], policy="hopeful")
+
+    def test_propagation_grounds_initial_nulls(self):
+        # 102 shares department d1, so its CT is forced to 101's 'permanent'
+        guard = employee_guard()
+        assert guard.relation[1]["CT"] == "permanent"
+
+
+class TestInsert:
+    def test_consistent_insert_accepted(self):
+        guard = employee_guard()
+        outcome = guard.insert((103, 70, "d2", "temporary"))
+        assert outcome.accepted
+        assert len(guard) == 3
+
+    def test_violating_insert_rejected(self):
+        guard = employee_guard()
+        outcome = guard.insert((101, 99, "d1", "permanent"))  # second salary
+        assert not outcome.accepted
+        assert len(guard) == 2  # state unchanged
+
+    def test_insert_with_nulls_accepted_when_repairable(self):
+        guard = employee_guard()
+        outcome = guard.insert((104, null(), "d1", null()))
+        assert outcome.accepted
+        # propagation grounds the new CT from department d1
+        assert guard.relation[2]["CT"] == "permanent"
+
+    def test_forced_substitutions_reported(self):
+        guard = employee_guard()
+        outcome = guard.insert((105, null(), "d1", null()))
+        assert any(v == "permanent" for v in outcome.forced.values())
+
+    def test_rejection_reason_mentions_policy(self):
+        guard = employee_guard()
+        outcome = guard.insert((101, 99, "d9", "temporary"))
+        assert "unsatisfiable" in outcome.reason
+
+
+class TestDelete:
+    def test_delete_always_accepted(self):
+        guard = employee_guard()
+        assert guard.delete(0).accepted
+        assert len(guard) == 1
+
+    def test_delete_bad_index(self):
+        with pytest.raises(SchemaError):
+            employee_guard().delete(9)
+
+    def test_delete_preserves_satisfiability_property(self):
+        # deleting from any consistent state keeps it consistent
+        guard = employee_guard()
+        guard.insert((103, 70, "d2", "temporary"))
+        while len(guard) > 0:
+            assert guard.delete(0).accepted
+
+
+class TestUpdate:
+    def test_consistent_update(self):
+        guard = employee_guard()
+        outcome = guard.update(0, {"SL": 55})
+        assert outcome.accepted
+        assert guard.relation[0]["SL"] == 55
+
+    def test_conflicting_update_rejected(self):
+        guard = employee_guard()
+        guard.insert((103, 70, "d2", "temporary"))
+        # moving 103 into d1 with a contract disagreeing with d1's
+        outcome = guard.update(2, {"D#": "d1", "CT": "temporary"})
+        assert not outcome.accepted
+        assert guard.relation[2]["D#"] == "d2"  # unchanged
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            employee_guard().update(0, {"ZZ": 1})
+
+
+class TestFill:
+    def test_fill_unconstrained_null(self):
+        guard = employee_guard()
+        outcome = guard.fill(1, "SL", 64)
+        assert outcome.accepted
+        assert guard.relation[1]["SL"] == 64
+
+    def test_fill_non_null_rejected(self):
+        guard = employee_guard()
+        outcome = guard.fill(0, "SL", 99)
+        assert not outcome.accepted
+        assert "not null" in outcome.reason
+
+    def test_fill_against_forced_value_rejected(self):
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema,
+            ["A -> B"],
+            rows=[("a", 1), ("a2", null())],
+            propagate=False,
+        )
+        accepted = guard.insert(("a", null()))
+        assert accepted.accepted
+        # the new row's B is forced to 1 by A -> B; filling with 2 must fail
+        outcome = guard.fill(2, "B", 2)
+        assert not outcome.accepted
+        # filling with the forced value succeeds
+        assert guard.fill(2, "B", 1).accepted
+
+    def test_fill_on_propagated_state(self):
+        # with propagation on, the forced null was already grounded
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", 1), ("a", null())]
+        )
+        assert guard.relation[1]["B"] == 1
+
+
+class TestStrongPolicy:
+    def test_strong_rejects_unknowns_that_could_conflict(self):
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", 1)], policy=POLICY_STRONG
+        )
+        # a null B for the same A is weakly fine but not strongly
+        outcome = guard.insert(("a", null()))
+        assert not outcome.accepted
+
+    def test_strong_accepts_distinct_keys(self):
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", 1)], policy=POLICY_STRONG
+        )
+        assert guard.insert(("b", null())).accepted
+
+
+class TestHistory:
+    def test_history_lines(self):
+        guard = employee_guard()
+        guard.insert((103, 70, "d2", "temporary"))
+        guard.insert((101, 99, "d1", "permanent"))
+        lines = guard.history()
+        assert any(line.startswith("ACCEPT insert") for line in lines)
+        assert any(line.startswith("REJECT insert") for line in lines)
+
+    def test_update_result_truthiness(self):
+        assert UpdateResult(True, "insert", "ok")
+        assert not UpdateResult(False, "insert", "no")
+
+
+# ---------------------------------------------------------------------------
+# property-based: the guard invariant
+# ---------------------------------------------------------------------------
+
+_cell = st.sampled_from(["u", "v", None])
+
+
+@st.composite
+def operations(draw):
+    kind = draw(st.sampled_from(["insert", "delete", "update", "fill"]))
+    return (
+        kind,
+        [draw(_cell) for _ in range(2)],
+        draw(st.integers(min_value=0, max_value=5)),
+        draw(st.sampled_from(["A", "B"])),
+        draw(st.sampled_from(["u", "v"])),
+    )
+
+
+@given(st.lists(operations(), max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_guard_invariant_under_random_operations(ops):
+    """After any accepted sequence, the state stays weakly satisfiable."""
+    schema = schema_of("A B")
+    guard = GuardedRelation(schema, ["A -> B"], rows=[("u", "u")])
+    for kind, cells, index, attr, value in ops:
+        values = [null() if c is None else c for c in cells]
+        try:
+            if kind == "insert":
+                guard.insert(values)
+            elif kind == "delete" and len(guard) > 0:
+                guard.delete(index % len(guard))
+            elif kind == "update" and len(guard) > 0:
+                guard.update(index % len(guard), {attr: values[0]})
+            elif kind == "fill" and len(guard) > 0:
+                guard.fill(index % len(guard), attr, value)
+        except SchemaError:
+            pass
+    # the invariant: whatever happened, the stored state is satisfiable
+    assert weakly_satisfied(["A -> B"], guard.relation)

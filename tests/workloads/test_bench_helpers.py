@@ -1,0 +1,60 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("My results", ["n", "time"])
+        table.add_row(10, 0.5)
+        table.add_row(100, 1.25)
+        text = table.render()
+        assert "My results" in text
+        assert "n" in text and "time" in text
+        assert "100" in text and "1.25" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["x"])
+        table.add_row(0.000001234)
+        assert "e" in table.render().splitlines()[-1]
+
+
+class TestSlope:
+    def test_linear_data(self):
+        xs = [10, 100, 1000]
+        ys = [2 * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 1.0) < 1e-9
+
+    def test_quadratic_data(self):
+        xs = [10, 100, 1000]
+        ys = [3 * x * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 2.0) < 1e-9
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestSizesAndTiming:
+    def test_geometric_sizes(self):
+        sizes = geometric_sizes(10, 2.0, 4)
+        assert sizes == [10, 20, 40, 80]
+
+    def test_geometric_dedupes(self):
+        sizes = geometric_sizes(2, 1.2, 5)
+        assert sizes == sorted(set(sizes))
+
+    def test_time_call_returns_positive(self):
+        elapsed = time_call(lambda: sum(range(1000)), repeat=2)
+        assert elapsed > 0

@@ -1,0 +1,101 @@
+"""Tests for the seeded workload generators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import all_hold_classical
+from repro.core.satisfaction import weakly_satisfied
+from repro.workloads.generator import (
+    attribute_names,
+    inject_nulls,
+    random_fds,
+    random_instance,
+    random_satisfiable_instance,
+    random_schema,
+    satisfiable_with_nulls,
+)
+
+
+class TestSchemas:
+    def test_attribute_names(self):
+        assert attribute_names(3) == ("A1", "A2", "A3")
+
+    def test_unbounded_default(self):
+        schema = random_schema(3)
+        assert not schema.domain("A1").is_finite
+
+    def test_finite_domains(self):
+        schema = random_schema(2, domain_size=3)
+        assert len(schema.domain("A1")) == 3
+
+
+class TestRandomFds:
+    def test_count_and_shape(self):
+        fds = random_fds(7, attribute_names(5), count=4, max_lhs=2)
+        assert len(fds) == 4
+        for fd in fds:
+            assert 1 <= len(fd.lhs) <= 2
+            assert len(fd.rhs) == 1
+            assert not fd.is_trivial()
+
+    def test_deterministic_by_seed(self):
+        attrs = attribute_names(5)
+        assert random_fds(3, attrs, 4) == random_fds(3, attrs, 4)
+        assert random_fds(3, attrs, 4) != random_fds(4, attrs, 4)
+
+
+class TestInstances:
+    def test_random_instance_shape(self):
+        schema = random_schema(3)
+        r = random_instance(0, schema, 10)
+        assert len(r) == 10 and not r.has_nulls()
+
+    def test_satisfiable_instance_satisfies(self):
+        schema = random_schema(4)
+        fds = random_fds(1, schema.attributes, 3)
+        r = random_satisfiable_instance(2, schema, fds, 30)
+        assert all_hold_classical(fds, r)
+
+    def test_inject_nulls_density(self):
+        schema = random_schema(3)
+        r = random_instance(0, schema, 50)
+        punched = inject_nulls(1, r, density=0.3)
+        assert 0 < punched.null_count() < 150
+        untouched = inject_nulls(1, r, density=0.0)
+        assert untouched.null_count() == 0
+
+    def test_inject_nulls_scoped(self):
+        schema = random_schema(2)
+        r = random_instance(0, schema, 20)
+        punched = inject_nulls(1, r, density=1.0, attributes=["A1"])
+        assert punched.null_count() == 20
+        assert not punched.has_nulls("A2")
+
+    def test_seeded_reproducibility(self):
+        schema = random_schema(3)
+        first = random_instance(5, schema, 10)
+        second = random_instance(5, schema, 10)
+        assert [tuple(r.values) for r in first] == [
+            tuple(r.values) for r in second
+        ]
+
+
+class TestSatisfiableWithNulls:
+    def test_witness_completes_the_instance(self):
+        schema = random_schema(3)
+        fds = random_fds(0, schema.attributes, 2)
+        punched, witness = satisfiable_with_nulls(3, schema, fds, 12, density=0.3)
+        assert all_hold_classical(fds, witness)
+        assert len(punched) == len(witness)
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_always_weakly_satisfiable(self, seed):
+        from repro.chase import weakly_satisfiable
+
+        schema = random_schema(3)
+        fds = random_fds(seed, schema.attributes, 2)
+        punched, _ = satisfiable_with_nulls(seed, schema, fds, 8, density=0.4)
+        assert weakly_satisfiable(punched, fds)
