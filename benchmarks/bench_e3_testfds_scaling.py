@@ -4,17 +4,32 @@ Paper artifact: "The algorithm runs in O(|F|·n·logn) time ... Each FD is
 tested in time n·logn, the time to sort the relation", against the
 footnote's unsorted O(|F|·n²) variant.
 
-Reproduced series: wall time of sort-merge vs pairwise over a geometric
-ladder of n, with log-log slopes.  Expected shape: sort-merge slope ≈ 1
-(n log n reads just above linear), pairwise slope ≈ 2, and the gap widens
-with n — who wins and by how much is the point, not absolute seconds.
+Reproduced series: wall time of sort-merge vs pairwise vs bucket grouping
+(the "Additional Assumptions" refinement: dictionary grouping on X-keys,
+``O(|F|·n·p)``) over a geometric ladder of n, with log-log slopes.
+Expected shape: sort-merge and bucket slopes ≈ 1 (n log n reads just above
+linear), pairwise slope ≈ 2, and the gap widens with n — who wins and by
+how much is the point, not absolute seconds.  All three checkers consume
+the precomputed column projections introduced by PR 1.
 """
 
 import random
 
-from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
+from repro.bench.report import (
+    Table,
+    bench_repeat,
+    bench_sizes,
+    geometric_sizes,
+    loglog_slope,
+    time_call,
+)
 from repro.core.fd import FDSet
-from repro.testfd import CONVENTION_WEAK, check_fds_pairwise, check_fds_sortmerge
+from repro.testfd import (
+    CONVENTION_WEAK,
+    check_fds_bucket,
+    check_fds_pairwise,
+    check_fds_sortmerge,
+)
 from repro.workloads.generator import (
     inject_nulls,
     random_satisfiable_instance,
@@ -34,28 +49,43 @@ def workload(n_rows: int, seed: int = 11):
 
 
 def main() -> None:
-    sizes = geometric_sizes(200, 2.0, 5)
+    sizes = bench_sizes(geometric_sizes(200, 2.0, 5))
     table = Table(
         "E3 — TEST-FDs scaling (weak convention, satisfiable workload)",
-        ["n", "sortmerge (s)", "pairwise (s)", "pairwise/sortmerge"],
+        [
+            "n", "sortmerge (s)", "bucket (s)", "pairwise (s)",
+            "pairwise/sortmerge", "pairwise/bucket",
+        ],
     )
-    sort_times, pair_times = [], []
+    sort_times, bucket_times, pair_times = [], [], []
     for n in sizes:
         r = workload(n)
         sort_time = time_call(
-            lambda: check_fds_sortmerge(r, FDS, CONVENTION_WEAK), repeat=3
+            lambda: check_fds_sortmerge(r, FDS, CONVENTION_WEAK),
+            repeat=bench_repeat(3),
+        )
+        bucket_time = time_call(
+            lambda: check_fds_bucket(r, FDS, CONVENTION_WEAK),
+            repeat=bench_repeat(3),
         )
         pair_time = time_call(
             lambda: check_fds_pairwise(r, FDS, CONVENTION_WEAK), repeat=1
         )
         sort_times.append(sort_time)
+        bucket_times.append(bucket_time)
         pair_times.append(pair_time)
-        table.add_row(n, sort_time, pair_time, f"{pair_time / sort_time:.1f}x")
+        table.add_row(
+            n, sort_time, bucket_time, pair_time,
+            f"{pair_time / sort_time:.1f}x",
+            f"{pair_time / bucket_time:.1f}x",
+        )
     table.show()
 
     sort_slope = loglog_slope(sizes, sort_times)
+    bucket_slope = loglog_slope(sizes, bucket_times)
     pair_slope = loglog_slope(sizes, pair_times)
     print(f"\nlog-log slope, sort-merge: {sort_slope:.2f}  (paper: ~1, n log n)")
+    print(f"log-log slope, bucket:     {bucket_slope:.2f}  (paper: ~1, n·p)")
     print(f"log-log slope, pairwise:   {pair_slope:.2f}  (paper: ~2, n²)")
     print(
         "shape holds" if pair_slope - sort_slope > 0.5 else "SHAPE DEVIATION"

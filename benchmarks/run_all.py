@@ -1,0 +1,178 @@
+"""Run every experiment benchmark and record a machine-readable trajectory.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick
+    PYTHONPATH=src python benchmarks/run_all.py --only e5 e3 --out BENCH.json
+
+Each ``bench_e*.py`` (and, with ``--ablations``, each ``bench_a*.py``) is
+executed as a subprocess; ``--quick`` sets the ``REPRO_BENCH_QUICK``
+environment switch that :mod:`repro.bench.report` helpers honor (halved
+size ladders, single-repetition timing), so the whole suite doubles as a
+fast perf smoke test.  Results land in a JSON file::
+
+    {
+      "quick": true,
+      "python": "3.11.7",
+      "benchmarks": {
+        "bench_e5_chase_scaling": {
+          "status": "ok",
+          "wall_s": 1.93,
+          "slopes": {"sweep log-log slope in p": 1.9, ...},
+          "speedups": {"indexed speedup at largest configuration": 7.6}
+        },
+        ...
+      }
+    }
+
+Per-benchmark wall times plus every printed log-log slope and "...x"
+speedup line are captured, giving later PRs a perf trajectory to compare
+against (the PR-1 baseline is committed as ``BENCH_PR1.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: printed lines like "sweep log-log slope in p:      1.90  (expected ~2)"
+SLOPE_LINE = re.compile(r"^(?P<label>[^:]*slope[^:]*):\s*(?P<value>-?\d+(?:\.\d+)?)")
+#: printed lines like "indexed speedup at largest configuration: 7.6x ..."
+SPEEDUP_LINE = re.compile(
+    r"^(?P<label>[^:]*speedup[^:]*):\s*(?P<value>-?\d+(?:\.\d+)?)x"
+)
+
+
+def discover(only: list[str], ablations: bool) -> list[Path]:
+    patterns = ["bench_e*.py"] + (["bench_a*.py"] if ablations else [])
+    scripts: list[Path] = []
+    for pattern in patterns:
+        scripts.extend(sorted(BENCH_DIR.glob(pattern)))
+    if only:
+        wanted = [token.lower() for token in only]
+        scripts = [
+            s for s in scripts if any(token in s.stem.lower() for token in wanted)
+        ]
+    return scripts
+
+
+def parse_metrics(stdout: str) -> tuple[dict, dict]:
+    slopes: dict = {}
+    speedups: dict = {}
+    for line in stdout.splitlines():
+        line = line.strip()
+        matched = SLOPE_LINE.match(line)
+        if matched:
+            slopes[" ".join(matched["label"].split())] = float(matched["value"])
+            continue
+        matched = SPEEDUP_LINE.match(line)
+        if matched:
+            speedups[" ".join(matched["label"].split())] = float(matched["value"])
+    return slopes, speedups
+
+
+def run_one(script: Path, quick: bool, timeout: float) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    else:
+        env.pop("REPRO_BENCH_QUICK", None)
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=timeout,
+            cwd=str(REPO_ROOT),
+        )
+    except subprocess.TimeoutExpired:
+        return {"status": "timeout", "wall_s": round(time.perf_counter() - start, 3)}
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        return {
+            "status": "error",
+            "wall_s": round(wall, 3),
+            "returncode": proc.returncode,
+            "stderr_tail": proc.stderr.strip().splitlines()[-5:],
+        }
+    slopes, speedups = parse_metrics(proc.stdout)
+    entry: dict = {"status": "ok", "wall_s": round(wall, 3)}
+    if slopes:
+        entry["slopes"] = slopes
+    if speedups:
+        entry["speedups"] = speedups
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="set REPRO_BENCH_QUICK=1: halved ladders, single repetitions",
+    )
+    parser.add_argument(
+        "--ablations", action="store_true", help="include bench_a*.py scripts"
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=[],
+        help="substring filters on script names (e.g. --only e5 e3)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, help="per-benchmark timeout (s)"
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_PR1.json at the repo root "
+        "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
+        "never overwrites the committed full baseline)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = str(
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR1.json")
+        )
+
+    scripts = discover(args.only, args.ablations)
+    if not scripts:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    report: dict = {
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {},
+    }
+    failures = 0
+    for script in scripts:
+        print(f"[run_all] {script.name} ...", flush=True)
+        entry = run_one(script, args.quick, args.timeout)
+        report["benchmarks"][script.stem] = entry
+        status = entry["status"]
+        if status != "ok":
+            failures += 1
+        print(f"[run_all]   {status} in {entry['wall_s']}s", flush=True)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[run_all] wrote {out} ({len(scripts)} benchmarks, {failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

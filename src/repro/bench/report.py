@@ -8,8 +8,33 @@ the formatting in one place so every bench reads the same.
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: environment switch honored by the benchmarks' size/repeat helpers; set
+#: by ``benchmarks/run_all.py --quick`` so the whole suite can run as a
+#: fast smoke pass that still exercises every series.
+QUICK_ENV = "REPRO_BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    """True when the quick-bench environment switch is on."""
+    return os.environ.get(QUICK_ENV, "").strip().lower() not in ("", "0", "false")
+
+
+def bench_repeat(repeat: int) -> int:
+    """``repeat`` normally; a single repetition in quick mode."""
+    return 1 if quick_mode() else repeat
+
+
+def bench_sizes(sizes: Sequence[int]) -> List[int]:
+    """A size ladder, truncated to its first half (min 2 rungs) in quick
+    mode — slopes stay computable, wall time drops by the ladder's top."""
+    ladder = list(sizes)
+    if quick_mode() and len(ladder) > 2:
+        ladder = ladder[: max(2, len(ladder) // 2)]
+    return ladder
 
 
 class Table:

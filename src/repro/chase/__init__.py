@@ -2,7 +2,11 @@
 
 from .congruence import CongruenceEngine, congruence_chase
 from .incremental import IncrementalChase
+from .indexed import IndexedChaseState, indexed_chase
 from .engine import (
+    ENGINE_AUTO,
+    ENGINE_INDEXED,
+    ENGINE_SWEEP,
     MODE_BASIC,
     MODE_EXTENDED,
     STRATEGY_FD_ORDER,
@@ -28,7 +32,11 @@ __all__ = [
     "ChaseResult",
     "ChaseState",
     "CongruenceEngine",
+    "ENGINE_AUTO",
+    "ENGINE_INDEXED",
+    "ENGINE_SWEEP",
     "IncrementalChase",
+    "IndexedChaseState",
     "MODE_BASIC",
     "MODE_EXTENDED",
     "STRATEGY_FD_ORDER",
@@ -39,6 +47,7 @@ __all__ = [
     "chase",
     "church_rosser_orders",
     "congruence_chase",
+    "indexed_chase",
     "is_minimally_incomplete",
     "minimally_incomplete",
     "weakly_satisfiable",

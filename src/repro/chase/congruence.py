@@ -45,8 +45,8 @@ class CongruenceEngine(ChaseState):
         fds = self.fds
         columns = [
             (
-                [self.schema.position(a) for a in fd.lhs],
-                [self.schema.position(a) for a in fd.rhs],
+                self._columns_of(fd)[1],
+                tuple(col for _, col in self._columns_of(fd)[2]),
             )
             for fd in fds
         ]

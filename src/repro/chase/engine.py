@@ -51,6 +51,12 @@ STRATEGY_FD_ORDER = "fd_order"
 STRATEGY_ROUND_ROBIN = "round_robin"
 STRATEGY_RANDOM = "random"
 
+ENGINE_AUTO = "auto"
+ENGINE_SWEEP = "sweep"
+ENGINE_INDEXED = "indexed"
+
+_STRATEGIES = (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN, STRATEGY_RANDOM)
+
 _TAG_CONST = "const"
 _TAG_NULL = "null"
 _TAG_NOTHING = "nothing"
@@ -122,7 +128,17 @@ class ChaseState:
         self.applications: List[Application] = []
         self.passes = 0
         self._nothing_node: Optional[int] = None
-        self._seen = 0  # applications already counted by fd_order sweeps
+        self._seen = 0  # union-find merges already counted by fd_order sweeps
+        #: per-FD column projections, computed once — no ``schema.position``
+        #: lookup ever happens in an inner loop.  Keyed by ``id(fd)`` (the
+        #: fd itself is retained in the value to keep the id alive): FD
+        #: equality is set-based, so two equal FDs may still list their
+        #: attributes in different orders.
+        self._fd_cols: Dict[
+            int, Tuple[FD, Tuple[int, ...], Tuple[Tuple[str, int], ...]]
+        ] = {}
+        for fd in self.fds:
+            self._columns_of(fd)
 
         for row in relation.rows:
             encoded: List[int] = []
@@ -160,6 +176,20 @@ class ChaseState:
     def tag_of(self, node: int) -> Tuple[str, Any]:
         return self.tags[self.uf.find(node)]
 
+    def _columns_of(
+        self, fd: FD
+    ) -> Tuple[FD, Tuple[int, ...], Tuple[Tuple[str, int], ...]]:
+        """``(fd, lhs column indices, (rhs attr, column) pairs)``, memoized."""
+        cols = self._fd_cols.get(id(fd))
+        if cols is None:
+            cols = (
+                fd,
+                self.schema.positions(fd.lhs),
+                tuple(zip(fd.rhs, self.schema.positions(fd.rhs))),
+            )
+            self._fd_cols[id(fd)] = cols
+        return cols
+
     def _merge(self, first: int, second: int) -> int:
         """Union two classes and combine their tags.
 
@@ -181,7 +211,9 @@ class ChaseState:
         if kind_a == _TAG_NOTHING or kind_b == _TAG_NOTHING:
             return (_TAG_NOTHING, None)
         if kind_a == _TAG_CONST and kind_b == _TAG_CONST:
-            if tag_a[1] == tag_b[1]:  # pragma: no cover - interning prevents
+            if tag_a[1] == tag_b[1]:
+                # equal constants from different columns' interned nodes
+                # (cross-column null sharing) — a value-level no-op merge
                 return tag_a
             return (_TAG_NOTHING, None)
         if kind_a == _TAG_CONST:
@@ -201,8 +233,7 @@ class ChaseState:
         Returns True when at least one class-reducing action fired.
         """
         fired = False
-        for attr in fd.rhs:
-            col = self.schema.position(attr)
+        for attr, col in self._columns_of(fd)[2]:
             node_a = self.uf.find(self.cells[first][col])
             node_b = self.uf.find(self.cells[second][col])
             if node_a == node_b:
@@ -210,6 +241,16 @@ class ChaseState:
             kind_a = self.tags[node_a][0]
             kind_b = self.tags[node_b][0]
             if kind_a == _TAG_CONST and kind_b == _TAG_CONST:
+                if self.tags[node_a][1] == self.tags[node_b][1]:
+                    # Two classes holding the *same* constant (possible when
+                    # a null shared across columns is substituted: interning
+                    # is per column).  At the value level the cells are
+                    # equal, so no NS-rule fires — but class-equality must
+                    # stay congruent with value-equality for later signature
+                    # matches, so the classes merge silently.
+                    self._merge(node_a, node_b)
+                    fired = True
+                    continue
                 if self.mode == MODE_BASIC:
                     continue  # Definition 2 has no rule here; a violation
                 root = self._merge(node_a, node_b)
@@ -241,10 +282,9 @@ class ChaseState:
         congruence-closure construction behind Theorem 4 does, so the
         fixpoint engine does the same and the two engines agree exactly).
         """
-        return tuple(
-            self.uf.find(self.cells[row][self.schema.position(attr)])
-            for attr in fd.lhs
-        )
+        cells_row = self.cells[row]
+        find = self.uf.find
+        return tuple(find(cells_row[col]) for col in self._columns_of(fd)[1])
 
     def apply_fd_pass(self, fd: FD) -> int:
         """One pass of the NS-rule for a single FD over all row pairs.
@@ -282,54 +322,51 @@ class ChaseState:
         * ``random`` — like round_robin with the FD order reshuffled each
           sweep (seeded).
         """
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
         rng = random.Random(seed)
+        order = list(self.fds)  # reshuffled in place by the random strategy
         while True:
             self.passes += 1
-            order = list(self.fds)
             if strategy == STRATEGY_RANDOM:
                 rng.shuffle(order)
-            elif strategy not in (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN):
-                raise ValueError(f"unknown strategy {strategy!r}")
             total = 0
             for fd in order:
                 if strategy == STRATEGY_FD_ORDER:
                     while self.apply_fd_pass(fd):
                         pass
-                    # count via applications below
+                    # count via the sweep's merge delta below (applications
+                    # alone would miss silent equal-constant merges)
                 else:
                     total += self.apply_fd_pass(fd)
             if strategy == STRATEGY_FD_ORDER:
-                total = len(self.applications) - getattr(self, "_seen", 0)
-                self._seen = len(self.applications)
+                total = self.uf.merges - self._seen
+                self._seen = self.uf.merges
             if total == 0:
                 break
 
     # -- result extraction ------------------------------------------------------------
 
     def result(self, strategy: str) -> ChaseResult:
-        """Materialize the current partition as a :class:`ChaseResult`."""
-        rep_null: Dict[int, Null] = {}
-        rows: List[Row] = []
-        for encoded in self.cells:
-            values: List[Any] = []
-            for node in encoded:
-                root = self.uf.find(node)
-                kind, payload = self.tags[root]
-                if kind == _TAG_CONST:
-                    values.append(payload)
-                elif kind == _TAG_NOTHING:
-                    values.append(NOTHING)
-                else:
-                    values.append(rep_null.setdefault(root, payload))
-            rows.append(Row(self.schema, values))
+        """Materialize the current partition as a :class:`ChaseResult`.
 
-        nec_classes: List[Tuple[Null, ...]] = []
-        substitutions: Dict[Null, Any] = {}
+        Every field is a function of the final *partition* alone, never of
+        the merge order that produced it: the null displayed for a class is
+        its earliest-created member (creation order is fixed by the input
+        encoding), not whichever member happened to win the tag during
+        unions.  That makes results from different engines — sweep,
+        indexed worklist, congruence closure — compare identical whenever
+        their partitions agree, which Theorem 4 guarantees in extended
+        mode.
+        """
+        find = self.uf.find
         by_root: Dict[int, List[Null]] = {}
         for key, node in self._null_nodes.items():
-            by_root.setdefault(self.uf.find(node), []).append(
-                self._null_objects[key]
-            )
+            by_root.setdefault(find(node), []).append(self._null_objects[key])
+
+        rep_null: Dict[int, Null] = {}
+        nec_classes: List[Tuple[Null, ...]] = []
+        substitutions: Dict[Null, Any] = {}
         for root, members in by_root.items():
             kind, payload = self.tags[root]
             if kind == _TAG_CONST:
@@ -338,8 +375,24 @@ class ChaseState:
             elif kind == _TAG_NOTHING:
                 for member in members:
                     substitutions[member] = NOTHING
-            elif len(members) > 1:
-                nec_classes.append(tuple(members))
+            else:
+                rep_null[root] = members[0]
+                if len(members) > 1:
+                    nec_classes.append(tuple(members))
+
+        rows: List[Row] = []
+        for encoded in self.cells:
+            values: List[Any] = []
+            for node in encoded:
+                root = find(node)
+                kind, payload = self.tags[root]
+                if kind == _TAG_CONST:
+                    values.append(payload)
+                elif kind == _TAG_NOTHING:
+                    values.append(NOTHING)
+                else:
+                    values.append(rep_null[root])
+            rows.append(Row(self.schema, values))
         return ChaseResult(
             relation=Relation(self.schema, rows),
             nec_classes=nec_classes,
@@ -357,6 +410,7 @@ def chase(
     mode: str = MODE_EXTENDED,
     strategy: str = STRATEGY_ROUND_ROBIN,
     seed: int = 0,
+    engine: str = ENGINE_AUTO,
 ) -> ChaseResult:
     """Run the NS-rule chase to a fixpoint.
 
@@ -364,7 +418,38 @@ def chase(
     incomplete instance of Theorem 4, independent of ``strategy``.  With
     ``mode="basic"`` the result is *a* minimally incomplete instance that
     may depend on the strategy and FD order — Figure 5's phenomenon.
+
+    ``engine`` selects the execution path:
+
+    * ``"auto"`` (default) — the worklist-driven indexed engine
+      (:mod:`repro.chase.indexed`) in extended mode, where Theorem 4 makes
+      the firing order unobservable; the multi-pass sweep engine in basic
+      mode, where the order *is* the observable (Figure 5) and the
+      strategy must be honored literally.
+    * ``"indexed"`` — force the indexed engine (extended mode only).
+    * ``"sweep"`` — force the legacy multi-pass engine (both modes).
+
+    All paths produce identical ``relation`` / ``nec_classes`` /
+    ``substitutions`` in extended mode; ``applications`` order and the
+    ``passes`` count are engine-specific diagnostics.
     """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if engine == ENGINE_AUTO:
+        engine = ENGINE_INDEXED if mode == MODE_EXTENDED else ENGINE_SWEEP
+    if engine == ENGINE_INDEXED:
+        if mode != MODE_EXTENDED:
+            raise ValueError(
+                "the indexed engine implements the extended (Church-Rosser) "
+                "rules only; use engine='sweep' for basic mode"
+            )
+        from .indexed import IndexedChaseState  # local: avoids import cycle
+
+        indexed_state = IndexedChaseState(relation, fds)
+        indexed_state.run_worklist()
+        return indexed_state.result(strategy)
+    if engine != ENGINE_SWEEP:
+        raise ValueError(f"unknown chase engine {engine!r}")
     state = ChaseState(relation, fds, mode)
     state.run(strategy=strategy, seed=seed)
     return state.result(strategy)

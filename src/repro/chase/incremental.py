@@ -49,8 +49,8 @@ class IncrementalChase(ChaseState):
         self._nothing()  # materialize the inconsistent class up front
         self._columns = [
             (
-                [schema.position(a) for a in fd.lhs],
-                [schema.position(a) for a in fd.rhs],
+                self._columns_of(fd)[1],
+                tuple(col for _, col in self._columns_of(fd)[2]),
             )
             for fd in self.fds
         ]

@@ -44,21 +44,25 @@ def minimally_incomplete(
 ) -> ChaseResult:
     """Chase ``relation`` with the NS-rules for ``fds`` to a fixpoint.
 
-    ``engine="fixpoint"`` runs the multi-pass engine of
+    ``engine="fixpoint"`` runs the multi-pass sweep engine of
     :mod:`repro.chase.engine` (supports both modes and all strategies);
-    ``engine="congruence"`` runs the near-linear congruence-closure engine
-    (extended mode only — that is the mode Theorem 4 is about).
+    ``engine="indexed"`` runs the worklist-driven indexed engine of
+    :mod:`repro.chase.indexed`; ``engine="congruence"`` runs the
+    congruence-closure engine.  The latter two are near-linear and
+    extended mode only — that is the mode Theorem 4 is about.
     """
-    if engine == "congruence":
+    if engine in ("congruence", "indexed"):
         if mode != MODE_EXTENDED:
             raise ValueError(
-                "the congruence engine implements the extended (Church-"
+                f"the {engine} engine implements the extended (Church-"
                 "Rosser) rules only; use engine='fixpoint' for basic mode"
             )
-        return congruence_chase(relation, list(fds))
+        if engine == "congruence":
+            return congruence_chase(relation, list(fds))
+        return chase(relation, fds, mode=mode, strategy=strategy, engine="indexed")
     if engine != "fixpoint":
         raise ValueError(f"unknown chase engine {engine!r}")
-    return chase(relation, fds, mode=mode, strategy=strategy, seed=seed)
+    return chase(relation, fds, mode=mode, strategy=strategy, seed=seed, engine="sweep")
 
 
 def is_minimally_incomplete(
@@ -143,15 +147,33 @@ def church_rosser_orders(
     given FD order, ``fd_order`` on the reversed FD order, and a seeded
     random strategy per element of ``seeds``.  In extended mode all
     canonical forms must coincide; in basic mode they may differ (Figure 5).
+
+    Every run forces the sweep engine: the point of this function is to
+    *vary the application order*, and the worklist engine that now backs
+    ``chase(mode="extended")`` by default ignores strategy and seed — it
+    would turn the comparison into eleven runs of one execution.
     """
     fd_list = list(fds)
     results = [
-        chase(relation, fd_list, mode=mode, strategy=STRATEGY_FD_ORDER),
-        chase(relation, fd_list, mode=mode, strategy=STRATEGY_ROUND_ROBIN),
-        chase(relation, list(reversed(fd_list)), mode=mode, strategy=STRATEGY_FD_ORDER),
+        chase(relation, fd_list, mode=mode, strategy=STRATEGY_FD_ORDER, engine="sweep"),
+        chase(relation, fd_list, mode=mode, strategy=STRATEGY_ROUND_ROBIN, engine="sweep"),
+        chase(
+            relation,
+            list(reversed(fd_list)),
+            mode=mode,
+            strategy=STRATEGY_FD_ORDER,
+            engine="sweep",
+        ),
     ]
     for seed in seeds:
         results.append(
-            chase(relation, fd_list, mode=mode, strategy=STRATEGY_RANDOM, seed=seed)
+            chase(
+                relation,
+                fd_list,
+                mode=mode,
+                strategy=STRATEGY_RANDOM,
+                seed=seed,
+                engine="sweep",
+            )
         )
     return results

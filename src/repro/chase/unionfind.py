@@ -7,19 +7,28 @@ generic keeps both engines honest about where the semantics lives.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 class UnionFind:
-    """Union-find over the integers ``0 .. n-1`` (growable)."""
+    """Union-find over the integers ``0 .. n-1`` (growable).
 
-    __slots__ = ("parent", "size", "merges")
+    Structures layered on top of the partition (the indexed chase engine's
+    occurrence index, for instance) can subscribe to merges via
+    :attr:`on_union`: after every *successful* union it is called with
+    ``(survivor, absorbed)`` root ids, so the subscriber can move exactly
+    the bookkeeping attached to the absorbed class — no full rescan.
+    """
+
+    __slots__ = ("parent", "size", "merges", "on_union")
 
     def __init__(self, count: int = 0) -> None:
         self.parent: List[int] = list(range(count))
         self.size: List[int] = [1] * count
         #: number of successful (class-reducing) unions so far
         self.merges: int = 0
+        #: optional merge-notification hook: ``hook(survivor, absorbed)``
+        self.on_union: Optional[Callable[[int, int], None]] = None
 
     def add(self) -> int:
         """Create a fresh singleton node; returns its id."""
@@ -51,6 +60,8 @@ class UnionFind:
         self.parent[b] = a
         self.size[a] += self.size[b]
         self.merges += 1
+        if self.on_union is not None:
+            self.on_union(a, b)
         return a
 
     def same(self, first: int, second: int) -> bool:

@@ -27,7 +27,7 @@ DomainLike = Union[Domain, _UnboundedDomain]
 class RelationSchema:
     """A relation scheme: name, ordered attributes, per-attribute domains."""
 
-    __slots__ = ("name", "attributes", "_positions", "_domains")
+    __slots__ = ("name", "attributes", "_positions", "_domains", "_pos_cache")
 
     def __init__(
         self,
@@ -56,6 +56,8 @@ class RelationSchema:
                     )
                 resolved[attr] = dom
         self._domains = resolved
+        #: memoized attribute-spec -> column-index tuples (see ``positions``)
+        self._pos_cache: dict = {}
 
     # -- structure ----------------------------------------------------------
 
@@ -69,8 +71,21 @@ class RelationSchema:
             ) from None
 
     def positions(self, attributes: AttrsInput) -> Tuple[int, ...]:
-        """Column indexes for a set of attributes (validates membership)."""
-        return tuple(self.position(a) for a in parse_attrs(attributes))
+        """Column indexes for a set of attributes (validates membership).
+
+        Results are memoized per attribute spec (when hashable): projection
+        code — the chase engines, TEST-FDs, :meth:`Row.project` — asks for
+        the same FD sides over and over, so repeated parsing/validation
+        would otherwise dominate tight loops.
+        """
+        try:
+            cached = self._pos_cache.get(attributes)
+        except TypeError:  # unhashable spec (e.g. a list) — compute directly
+            return tuple(self.position(a) for a in parse_attrs(attributes))
+        if cached is None:
+            cached = tuple(self.position(a) for a in parse_attrs(attributes))
+            self._pos_cache[attributes] = cached
+        return cached
 
     def domain(self, attribute: str) -> DomainLike:
         """The (possibly unbounded) domain of ``attribute``."""

@@ -56,19 +56,27 @@ def check_fds_pairwise(
     ensure_no_nothing(relation)
     class_of = class_function(null_classes)
     rows = relation.rows
+    values = [row.values for row in rows]
+    schema = relation.schema
+    n = len(rows)
     for fd in (as_fd(f).normalized() for f in fds):
         if fd.is_trivial():
             continue
-        lhs_cols = [relation.schema.position(a) for a in fd.lhs]
-        rhs_cols = [(a, relation.schema.position(a)) for a in fd.rhs]
-        for i in range(len(rows)):
-            first = rows[i].values
-            for j in range(i + 1, len(rows)):
-                second = rows[j].values
+        lhs_cols = schema.positions(fd.lhs)
+        rhs_cols = tuple(zip(fd.rhs, schema.positions(fd.rhs)))
+        # X-projections materialized once per FD: the quadratic pair loop
+        # then touches flat tuples instead of re-indexing row objects
+        lhs_proj = [tuple(vals[c] for c in lhs_cols) for vals in values]
+        for i in range(n):
+            first_x = lhs_proj[i]
+            first = values[i]
+            for j in range(i + 1, n):
+                second_x = lhs_proj[j]
                 if all(
-                    x_equal(convention, first[c], second[c], class_of)
-                    for c in lhs_cols
+                    x_equal(convention, a, b, class_of)
+                    for a, b in zip(first_x, second_x)
                 ):
+                    second = values[j]
                     for attr, c in rhs_cols:
                         if y_unequal(convention, first[c], second[c], class_of):
                             return TestFDsOutcome(

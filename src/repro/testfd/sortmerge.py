@@ -90,14 +90,16 @@ def check_fds_sortmerge(
         raise ValueError(f"unknown anchor policy {anchor!r}")
     ensure_no_nothing(relation)
     class_of = class_function(null_classes)
+    values = [row.values for row in relation.rows]
+    schema = relation.schema
     for fd in (as_fd(f).normalized() for f in fds):
         if fd.is_trivial():
             continue
-        lhs_cols = [relation.schema.position(a) for a in fd.lhs]
-        rhs_cols = [(a, relation.schema.position(a)) for a in fd.rhs]
+        lhs_cols = schema.positions(fd.lhs)
+        rhs_cols = tuple(zip(fd.rhs, schema.positions(fd.rhs)))
 
         if convention == CONVENTION_STRONG and any(
-            is_null(row.values[c]) for row in relation.rows for c in lhs_cols
+            is_null(vals[c]) for vals in values for c in lhs_cols
         ):
             raise ConventionError(
                 f"sort-merge TEST-FDs cannot sort nulls under the strong "
@@ -107,9 +109,9 @@ def check_fds_sortmerge(
 
         class_ordinals: dict = {}
         keyed: List[Tuple[Tuple, int]] = []
-        for index, row in enumerate(relation.rows):
+        for index, vals in enumerate(values):
             key = tuple(
-                _sort_key(row.values[c], class_of, class_ordinals)
+                _sort_key(vals[c], class_of, class_ordinals)
                 for c in lhs_cols
             )
             keyed.append((key, index))
@@ -122,14 +124,14 @@ def check_fds_sortmerge(
         n = len(keyed)
         while position < n:
             first_key, first_index = keyed[position]
-            first_values = relation.rows[first_index].values
+            first_values = values[first_index]
             anchors = {
                 c: (first_values[c], first_index) for _, c in rhs_cols
             }
             nxt = position + 1
             while nxt < n and keyed[nxt][0] == first_key:
                 other_index = keyed[nxt][1]
-                other_values = relation.rows[other_index].values
+                other_values = values[other_index]
                 for attr, c in rhs_cols:
                     anchor_value, anchor_index = anchors[c]
                     if (

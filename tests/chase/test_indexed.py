@@ -1,0 +1,196 @@
+"""Engine-equivalence tests for the worklist-driven indexed chase.
+
+The indexed engine replaces the sweep engine's per-firing group rebuild
+with incrementally maintained buckets; Theorem 4 (finite Church-Rosser in
+extended mode) is what licenses the different firing order.  These tests
+pin the stronger, implementation-level contract: ``relation`` (up to null
+*identity*, not just canonical form), ``nec_classes`` and
+``substitutions`` are **field-identical** across the sweep, indexed and
+congruence engines, on randomized instances with constants, fresh nulls,
+shared nulls and NOTHING cells.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.congruence import congruence_chase
+from repro.chase.engine import (
+    MODE_BASIC,
+    MODE_EXTENDED,
+    STRATEGY_FD_ORDER,
+    STRATEGY_RANDOM,
+    STRATEGY_ROUND_ROBIN,
+    chase,
+)
+from repro.chase.indexed import IndexedChaseState, indexed_chase
+from repro.core.relation import Relation
+from repro.core.values import NOTHING, null
+
+from ..helpers import rel, schema_of
+
+_STRATEGIES = (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN, STRATEGY_RANDOM)
+
+
+def assert_field_identical(fast, slow):
+    """The acceptance contract: byte-identical result fields.
+
+    Rows are compared by value tuples — null equality is object identity,
+    so this also checks that the *same* representative null object appears
+    in the same cells of both results.
+    """
+    assert [r.values for r in fast.relation.rows] == [
+        r.values for r in slow.relation.rows
+    ]
+    assert fast.nec_classes == slow.nec_classes
+    assert {id(k): v for k, v in fast.substitutions.items()} == {
+        id(k): v for k, v in slow.substitutions.items()
+    }
+    assert fast.has_nothing == slow.has_nothing
+
+
+# ---------------------------------------------------------------------------
+# directed cases
+# ---------------------------------------------------------------------------
+
+
+class TestWorklistBehaviour:
+    def test_substitution(self):
+        r = rel("A B", [("a", "-"), ("a", "b1")])
+        result = indexed_chase(r, ["A -> B"])
+        assert result.relation[0]["B"] == "b1"
+
+    def test_cascade_through_rebucketing(self):
+        # the A -> B nec must re-bucket both rows for B -> C and fire it
+        r = rel("A B C", [("a", "-", "-"), ("a", "-", "c5")])
+        result = indexed_chase(r, ["A -> B", "B -> C"])
+        assert result.relation[0]["C"] == "c5"
+
+    def test_poisoning_propagates_through_interning(self):
+        r = rel("A B", [("a", "b1"), ("a", "b2"), ("z", "b1")])
+        result = indexed_chase(r, ["A -> B"])
+        assert result.relation[2]["B"] is NOTHING
+
+    def test_figure5_unique_nothing_column(self):
+        r = rel(
+            "A B C",
+            [("a1", "-", "c1"), ("a1", "b1", "c2"), ("a2", "b2", "c1")],
+        )
+        result = indexed_chase(r, ["A -> B", "C -> B"])
+        assert all(row["B"] is NOTHING for row in result.relation)
+
+    def test_chase_defaults_to_indexed_in_extended_mode(self):
+        r = rel("A B", [("a", "-"), ("a", "b1")])
+        via_chase = chase(r, ["A -> B"], mode=MODE_EXTENDED)
+        direct = indexed_chase(r, ["A -> B"])
+        assert_field_identical(via_chase, direct)
+
+    def test_basic_mode_rejected(self):
+        r = rel("A B", [("a", "b")])
+        with pytest.raises(ValueError):
+            chase(r, ["A -> B"], mode=MODE_BASIC, engine="indexed")
+
+    def test_unknown_engine_rejected(self):
+        r = rel("A B", [("a", "b")])
+        with pytest.raises(ValueError):
+            chase(r, ["A -> B"], engine="nope")
+
+    def test_fixpoint_has_no_applications_when_rechased(self):
+        r = rel("A B C", [("a", "-", "c1"), ("a", "-", "c2")])
+        once = indexed_chase(r, ["A -> B", "B -> C"])
+        twice = indexed_chase(once.relation, ["A -> B", "B -> C"])
+        assert twice.applications == []
+        # relation is unchanged; nec_classes/substitutions legitimately
+        # differ — the rechase's input holds ONE shared null object where
+        # the original held a two-member NEC class
+        assert [r.values for r in twice.relation.rows] == [
+            r.values for r in once.relation.rows
+        ]
+
+
+# ---------------------------------------------------------------------------
+# randomized equivalence (the acceptance property)
+# ---------------------------------------------------------------------------
+
+_fd_pool = [
+    "A -> B",
+    "B -> C",
+    "A -> C",
+    "C -> B",
+    "A B -> C",
+    "C -> A B",
+    "D -> A",
+    "B -> D",
+    "A C -> D",
+]
+
+
+@st.composite
+def instances(draw, max_rows=6, n_cols=4):
+    """Instances mixing constants, fresh nulls, shared nulls and NOTHING."""
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    shared = [null() for _ in range(3)]
+    cell = st.sampled_from(
+        ["v0", "v1", "v2", "fresh", "s0", "s1", "s2", "nothing"]
+    )
+    rows = []
+    for _ in range(n_rows):
+        values = []
+        for _ in range(n_cols):
+            token = draw(cell)
+            if token == "fresh":
+                values.append(null())
+            elif token == "nothing":
+                values.append(NOTHING)
+            elif token.startswith("s"):
+                values.append(shared[int(token[1:])])
+            else:
+                values.append(token)
+        rows.append(values)
+    return Relation(schema_of("A B C D"), rows)
+
+
+@given(
+    instances(),
+    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=5, unique=True),
+    st.sampled_from(_STRATEGIES),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=250, deadline=None)
+def test_indexed_equals_sweep_on_random_instances(instance, fds, strategy, seed):
+    fast = indexed_chase(instance, fds)
+    slow = chase(
+        instance, fds, mode=MODE_EXTENDED, strategy=strategy, seed=seed,
+        engine="sweep",
+    )
+    assert_field_identical(fast, slow)
+
+
+@given(
+    instances(),
+    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=150, deadline=None)
+def test_all_three_engines_field_identical(instance, fds):
+    fast = indexed_chase(instance, fds)
+    cong = congruence_chase(instance, fds)
+    slow = chase(instance, fds, mode=MODE_EXTENDED, engine="sweep")
+    assert_field_identical(fast, slow)
+    assert_field_identical(cong, slow)
+
+
+@given(
+    instances(max_rows=5),
+    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=4, unique=True),
+    st.sampled_from(_STRATEGIES),
+)
+@settings(max_examples=100, deadline=None)
+def test_basic_mode_unaffected_by_engine_param(instance, fds, strategy):
+    """Basic mode keeps the sweep path: auto and explicit sweep coincide."""
+    auto = chase(instance, fds, mode=MODE_BASIC, strategy=strategy)
+    explicit = chase(
+        instance, fds, mode=MODE_BASIC, strategy=strategy, engine="sweep"
+    )
+    assert_field_identical(auto, explicit)
+    assert auto.applications == explicit.applications
+    assert auto.passes == explicit.passes
