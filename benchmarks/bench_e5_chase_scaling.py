@@ -107,6 +107,11 @@ def main() -> None:
         f"indexed speedup at largest configuration: {largest_speedup:.1f}x "
         "(PR-1 target: >=5x)"
     )
+    print(
+        "congruence speedup at largest configuration: "
+        f"{sweep_times[-1] / cong_times[-1]:.1f}x "
+        "(shared-core congruence engine vs legacy sweep)"
+    )
 
     sizes = bench_sizes(geometric_sizes(200, 2.0, 4))
     fixed_p = 8

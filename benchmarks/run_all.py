@@ -27,7 +27,11 @@ fast perf smoke test.  Results land in a JSON file::
 
 Per-benchmark wall times plus every printed log-log slope and "...x"
 speedup line are captured, giving later PRs a perf trajectory to compare
-against (the PR-1 baseline is committed as ``BENCH_PR1.json``).
+against (committed baselines: ``BENCH_PR1.json``, ``BENCH_PR2.json``).
+The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
+``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
+``slopes`` / ``speedups`` — is guarded by
+``tests/workloads/test_run_all.py``.
 """
 
 from __future__ import annotations
@@ -137,14 +141,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR1.json at the repo root "
+        help="output JSON path (default: BENCH_PR2.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR1.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR2.json")
         )
 
     scripts = discover(args.only, args.ablations)

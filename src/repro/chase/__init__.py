@@ -1,10 +1,12 @@
 """NS-rule chase, NECs, congruence closure (paper section 6)."""
 
 from .congruence import CongruenceEngine, congruence_chase
+from .core import SignatureChaseCore
 from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
 from .engine import (
     ENGINE_AUTO,
+    ENGINE_CONGRUENCE,
     ENGINE_INDEXED,
     ENGINE_SWEEP,
     MODE_BASIC,
@@ -33,6 +35,7 @@ __all__ = [
     "ChaseState",
     "CongruenceEngine",
     "ENGINE_AUTO",
+    "ENGINE_CONGRUENCE",
     "ENGINE_INDEXED",
     "ENGINE_SWEEP",
     "IncrementalChase",
@@ -42,6 +45,7 @@ __all__ = [
     "STRATEGY_FD_ORDER",
     "STRATEGY_RANDOM",
     "STRATEGY_ROUND_ROBIN",
+    "SignatureChaseCore",
     "XSubstitution",
     "canonical_form",
     "chase",

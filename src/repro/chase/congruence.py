@@ -8,14 +8,25 @@ reading the instance as a congruence-closure problem: for every FD
 graph is the unique minimally incomplete instance (with *nothing* for
 classes that swallow two distinct constants).
 
-This module implements the signature-table / use-list algorithm (the
-standard efficient congruence closure): each (FD, row) pair is a term whose
-signature is the tuple of its ``X``-cell class roots; a hash table maps
-signatures to a representative row; when a union changes some class, only
-the terms *using* that class are re-signed.  With union-by-size the total
-re-signing work is ``O(m log m)`` term updates — the near-linear bound the
-paper's footnote cites, versus the naive engine's multi-pass
-``O(|F| · n³ · p)``.
+The signature-table / use-list machinery of the standard efficient
+congruence closure is exactly the machinery the worklist indexed engine
+maintains, so this engine no longer keeps its own copy: the shared core
+(:class:`repro.chase.core.SignatureChaseCore`) provides the signature
+buckets, and its occurrence index *is* the use list — the terms using a
+class are the ``(fd, row)`` pairs the core re-signs when one of the
+class's cells sits under an FD's left-hand side.  With the core's
+occurrence-weighted union the total re-signing work is ``O(m log m)`` term
+updates — the near-linear bound the paper's footnote cites, versus the
+naive engine's multi-pass ``O(|F| · n³ · p)``.
+
+What stays congruence-specific is the firing discipline, kept deliberately
+*different* from the indexed engine's so the two remain independently
+derived oracles for the differential tests: a signature collision does not
+apply the NS-rule's case analysis — it enqueues the result-cell pairs
+``(t[A], t'[A])`` for ``A ∈ Y`` on a pending queue, and the closure loop
+merges them unconditionally, letting the tag algebra (and an explicit
+poison-propagation step for classes that turned *nothing*) sort out the
+semantics.
 
 The result is bit-for-bit the same partition (and tags) as
 :func:`repro.chase.engine.chase` in extended mode; the test suite and
@@ -24,93 +35,63 @@ experiment E5 verify this on thousands of random instances.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, List, Set, Tuple
+from collections import deque
+from typing import Deque, Iterable, Tuple
 
 from ..core.fd import FDInput
 from ..core.relation import Relation
-from .engine import MODE_EXTENDED, ChaseResult, ChaseState
+from .core import SignatureChaseCore
+from .engine import ChaseResult
 
 STRATEGY_CONGRUENCE = "congruence"
 
 
-class CongruenceEngine(ChaseState):
-    """Extended-mode chase via congruence closure."""
+class CongruenceEngine(SignatureChaseCore):
+    """Extended-mode chase via congruence closure on the shared core."""
 
     def __init__(self, relation: Relation, fds: Iterable[FDInput]) -> None:
-        super().__init__(relation, fds, MODE_EXTENDED)
+        super().__init__(relation, fds)
         self._nothing()  # materialize the single inconsistent class up front
+        #: node pairs whose classes congruence forces equal
+        self._pending: Deque[Tuple[int, int]] = deque()
 
-    def run_congruence(self) -> None:
-        fds = self.fds
-        columns = [
-            (
-                self._columns_of(fd)[1],
-                tuple(col for _, col in self._columns_of(fd)[2]),
-            )
-            for fd in fds
-        ]
-        n_rows = len(self.cells)
+    def _fire(self, k: int, anchor: int, row: int) -> None:
+        """Equal arguments force equal results: enqueue the Y-cell merges."""
+        cells = self.cells
+        pending = self._pending
+        for col in self._rhs_cols[k]:
+            pending.append((cells[anchor][col], cells[row][col]))
+        self._close()
 
-        # term = (fd index, row index)
-        signature: Dict[Tuple[int, int], Tuple[int, ...]] = {}
-        table: Dict[Tuple[int, Tuple[int, ...]], int] = {}
-        uses: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
-        pending: Deque[Tuple[int, int]] = deque()
+    def _close(self) -> None:
+        """Drain the pending merges (the congruence-closure loop).
 
-        def enqueue_result_merge(k: int, i: int, j: int) -> None:
-            for col in columns[k][1]:
-                pending.append((self.cells[i][col], self.cells[j][col]))
-
-        # -- initial signing --------------------------------------------------
-        for k in range(len(fds)):
-            xcols = columns[k][0]
-            for i in range(n_rows):
-                sig = tuple(self.uf.find(self.cells[i][c]) for c in xcols)
-                signature[(k, i)] = sig
-                for root in set(sig):
-                    uses[root].add((k, i))
-                key = (k, sig)
-                if key in table:
-                    enqueue_result_merge(k, table[key], i)
-                else:
-                    table[key] = i
-
-        # -- closure loop ---------------------------------------------------------
+        Every pop merges one pair of classes through the tag algebra.
+        Poisoning: a class that swallowed two distinct constants must join
+        the single *nothing* class (constants are interned per column, so
+        the merge itself propagates *nothing* to every cell holding them);
+        that follow-up union goes back on the queue like any other.  The
+        class merges dirty rows onto the core's worklist through
+        ``on_union``; re-signing (and the further collisions it finds)
+        happens after this drain returns, back in ``run_worklist`` — so
+        the queue is always empty when :meth:`_fire` is entered.
+        """
+        pending = self._pending
+        find = self.uf.find
         while pending:
             first, second = pending.popleft()
-            root_a, root_b = self.uf.find(first), self.uf.find(second)
+            root_a, root_b = find(first), find(second)
             if root_a == root_b:
                 continue
             survivor = self._merge(root_a, root_b)
-            absorbed = root_b if survivor == root_a else root_a
-
-            # Poisoning: a class that swallowed two distinct constants must
-            # join the single *nothing* class (constants interned per column
-            # then propagate it to every cell holding them).
             if self.tags[survivor][0] == "nothing":
                 nothing_root = self._nothing()
                 if nothing_root != survivor:
                     pending.append((survivor, nothing_root))
-
-            # Re-sign every term that used the absorbed class.
-            for term in uses.pop(absorbed, ()):
-                k, i = term
-                old_sig = signature[term]
-                old_key = (k, old_sig)
-                if table.get(old_key) == i:
-                    del table[old_key]
-                new_sig = tuple(self.uf.find(node) for node in old_sig)
-                signature[term] = new_sig
-                for root in set(new_sig):
-                    uses[root].add(term)
-                new_key = (k, new_sig)
-                other = table.get(new_key)
-                if other is None:
-                    table[new_key] = i
-                elif other != i:
-                    enqueue_result_merge(k, other, i)
             self.passes += 1  # one queue step ~ one merge processed
+
+    def run_congruence(self) -> None:
+        self.run_worklist()
 
     def chase_result(self) -> ChaseResult:
         return self.result(STRATEGY_CONGRUENCE)

@@ -1,0 +1,177 @@
+"""The shared chase-engine core: occurrence index, signature buckets,
+weighted union-find, worklist.
+
+The paper's Theorem 4 fast path and the NS-rule chase are one fixpoint; the
+worklist indexed engine (:mod:`repro.chase.indexed`) and the
+congruence-closure engine (:mod:`repro.chase.congruence`) used to compute
+it with two parallel sets of bookkeeping — a ``class → cells`` occurrence
+index on one side, signature/use-list machinery on the other.  This module
+is the single copy both now share:
+
+1. **Precomputed projections.**  Each FD's left/right column indices are
+   resolved once per state (``ChaseState._columns_of``); no
+   ``schema.position`` call survives in any inner loop.
+
+2. **Occurrence index.**  A reverse index ``class root → [(row, col)]``
+   tracks which cells live in which class.  It doubles as the *use list*
+   of classic congruence closure: the terms using a class are exactly the
+   ``(fd, row)`` pairs whose row owns one of its cells with the column on
+   the FD's left-hand side.
+
+3. **Occurrence-weighted union.**  Each node's union-find weight is its
+   cell-occurrence count, so the class whose occurrence list is longer
+   always survives a merge and only the short list moves.  Union by *node*
+   count gets this wrong for interned constants — one node standing for
+   hundreds of cells — which are precisely the classes that grow hot in
+   poisoning cascades.
+
+4. **Signature buckets + worklist.**  Per FD, a hash table maps the
+   current X-signature (tuple of class roots) to an *anchor* row.  A row
+   whose signature lands on an occupied slot **fires** against the anchor.
+   When a union absorbs a class (delivered through the union-find's
+   ``on_union`` hook, so every merge is caught, including
+   *nothing*-poisoning ones), only the rows owning an absorbed cell are
+   dirtied — pushed as ``(fd, row)`` pairs onto a worklist for re-signing.
+   Rows whose signatures mention the absorbed root necessarily own such a
+   cell, so anchor-table invalidation is complete.  Total re-signing work
+   is proportional to cells-moved × FDs-per-column, with weighted union
+   bounding how often any cell can move — the near-linear bound of the
+   paper's Downey-Sethi-Tarjan footnote.
+
+What *firing* means is the one thing the engines disagree on, so it is the
+one overridable hook (:meth:`SignatureChaseCore._fire`): the indexed
+engine applies the NS-rule directly (recording typed
+:class:`~repro.chase.engine.Application` entries); the congruence engine
+enqueues result-cell merges and closes over them queue-style.  Theorem 4
+(finite Church-Rosser in extended mode) is what makes the different firing
+disciplines land on the same partition; the randomized cross-engine suite
+(``tests/chase/test_indexed.py``) pins it field-by-field.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Tuple, Union
+
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from .engine import MODE_EXTENDED, ChaseState
+
+#: an X-signature: a bare class root for single-attribute left-hand sides,
+#: a root tuple otherwise (the two cannot collide as dict keys)
+Signature = Union[int, Tuple[int, ...]]
+
+
+class SignatureChaseCore(ChaseState):
+    """Extended-mode chase state with the shared index/worklist machinery.
+
+    Subclasses implement :meth:`_fire` (what happens when two rows collide
+    on an FD's X-signature) and drive :meth:`run_worklist`.
+    """
+
+    def __init__(self, relation: Relation, fds: Iterable[FDInput]) -> None:
+        super().__init__(relation, fds, MODE_EXTENDED)
+        # lhs/rhs projections, resolved once (point 1 of the module doc)
+        self._lhs_cols: List[Tuple[int, ...]] = [
+            self._columns_of(fd)[1] for fd in self.fds
+        ]
+        self._rhs_cols: List[Tuple[int, ...]] = [
+            tuple(col for _, col in self._columns_of(fd)[2]) for fd in self.fds
+        ]
+        #: col -> FD indices with that column on their left-hand side; only
+        #: those FDs can see a row's signature change when the cell moves
+        self._lhs_fds_by_col: List[List[int]] = [
+            [] for _ in range(len(self.schema))
+        ]
+        for k, cols in enumerate(self._lhs_cols):
+            for col in set(cols):
+                self._lhs_fds_by_col[col].append(k)
+        #: occurrence index: class root -> cells [(row, col)] in that class
+        self._occ: Dict[int, List[Tuple[int, int]]] = {}
+        for row, encoded in enumerate(self.cells):
+            for col, node in enumerate(encoded):
+                # fresh states have node == root; interned constants repeat
+                self._occ.setdefault(node, []).append((row, col))
+        # occurrence-weighted union (point 3): a node weighs as many cells
+        # as it stands for, so merges keep the occurrence-heavy class as
+        # root and move the short list
+        for node, cells in self._occ.items():
+            self.uf.set_weight(node, len(cells))
+        #: current signature per (fd index, row)
+        self._sigs: Dict[Tuple[int, int], Signature] = {}
+        #: (fd index, signature) -> anchor row
+        self._anchors: Dict[Tuple[int, Signature], int] = {}
+        #: rows whose signature may have changed, as (fd index, row)
+        self._work: Deque[Tuple[int, int]] = deque()
+        self.uf.on_union = self._on_union
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _on_union(self, survivor: int, absorbed: int) -> None:
+        """Move the absorbed class's cells; dirty only their rows."""
+        moved = self._occ.pop(absorbed, None)
+        if not moved:
+            return
+        self._occ.setdefault(survivor, []).extend(moved)
+        work = self._work
+        by_col = self._lhs_fds_by_col
+        for row, col in moved:
+            for k in by_col[col]:
+                work.append((k, row))
+
+    def _sign(self, k: int, row: int) -> None:
+        """(Re-)bucket one row for one FD; fire against the anchor on hit."""
+        find = self.uf.find
+        cells_row = self.cells[row]
+        cols = self._lhs_cols[k]
+        if len(cols) == 1:
+            # single-attribute lhs (the common case): a bare root is a
+            # cheaper signature than a 1-tuple, and int/tuple keys cannot
+            # collide in the bucket tables
+            sig = find(cells_row[cols[0]])
+        else:
+            sig = tuple(find(cells_row[col]) for col in cols)
+        key = (k, row)
+        old = self._sigs.get(key)
+        if old == sig:
+            return  # duplicate worklist entry; already processed
+        if old is not None and self._anchors.get((k, old)) == row:
+            # rows still bucketed under the stale signature (if any) hold a
+            # cell of the absorbed class themselves, so they are on the
+            # worklist too — dropping the slot cannot orphan them
+            del self._anchors[(k, old)]
+        self._sigs[key] = sig
+        anchor = self._anchors.setdefault((k, sig), row)
+        if anchor != row:
+            self._fire(k, anchor, row)
+
+    def _fire(self, k: int, anchor: int, row: int) -> None:
+        """Two rows agree on FD ``k``'s left-hand side: act on it.
+
+        The engine-specific half of the fixpoint — NS-rule application for
+        the indexed engine, result-merge enqueueing for the congruence
+        engine.  Any class merges it causes re-enter :attr:`_work` through
+        :meth:`_on_union`.
+        """
+        raise NotImplementedError
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def run_worklist(self) -> None:
+        """Drive the NS-rules to fixpoint from the worklist.
+
+        Seeds the worklist with every ``(fd, row)`` pair, then drains:
+        signing can fire rules, rule firings merge classes, merges dirty
+        exactly the affected rows back onto the worklist.  Terminates
+        because every merge strictly reduces the number of classes and
+        dirty entries only arise from merges.
+        """
+        self.passes += 1  # the seeding sweep: every term signed once
+        work = self._work
+        for k in range(len(self.fds)):
+            for row in range(len(self.cells)):
+                work.append((k, row))
+        sign = self._sign
+        while work:
+            k, row = work.popleft()
+            sign(k, row)

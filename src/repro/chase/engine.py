@@ -54,6 +54,7 @@ STRATEGY_RANDOM = "random"
 ENGINE_AUTO = "auto"
 ENGINE_SWEEP = "sweep"
 ENGINE_INDEXED = "indexed"
+ENGINE_CONGRUENCE = "congruence"
 
 _STRATEGIES = (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN, STRATEGY_RANDOM)
 
@@ -427,6 +428,9 @@ def chase(
       mode, where the order *is* the observable (Figure 5) and the
       strategy must be honored literally.
     * ``"indexed"`` — force the indexed engine (extended mode only).
+    * ``"congruence"`` — the congruence-closure engine on the same shared
+      core (extended mode only); an independently derived oracle for the
+      differential tests.
     * ``"sweep"`` — force the legacy multi-pass engine (both modes).
 
     All paths produce identical ``relation`` / ``nec_classes`` /
@@ -437,12 +441,18 @@ def chase(
         raise ValueError(f"unknown strategy {strategy!r}")
     if engine == ENGINE_AUTO:
         engine = ENGINE_INDEXED if mode == MODE_EXTENDED else ENGINE_SWEEP
-    if engine == ENGINE_INDEXED:
+    if engine in (ENGINE_INDEXED, ENGINE_CONGRUENCE):
         if mode != MODE_EXTENDED:
             raise ValueError(
-                "the indexed engine implements the extended (Church-Rosser) "
-                "rules only; use engine='sweep' for basic mode"
+                f"the {engine} engine implements the extended (Church-"
+                "Rosser) rules only; use engine='sweep' for basic mode"
             )
+        if engine == ENGINE_CONGRUENCE:
+            from .congruence import CongruenceEngine  # local: avoids cycle
+
+            congruence_state = CongruenceEngine(relation, fds)
+            congruence_state.run_congruence()
+            return congruence_state.result(strategy)
         from .indexed import IndexedChaseState  # local: avoids import cycle
 
         indexed_state = IndexedChaseState(relation, fds)

@@ -9,31 +9,17 @@ congruence-style worklist processing brings the same closure down to
 ``O(|F|·n·log(|F|·n))``.  The separation is entirely about *re-scanning*:
 after a merge, the sweep engine rebuilds every FD's X-signature groups from
 scratch even though only the rows holding a cell of the absorbed class can
-have changed group.  This engine does the bookkeeping the footnote's bound
-assumes, while firing the *same* NS-rules through the same ``_merge`` /
-tag semantics as :class:`repro.chase.engine.ChaseState`:
+have changed group.
 
-1. **Precomputed projections.**  Each FD's left/right column indices are
-   resolved once per state (``ChaseState._columns_of``); no
-   ``schema.position`` call survives in any inner loop.
-
-2. **Incremental buckets.**  Per FD, a hash table maps the current
-   X-signature (tuple of class roots) to an *anchor* row.  A row whose
-   signature lands on an occupied slot fires the NS-rule against the
-   anchor immediately — exactly the sweep engine's group behavior, minus
-   the group rebuild.
-
-3. **Occurrence index + worklist.**  A reverse index ``class root →
-   [(row, col)]`` tracks which cells live in which class.  When a union
-   absorbs a class (delivered through the union-find's ``on_union`` hook,
-   so *every* merge is caught, including *nothing*-poisoning ones), only
-   the rows owning an absorbed cell are dirtied — pushed as ``(fd, row)``
-   pairs onto a worklist for re-signing.  Rows whose signatures mention
-   the absorbed root necessarily own such a cell, so anchor-table
-   invalidation is complete.  Total re-signing work is proportional to
-   cells-moved × FDs-per-column, with union-by-size bounding how often any
-   cell can move — the near-linear worklist bound, versus a full
-   ``Θ(|F|·n)`` group rebuild per firing.
+All of the bookkeeping that realizes the footnote's bound — precomputed
+projections, the occurrence index, occurrence-weighted union, per-FD
+signature buckets, the ``(fd, row)`` worklist — lives in the shared core
+(:class:`repro.chase.core.SignatureChaseCore`), which this engine shares
+with the congruence-closure engine.  What this engine adds is only the
+firing discipline: a signature collision applies the NS-rule immediately
+through the same ``_apply_pair`` / tag semantics as
+:class:`repro.chase.engine.ChaseState`, recording typed
+:class:`~repro.chase.engine.Application` entries as it goes.
 
 Basic mode is deliberately *not* supported: there the firing order is the
 observable (Figure 5), so ``chase(mode="basic")`` keeps the
@@ -47,111 +33,22 @@ results on randomized instances) and measured by
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Tuple, Union
+from typing import Iterable
 
 from ..core.fd import FDInput
 from ..core.relation import Relation
-from .engine import MODE_EXTENDED, ChaseResult, ChaseState
+from .core import SignatureChaseCore
+from .engine import ChaseResult
 
 STRATEGY_WORKLIST = "worklist"
 
-#: an X-signature: a bare class root for single-attribute left-hand sides,
-#: a root tuple otherwise (the two cannot collide as dict keys)
-Signature = Union[int, Tuple[int, ...]]
 
-
-class IndexedChaseState(ChaseState):
+class IndexedChaseState(SignatureChaseCore):
     """Extended-mode chase driven by a worklist over maintained indexes."""
 
-    def __init__(self, relation: Relation, fds: Iterable[FDInput]) -> None:
-        super().__init__(relation, fds, MODE_EXTENDED)
-        # lhs/rhs projections, resolved once (point 1 of the module doc)
-        self._lhs_cols: List[Tuple[int, ...]] = [
-            self._columns_of(fd)[1] for fd in self.fds
-        ]
-        #: col -> FD indices with that column on their left-hand side; only
-        #: those FDs can see a row's signature change when the cell moves
-        self._lhs_fds_by_col: List[List[int]] = [
-            [] for _ in range(len(self.schema))
-        ]
-        for k, cols in enumerate(self._lhs_cols):
-            for col in set(cols):
-                self._lhs_fds_by_col[col].append(k)
-        #: occurrence index: class root -> cells [(row, col)] in that class
-        self._occ: Dict[int, List[Tuple[int, int]]] = {}
-        for row, encoded in enumerate(self.cells):
-            for col, node in enumerate(encoded):
-                # fresh states have node == root; interned constants repeat
-                self._occ.setdefault(node, []).append((row, col))
-        #: current signature per (fd index, row)
-        self._sigs: Dict[Tuple[int, int], Signature] = {}
-        #: (fd index, signature) -> anchor row
-        self._anchors: Dict[Tuple[int, Signature], int] = {}
-        #: rows whose signature may have changed, as (fd index, row)
-        self._work: Deque[Tuple[int, int]] = deque()
-        self.uf.on_union = self._on_union
-
-    # -- index maintenance ----------------------------------------------------
-
-    def _on_union(self, survivor: int, absorbed: int) -> None:
-        """Move the absorbed class's cells; dirty only their rows."""
-        moved = self._occ.pop(absorbed, None)
-        if not moved:
-            return
-        self._occ.setdefault(survivor, []).extend(moved)
-        work = self._work
-        by_col = self._lhs_fds_by_col
-        for row, col in moved:
-            for k in by_col[col]:
-                work.append((k, row))
-
-    def _sign(self, k: int, row: int) -> None:
-        """(Re-)bucket one row for one FD; fire against the anchor on hit."""
-        find = self.uf.find
-        cells_row = self.cells[row]
-        cols = self._lhs_cols[k]
-        if len(cols) == 1:
-            # single-attribute lhs (the common case): a bare root is a
-            # cheaper signature than a 1-tuple, and int/tuple keys cannot
-            # collide in the bucket tables
-            sig = find(cells_row[cols[0]])
-        else:
-            sig = tuple(find(cells_row[col]) for col in cols)
-        key = (k, row)
-        old = self._sigs.get(key)
-        if old == sig:
-            return  # duplicate worklist entry; already processed
-        if old is not None and self._anchors.get((k, old)) == row:
-            # rows still bucketed under the stale signature (if any) hold a
-            # cell of the absorbed class themselves, so they are on the
-            # worklist too — dropping the slot cannot orphan them
-            del self._anchors[(k, old)]
-        self._sigs[key] = sig
-        anchor = self._anchors.setdefault((k, sig), row)
-        if anchor != row:
-            self._apply_pair(self.fds[k], anchor, row)
-
-    # -- fixpoint -------------------------------------------------------------
-
-    def run_worklist(self) -> None:
-        """Drive the NS-rules to fixpoint from the worklist.
-
-        Seeds the worklist with every ``(fd, row)`` pair, then drains:
-        signing can fire rules, rule firings merge classes, merges dirty
-        exactly the affected rows back onto the worklist.  Terminates
-        because every merge strictly reduces the number of classes and
-        dirty entries only arise from merges.
-        """
-        self.passes += 1  # the seeding sweep: every term signed once
-        work = self._work
-        for k in range(len(self.fds)):
-            for row in range(len(self.cells)):
-                work.append((k, row))
-        sign = self._sign
-        while work:
-            k, row = work.popleft()
-            sign(k, row)
+    def _fire(self, k: int, anchor: int, row: int) -> None:
+        """A signature collision is an NS-rule application site."""
+        self._apply_pair(self.fds[k], anchor, row)
 
     def chase_result(self) -> ChaseResult:
         return self.result(STRATEGY_WORKLIST)

@@ -1,8 +1,17 @@
 """Disjoint-set forest (union-find) used by the NS-rule engines.
 
-Plain integer-keyed DSU with path halving and union by size.  The chase
+Plain integer-keyed DSU with path halving and *weighted* union.  The chase
 engines layer *value tags* on top of the partition; keeping the DSU itself
 generic keeps both engines honest about where the semantics lives.
+
+Weighted union: every node carries a weight (default 1, so the default is
+classic union by size) and the heavier class survives a merge.  The chase
+core sets each node's weight to its **cell-occurrence count** — an interned
+constant appearing in 500 cells is one node but weighs 500 — so the class
+whose occurrence list would be expensive to move is always the one that
+stays put.  Union by node count would happily absorb that constant into a
+three-null class and then move 500 occurrence entries; union by occurrence
+weight moves 3.
 """
 
 from __future__ import annotations
@@ -13,18 +22,22 @@ from typing import Callable, Dict, Iterator, List, Optional
 class UnionFind:
     """Union-find over the integers ``0 .. n-1`` (growable).
 
-    Structures layered on top of the partition (the indexed chase engine's
-    occurrence index, for instance) can subscribe to merges via
-    :attr:`on_union`: after every *successful* union it is called with
-    ``(survivor, absorbed)`` root ids, so the subscriber can move exactly
-    the bookkeeping attached to the absorbed class — no full rescan.
+    Structures layered on top of the partition (the chase core's occurrence
+    index, for instance) can subscribe to merges via :attr:`on_union`: after
+    every *successful* union it is called with ``(survivor, absorbed)`` root
+    ids, so the subscriber can move exactly the bookkeeping attached to the
+    absorbed class — no full rescan.
     """
 
-    __slots__ = ("parent", "size", "merges", "on_union")
+    __slots__ = ("parent", "size", "weight", "merges", "on_union")
 
     def __init__(self, count: int = 0) -> None:
         self.parent: List[int] = list(range(count))
         self.size: List[int] = [1] * count
+        #: per-class weight; roots hold their class's total.  Defaults to 1
+        #: per node (weighted union then coincides with union by size);
+        #: engines that know better call :meth:`set_weight` before merging.
+        self.weight: List[int] = [1] * count
         #: number of successful (class-reducing) unions so far
         self.merges: int = 0
         #: optional merge-notification hook: ``hook(survivor, absorbed)``
@@ -35,7 +48,19 @@ class UnionFind:
         node = len(self.parent)
         self.parent.append(node)
         self.size.append(1)
+        self.weight.append(1)
         return node
+
+    def set_weight(self, node: int, weight: int) -> None:
+        """Assign a singleton node's weight (before any union touches it).
+
+        Weights are class totals maintained by summation; reassigning a
+        non-root (or a root that already absorbed others) would corrupt the
+        totals, so this is restricted to fresh singletons.
+        """
+        if self.parent[node] != node or self.size[node] != 1:
+            raise ValueError("set_weight is only valid on singleton roots")
+        self.weight[node] = weight
 
     def find(self, node: int) -> int:
         """Root of ``node``'s class (path halving)."""
@@ -48,17 +73,20 @@ class UnionFind:
     def union(self, first: int, second: int) -> int:
         """Merge the two classes; returns the surviving root.
 
-        The larger class wins (union by size), which both bounds tree depth
-        and — in the congruence engine — makes "re-sign the smaller class"
-        the cheap side.
+        The heavier class wins (weighted union), which both bounds tree
+        depth — weights are positive, so the absorbed side at most halves
+        the total, giving the usual logarithmic move count — and makes
+        "move the absorbed class's occurrences" the cheap side in the
+        chase core.
         """
         a, b = self.find(first), self.find(second)
         if a == b:
             return a
-        if self.size[a] < self.size[b]:
+        if self.weight[a] < self.weight[b]:
             a, b = b, a
         self.parent[b] = a
         self.size[a] += self.size[b]
+        self.weight[a] += self.weight[b]
         self.merges += 1
         if self.on_union is not None:
             self.on_union(a, b)

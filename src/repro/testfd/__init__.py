@@ -22,6 +22,7 @@ from ..core.fd import FDInput
 from ..core.relation import Relation
 from ..core.values import Null, is_null
 from ..errors import ConventionError, NotMinimallyIncompleteError
+from .batched import check_fds_batched
 from .bucket import check_fds_bucket, check_single_fd_presorted
 from .conventions import (
     CONVENTION_STRONG,
@@ -39,6 +40,7 @@ __all__ = [
     "TestFDsOutcome",
     "Witness",
     "check_fds",
+    "check_fds_batched",
     "check_fds_bucket",
     "check_fds_pairwise",
     "check_fds_sortmerge",
@@ -61,9 +63,11 @@ def check_fds(
     """Run TEST-FDs with the requested convention and method.
 
     ``method``: ``"sortmerge"`` (Figure 3), ``"pairwise"`` (the footnote's
-    O(n²) variant), ``"bucket"`` (the bucket-sort variant), or ``"auto"``
-    — sort-merge where the convention permits it, falling back to pairwise
-    for the strong convention on instances with left-hand-side nulls.
+    O(n²) variant), ``"bucket"`` (the bucket-sort variant), ``"batched"``
+    (bucket batched over shared left-hand sides: one grouping per distinct
+    X decides every ``X -> Y_i``), or ``"auto"`` — sort-merge where the
+    convention permits it, falling back to pairwise for the strong
+    convention on instances with left-hand-side nulls.
 
     For the weak convention, Theorem 3 requires a minimally incomplete
     instance; ``ensure_minimal=True`` chases first (basic NS-rules; the
@@ -91,6 +95,8 @@ def check_fds(
         return check_fds_pairwise(relation, fd_list, convention, null_classes)
     if method == "bucket":
         return check_fds_bucket(relation, fd_list, convention, null_classes)
+    if method == "batched":
+        return check_fds_batched(relation, fd_list, convention, null_classes)
     if method != "auto":
         raise ValueError(f"unknown TEST-FDs method {method!r}")
 

@@ -2,7 +2,6 @@
 fixpoint engine (the DST construction behind Theorem 4)."""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.chase.congruence import congruence_chase
 from repro.chase.engine import MODE_EXTENDED, chase
@@ -11,6 +10,7 @@ from repro.core.relation import Relation
 from repro.core.values import NOTHING, null
 
 from ..helpers import rel, schema_of
+from ..strategies import fd_sets, instances
 
 
 class TestBasicBehaviour:
@@ -86,23 +86,12 @@ class TestDeepCascades:
 # property-based equivalence with the fixpoint engine
 # ---------------------------------------------------------------------------
 
-_cell = st.sampled_from(["v0", "v1", "v2", None])
-_fd_pool = ["A -> B", "B -> C", "A -> C", "C -> B", "A B -> C", "C -> A B"]
-
-
-@st.composite
-def instances(draw, max_rows=5):
-    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
-    rows = [[draw(_cell) for _ in range(3)] for _ in range(n_rows)]
-    schema = schema_of("A B C")
-    return Relation(
-        schema, [[null() if v is None else v for v in row] for row in rows]
-    )
+_pool = ("A -> B", "B -> C", "A -> C", "C -> B", "A B -> C", "C -> A B")
 
 
 @given(
-    instances(),
-    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=4, unique=True),
+    instances(attributes="A B C", max_rows=5, shared_nulls=0, allow_nothing=False),
+    fd_sets(pool=_pool),
 )
 @settings(max_examples=200, deadline=None)
 def test_congruence_equals_extended_fixpoint(instance, fds):
@@ -113,8 +102,8 @@ def test_congruence_equals_extended_fixpoint(instance, fds):
 
 
 @given(
-    instances(max_rows=4),
-    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=3, unique=True),
+    instances(attributes="A B C", max_rows=4, shared_nulls=0, allow_nothing=False),
+    fd_sets(pool=_pool, max_size=3),
 )
 @settings(max_examples=100, deadline=None)
 def test_congruence_substitutions_match(instance, fds):

@@ -1,11 +1,14 @@
 """Tests for the NS-rule fixpoint engine (section 6, Definitions 1-2)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.chase.engine import (
     MODE_BASIC,
     MODE_EXTENDED,
     STRATEGY_FD_ORDER,
+    STRATEGY_RANDOM,
     STRATEGY_ROUND_ROBIN,
     chase,
     x_side_substitutions,
@@ -14,6 +17,7 @@ from repro.core.relation import Relation
 from repro.core.values import NOTHING, is_null, null
 
 from ..helpers import rel, schema_of
+from ..strategies import assert_field_identical, fd_sets, instances
 
 
 class TestRuleA_Substitution:
@@ -152,6 +156,45 @@ class TestStrategies:
         result = chase(r, ["A -> B"], mode=MODE_BASIC)
         # the shared null stays shared (one class, no rule fired)
         assert result.relation[0]["B"] is result.relation[1]["B"]
+
+
+# ---------------------------------------------------------------------------
+# randomized: Theorem 4's order independence, on the sweep engine itself
+# ---------------------------------------------------------------------------
+
+
+@given(
+    instances(max_rows=5),
+    fd_sets(),
+    st.sampled_from((STRATEGY_FD_ORDER, STRATEGY_RANDOM)),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_extended_sweep_is_strategy_invariant(instance, fds, strategy, seed):
+    """Extended mode: every strategy reaches the same fixpoint (Theorem 4),
+    field-identically — not just up to canonical form."""
+    reference = chase(instance, fds, mode=MODE_EXTENDED, engine="sweep")
+    other = chase(
+        instance, fds, mode=MODE_EXTENDED, strategy=strategy, seed=seed,
+        engine="sweep",
+    )
+    assert_field_identical(other, reference)
+
+
+@given(instances(max_rows=5), fd_sets())
+@settings(max_examples=100, deadline=None)
+def test_engine_congruence_dispatch_matches_default(instance, fds):
+    """chase(engine="congruence") runs the shared-core congruence engine
+    and lands on the same fields as the default indexed path."""
+    via_param = chase(instance, fds, mode=MODE_EXTENDED, engine="congruence")
+    default = chase(instance, fds, mode=MODE_EXTENDED)
+    assert_field_identical(via_param, default)
+
+
+def test_engine_congruence_rejects_basic_mode():
+    r = rel("A B", [("a", "b")])
+    with pytest.raises(ValueError):
+        chase(r, ["A -> B"], mode=MODE_BASIC, engine="congruence")
 
 
 class TestXSideSubstitutions:

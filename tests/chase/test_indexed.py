@@ -24,29 +24,12 @@ from repro.chase.engine import (
     chase,
 )
 from repro.chase.indexed import IndexedChaseState, indexed_chase
-from repro.core.relation import Relation
-from repro.core.values import NOTHING, null
+from repro.core.values import NOTHING
 
-from ..helpers import rel, schema_of
+from ..helpers import rel
+from ..strategies import assert_field_identical, fd_sets, instances
 
 _STRATEGIES = (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN, STRATEGY_RANDOM)
-
-
-def assert_field_identical(fast, slow):
-    """The acceptance contract: byte-identical result fields.
-
-    Rows are compared by value tuples — null equality is object identity,
-    so this also checks that the *same* representative null object appears
-    in the same cells of both results.
-    """
-    assert [r.values for r in fast.relation.rows] == [
-        r.values for r in slow.relation.rows
-    ]
-    assert fast.nec_classes == slow.nec_classes
-    assert {id(k): v for k, v in fast.substitutions.items()} == {
-        id(k): v for k, v in slow.substitutions.items()
-    }
-    assert fast.has_nothing == slow.has_nothing
 
 
 # ---------------------------------------------------------------------------
@@ -112,47 +95,10 @@ class TestWorklistBehaviour:
 # randomized equivalence (the acceptance property)
 # ---------------------------------------------------------------------------
 
-_fd_pool = [
-    "A -> B",
-    "B -> C",
-    "A -> C",
-    "C -> B",
-    "A B -> C",
-    "C -> A B",
-    "D -> A",
-    "B -> D",
-    "A C -> D",
-]
-
-
-@st.composite
-def instances(draw, max_rows=6, n_cols=4):
-    """Instances mixing constants, fresh nulls, shared nulls and NOTHING."""
-    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
-    shared = [null() for _ in range(3)]
-    cell = st.sampled_from(
-        ["v0", "v1", "v2", "fresh", "s0", "s1", "s2", "nothing"]
-    )
-    rows = []
-    for _ in range(n_rows):
-        values = []
-        for _ in range(n_cols):
-            token = draw(cell)
-            if token == "fresh":
-                values.append(null())
-            elif token == "nothing":
-                values.append(NOTHING)
-            elif token.startswith("s"):
-                values.append(shared[int(token[1:])])
-            else:
-                values.append(token)
-        rows.append(values)
-    return Relation(schema_of("A B C D"), rows)
-
 
 @given(
     instances(),
-    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=5, unique=True),
+    fd_sets(max_size=5),
     st.sampled_from(_STRATEGIES),
     st.integers(min_value=0, max_value=3),
 )
@@ -166,10 +112,7 @@ def test_indexed_equals_sweep_on_random_instances(instance, fds, strategy, seed)
     assert_field_identical(fast, slow)
 
 
-@given(
-    instances(),
-    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=4, unique=True),
-)
+@given(instances(), fd_sets())
 @settings(max_examples=150, deadline=None)
 def test_all_three_engines_field_identical(instance, fds):
     fast = indexed_chase(instance, fds)
@@ -181,7 +124,7 @@ def test_all_three_engines_field_identical(instance, fds):
 
 @given(
     instances(max_rows=5),
-    st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=4, unique=True),
+    fd_sets(),
     st.sampled_from(_STRATEGIES),
 )
 @settings(max_examples=100, deadline=None)

@@ -1,5 +1,6 @@
 """Tests for the union-find substrate."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -51,6 +52,47 @@ class TestBasics:
         classes = uf.classes()
         sizes = sorted(len(members) for members in classes.values())
         assert sizes == [1, 1, 2]
+
+
+class TestWeightedUnion:
+    def test_default_weights_coincide_with_union_by_size(self):
+        uf = UnionFind(4)
+        big = uf.union(0, 1)
+        assert uf.union(big, 2) == big
+        assert uf.weight[big] == 3 == uf.size[big]
+
+    def test_heavier_singleton_beats_larger_class(self):
+        # one node of weight 10 (an interned constant in 10 cells) vs a
+        # class of three weight-1 nodes: node count says the trio wins,
+        # occurrence weight says the constant does
+        uf = UnionFind(4)
+        uf.set_weight(3, 10)
+        trio = uf.union(0, 1)
+        trio = uf.union(trio, 2)
+        assert uf.size[trio] == 3
+        assert uf.union(trio, 3) == 3
+        assert uf.weight[3] == 13
+        assert uf.size[3] == 4
+
+    def test_weights_accumulate_across_merges(self):
+        uf = UnionFind(3)
+        uf.set_weight(0, 4)
+        uf.set_weight(1, 2)
+        root = uf.union(0, 1)
+        assert root == 0
+        assert uf.weight[0] == 6
+        assert uf.union(0, 2) == 0
+        assert uf.weight[0] == 7
+
+    def test_set_weight_rejects_non_singletons(self):
+        uf = UnionFind(3)
+        root = uf.union(0, 1)
+        absorbed = 1 if root == 0 else 0
+        with pytest.raises(ValueError):
+            uf.set_weight(absorbed, 5)  # not a root
+        with pytest.raises(ValueError):
+            uf.set_weight(root, 5)  # a root, but no longer a singleton
+        uf.set_weight(2, 5)  # untouched singleton: fine
 
 
 @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))

@@ -1,0 +1,124 @@
+"""Shared hypothesis strategies for randomized instances and FD sets.
+
+One `instances()` generator serves every property suite — the cross-engine
+chase equivalence tests, the TEST-FDs variant agreement tests, and the
+merge-order invariance tests — instead of each file hand-rolling its own.
+Cells mix a small constant pool (collisions are what make FDs fire), fresh
+nulls, optionally *shared* nulls (one object in several cells: an initial
+NEC class), and optionally NOTHING (chase inputs only; TEST-FDs refuses
+it, so those suites pass ``allow_nothing=False``).
+
+`assert_field_identical` is the acceptance contract for engine
+equivalence: byte-identical result fields, with null equality as object
+*identity* — the same representative null object must appear in the same
+cells of both results.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.values import NOTHING, null
+
+from .helpers import schema_of
+
+#: FD pool over A B C D for the chase engine suites: chains, a cycle,
+#: composite left- and right-hand sides
+CHASE_FD_POOL = (
+    "A -> B",
+    "B -> C",
+    "A -> C",
+    "C -> B",
+    "A B -> C",
+    "C -> A B",
+    "D -> A",
+    "B -> D",
+    "A C -> D",
+)
+
+#: FD pool over A B C for the TEST-FDs suites (three columns keep
+#: brute-force completion oracles affordable)
+TESTFD_FD_POOL = ("A -> B", "B -> C", "A B -> C", "C -> A")
+
+#: like TESTFD_FD_POOL but with shared left-hand sides well represented —
+#: the batched TEST-FDs differential suite wants groups to actually group
+SHARED_LHS_FD_POOL = (
+    "A -> B",
+    "A -> C",
+    "A -> B C",
+    "B -> A",
+    "B -> C",
+    "A B -> C",
+    "C -> A",
+)
+
+
+@st.composite
+def instances(
+    draw,
+    attributes: str = "A B C D",
+    max_rows: int = 6,
+    n_constants: int = 3,
+    shared_nulls: int = 3,
+    allow_nothing: bool = True,
+):
+    """Random instances over ``attributes``.
+
+    Per-column constants are drawn from a pool of ``n_constants`` values
+    (small enough to collide, which is what exercises the algorithms);
+    ``shared_nulls`` distinct null objects may each appear in any number
+    of cells; ``allow_nothing`` adds NOTHING cells (chase inputs only).
+    """
+    schema = schema_of(attributes)
+    n_cols = len(schema)
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    shared = [null() for _ in range(shared_nulls)]
+    tokens = [f"v{i}" for i in range(n_constants)] + ["fresh"]
+    tokens += [f"s{i}" for i in range(shared_nulls)]
+    if allow_nothing:
+        tokens.append("nothing")
+    cell = st.sampled_from(tokens)
+    rows = []
+    for _ in range(n_rows):
+        values = []
+        for _ in range(n_cols):
+            token = draw(cell)
+            if token == "fresh":
+                values.append(null())
+            elif token == "nothing":
+                values.append(NOTHING)
+            elif token.startswith("s"):
+                values.append(shared[int(token[1:])])
+            else:
+                values.append(token)
+        rows.append(values)
+    return Relation(schema, rows)
+
+
+def fd_sets(pool=CHASE_FD_POOL, min_size: int = 1, max_size: int = 4):
+    """Duplicate-free FD lists sampled from ``pool`` (order preserved —
+    several suites check order invariance explicitly)."""
+    return st.lists(
+        st.sampled_from(list(pool)),
+        min_size=min_size,
+        max_size=max_size,
+        unique=True,
+    )
+
+
+def assert_field_identical(fast, slow):
+    """The engine-equivalence acceptance contract: byte-identical fields.
+
+    Rows are compared by value tuples — null equality is object identity,
+    so this also checks that the *same* representative null object appears
+    in the same cells of both results.
+    """
+    assert [r.values for r in fast.relation.rows] == [
+        r.values for r in slow.relation.rows
+    ]
+    assert fast.nec_classes == slow.nec_classes
+    assert {id(k): v for k, v in fast.substitutions.items()} == {
+        id(k): v for k, v in slow.substitutions.items()
+    }
+    assert fast.has_nothing == slow.has_nothing

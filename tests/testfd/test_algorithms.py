@@ -17,6 +17,7 @@ from repro.testfd import (
     CONVENTION_STRONG,
     CONVENTION_WEAK,
     check_fds,
+    check_fds_batched,
     check_fds_bucket,
     check_fds_pairwise,
     check_fds_sortmerge,
@@ -24,6 +25,7 @@ from repro.testfd import (
 )
 
 from ..helpers import rel, schema_of
+from ..strategies import TESTFD_FD_POOL, fd_sets, instances
 
 
 class TestBasicAnswers:
@@ -139,33 +141,32 @@ class TestPresortedLinear:
 # property-based: variant agreement + Theorems 2 and 3
 # ---------------------------------------------------------------------------
 
-_cell = st.sampled_from(["v0", "v1", "v2", None])
-_fd_pool = ["A -> B", "B -> C", "A B -> C", "C -> A"]
-
-
-@st.composite
-def instances(draw, max_rows=5):
-    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
-    rows = [[draw(_cell) for _ in range(3)] for _ in range(n_rows)]
-    schema = schema_of("A B C")
-    return Relation(
-        schema, [[null() if v is None else v for v in row] for row in rows]
+def _instances(max_rows=5):
+    """The shared generator, configured for the TEST-FDs oracles: three
+    columns and fresh nulls only (no NOTHING — TEST-FDs refuses it; no
+    shared nulls — the completion oracles enumerate independently)."""
+    return instances(
+        attributes="A B C",
+        max_rows=max_rows,
+        shared_nulls=0,
+        allow_nothing=False,
     )
 
 
-@st.composite
-def fd_sets(draw):
-    return draw(
-        st.lists(st.sampled_from(_fd_pool), min_size=1, max_size=3, unique=True)
-    )
+def _fd_lists():
+    return fd_sets(pool=TESTFD_FD_POOL, max_size=3)
 
 
-@given(instances(), fd_sets(), st.sampled_from([CONVENTION_STRONG, CONVENTION_WEAK]))
+@given(
+    _instances(),
+    _fd_lists(),
+    st.sampled_from([CONVENTION_STRONG, CONVENTION_WEAK]),
+)
 @settings(max_examples=150, deadline=None)
 def test_variants_agree(instance, fds, convention):
-    """pairwise == sortmerge == bucket (wherever each is defined)."""
+    """pairwise == sortmerge == bucket == batched (wherever defined)."""
     reference = check_fds_pairwise(instance, fds, convention)
-    for variant in (check_fds_sortmerge, check_fds_bucket):
+    for variant in (check_fds_sortmerge, check_fds_bucket, check_fds_batched):
         try:
             outcome = variant(instance, fds, convention)
         except ConventionError:
@@ -174,7 +175,7 @@ def test_variants_agree(instance, fds, convention):
         assert outcome.satisfied == reference.satisfied
 
 
-@given(instances(max_rows=4), fd_sets())
+@given(_instances(max_rows=4), _fd_lists())
 @settings(max_examples=100, deadline=None)
 def test_theorem2_strong_convention_decides_strong_satisfiability(instance, fds):
     assume(instance.completion_count() <= 20_000)
@@ -182,7 +183,7 @@ def test_theorem2_strong_convention_decides_strong_satisfiability(instance, fds)
     assert outcome.satisfied == strongly_satisfied(fds, instance)
 
 
-@given(instances(max_rows=4), fd_sets())
+@given(_instances(max_rows=4), _fd_lists())
 @settings(max_examples=100, deadline=None)
 def test_theorem3_weak_convention_on_minimal_instances(instance, fds):
     """After the basic chase, the weak-convention test decides weak
@@ -192,7 +193,7 @@ def test_theorem3_weak_convention_on_minimal_instances(instance, fds):
     assert outcome.satisfied == weakly_satisfied(fds, instance)
 
 
-@given(instances(), fd_sets())
+@given(_instances(), _fd_lists())
 @settings(max_examples=80, deadline=None)
 def test_single_fd_presorted_agrees_after_sorting(instance, fds):
     from repro.core.values import constant_key, is_null

@@ -1,0 +1,86 @@
+"""Smoke test for the benchmark harness: ``run_all.py --quick`` works and
+its JSON matches the committed baseline schema.
+
+The committed ``BENCH_PR*.json`` baselines are only useful if later runs
+keep emitting the same shape; this guards the format against drift.  The
+run is restricted (``--only``) to the two sub-second benchmarks — the
+point is the harness and the schema, not the series — but it exercises the
+full path: subprocess dispatch, quick-mode environment switch, metric
+parsing (E4 prints both a slope and a speedup line), and the JSON writer.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUN_ALL = REPO_ROOT / "benchmarks" / "run_all.py"
+
+
+def _run_quick(tmp_path, only=("e1_", "e4")):  # "e1" alone would match e10/e11
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, str(RUN_ALL), "--quick", "--out", str(out), "--only", *only],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+    return proc, out
+
+
+def assert_bench_schema(report):
+    """The BENCH_PR*.json contract, field by field."""
+    assert set(report) == {"quick", "python", "platform", "benchmarks"}
+    assert isinstance(report["quick"], bool)
+    assert isinstance(report["python"], str)
+    assert isinstance(report["platform"], str)
+    assert isinstance(report["benchmarks"], dict) and report["benchmarks"]
+    for name, entry in report["benchmarks"].items():
+        assert name.startswith("bench_")
+        assert entry["status"] in ("ok", "error", "timeout")
+        assert isinstance(entry["wall_s"], (int, float))
+        for metrics_key in ("slopes", "speedups"):
+            if metrics_key in entry:
+                assert entry[metrics_key], f"{name}: empty {metrics_key}"
+                for label, value in entry[metrics_key].items():
+                    assert isinstance(label, str)
+                    assert isinstance(value, (int, float))
+
+
+def test_quick_run_exits_zero_and_emits_schema(tmp_path):
+    proc, out = _run_quick(tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert_bench_schema(report)
+    assert report["quick"] is True
+    assert set(report["benchmarks"]) == {
+        "bench_e1_figure1", "bench_e4_testfds_variants"
+    }
+    for entry in report["benchmarks"].values():
+        assert entry["status"] == "ok"
+    # E4 prints slope lines and the shared-LHS batching speedup; the
+    # parser must have captured both metric kinds
+    e4 = report["benchmarks"]["bench_e4_testfds_variants"]
+    assert "slopes" in e4
+    assert "speedups" in e4
+
+
+def test_no_benchmarks_matched_is_an_error(tmp_path):
+    proc, _ = _run_quick(tmp_path, only=("zzz",))
+    assert proc.returncode == 2
+
+
+def test_committed_baselines_match_schema():
+    """The checked-in baselines obey the same contract the harness emits."""
+    for name in ("BENCH_PR1.json", "BENCH_PR2.json"):
+        path = REPO_ROOT / name
+        assert path.exists(), f"{name} missing from the repo root"
+        assert_bench_schema(json.loads(path.read_text()))
