@@ -1,26 +1,47 @@
-"""A2 (ablation) — incremental fixpoint maintenance vs re-chasing.
+"""A2 (ablation) — maintained fixpoints vs re-chasing, on insert streams
+and mixed update workloads.
 
 A guarded relation (the §7 modification programme, `repro.updates`) must
 re-establish the minimally incomplete instance after every accepted
-insertion.  Two strategies:
+change.  Two strategies:
 
-* **re-chase** — run the batch chase from scratch after each insert
-  (what `GuardedRelation` does; simple, stateless);
-* **incremental** — maintain the congruence-closure state and only sign /
-  propagate the new tuple's application terms
-  (`repro.chase.IncrementalChase`).
+* **re-chase** — run the batch chase from scratch after each operation
+  (the seed's `GuardedRelation` behavior; simple, stateless);
+* **session** — maintain the chase state (`repro.chase.ChaseSession`):
+  inserts sign only the new tuple's application terms; deletes and
+  updates rewind the backtrackable trail to the victim row's mark and
+  replay the surviving suffix (falling back to a level rebuild for old
+  rows).
 
-Expected shape: over a stream of n insertions the re-chase strategy pays
-Θ(n) chases of growing instances (≈ quadratic total) while the incremental
-engine's total stays near-linear — the amortized-maintenance argument.
+Two series:
+
+* **insert stream** (the original A2): n insertions; re-chase pays Θ(n)
+  chases of growing instances (≈ quadratic total), the session stays
+  near-linear.
+* **mixed workload** (PR 3): a heavy-traffic shape — half inserts, half
+  deletes/updates — with churn concentrated on recent rows (the common
+  OLTP skew: fresh data gets corrected, old data settles).  Re-chase pays
+  a full chase per op regardless of which row changed; the session pays
+  for the suffix behind the touched row only.
+
+Both strategies must agree on every final fixpoint (`canonical_form`
+compared per size; a divergence aborts the benchmark with a non-zero
+exit, which `run_all.py` records as an error).
 """
 
 import random
 
-from repro.bench.report import Table, geometric_sizes, loglog_slope, time_call
-from repro.chase import IncrementalChase, canonical_form, congruence_chase
+from repro.bench.report import (
+    Table,
+    bench_sizes,
+    geometric_sizes,
+    loglog_slope,
+    time_call,
+)
+from repro.chase import ChaseSession, canonical_form, congruence_chase
 from repro.core.fd import FDSet
 from repro.core.relation import Relation
+from repro.core.values import null
 from repro.workloads.generator import (
     inject_nulls,
     random_satisfiable_instance,
@@ -28,6 +49,7 @@ from repro.workloads.generator import (
 )
 
 FDS = FDSet(["A1 -> A2", "A2 -> A3", "A1 -> A4"])
+ATTRS = ("A1", "A2", "A3", "A4")
 
 
 def insert_stream(n_rows: int, seed: int = 61):
@@ -49,14 +71,84 @@ def run_rechase(schema, stream) -> Relation:
 
 
 def run_incremental(schema, stream) -> Relation:
-    inc = IncrementalChase(schema, FDS)
+    session = ChaseSession(schema, FDS)
     for row in stream.rows:
-        inc.insert(row)
-    return inc.current().relation
+        session.insert(row)
+    return session.result().relation
+
+
+# ---------------------------------------------------------------------------
+# mixed workload: insert / delete / update with recency-skewed churn
+# ---------------------------------------------------------------------------
+
+
+def mixed_ops(n_ops: int, seed: int = 67):
+    """A scripted op sequence: ~1/2 inserts, ~1/4 updates, ~1/4 deletes.
+
+    Update/delete targets are drawn from the most recent eighth of the
+    live rows.  The script is materialized up front (op kind, payload,
+    *relative* index from the end) so both strategies replay the exact
+    same workload.
+    """
+    rng = random.Random(seed)
+    schema, stream = insert_stream(max(8, n_ops), seed=seed)
+    fresh_rows = iter(stream.rows)
+    ops = []
+    live = 0
+    for _ in range(n_ops):
+        kind = rng.choice(("insert", "insert", "update", "delete"))
+        if live < 4 or kind == "insert":
+            ops.append(("insert", next(fresh_rows), 0))
+            live += 1
+            continue
+        back = rng.randrange(1, max(2, live // 8))
+        if kind == "delete":
+            ops.append(("delete", None, back))
+            live -= 1
+        else:
+            attr = rng.choice(ATTRS)
+            value = (
+                null()
+                if rng.random() < 0.2
+                else f"u{rng.randrange(max(4, n_ops // 8))}"
+            )
+            ops.append(("update", (attr, value), back))
+    return schema, ops
+
+
+def run_mixed_rechase(schema, ops) -> Relation:
+    rows = []
+    result = congruence_chase(Relation(schema, ()), FDS)
+    for kind, payload, back in ops:
+        if kind == "insert":
+            rows.append(payload)
+        elif kind == "delete":
+            rows.pop(len(rows) - back)
+        else:
+            attr, value = payload
+            index = len(rows) - back
+            mapping = rows[index].as_dict()
+            mapping[attr] = value
+            rows[index] = rows[index].from_mapping(schema, mapping)
+        result = congruence_chase(Relation(schema, rows), FDS)
+    return result.relation
+
+
+def run_mixed_session(schema, ops) -> Relation:
+    session = ChaseSession(schema, FDS)
+    for kind, payload, back in ops:
+        if kind == "insert":
+            session.insert(payload)
+        elif kind == "delete":
+            session.delete(len(session) - back)
+        else:
+            attr, value = payload
+            session.update(len(session) - back, {attr: value})
+    return session.result().relation
 
 
 def main() -> None:
-    sizes = geometric_sizes(50, 2.0, 5)
+    sizes = bench_sizes(geometric_sizes(50, 2.0, 5))
     table = Table(
         "A2 — maintaining the fixpoint over an insert stream",
         ["inserts", "re-chase total (s)", "incremental total (s)", "ratio", "same fixpoint"],
@@ -67,6 +159,8 @@ def main() -> None:
         re_result = run_rechase(schema, stream)
         inc_result = run_incremental(schema, stream)
         same = canonical_form(re_result) == canonical_form(inc_result)
+        if not same:
+            raise SystemExit(f"insert-stream fixpoints diverged at n={n}")
         re_time = time_call(lambda: run_rechase(schema, stream), repeat=1)
         inc_time = time_call(lambda: run_incremental(schema, stream), repeat=1)
         re_times.append(re_time)
@@ -75,9 +169,34 @@ def main() -> None:
     table.show()
     print(f"\nre-chase log-log slope:    {loglog_slope(sizes, re_times):.2f}  (expected ~2)")
     print(f"incremental log-log slope: {loglog_slope(sizes, inc_times):.2f}  (expected ~1)")
+
+    mixed = Table(
+        "A2b — mixed insert/delete/update workload (recency-skewed churn)",
+        ["ops", "re-chase total (s)", "session total (s)", "ratio", "same fixpoint"],
+    )
+    mixed_re, mixed_inc = [], []
+    for n in sizes:
+        schema, ops = mixed_ops(n)
+        re_result = run_mixed_rechase(schema, ops)
+        session_result = run_mixed_session(schema, ops)
+        same = canonical_form(re_result) == canonical_form(session_result)
+        if not same:
+            raise SystemExit(f"mixed-workload fixpoints diverged at n={n}")
+        re_time = time_call(lambda: run_mixed_rechase(schema, ops), repeat=1)
+        inc_time = time_call(lambda: run_mixed_session(schema, ops), repeat=1)
+        mixed_re.append(re_time)
+        mixed_inc.append(inc_time)
+        mixed.add_row(n, re_time, inc_time, f"{re_time / inc_time:.1f}x", same)
+    mixed.show()
+    print(f"\nmixed re-chase log-log slope: {loglog_slope(sizes, mixed_re):.2f}  (expected ~2)")
+    print(f"mixed session log-log slope:  {loglog_slope(sizes, mixed_inc):.2f}  (expected ~1)")
     print(
-        "\nBoth strategies agree on every prefix's fixpoint; only the"
-        "\nmaintenance cost differs."
+        f"session mixed-workload speedup at largest configuration: "
+        f"{mixed_re[-1] / mixed_inc[-1]:.1f}x"
+    )
+    print(
+        "\nBoth strategies agree on every fixpoint; only the maintenance"
+        "\ncost differs."
     )
 
 
@@ -89,6 +208,11 @@ def bench_rechase_stream_200(benchmark) -> None:
 def bench_incremental_stream_200(benchmark) -> None:
     schema, stream = insert_stream(200)
     benchmark(lambda: run_incremental(schema, stream))
+
+
+def bench_mixed_session_200(benchmark) -> None:
+    schema, ops = mixed_ops(200)
+    benchmark(lambda: run_mixed_session(schema, ops))
 
 
 if __name__ == "__main__":

@@ -27,7 +27,9 @@ fast perf smoke test.  Results land in a JSON file::
 
 Per-benchmark wall times plus every printed log-log slope and "...x"
 speedup line are captured, giving later PRs a perf trajectory to compare
-against (committed baselines: ``BENCH_PR1.json``, ``BENCH_PR2.json``).
+against (committed baselines: ``BENCH_PR1.json``, ``BENCH_PR2.json``,
+``BENCH_PR3.json`` — the latter includes ``bench_a2_incremental``'s
+mixed-workload session series, discovered by default).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` — is guarded by
@@ -58,10 +60,19 @@ SPEEDUP_LINE = re.compile(
 
 
 def discover(only: list[str], ablations: bool) -> list[Path]:
-    patterns = ["bench_e*.py"] + (["bench_a*.py"] if ablations else [])
+    # bench_a2 graduated from optional ablation to default: its mixed
+    # insert/delete/update series is the maintained-session perf baseline
+    # (BENCH_PR3.json) and runs in --quick too
+    patterns = ["bench_e*.py", "bench_a2*.py"] + (
+        ["bench_a*.py"] if ablations else []
+    )
     scripts: list[Path] = []
+    seen: set[Path] = set()
     for pattern in patterns:
-        scripts.extend(sorted(BENCH_DIR.glob(pattern)))
+        for script in sorted(BENCH_DIR.glob(pattern)):
+            if script not in seen:
+                seen.add(script)
+                scripts.append(script)
     if only:
         wanted = [token.lower() for token in only]
         scripts = [
@@ -141,14 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR2.json at the repo root "
+        help="output JSON path (default: BENCH_PR3.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR2.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR3.json")
         )
 
     scripts = discover(args.only, args.ablations)

@@ -10,14 +10,16 @@ by which a database "acquires information":
 * **internal** — the NS-rules ground nulls whose value the constraints
   force ("the only piece of information that makes the dependency true").
 
-``repro.updates.GuardedRelation`` implements both; this walkthrough runs a
-small ticketing system through a day of edits and narrates every decision
-with ``repro.explain``.
+``repro.updates.GuardedRelation`` implements both on top of a maintained
+``repro.ChaseSession``; this walkthrough runs a small ticketing system
+through a day of edits, narrates every decision with ``repro.explain``,
+and closes with the raw session API (snapshot / rollback / live
+consistency verdicts).
 
 Run:  python examples/update_workflow.py
 """
 
-from repro import RelationSchema, null
+from repro import ChaseSession, RelationSchema, null
 from repro.chase import MODE_EXTENDED, chase
 from repro.explain import explain_chase, explain_fd_value
 from repro.updates import GuardedRelation
@@ -79,10 +81,38 @@ def night_audit(guard: GuardedRelation) -> None:
     print(explain_chase(result))
 
 
+def session_tour() -> None:
+    print()
+    print("=" * 64)
+    print("Under the hood: the chase session")
+    print("=" * 64)
+    session = ChaseSession(SCHEMA, RULES)
+    session.insert(("T-7", "storage", "high", null()))
+    session.insert(("T-8", "storage", "low", "ada"))
+    print("storage's on-call grounded live:",
+          session.result().relation[0]["oncall"])
+
+    snap = session.snapshot()
+    session.insert(("T-7", "storage", "low", "ada"))  # contradicts T-7
+    print("after conflicting report, weakly satisfiable?",
+          not session.has_nothing)
+    session.rollback(snap)
+    print("after rollback,             weakly satisfiable?",
+          not session.has_nothing)
+
+    session.delete(1)  # drop T-8: the grounding dissolves with its forcer
+    cell = session.result().relation[0]["oncall"]
+    print("after deleting the forcer, on-call is unknown again:",
+          f"{cell!r}")
+    print("TEST-FDs on the maintained instance:",
+          "satisfied" if session.check().satisfied else "violated")
+
+
 def main() -> None:
     guard = open_desk()
     a_day_of_edits(guard)
     night_audit(guard)
+    session_tour()
 
 
 if __name__ == "__main__":

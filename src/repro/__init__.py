@@ -14,7 +14,7 @@ Quick tour::
     from repro import (
         Domain, FD, FDSet, Relation, RelationSchema, null,
         evaluate_fd, strongly_holds, weakly_satisfied,
-        minimally_incomplete, check_fds,
+        minimally_incomplete, check_fds, ChaseSession,
     )
 
     schema = RelationSchema("R", "A B C", domains={"A": Domain(["a1", "a2"])})
@@ -22,8 +22,13 @@ Quick tour::
                           ("a2", "b1", "c3")])
     evaluate_fd("A B -> C", r[0], r)     # -> false   (Figure 2, case F2)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-per-figure reproduction record.
+    session = ChaseSession(schema, ["A -> B"])   # stateful: maintains the
+    session.insert(("a1", null(), "c1"))         # Theorem-4 fixpoint across
+    session.insert(("a1", "b1", "c2"))           # inserts/deletes/updates
+    session.result().relation                    # null grounded to "b1"
+
+See ``README.md`` for the system tour, ``ROADMAP.md`` for the growth plan,
+and ``benchmarks/`` for the per-figure experiment series.
 """
 
 from .core import (
@@ -121,8 +126,10 @@ def _late_imports() -> None:
     the full library always succeeds.
     """
     global minimally_incomplete, weakly_satisfiable, check_fds  # noqa: PLW0603
-    global GuardedRelation, explain_chase, explain_fd_value  # noqa: PLW0603
+    global ChaseSession, GuardedRelation  # noqa: PLW0603
+    global explain_chase, explain_fd_value  # noqa: PLW0603
 
+    from .chase import ChaseSession as _cs
     from .chase import minimally_incomplete as _mi
     from .chase import weakly_satisfiable as _ws
     from .explain import explain_chase as _ec
@@ -133,6 +140,7 @@ def _late_imports() -> None:
     minimally_incomplete = _mi
     weakly_satisfiable = _ws
     check_fds = _cf
+    ChaseSession = _cs
     GuardedRelation = _gr
     explain_chase = _ec
     explain_fd_value = _ef
@@ -141,6 +149,7 @@ def _late_imports() -> None:
             "minimally_incomplete",
             "weakly_satisfiable",
             "check_fds",
+            "ChaseSession",
             "GuardedRelation",
             "explain_chase",
             "explain_fd_value",

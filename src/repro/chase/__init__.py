@@ -4,6 +4,7 @@ from .congruence import CongruenceEngine, congruence_chase
 from .core import SignatureChaseCore
 from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
+from .session import ChaseSession, SessionSnapshot
 from .engine import (
     ENGINE_AUTO,
     ENGINE_CONGRUENCE,
@@ -32,6 +33,7 @@ from .minimal import (
 __all__ = [
     "Application",
     "ChaseResult",
+    "ChaseSession",
     "ChaseState",
     "CongruenceEngine",
     "ENGINE_AUTO",
@@ -45,6 +47,7 @@ __all__ = [
     "STRATEGY_FD_ORDER",
     "STRATEGY_RANDOM",
     "STRATEGY_ROUND_ROBIN",
+    "SessionSnapshot",
     "SignatureChaseCore",
     "XSubstitution",
     "canonical_form",

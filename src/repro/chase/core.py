@@ -112,7 +112,15 @@ class SignatureChaseCore(ChaseState):
         moved = self._occ.pop(absorbed, None)
         if not moved:
             return
-        self._occ.setdefault(survivor, []).extend(moved)
+        target = self._occ.get(survivor)
+        if target is None:
+            self._occ[survivor] = target = []
+            existed = False
+        else:
+            existed = True
+        target.extend(moved)
+        if self._trail is not None:
+            self._trail.append(("occmv", survivor, absorbed, len(moved), existed))
         work = self._work
         by_col = self._lhs_fds_by_col
         for row, col in moved:
@@ -135,14 +143,25 @@ class SignatureChaseCore(ChaseState):
         old = self._sigs.get(key)
         if old == sig:
             return  # duplicate worklist entry; already processed
+        trail = self._trail
         if old is not None and self._anchors.get((k, old)) == row:
             # rows still bucketed under the stale signature (if any) hold a
             # cell of the absorbed class themselves, so they are on the
             # worklist too — dropping the slot cannot orphan them
             del self._anchors[(k, old)]
+            if trail is not None:
+                trail.append(("ancdel", (k, old), row))
         self._sigs[key] = sig
-        anchor = self._anchors.setdefault((k, sig), row)
-        if anchor != row:
+        if trail is not None:
+            trail.append(("sig", key, old))
+        anchor = self._anchors.get((k, sig))
+        if anchor is None:
+            # a row anchored under `sig` would have matched the early
+            # return above, so a present anchor is always a *different* row
+            self._anchors[(k, sig)] = row
+            if trail is not None:
+                trail.append(("ancnew", (k, sig)))
+        elif anchor != row:
             self._fire(k, anchor, row)
 
     def _fire(self, k: int, anchor: int, row: int) -> None:

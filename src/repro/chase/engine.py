@@ -130,6 +130,11 @@ class ChaseState:
         self.passes = 0
         self._nothing_node: Optional[int] = None
         self._seen = 0  # union-find merges already counted by fd_order sweeps
+        #: mutation journal for backtrackable states (None for the batch
+        #: engines — every journaling site is gated on it, so they pay one
+        #: predictable branch and nothing else).  ChaseSession installs a
+        #: list here and shares it with ``self.uf.trail``.
+        self._trail: Optional[List[tuple]] = None
         #: per-FD column projections, computed once — no ``schema.position``
         #: lookup ever happens in an inner loop.  Keyed by ``id(fd)`` (the
         #: fd itself is retained in the value to keep the id alive): FD
@@ -158,6 +163,8 @@ class ChaseState:
                 self._null_nodes[key] = node
                 self._null_objects[key] = value
                 self.tags[node] = (_TAG_NULL, value)
+                if self._trail is not None:
+                    self._trail.append(("newnull", key, node))
             return node
         if value is NOTHING:
             return self._nothing()
@@ -166,12 +173,16 @@ class ChaseState:
             node = self.uf.add()
             self._const_nodes[(attr, value)] = node
             self.tags[node] = (_TAG_CONST, value)
+            if self._trail is not None:
+                self._trail.append(("newconst", (attr, value), node))
         return node
 
     def _nothing(self) -> int:
         if self._nothing_node is None:
             self._nothing_node = self.uf.add()
             self.tags[self._nothing_node] = (_TAG_NOTHING, None)
+            if self._trail is not None:
+                self._trail.append(("newnothing", self._nothing_node))
         return self.uf.find(self._nothing_node)
 
     def tag_of(self, node: int) -> Tuple[str, Any]:
@@ -202,6 +213,10 @@ class ChaseState:
         if a == b:
             return a
         tag_a, tag_b = self.tags.pop(a), self.tags.pop(b)
+        if self._trail is not None:
+            # journalled before the union so the reverse sweep undoes the
+            # union first, then restores both original tags
+            self._trail.append(("tags", a, tag_a, b, tag_b))
         root = self.uf.union(a, b)
         self.tags[root] = self._combine(tag_a, tag_b)
         return root

@@ -1,145 +1,46 @@
-"""Incremental chase: maintain the minimally incomplete instance across
-insertions.
+"""Incremental chase — now a thin, deprecated alias of
+:class:`repro.chase.session.ChaseSession`.
 
-The congruence-closure formulation of Theorem 4 is naturally incremental:
-inserting a tuple adds one application term per FD; only those terms need
-signing, and the worklist propagates exactly the merges the new tuple
-forces.  Total cost over a stream of ``n`` insertions is the same
-near-linear bound as one batch chase — versus ``Θ(n)`` full re-chases
-(``Θ(n²)``-plus) for the naive maintain-by-recompute strategy that a
-guarded relation would otherwise use.  Ablation A2
-(``benchmarks/bench_a2_incremental.py``) measures the separation.
+Historically this module carried its own copy of the signature-table /
+use-list machinery to maintain the fixpoint across insertions.  That copy
+is gone: the shared core (:class:`repro.chase.core.SignatureChaseCore`)
+provides the occurrence index, signature buckets and worklist, and the
+session layered on top of it handles insertion (and everything this class
+never could: deletion, update, fill, rollback).  ``IncrementalChase``
+survives only as a compatibility name for the insert-only workflow::
 
-Deletions are *not* incremental here: merges are not invertible (union-find
-has no efficient un-union), so deletion falls back to a fresh chase — the
-classic trade-off, stated rather than hidden.
+    inc = IncrementalChase(schema, ["A -> B", "B -> C"])
+    inc.insert(("a", null(), "c"))
+    inc.current().relation       # the chased instance, always minimal
+    inc.has_nothing              # Theorem 4(b) verdict, maintained live
+
+New code should construct :class:`~repro.chase.session.ChaseSession`
+directly and call :meth:`~repro.chase.session.ChaseSession.result` for
+the maintained fixpoint.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Iterable, Sequence
 
 from ..core.fd import FDInput
-from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.tuples import Row
-from .engine import MODE_EXTENDED, ChaseResult, ChaseState
+from .engine import ChaseResult
+from .session import ChaseSession
 
 
-class IncrementalChase(ChaseState):
-    """An extended-mode chase whose fixpoint survives row insertions.
-
-    Usage::
-
-        inc = IncrementalChase(schema, ["A -> B", "B -> C"])
-        inc.insert(("a", null(), "c"))
-        inc.insert(("a", "b1", null()))
-        inc.current().relation       # the chased instance, always minimal
-        inc.has_nothing              # Theorem 4(b) verdict, maintained live
-    """
+class IncrementalChase(ChaseSession):
+    """Deprecated alias: an insert-only view of :class:`ChaseSession`."""
 
     def __init__(
         self,
         schema: RelationSchema,
         fds: Iterable[FDInput],
-        rows: Iterable[Sequence[Any]] = (),
+        rows: Iterable[Sequence[Any] | Row] = (),
     ) -> None:
-        super().__init__(Relation(schema, ()), fds, MODE_EXTENDED)
-        self._nothing()  # materialize the inconsistent class up front
-        self._columns = [
-            (
-                self._columns_of(fd)[1],
-                tuple(col for _, col in self._columns_of(fd)[2]),
-            )
-            for fd in self.fds
-        ]
-        self._signature: Dict[Tuple[int, int], Tuple[int, ...]] = {}
-        self._table: Dict[Tuple[int, Tuple[int, ...]], int] = {}
-        self._uses: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
-        self._pending: Deque[Tuple[int, int]] = deque()
-        for row in Relation(schema, rows).rows:
-            self.insert(row)
-
-    # -- insertions -----------------------------------------------------------
-
-    def insert(self, values: Sequence[Any] | Row) -> int:
-        """Add a tuple and restore the fixpoint; returns its row index."""
-        row = values if isinstance(values, Row) else Row(self.schema, values)
-        encoded = [
-            self._node_for(attr, value)
-            for attr, value in zip(self.schema.attributes, row.values)
-        ]
-        index = len(self.cells)
-        self.cells.append(encoded)
-        for k in range(len(self.fds)):
-            self._sign_term(k, index)
-        self._drain()
-        return index
-
-    # -- fixpoint machinery ---------------------------------------------------------
-
-    def _sign_term(self, k: int, i: int) -> None:
-        xcols = self._columns[k][0]
-        sig = tuple(self.uf.find(self.cells[i][c]) for c in xcols)
-        self._signature[(k, i)] = sig
-        for root in set(sig):
-            self._uses[root].add((k, i))
-        key = (k, sig)
-        other = self._table.get(key)
-        if other is None:
-            self._table[key] = i
-        elif other != i:
-            self._enqueue_result_merge(k, other, i)
-
-    def _enqueue_result_merge(self, k: int, i: int, j: int) -> None:
-        for col in self._columns[k][1]:
-            self._pending.append((self.cells[i][col], self.cells[j][col]))
-
-    def _drain(self) -> None:
-        while self._pending:
-            first, second = self._pending.popleft()
-            root_a, root_b = self.uf.find(first), self.uf.find(second)
-            if root_a == root_b:
-                continue
-            survivor = self._merge(root_a, root_b)
-            absorbed = root_b if survivor == root_a else root_a
-            if self.tags[survivor][0] == "nothing":
-                nothing_root = self._nothing()
-                if nothing_root != survivor:
-                    self._pending.append((survivor, nothing_root))
-            for term in self._uses.pop(absorbed, ()):
-                k, i = term
-                old_sig = self._signature[term]
-                old_key = (k, old_sig)
-                if self._table.get(old_key) == i:
-                    del self._table[old_key]
-                new_sig = tuple(self.uf.find(node) for node in old_sig)
-                self._signature[term] = new_sig
-                for root in set(new_sig):
-                    self._uses[root].add(term)
-                new_key = (k, new_sig)
-                other = self._table.get(new_key)
-                if other is None:
-                    self._table[new_key] = i
-                elif other != i:
-                    self._enqueue_result_merge(k, other, i)
-            self.passes += 1
-
-    # -- views ------------------------------------------------------------------------
+        super().__init__(schema, fds, rows=rows)
 
     def current(self) -> ChaseResult:
-        """The maintained fixpoint as a :class:`ChaseResult`."""
-        return self.result("incremental")
-
-    @property
-    def has_nothing(self) -> bool:
-        """Live Theorem 4(b) verdict (no materialization needed)."""
-        return any(
-            self.tags[self.uf.find(node)][0] == "nothing"
-            for encoded in self.cells
-            for node in encoded
-        )
-
-    def __len__(self) -> int:
-        return len(self.cells)
+        """The maintained fixpoint (alias of :meth:`ChaseSession.result`)."""
+        return self.result()

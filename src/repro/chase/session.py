@@ -1,0 +1,591 @@
+"""ChaseSession: a stateful handle on one ``(relation, fds)`` pair.
+
+The paper's artifacts are all views of one object — the unique minimally
+incomplete instance of Theorem 4 — but the library used to expose it
+through disconnected surfaces: one-shot :func:`repro.chase.chase`,
+insert-only :class:`repro.chase.IncrementalChase`, re-chase-from-scratch
+:class:`repro.updates.GuardedRelation`, and stateless
+:func:`repro.testfd.check_fds`.  :class:`ChaseSession` is the long-lived
+production shape behind all of them: it owns the raw tuples *and* the
+maintained Theorem-4 fixpoint, and keeps the two in lock-step across the
+full update vocabulary.
+
+* :meth:`insert` — sign the new row's ``(fd, row)`` terms and drain the
+  shared core's worklist; amortized near-linear over a stream, exactly the
+  congruence-closure incrementality the paper's Downey-Sethi-Tarjan
+  footnote licenses.
+* :meth:`delete` / :meth:`update` / :meth:`replace` — merges are not
+  invertible forward, but they *are* invertible backward: every mutation
+  (union, tag flip, occurrence move, bucket edit, node creation) is
+  journalled on a **trail**, and each row remembers the trail mark taken
+  just before its insertion.  Removing or rewriting row ``i`` rewinds the
+  trail to that mark — restoring the exact engine state that existed
+  before row ``i`` — and replays the surviving suffix.  When the trail to
+  undo is deeper than re-chasing everything (old rows), the session falls
+  back to a level rebuild instead.
+* :meth:`fill` — grounds a null with a user-supplied constant: the
+  "internal acquisition" channel of section 7.  Single-column nulls take a
+  fast path (merge the null's class with the column's interned constant —
+  one union plus whatever it cascades); nulls spanning columns rewind to
+  their first occurrence so the re-encoding matches a from-scratch chase
+  exactly.
+* :meth:`snapshot` / :meth:`rollback` — an O(1)-to-take checkpoint.
+  Rolling back pops the trail down to the checkpoint's mark (backtrackable
+  union-find: no path compression while trailing, weighted union keeps
+  finds logarithmic), which is what lets a guard *try* a modification and
+  un-happen it when the result is inadmissible — no per-attempt state
+  copy, no re-chase.  A checkpoint that a later rewind invalidated is
+  honored by rebuilding from its recorded raw rows.  The trail grows with
+  total work done; :meth:`compact` sheds the history when rewindability
+  to old states stops being worth the memory.
+* :meth:`check` — dispatches the TEST-FDs family against the maintained
+  instance.  Under the weak convention Theorem 3's precondition (minimal
+  incompleteness) holds *by construction*: the session state is always a
+  chase fixpoint.
+* :meth:`result` / :attr:`has_nothing` / :meth:`explain` — the Theorem-4
+  views: the minimally incomplete instance, the weak-satisfiability
+  verdict (live, no materialization), and the narrated chase.
+
+The invariant pinned by ``tests/chase/test_session.py`` after **every**
+operation: ``session.result()`` is field-identical (rows, NEC classes,
+substitutions, ``has_nothing``) to ``chase(Relation(schema, session.rows),
+fds)`` from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Row
+from ..core.values import NOTHING, Null, is_null
+from ..errors import ReproError, SchemaError
+from .core import SignatureChaseCore
+from .engine import _TAG_CONST, _TAG_NOTHING, ChaseResult
+
+STRATEGY_SESSION = "session"
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """An O(1)-to-take checkpoint of a :class:`ChaseSession`.
+
+    ``mark``/``apps`` locate the checkpoint on the trail; ``gen`` records
+    the session's rewind generation (a checkpoint is trail-restorable only
+    while no rewind has happened since it was taken); ``rows`` are the raw
+    tuples at checkpoint time, the rebuild fallback.
+    """
+
+    mark: int
+    apps: int
+    gen: int
+    rows: Tuple[Row, ...]
+
+
+class ChaseSession(SignatureChaseCore):
+    """Maintain the Theorem-4 fixpoint across inserts, deletes, updates,
+    fills and rollbacks.
+
+    Usage::
+
+        session = ChaseSession(schema, ["A -> B", "B -> C"])
+        session.insert(("a", null(), "c"))
+        session.insert(("a", "b1", null()))
+        session.update(1, {"C": "c2"})
+        session.delete(0)
+        session.has_nothing          # Theorem 4(b), maintained live
+        session.check()              # TEST-FDs on the maintained instance
+        snap = session.snapshot()
+        session.insert(("a", "b9", "c9"))    # conflicts: poisons the state
+        session.rollback(snap)               # un-happens it
+
+    The first argument may be a :class:`~repro.core.relation.Relation`
+    (its rows become the initial stream) or a bare schema plus ``rows``.
+    """
+
+    def __init__(
+        self,
+        source: Union[Relation, RelationSchema],
+        fds: Iterable[FDInput],
+        rows: Iterable[Sequence[Any] | Row] = (),
+    ) -> None:
+        if isinstance(source, Relation):
+            schema, initial = source.schema, list(source.rows)
+        else:
+            schema, initial = source, []
+        initial.extend(Relation(schema, rows).rows)
+        super().__init__(Relation(schema, ()), fds)
+        self._install()
+        for row in initial:
+            self.insert(row)
+
+    def _install(self) -> None:
+        """Arm the journal on a freshly initialized core."""
+        self._nothing()  # materialize the inconsistent class pre-trail
+        self._trail: List[tuple] = []
+        self.uf.trail = self._trail
+        #: raw (un-chased) rows, the session's source of truth
+        self._raw_rows: List[Row] = []
+        #: per row: (trail length, applications length) just before insert
+        self._marks: List[Tuple[int, int]] = []
+        #: bumped by every trail rewind; invalidates older snapshots' marks
+        self._gen = 0
+        #: trail position of the latest in-place raw-row rewrite (a fill's
+        #: substitution or an adopt's commit).  Rewinding *below* it would
+        #: silently peel that user-supplied data off rows the replay never
+        #: touches, so delete/update/replace must level-rebuild instead
+        #: (an explicit rollback may cross it — reverting is its job).
+        self._ratchet_mark = 0
+
+    # -- firing discipline -------------------------------------------------
+
+    def _fire(self, k: int, anchor: int, row: int) -> None:
+        """A signature collision applies the NS-rule directly (the indexed
+        engine's discipline; Theorem 4 makes the order unobservable)."""
+        self._apply_pair(self.fds[k], anchor, row)
+
+    def _drain(self) -> None:
+        """Run the dirtied terms to fixpoint (one op = one 'pass')."""
+        self.passes += 1
+        work = self._work
+        sign = self._sign
+        while work:
+            k, row = work.popleft()
+            sign(k, row)
+
+    # -- raw views ---------------------------------------------------------
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """The raw (un-chased) rows currently in the session."""
+        return tuple(self._raw_rows)
+
+    def raw_relation(self) -> Relation:
+        """The raw rows as a :class:`Relation` (what a from-scratch
+        ``chase`` of this session's state would take as input)."""
+        return Relation(self.schema, list(self._raw_rows))
+
+    def __len__(self) -> int:
+        return len(self._raw_rows)
+
+    # -- update vocabulary -------------------------------------------------
+
+    def insert(self, values: Sequence[Any] | Row) -> int:
+        """Add a tuple and restore the fixpoint; returns its row index."""
+        row = values if isinstance(values, Row) else Row(self.schema, values)
+        if row.schema.attributes != self.schema.attributes:
+            raise SchemaError(
+                f"row scheme {row.schema!r} does not match {self.schema!r}"
+            )
+        trail = self._trail
+        self._marks.append((len(trail), len(self.applications)))
+        self._raw_rows.append(row)
+        trail.append(("raw",))
+        index = len(self.cells)
+        uf = self.uf
+        occ = self._occ
+        encoded: List[int] = []
+        for col, attr in enumerate(self.schema.attributes):
+            before = len(uf.parent)
+            node = self._node_for(attr, row.values[col])
+            encoded.append(node)
+            root = uf.find(node)
+            cells_of = occ.get(root)
+            if cells_of is None:
+                occ[root] = [(index, col)]
+                trail.append(("occnew", root))
+            else:
+                cells_of.append((index, col))
+                trail.append(("occapp", root))
+            if node < before:
+                # existing class gains an occurrence; fresh nodes already
+                # weigh 1 (their single new cell)
+                uf.add_weight(root, 1)
+                trail.append(("wt", root))
+        self.cells.append(encoded)
+        trail.append(("cells",))
+        work = self._work
+        for k in range(len(self.fds)):
+            work.append((k, index))
+        self._drain()
+        return index
+
+    def _rewind_pays(self, mark: int) -> bool:
+        """Is undo-to-``mark`` + suffix replay both *safe* and cheaper than
+        a level rebuild?
+
+        Unsafe below :attr:`_ratchet_mark`: the undo would revert a fill's
+        or adopt's in-place row rewrites, and the replay (which only
+        re-inserts rows *after* the rewound one) would never restore them.
+        """
+        if mark < self._ratchet_mark:
+            return False
+        return 2 * (len(self._trail) - mark) < len(self._trail)
+
+    def delete(self, index: int) -> None:
+        """Remove the tuple at ``index``; later rows shift down by one."""
+        self._check_index(index)
+        survivors = self._raw_rows[index + 1 :]
+        mark, apps = self._marks[index]
+        if not self._rewind_pays(mark):
+            self._rebuild(self._raw_rows[:index] + survivors)
+            return
+        self._undo_to(mark, apps)
+        for row in survivors:
+            self.insert(row)
+
+    def replace(self, index: int, values: Sequence[Any] | Row) -> None:
+        """Swap the tuple at ``index`` for a new one, in place."""
+        self._check_index(index)
+        row = values if isinstance(values, Row) else Row(self.schema, values)
+        survivors = self._raw_rows[index + 1 :]
+        mark, apps = self._marks[index]
+        if not self._rewind_pays(mark):
+            self._rebuild(self._raw_rows[:index] + [row] + survivors)
+            return
+        self._undo_to(mark, apps)
+        self.insert(row)
+        for survivor in survivors:
+            self.insert(survivor)
+
+    def update(self, index: int, changes: Mapping[str, Any]) -> None:
+        """Modify attributes of the *raw* tuple at ``index``."""
+        self._check_index(index)
+        mapping = self._raw_rows[index].as_dict()
+        for attr, value in changes.items():
+            if attr not in self.schema:
+                raise SchemaError(f"unknown attribute {attr!r}")
+            mapping[attr] = value
+        self.replace(index, Row.from_mapping(self.schema, mapping))
+
+    def fill(self, index: int, attribute: str, value: Any) -> None:
+        """Ground the null at ``(index, attribute)`` with a constant.
+
+        The substitution applies to *every* cell holding that null object
+        (a shared null is one unknown).  If the constraints force a
+        different value, the state poisons — check :attr:`has_nothing`
+        afterwards (or wrap in :meth:`snapshot`/:meth:`rollback`).
+        """
+        self._check_index(index)
+        cell = self._raw_rows[index][attribute]
+        if not is_null(cell):
+            raise ReproError(
+                f"fill row {index}.{attribute}: cell is not null "
+                f"(holds {cell!r})"
+            )
+        first: Optional[int] = None
+        columns: set = set()
+        for i, row in enumerate(self._raw_rows):
+            for col, occupant in enumerate(row.values):
+                if occupant is cell:
+                    if first is None:
+                        first = i
+                    columns.add(col)
+        substitution = {cell: value}
+        if len(columns) == 1:
+            # fast path: the null lives in one column, so substituting it
+            # is exactly "merge its class with the column's interned
+            # constant" — the NS-rule substitution, user-initiated.  The
+            # null leaves the registry (it is no longer an unknown of the
+            # raw instance); position is recorded so a rollback restores
+            # the registry's row-major order.
+            trail = self._trail
+            key = id(cell)
+            node = self._null_nodes[key]
+            position = list(self._null_nodes).index(key)
+            del self._null_nodes[key]
+            del self._null_objects[key]
+            trail.append(("dereg", key, cell, node, position))
+            for i in range(first, len(self._raw_rows)):
+                row = self._raw_rows[i]
+                if any(occupant is cell for occupant in row.values):
+                    trail.append(("rawset", i, row))
+                    self._raw_rows[i] = row.substitute(substitution)
+            self._merge(node, self._node_for(attribute, value))
+            self._drain()
+            self._ratchet_mark = len(self._trail)
+            return
+        # a null spanning columns: per-column constant interning means the
+        # class-merge shortcut would not reproduce the from-scratch
+        # encoding (equal constants in *different* classes change which
+        # signatures collide) — rewind to the null's first occurrence and
+        # replay with the substitution applied
+        rows = [row.substitute(substitution) for row in self._raw_rows]
+        mark, apps = self._marks[first]
+        if not self._rewind_pays(mark):
+            self._rebuild(rows)
+            return
+        self._undo_to(mark, apps)
+        for row in rows[first:]:
+            self.insert(row)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._raw_rows):
+            raise SchemaError(f"no row at index {index}")
+
+    def reset(self, rows: Iterable[Sequence[Any] | Row]) -> None:
+        """Replace the session's contents wholesale (level rebuild).
+
+        Equivalent to constructing a fresh session over ``rows``, in
+        place.  Existing snapshots remain honored (their recorded raw rows
+        back the rebuild fallback)."""
+        self._rebuild(list(Relation(self.schema, rows).rows))
+
+    def compact(self) -> None:
+        """Shed accumulated trail history (level rebuild over own rows).
+
+        The trail journals every engine mutation since the last rebuild,
+        so a very long-lived session grows memory proportional to total
+        work done, not instance size.  Compacting rebuilds in place: the
+        fresh trail covers only the current rows' insertion work, at the
+        cost of invalidating outstanding snapshots' fast path (they fall
+        back to their recorded rows) and of old rows' rewind marks (their
+        deletes level-rebuild, which is what deep rewinds did anyway)."""
+        self._rebuild(list(self._raw_rows))
+
+    def adopt(self) -> Dict[Null, Any]:
+        """Commit the maintained fixpoint into the raw rows.
+
+        Forced substitutions become stored constants and NEC classes
+        collapse onto their representative null object — the paper's
+        "internal acquisition": information the constraints force is
+        adopted as data, and from then on it survives even if the tuples
+        that forced it are later deleted or updated (the ratchet
+        :class:`repro.updates.GuardedRelation` builds its ``propagate``
+        semantics on).  Nulls that no longer occur in the raw rows leave
+        the registry, so the session invariant — ``result()`` equals a
+        from-scratch chase of :meth:`raw_relation` — is preserved exactly.
+        Fully journalled: a :meth:`rollback` over an adoption restores the
+        un-adopted rows.  Returns the substitutions that were committed.
+
+        Two hazards force a level rebuild over the adopted rows (restoring
+        the exact from-scratch encoding) instead of the in-place commit:
+
+        * a grounded class whose cells span *columns* (a shared null
+          linked across attributes) — committing it writes the same
+          literal into several columns, and a fresh encoding would intern
+          each column's copy into that column's constant node, signature
+          collisions the maintained partition (which holds the old class
+          merely *tagged* with the constant) does not see;
+        * a poisoned session (:attr:`has_nothing`) — committing writes
+          ``NOTHING`` literals into the rows, but the maintained partition
+          still holds the poisoned *constants* merged into the nothing
+          class, so a later insert reusing one of those constants would
+          spuriously poison where a fresh chase of the rows would not.
+        """
+        trail = self._trail
+        adopted = self.result().relation.rows
+        committed = self.substitutions()
+        find = self.uf.find
+        tags = self.tags
+        hazard = self.has_nothing
+        if not hazard:
+            for node in self._null_nodes.values():
+                root = find(node)
+                if tags[root][0] != _TAG_CONST:
+                    continue
+                columns = {col for _, col in self._occ.get(root, ())}
+                if len(columns) > 1:
+                    hazard = True
+                    break
+        for i, row in enumerate(self._raw_rows):
+            if row.values != adopted[i].values:
+                trail.append(("rawset", i, row))
+                self._raw_rows[i] = adopted[i]
+        if hazard:
+            self._rebuild(list(self._raw_rows))
+            return committed
+        still_occurring = {
+            id(value)
+            for row in self._raw_rows
+            for value in row.values
+            if is_null(value)
+        }
+        # positions are recorded net of earlier removals (the trail is
+        # undone in reverse, so each reinsertion sees exactly the later
+        # removals already restored)
+        doomed: List[Tuple[int, int]] = []
+        for position, key in enumerate(self._null_nodes):
+            if key not in still_occurring:
+                doomed.append((key, position - len(doomed)))
+        for key, position in doomed:
+            node = self._null_nodes[key]
+            null_obj = self._null_objects[key]
+            del self._null_nodes[key]
+            del self._null_objects[key]
+            trail.append(("dereg", key, null_obj, node, position))
+        self._ratchet_mark = len(trail)
+        return committed
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> SessionSnapshot:
+        """Checkpoint the current state (O(1) plus one row-list copy)."""
+        return SessionSnapshot(
+            len(self._trail),
+            len(self.applications),
+            self._gen,
+            tuple(self._raw_rows),
+        )
+
+    def rollback(self, token: SessionSnapshot) -> None:
+        """Restore the state :meth:`snapshot` captured.
+
+        Fast path — no rewind happened since the checkpoint — pops the
+        trail back to its mark.  Otherwise (an intervening delete/update
+        rewound below it) the session rebuilds from the checkpoint's raw
+        rows; either way the restored state is exact.
+        """
+        if token.gen == self._gen and token.mark <= len(self._trail):
+            self._undo_to(token.mark, token.apps)
+        else:
+            self._rebuild(list(token.rows))
+
+    # -- trail machinery ---------------------------------------------------
+
+    def _undo_to(self, mark: int, apps: int) -> None:
+        """Pop the trail down to ``mark``, inverting every mutation."""
+        trail = self._trail
+        uf = self.uf
+        occ = self._occ
+        tags = self.tags
+        while len(trail) > mark:
+            entry = trail.pop()
+            kind = entry[0]
+            if kind == "uf":
+                uf.undo_union(entry[1], entry[2])
+            elif kind == "tags":
+                _, a, tag_a, b, tag_b = entry
+                tags[a] = tag_a
+                tags[b] = tag_b
+            elif kind == "occmv":
+                _, survivor, absorbed, count, existed = entry
+                moved_list = occ[survivor]
+                occ[absorbed] = moved_list[-count:]
+                del moved_list[-count:]
+                if not existed:
+                    del occ[survivor]
+            elif kind == "sig":
+                _, key, old = entry
+                if old is None:
+                    del self._sigs[key]
+                else:
+                    self._sigs[key] = old
+            elif kind == "ancnew":
+                del self._anchors[entry[1]]
+            elif kind == "ancdel":
+                self._anchors[entry[1]] = entry[2]
+            elif kind == "occapp":
+                occ[entry[1]].pop()
+            elif kind == "occnew":
+                del occ[entry[1]]
+            elif kind == "wt":
+                uf.add_weight(entry[1], -1)
+            elif kind == "cells":
+                self.cells.pop()
+            elif kind == "raw":
+                self._raw_rows.pop()
+                self._marks.pop()
+            elif kind == "rawset":
+                self._raw_rows[entry[1]] = entry[2]
+            elif kind == "newnull":
+                _, key, node = entry
+                del self._null_nodes[key]
+                del self._null_objects[key]
+                del tags[node]
+                uf.drop_newest(node)
+            elif kind == "newconst":
+                _, key, node = entry
+                del self._const_nodes[key]
+                del tags[node]
+                uf.drop_newest(node)
+            elif kind == "dereg":
+                _, key, null_obj, node, position = entry
+                items = list(self._null_nodes.items())
+                items.insert(position, (key, node))
+                self._null_nodes = dict(items)
+                self._null_objects[key] = null_obj
+            else:  # pragma: no cover - "newnothing" never fires post-install
+                node = entry[1]
+                self._nothing_node = None
+                del tags[node]
+                uf.drop_newest(node)
+        del self.applications[apps:]
+        self._gen += 1
+        # an undo that crossed the latest rewrite reverted it (a rollback's
+        # job); anything older is still guarded at the new trail top
+        self._ratchet_mark = min(self._ratchet_mark, len(trail))
+
+    def _rebuild(self, rows: List[Row]) -> None:
+        """Level rebuild: re-chase ``rows`` from scratch in place."""
+        generation = self._gen
+        fds = self.fds
+        SignatureChaseCore.__init__(self, Relation(self.schema, ()), fds)
+        self._install()
+        self._gen = generation + 1
+        for row in rows:
+            self.insert(row)
+
+    # -- Theorem-4 views ---------------------------------------------------
+
+    def result(self, strategy: str = STRATEGY_SESSION) -> ChaseResult:
+        """The maintained fixpoint as a :class:`ChaseResult`."""
+        return super().result(strategy)
+
+    @property
+    def has_nothing(self) -> bool:
+        """Live Theorem 4(b) verdict: weak satisfiability fails iff True."""
+        tags = self.tags
+        for root, cells in self._occ.items():
+            if cells and tags[root][0] == _TAG_NOTHING:
+                return True
+        return False
+
+    def substitutions(self) -> Dict[Null, Any]:
+        """Null → forced value, for every null the constraints ground
+        (``NOTHING`` for nulls in poisoned classes) — the substitution
+        view of :meth:`result` without materializing the relation."""
+        find = self.uf.find
+        out: Dict[Null, Any] = {}
+        for key, node in self._null_nodes.items():
+            kind, payload = self.tags[find(node)]
+            if kind == _TAG_CONST:
+                out[self._null_objects[key]] = payload
+            elif kind == _TAG_NOTHING:
+                out[self._null_objects[key]] = NOTHING
+        return out
+
+    def check(
+        self,
+        fds: Optional[Iterable[FDInput]] = None,
+        convention: str = "weak",
+        method: str = "auto",
+        null_classes: Optional[Mapping[Null, Any]] = None,
+    ):
+        """TEST-FDs against the maintained instance.
+
+        With ``fds=None`` the session's own FD set is checked.  Under the
+        weak convention Theorem 3's minimal-incompleteness precondition
+        holds by construction (the session state is a chase fixpoint), so
+        no ``ensure_minimal`` chase is ever needed.  A poisoned session
+        (``has_nothing``) is rejected by TEST-FDs like any
+        NOTHING-bearing instance.
+        """
+        from ..testfd import check_fds  # local: keeps partial checkouts importable
+
+        return check_fds(
+            self.result().relation,
+            list(self.fds) if fds is None else fds,
+            convention=convention,
+            method=method,
+            null_classes=null_classes,
+        )
+
+    def explain(self) -> str:
+        """The narrated chase of the maintained instance."""
+        from ..explain import explain_chase  # local: avoids import cycle
+
+        return explain_chase(self.result())

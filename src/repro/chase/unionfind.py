@@ -12,11 +12,32 @@ whose occurrence list would be expensive to move is always the one that
 stays put.  Union by node count would happily absorb that constant into a
 three-null class and then move 500 occurrence entries; union by occurrence
 weight moves 3.
+
+Backtracking: a *trail* (installed via :attr:`trail`) turns the structure
+into a backtrackable union-find.  Every successful union appends a
+``("uf", survivor, absorbed)`` entry; :meth:`undo_union` inverts one entry
+exactly, provided entries are undone in reverse order.  Two invariants make
+the inversion exact:
+
+* **no path compression while trailing** — :meth:`find` skips path halving
+  when a trail is installed, because halving rewrites parent pointers of
+  nodes *inside* an absorbed subtree to point above the absorbed root;
+  undoing the union by resetting ``parent[absorbed]`` would then strand
+  them in the wrong class.  Weighted union alone still bounds tree depth
+  logarithmically, so trailing costs ``O(log n)`` finds instead of
+  near-``O(1)``;
+* **reverse-order undo** — ``size``/``weight`` totals of the absorbed root
+  are untouched between the union and its undo only if every later
+  mutation (further unions, :meth:`add_weight` bumps) is undone first.
+
+:class:`repro.chase.session.ChaseSession` owns the trail and journals its
+own bookkeeping (tags, occurrence lists, signature buckets) onto the same
+list, so one reverse sweep restores the whole engine state.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class UnionFind:
@@ -29,7 +50,7 @@ class UnionFind:
     absorbed class — no full rescan.
     """
 
-    __slots__ = ("parent", "size", "weight", "merges", "on_union")
+    __slots__ = ("parent", "size", "weight", "merges", "on_union", "trail")
 
     def __init__(self, count: int = 0) -> None:
         self.parent: List[int] = list(range(count))
@@ -42,6 +63,9 @@ class UnionFind:
         self.merges: int = 0
         #: optional merge-notification hook: ``hook(survivor, absorbed)``
         self.on_union: Optional[Callable[[int, int], None]] = None
+        #: optional shared journal; installing one makes the structure
+        #: backtrackable (unions are recorded, path compression stops)
+        self.trail: Optional[List[Tuple[Any, ...]]] = None
 
     def add(self) -> int:
         """Create a fresh singleton node; returns its id."""
@@ -63,10 +87,15 @@ class UnionFind:
         self.weight[node] = weight
 
     def find(self, node: int) -> int:
-        """Root of ``node``'s class (path halving)."""
+        """Root of ``node``'s class (path halving; plain walk if trailing)."""
         parent = self.parent
+        if self.trail is None:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+        # backtrackable mode: compression would make undo_union inexact
         while parent[node] != node:
-            parent[node] = parent[parent[node]]
             node = parent[node]
         return node
 
@@ -88,9 +117,39 @@ class UnionFind:
         self.size[a] += self.size[b]
         self.weight[a] += self.weight[b]
         self.merges += 1
+        if self.trail is not None:
+            self.trail.append(("uf", a, b))
         if self.on_union is not None:
             self.on_union(a, b)
         return a
+
+    # -- backtracking ------------------------------------------------------
+
+    def undo_union(self, survivor: int, absorbed: int) -> None:
+        """Invert one recorded union (strict reverse-order discipline)."""
+        self.parent[absorbed] = absorbed
+        self.size[survivor] -= self.size[absorbed]
+        self.weight[survivor] -= self.weight[absorbed]
+        self.merges -= 1
+
+    def add_weight(self, root: int, delta: int) -> None:
+        """Adjust a class total in place (new cell occurrences of an
+        existing class).  Unlike :meth:`set_weight` this is valid on any
+        root at any time; callers undo it by adding ``-delta`` back."""
+        self.weight[root] += delta
+
+    def drop_newest(self, node: int) -> None:
+        """Remove the most recently added node (undo of :meth:`add`).
+
+        Valid only while the node is the last one and still a singleton
+        root — guaranteed when undoing a trail in reverse order, since any
+        union involving the node was undone first.
+        """
+        if node != len(self.parent) - 1 or self.parent[node] != node:
+            raise ValueError("drop_newest must undo the most recent add")
+        self.parent.pop()
+        self.size.pop()
+        self.weight.pop()
 
     def same(self, first: int, second: int) -> bool:
         return self.find(first) == self.find(second)

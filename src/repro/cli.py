@@ -3,7 +3,10 @@
 Usage (also via ``python -m repro``)::
 
     repro check  --data t.csv --fds "zip -> city state" [--convention weak]
+                 [--method auto|sortmerge|pairwise|bucket|batched]
     repro chase  --data t.csv --fds "zip -> city state" [--mode extended]
+                 [--engine auto|sweep|indexed|congruence]
+    repro session --data t.csv --fds "zip -> city state" --script ops.txt
     repro keys       --attrs "A B C" --fds "A -> B"
     repro closure    --attrs "A B C" --fds "A -> B; B -> C" --of "A"
     repro normalize  --attrs "A B C" --fds "A -> B; B -> C" [--method bcnf]
@@ -12,6 +15,23 @@ Data files are ordinary CSV with a header row naming the attributes; an
 empty cell or a ``-`` cell is read as a fresh null.  Finite domains may be
 declared with ``--domain A=a1,a2,a3`` (repeatable); attributes without a
 declaration get unbounded domains.
+
+``repro session`` drives a long-lived :class:`repro.ChaseSession` through
+a script of operations (one per line, ``#`` comments; ``-`` reads the
+script from stdin)::
+
+    insert a1, b1, c1        # cells comma-separated; empty or - is a null
+    update 0 B=b2, C=c9      # attribute assignments on row 0
+    fill 1 C c3              # ground a null with a constant
+    delete 0
+    snapshot                 # push a checkpoint
+    rollback                 # pop + restore the latest checkpoint
+    check weak               # TEST-FDs against the maintained instance
+    show                     # print the maintained instance
+    explain                  # narrate the maintained chase
+
+The final maintained instance is printed on exit; the exit status is 1
+when it is inconsistent (contains *nothing*), 0 otherwise.
 """
 
 from __future__ import annotations
@@ -22,7 +42,16 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from .armstrong import attribute_closure, candidate_keys, minimal_cover
-from .chase import MODE_BASIC, MODE_EXTENDED, chase
+from .chase import (
+    ENGINE_AUTO,
+    ENGINE_CONGRUENCE,
+    ENGINE_INDEXED,
+    ENGINE_SWEEP,
+    MODE_BASIC,
+    MODE_EXTENDED,
+    ChaseSession,
+    chase,
+)
 from .core.attributes import parse_attrs
 from .core.domain import Domain
 from .core.fd import FDSet
@@ -59,12 +88,7 @@ def load_relation(
                     f"{path}:{lineno}: expected {len(schema.attributes)} "
                     f"cells, got {len(record)}"
                 )
-            rows.append(
-                [
-                    null() if cell.strip() in NULL_TOKENS else cell.strip()
-                    for cell in record
-                ]
-            )
+            rows.append([_parse_cell(cell) for cell in record])
     return Relation(schema, rows)
 
 
@@ -87,6 +111,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         relation,
         fds,
         convention=args.convention,
+        method=args.method,
         ensure_minimal=(args.convention == CONVENTION_WEAK),
     )
     print(
@@ -101,11 +126,108 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_chase(args: argparse.Namespace) -> int:
     relation = load_relation(args.data, parse_domains(args.domain))
     fds = FDSet.parse(args.fds)
-    result = chase(relation, fds, mode=args.mode)
+    result = chase(relation, fds, mode=args.mode, engine=args.engine)
     print(result.relation.to_text())
     print()
     print(explain_chase(result))
     return 1 if result.has_nothing else 0
+
+
+def _parse_cell(text: str):
+    """One CSV/script cell: the shared null-token rule."""
+    text = text.strip()
+    return null() if text in NULL_TOKENS else text
+
+
+def _parse_cells(text: str) -> List:
+    return [_parse_cell(cell) for cell in text.split(",")]
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    fds = FDSet.parse(args.fds)
+    if args.data:
+        relation = load_relation(args.data, parse_domains(args.domain))
+        session = ChaseSession(relation, fds)
+    elif args.attrs:
+        schema = RelationSchema(
+            "R", args.attrs, domains=parse_domains(args.domain) or None
+        )
+        session = ChaseSession(schema, fds)
+    else:
+        raise ReproError("session needs --data or --attrs")
+
+    if args.script == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.script) as handle:
+            lines = handle.read().splitlines()
+
+    checkpoints: List = []
+    status = 0
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        op, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if op == "insert":
+                index = session.insert(_parse_cells(rest))
+                print(f"[{lineno}] insert -> row {index}")
+            elif op == "delete":
+                session.delete(int(rest))
+                print(f"[{lineno}] delete row {rest}")
+            elif op == "update":
+                index_text, _, assigns = rest.partition(" ")
+                changes = {}
+                for assign in assigns.split(","):
+                    attr, sep, value = assign.partition("=")
+                    if not sep:
+                        raise ReproError(f"bad assignment {assign.strip()!r}")
+                    changes[attr.strip()] = _parse_cell(value)
+                session.update(int(index_text), changes)
+                print(f"[{lineno}] update row {index_text} with {changes}")
+            elif op == "fill":
+                index_text, attr, value = rest.split(None, 2)
+                session.fill(int(index_text), attr, value)
+                print(f"[{lineno}] fill row {index_text}.{attr} := {value!r}")
+            elif op == "snapshot":
+                checkpoints.append(session.snapshot())
+                print(f"[{lineno}] snapshot #{len(checkpoints)}")
+            elif op == "rollback":
+                if not checkpoints:
+                    raise ReproError("rollback without a snapshot")
+                session.rollback(checkpoints.pop())
+                print(f"[{lineno}] rollback to snapshot #{len(checkpoints) + 1}")
+            elif op == "check":
+                convention = rest or CONVENTION_WEAK
+                if convention not in (CONVENTION_WEAK, CONVENTION_STRONG):
+                    raise ReproError(f"unknown convention {convention!r}")
+                outcome = session.check(convention=convention)
+                verdict = "satisfied" if outcome.satisfied else "violated"
+                print(f"[{lineno}] check {convention}: {verdict}")
+                if not outcome.satisfied:
+                    print(explain_outcome(outcome, session.result().relation))
+            elif op == "show":
+                print(session.result().relation.to_text())
+            elif op == "explain":
+                print(session.explain())
+            else:
+                raise ReproError(f"unknown session op {op!r}")
+        except (ReproError, ValueError) as error:
+            print(f"error: line {lineno}: {error}", file=sys.stderr)
+            status = 2
+            break
+        if session.has_nothing:
+            print(f"[{lineno}] state is now INCONSISTENT (nothing present)")
+
+    print()
+    print(session.result().relation.to_text())
+    print()
+    print(session.result().summary())
+    if status:
+        return status
+    return 1 if session.has_nothing else 0
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -155,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[CONVENTION_WEAK, CONVENTION_STRONG],
         default=CONVENTION_WEAK,
     )
+    check.add_argument(
+        "--method",
+        choices=["auto", "sortmerge", "pairwise", "bucket", "batched"],
+        default="auto",
+        help="TEST-FDs variant (auto routes by convention and shared LHSs)",
+    )
     check.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
     check.set_defaults(func=_cmd_check)
 
@@ -164,8 +292,28 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument(
         "--mode", choices=[MODE_BASIC, MODE_EXTENDED], default=MODE_EXTENDED
     )
+    chase_cmd.add_argument(
+        "--engine",
+        choices=[ENGINE_AUTO, ENGINE_SWEEP, ENGINE_INDEXED, ENGINE_CONGRUENCE],
+        default=ENGINE_AUTO,
+        help="chase engine (indexed/congruence are extended-mode only)",
+    )
     chase_cmd.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
     chase_cmd.set_defaults(func=_cmd_chase)
+
+    session = commands.add_parser(
+        "session", help="drive a stateful chase session through an op script"
+    )
+    session.add_argument("--data", help="CSV file with the initial instance")
+    session.add_argument("--attrs", help='start empty over e.g. "A B C"')
+    session.add_argument("--fds", required=True)
+    session.add_argument(
+        "--script",
+        default="-",
+        help="operation script path, or - for stdin (the default)",
+    )
+    session.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    session.set_defaults(func=_cmd_session)
 
     keys = commands.add_parser("keys", help="candidate keys")
     keys.add_argument("--attrs", required=True, help='e.g. "A B C"')

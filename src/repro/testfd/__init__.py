@@ -65,9 +65,19 @@ def check_fds(
     ``method``: ``"sortmerge"`` (Figure 3), ``"pairwise"`` (the footnote's
     O(n²) variant), ``"bucket"`` (the bucket-sort variant), ``"batched"``
     (bucket batched over shared left-hand sides: one grouping per distinct
-    X decides every ``X -> Y_i``), or ``"auto"`` — sort-merge where the
-    convention permits it, falling back to pairwise for the strong
-    convention on instances with left-hand-side nulls.
+    X decides every ``X -> Y_i``), or ``"auto"``.
+
+    ``"auto"`` is batching-aware: when at least two FDs share a left-hand
+    side (as a column set) and grouping is convention-safe — always under
+    the weak convention; under the strong convention only when every
+    non-trivial LHS is null-free in the instance — it routes to
+    ``batched``, amortizing the X-key work across the group.  Otherwise it
+    runs sort-merge, falling back to pairwise for the strong convention on
+    instances with left-hand-side nulls.  Every route preserves the
+    documented witness contract: a *no* answer carries an honest violating
+    pair under the convention's comparisons (the variants may differ in
+    *which* honest pair they report; callers that need a specific
+    variant's witness should name the method).
 
     For the weak convention, Theorem 3 requires a minimally incomplete
     instance; ``ensure_minimal=True`` chases first (basic NS-rules; the
@@ -100,7 +110,44 @@ def check_fds(
     if method != "auto":
         raise ValueError(f"unknown TEST-FDs method {method!r}")
 
+    if _batching_pays(relation, fd_list, convention):
+        return check_fds_batched(relation, fd_list, convention, null_classes)
     try:
         return check_fds_sortmerge(relation, fd_list, convention, null_classes)
     except ConventionError:
         return check_fds_pairwise(relation, fd_list, convention, null_classes)
+
+
+def _batching_pays(
+    relation: Relation, fds: Iterable[FDInput], convention: str
+) -> bool:
+    """Should ``auto`` route to the shared-LHS batched variant?
+
+    True when some left-hand side (as a column set) recurs — that is when
+    batching actually amortizes anything — and the batched grouping is
+    convention-safe: under the strong convention nulls cannot be grouped,
+    so every non-trivial LHS column must be null-free in the instance
+    (matching the :class:`~repro.errors.ConventionError` contract of the
+    grouping variants rather than racing it).
+    """
+    from ..core.fd import as_fd as _as_fd
+
+    groups: set = set()
+    seen_shared = False
+    lhs_columns: set = set()
+    for fd in fds:
+        fd = _as_fd(fd).normalized()
+        if fd.is_trivial():
+            continue
+        cols = frozenset(relation.schema.position(a) for a in fd.lhs)
+        if cols in groups:
+            seen_shared = True
+        groups.add(cols)
+        lhs_columns |= cols
+    if not seen_shared:
+        return False
+    if convention == CONVENTION_STRONG and any(
+        is_null(row.values[c]) for row in relation.rows for c in lhs_columns
+    ):
+        return False
+    return True

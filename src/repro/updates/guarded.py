@@ -24,21 +24,29 @@ both satisfiability notions are preserved under subsets (each surviving
 tuple's completions only lose potential violators) — asserted in tests
 rather than trusted.
 
-The guard re-chases after each accepted change — stateless and correct
-for mixed workloads.  For append-only streams,
-:class:`repro.chase.IncrementalChase` maintains the fixpoint in amortized
-near-linear total time (ablation A2); it is not used here because
-admission may *reject* a change, and congruence merges are not invertible
-(rollback would need an O(n) state snapshot per attempt).
+The guard runs on a :class:`repro.chase.ChaseSession`.  Weak admission
+is the session's live ``has_nothing`` verdict after optimistically
+applying the change; an inadmissible change is un-happened through the
+session's backtrackable trail (snapshot → try → rollback), so a rejected
+attempt costs the work it caused plus its undo — not a re-chase.
+Inserts and fills maintain the fixpoint incrementally.  Deletes and
+updates under ``propagate`` take a level rebuild instead: the stored
+rows carry ratcheted (adopted) information a trail rewind would peel
+back, but because those rows are already a fixpoint the rebuild is a
+single encode-and-sign pass, not the seed's iterate-to-convergence
+re-chase.  On an admissible (weakly satisfiable) instance the extended
+fixpoint never poisons, which makes it coincide with the basic NS-rule
+fixpoint the paper's "internal acquisition" adopts: the session's
+maintained instance *is* the settled instance earlier revisions
+re-chased for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
-from ..chase.engine import MODE_BASIC, ChaseResult
-from ..chase.minimal import minimally_incomplete, weakly_satisfiable
+from ..chase.session import ChaseSession
 from ..core.fd import FDInput, FDSet, as_fd
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
@@ -74,9 +82,11 @@ class GuardedRelation:
     to "overconstrained" databases whose validity checks otherwise mostly
     prove "that most of the data is dirty".
 
-    With ``propagate=True`` (default) every accepted change is followed by
-    the basic NS-rule chase, adopting forced substitutions and NECs — the
-    "internal acquisition" channel.
+    With ``propagate=True`` (default) the stored instance is the session's
+    maintained minimally incomplete fixpoint — forced substitutions and
+    NECs adopted as they become forced, the "internal acquisition"
+    channel.  With ``propagate=False`` the raw tuples are stored verbatim
+    and the session is consulted for admission only.
     """
 
     def __init__(
@@ -95,12 +105,22 @@ class GuardedRelation:
         self.propagate = propagate
         self.log: List[UpdateResult] = []
         initial = Relation(schema, rows)
-        if not self._admissible(initial):
+        self._session = ChaseSession(schema, self.fds)
+        for row in initial.rows:
+            self._session.insert(row)
+        admissible = (
+            check_fds(initial, self.fds, CONVENTION_STRONG).satisfied
+            if policy == POLICY_STRONG
+            else not self._session.has_nothing
+        )
+        if not admissible:
             raise ReproError(
                 f"initial instance does not satisfy the FDs under the "
                 f"{policy!r} policy"
             )
-        self._relation = self._settle(initial)[0]
+        if propagate:
+            self._session.adopt()
+        self._refresh()
 
     # -- views ---------------------------------------------------------------
 
@@ -108,6 +128,11 @@ class GuardedRelation:
     def relation(self) -> Relation:
         """The current instance (chased, when propagation is on)."""
         return self._relation
+
+    @property
+    def session(self) -> ChaseSession:
+        """The underlying maintained chase session (read-only use)."""
+        return self._session
 
     def __len__(self) -> int:
         return len(self._relation)
@@ -118,55 +143,85 @@ class GuardedRelation:
     def to_text(self) -> str:
         return self._relation.to_text()
 
-    # -- policy plumbing -----------------------------------------------------------
+    # -- policy plumbing -----------------------------------------------------
 
-    def _admissible(self, candidate: Relation) -> bool:
-        if self.policy == POLICY_STRONG:
-            return check_fds(candidate, self.fds, CONVENTION_STRONG).satisfied
-        return weakly_satisfiable(candidate, self.fds)
-
-    def _settle(self, candidate: Relation) -> Tuple[Relation, Dict[Null, Any]]:
-        """Apply internal acquisition; returns (instance, forced subs)."""
-        if not self.propagate:
-            return candidate, {}
-        result: ChaseResult = minimally_incomplete(
-            candidate, self.fds, mode=MODE_BASIC
+    def _refresh(self) -> None:
+        self._relation = (
+            self._session.result().relation
+            if self.propagate
+            else self._session.raw_relation()
         )
-        forced = {
-            original: value
-            for original, value in result.substitutions.items()
-            if value is not NOTHING
-        }
-        return result.relation, forced
 
-    def _attempt(
-        self, operation: str, candidate: Relation, detail: str
-    ) -> UpdateResult:
-        if not self._admissible(candidate):
-            outcome = UpdateResult(
-                False,
-                operation,
-                f"{detail}: would make the constraints "
-                + (
-                    "unsatisfiable in every completion"
-                    if self.policy == POLICY_WEAK
-                    else "not strongly satisfied"
-                ),
-            )
+    def _attempt(self, operation: str, detail: str, mutate, candidate) -> UpdateResult:
+        """Optimistically apply ``mutate`` to the session; undo on
+        inadmissibility.
+
+        ``candidate`` is the would-be instance at the stored-view level,
+        used only for the strong policy's stateless Theorem-2 check (the
+        strong convention judges the instance *as stored*, nulls
+        unresolved — the maintained fixpoint cannot answer that).  Weak
+        admission is the session's live Theorem-4(b) verdict.
+        """
+        if self.policy == POLICY_STRONG:
+            if not check_fds(candidate, self.fds, CONVENTION_STRONG).satisfied:
+                return self._log_rejection(
+                    operation,
+                    f"{detail}: would make the constraints not strongly satisfied",
+                )
+            before = self._forced_ids()
+            mutate()  # strong implies weak: the session cannot poison
         else:
-            settled, forced = self._settle(candidate)
-            self._relation = settled
-            outcome = UpdateResult(True, operation, detail, forced)
+            before = self._forced_ids()
+            snap = self._session.snapshot()
+            mutate()
+            if self._session.has_nothing:
+                self._session.rollback(snap)
+                return self._log_rejection(
+                    operation,
+                    f"{detail}: would make the constraints unsatisfiable in "
+                    "every completion",
+                )
+        outcome = UpdateResult(True, operation, detail, self._forced_delta(before))
+        if self.propagate:
+            # internal acquisition is a ratchet: forced substitutions and
+            # NEC links become stored data, surviving later modifications
+            # of the tuples that forced them
+            self._session.adopt()
+        self._refresh()
         self.log.append(outcome)
         return outcome
 
-    # -- modifications ---------------------------------------------------------------
+    def _forced_ids(self) -> Dict[int, Any]:
+        if not self.propagate:
+            return {}
+        return {id(n): v for n, v in self._session.substitutions().items()}
+
+    def _forced_delta(self, before: Dict[int, Any]) -> Dict[Null, Any]:
+        """Substitutions this operation newly forced (internal acquisition)."""
+        if not self.propagate:
+            return {}
+        return {
+            n: v
+            for n, v in self._session.substitutions().items()
+            if v is not NOTHING and id(n) not in before
+        }
+
+    def _log_rejection(self, operation: str, reason: str) -> UpdateResult:
+        outcome = UpdateResult(False, operation, reason)
+        self.log.append(outcome)
+        return outcome
+
+    # -- modifications -------------------------------------------------------
 
     def insert(self, values: Union[Sequence[Any], Row]) -> UpdateResult:
         """Admit a new tuple if the constraints stay satisfiable."""
         row = values if isinstance(values, Row) else Row(self.schema, values)
-        candidate = self._relation.with_rows([row])
-        return self._attempt("insert", candidate, f"insert {row!r}")
+        return self._attempt(
+            "insert",
+            f"insert {row!r}",
+            lambda: self._session.insert(row),
+            self._relation.with_rows([row]),
+        )
 
     def delete(self, index: int) -> UpdateResult:
         """Remove the tuple at ``index`` (always admissible)."""
@@ -174,16 +229,26 @@ class GuardedRelation:
             raise SchemaError(f"no row at index {index}")
         removed = self._relation[index]
         rows = [r for i, r in enumerate(self._relation.rows) if i != index]
+        # under propagation the stored rows carry ratcheted (adopted)
+        # information; the session's own ratchet guard makes its delete
+        # take the level-rebuild path there, never a rewind that could
+        # peel adopted data back
         return self._attempt(
-            "delete", Relation(self.schema, rows), f"delete {removed!r}"
+            "delete",
+            f"delete {removed!r}",
+            lambda: self._session.delete(index),
+            Relation(self.schema, rows),
         )
 
     def update(self, index: int, changes: Dict[str, Any]) -> UpdateResult:
-        """Modify attributes of the tuple at ``index`` (check-then-swap)."""
+        """Modify attributes of the tuple at ``index`` (try-then-undo).
+
+        The replacement starts from the *stored* tuple — with propagation
+        on, values the chase already grounded stay grounded.
+        """
         if not 0 <= index < len(self._relation):
             raise SchemaError(f"no row at index {index}")
-        current = self._relation[index]
-        mapping = current.as_dict()
+        mapping = self._relation[index].as_dict()
         for attr, value in changes.items():
             if attr not in self.schema:
                 raise SchemaError(f"unknown attribute {attr!r}")
@@ -195,8 +260,9 @@ class GuardedRelation:
         ]
         return self._attempt(
             "update",
-            Relation(self.schema, rows),
             f"update row {index} with {changes}",
+            lambda: self._session.replace(index, replacement),
+            Relation(self.schema, rows),
         )
 
     def fill(self, index: int, attribute: str, value: Any) -> UpdateResult:
@@ -211,7 +277,7 @@ class GuardedRelation:
             raise SchemaError(f"no row at index {index}")
         cell = self._relation[index][attribute]
         if not is_null(cell):
-            return self._attempt_rejection(
+            return self._log_rejection(
                 "fill",
                 f"fill row {index}.{attribute}: cell is not null "
                 f"(holds {cell!r})",
@@ -220,16 +286,12 @@ class GuardedRelation:
         rows = [row.substitute(substitution) for row in self._relation.rows]
         return self._attempt(
             "fill",
-            Relation(self.schema, rows),
             f"fill row {index}.{attribute} := {value!r}",
+            lambda: self._session.fill(index, attribute, value),
+            Relation(self.schema, rows),
         )
 
-    def _attempt_rejection(self, operation: str, reason: str) -> UpdateResult:
-        outcome = UpdateResult(False, operation, reason)
-        self.log.append(outcome)
-        return outcome
-
-    # -- reporting ---------------------------------------------------------------------
+    # -- reporting -----------------------------------------------------------
 
     def history(self) -> List[str]:
         """One line per attempted operation, for audits and examples."""

@@ -141,3 +141,103 @@ class TestDesignCommands:
         )
         assert code == 0
         assert "A B" in capsys.readouterr().out
+
+
+class TestEngineAndMethodFlags:
+    def test_chase_engine_choices(self, customers_csv, capsys):
+        for engine in ("auto", "sweep", "indexed", "congruence"):
+            code = main(
+                ["chase", "--data", customers_csv, "--fds", "zip -> city",
+                 "--engine", engine]
+            )
+            assert code == 0
+            assert "New York" in capsys.readouterr().out
+
+    def test_chase_engine_rejects_unknown(self, customers_csv, capsys):
+        with pytest.raises(SystemExit):
+            main(["chase", "--data", customers_csv, "--fds", "zip -> city",
+                  "--engine", "warp"])
+
+    def test_check_method_choices(self, customers_csv, capsys):
+        for method in ("auto", "sortmerge", "pairwise", "bucket", "batched"):
+            code = main(
+                ["check", "--data", customers_csv, "--fds", "zip -> city",
+                 "--method", method]
+            )
+            assert code == 0
+            capsys.readouterr()
+
+    def test_check_method_rejects_unknown(self, customers_csv):
+        with pytest.raises(SystemExit):
+            main(["check", "--data", customers_csv, "--fds", "zip -> city",
+                  "--method", "psychic"])
+
+
+class TestSessionCommand:
+    def test_script_of_ops(self, customers_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text(
+            "# exercise the whole vocabulary\n"
+            "insert Eve, 10001, -\n"
+            "check weak\n"
+            "snapshot\n"
+            "insert Mal, 10001, Newark\n"
+            "rollback\n"
+            "update 3 name=Eva\n"
+            "delete 0\n"
+            "show\n"
+        )
+        code = main(
+            ["session", "--data", customers_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "insert -> row 3" in out
+        assert "rollback to snapshot #1" in out
+        assert "check weak: satisfied" in out
+        assert "Eva" in out
+        # sessions keep *raw* semantics: deleting Ada's row removed the
+        # only forcer of the zip-10001 city, so the grounding dissolves
+        # back into a shared unknown (one NEC class) — unlike
+        # GuardedRelation's propagate ratchet
+        assert "1 NEC classes" in out
+
+    def test_poisoning_script_exits_one(self, dirty_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("insert Zed, 10001, Boston\n")
+        code = main(
+            ["session", "--data", dirty_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        assert code == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_empty_start_with_attrs(self, capsys):
+        import io
+        import sys as _sys
+
+        stdin = _sys.stdin
+        _sys.stdin = io.StringIO("insert a, b\ninsert a, -\n")
+        try:
+            code = main(["session", "--attrs", "A B", "--fds", "A -> B"])
+        finally:
+            _sys.stdin = stdin
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "insert -> row 1" in out
+
+    def test_needs_data_or_attrs(self, capsys):
+        code = main(["session", "--fds", "A -> B", "--script", "/dev/null"])
+        assert code == 2
+        assert "needs --data or --attrs" in capsys.readouterr().err
+
+    def test_bad_op_reports_line(self, customers_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("insert Eve, 10001, Boston\nlevitate 3\n")
+        code = main(
+            ["session", "--data", customers_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err

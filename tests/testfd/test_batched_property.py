@@ -204,3 +204,49 @@ class TestRejectionPaths:
             check_fds_batched(r, fds, CONVENTION_STRONG)
         with pytest.raises(ConventionError):
             check_fds_bucket(r, fds, CONVENTION_STRONG)
+
+
+class TestAutoRouting:
+    """``check_fds(method="auto")`` is batching-aware (ROADMAP item)."""
+
+    def test_auto_routes_shared_lhs_to_batched(self):
+        r = rel("A B C", [("a", "b1", "c"), ("a", "b2", "c")])
+        fds = ["A -> B", "A -> C"]
+        auto = check_fds(r, fds, CONVENTION_WEAK, method="auto")
+        assert auto == check_fds_batched(r, fds, CONVENTION_WEAK)
+
+    def test_auto_without_shared_lhs_keeps_sortmerge(self):
+        r = rel("A B C", [("a", "b", "c1"), ("a", "b", "c2")])
+        fds = ["A -> B", "B -> C"]
+        auto = check_fds(r, fds, CONVENTION_WEAK, method="auto")
+        assert auto == check_fds_sortmerge(r, fds, CONVENTION_WEAK)
+
+    def test_auto_strong_with_lhs_nulls_never_raises(self):
+        # batched would raise ConventionError on the null-bearing LHS;
+        # auto must detect that and keep the pairwise fallback path
+        r = rel("A B C", [("-", "b1", "c"), ("a", "b2", "c")])
+        fds = ["A -> B", "A -> C"]
+        auto = check_fds(r, fds, CONVENTION_STRONG, method="auto")
+        assert auto.satisfied == check_fds_pairwise(
+            r, fds, CONVENTION_STRONG
+        ).satisfied
+
+    def test_auto_strong_null_free_lhs_routes_to_batched(self):
+        r = rel("A B C", [("a", "b1", "-"), ("a", "b2", "c")])
+        fds = ["A -> B", "A -> C"]
+        auto = check_fds(r, fds, CONVENTION_STRONG, method="auto")
+        assert auto == check_fds_batched(r, fds, CONVENTION_STRONG)
+
+    @given(_instances(), _fd_lists(), st.sampled_from(_CONVENTIONS))
+    @settings(max_examples=120, deadline=None)
+    def test_auto_outcome_matches_pairwise_everywhere(
+        self, instance, fds, convention
+    ):
+        """Whatever route auto picks: same verdict, honest witness, and
+        never a ConventionError (the routing predicate must not race the
+        grouping variants' rejection)."""
+        auto = check_fds(instance, fds, convention, method="auto")
+        reference = check_fds_pairwise(instance, fds, convention)
+        assert auto.satisfied == reference.satisfied
+        if not auto.satisfied:
+            assert_witness_valid(instance, convention, auto.witness)

@@ -9,7 +9,7 @@ from repro.core.relation import Relation
 from repro.core.satisfaction import weakly_satisfied
 from repro.core.schema import RelationSchema
 from repro.core.values import is_null, null
-from repro.errors import ReproError, SchemaError
+from repro.errors import DomainError, ReproError, SchemaError
 from repro.updates import (
     POLICY_STRONG,
     POLICY_WEAK,
@@ -178,6 +178,45 @@ class TestStrongPolicy:
         assert guard.insert(("b", null())).accepted
 
 
+class TestAcquisitionRatchet:
+    """Internal acquisition is a ratchet: once the chase grounds a null,
+    the constant is *stored* and survives losing the tuple that forced it
+    (the seed semantics: candidates are built from the propagated view)."""
+
+    def test_grounding_survives_deleting_the_forcing_row(self):
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", 1), ("a", null())]
+        )
+        assert guard.relation[1]["B"] == 1  # forced, adopted
+        guard.delete(0)
+        assert guard.relation[0]["B"] == 1  # ratcheted
+        # and the ratcheted constant still guards admission
+        assert not guard.insert(("a", 2)).accepted
+
+    def test_grounding_survives_updating_the_forcing_row(self):
+        schema = schema_of("A B")
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", 1), ("a", null())]
+        )
+        guard.update(0, {"A": "z"})
+        assert guard.relation[1]["B"] == 1  # ratcheted
+        assert not guard.update(0, {"A": "a", "B": 2}).accepted
+
+    def test_nec_link_survives_deleting_the_linking_row(self):
+        schema = schema_of("A B")
+        first, second = null(), null()
+        guard = GuardedRelation(
+            schema, ["A -> B"], rows=[("a", first), ("a", second), ("z", "b9")]
+        )
+        linked = guard.relation[0]["B"]
+        assert guard.relation[1]["B"] is linked  # one NEC class, one object
+        guard.delete(0)
+        # the surviving cell still holds the class representative; filling
+        # it later behaves like one unknown, not two
+        assert guard.relation[0]["B"] is linked
+
+
 class TestHistory:
     def test_history_lines(self):
         guard = employee_guard()
@@ -190,6 +229,145 @@ class TestHistory:
     def test_update_result_truthiness(self):
         assert UpdateResult(True, "insert", "ok")
         assert not UpdateResult(False, "insert", "no")
+
+
+# ---------------------------------------------------------------------------
+# property-based: behavior parity with the seed (stateless) guard semantics
+# ---------------------------------------------------------------------------
+#
+# The guard now runs on a ChaseSession (snapshot → try → rollback) instead
+# of re-chasing candidates from scratch.  The reference below *is* the old
+# implementation's decision procedure — candidate-level admissibility plus
+# a basic-mode settle — so any drift in accept/reject verdicts or stored
+# values shows up as a counterexample.
+
+
+class _ReferenceGuard:
+    """The seed's stateless guard: re-derive everything per operation."""
+
+    def __init__(self, schema, fds, rows, policy, propagate):
+        from repro.chase import MODE_BASIC, minimally_incomplete
+        from repro.chase.minimal import weakly_satisfiable
+        from repro.testfd import CONVENTION_STRONG, check_fds
+
+        self._schema = schema
+        self._fds = list(fds)
+        self._policy = policy
+        self._propagate = propagate
+        self._ws = weakly_satisfiable
+        self._check = lambda r: check_fds(r, self._fds, CONVENTION_STRONG).satisfied
+        self._settle = lambda r: minimally_incomplete(
+            r, self._fds, mode=MODE_BASIC
+        ).relation
+        initial = Relation(schema, rows)
+        assert self._admissible(initial)
+        self.relation = self._settle(initial) if propagate else initial
+
+    def _admissible(self, candidate):
+        if self._policy == POLICY_STRONG:
+            return self._check(candidate)
+        return self._ws(candidate, self._fds)
+
+    def _attempt(self, candidate):
+        if not self._admissible(candidate):
+            return False
+        self.relation = self._settle(candidate) if self._propagate else candidate
+        return True
+
+    def insert(self, row):
+        return self._attempt(self.relation.with_rows([row]))
+
+    def delete(self, index):
+        rows = [r for i, r in enumerate(self.relation.rows) if i != index]
+        return self._attempt(Relation(self._schema, rows))
+
+    def update(self, index, changes):
+        from repro.core.tuples import Row as _Row
+
+        mapping = self.relation[index].as_dict()
+        mapping.update(changes)
+        replacement = _Row.from_mapping(self._schema, mapping)
+        rows = [
+            replacement if i == index else r
+            for i, r in enumerate(self.relation.rows)
+        ]
+        return self._attempt(Relation(self._schema, rows))
+
+    def fill(self, index, attr, value):
+        cell = self.relation[index][attr]
+        if not is_null(cell):
+            return False
+        rows = [r.substitute({cell: value}) for r in self.relation.rows]
+        return self._attempt(Relation(self._schema, rows))
+
+
+_parity_cell = st.sampled_from(["u", "v", "w", None])
+
+
+@st.composite
+def _parity_ops(draw):
+    kind = draw(st.sampled_from(["insert", "insert", "delete", "update", "fill"]))
+    return (
+        kind,
+        [draw(_parity_cell) for _ in range(3)],
+        draw(st.integers(min_value=0, max_value=7)),
+        draw(st.sampled_from(["A", "B", "C"])),
+        draw(st.sampled_from(["u", "v", "w"])),
+    )
+
+
+@given(
+    st.lists(_parity_ops(), max_size=8),
+    st.lists(
+        st.sampled_from(["A -> B", "B -> C", "A -> C"]),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ),
+    st.booleans(),
+    st.sampled_from([POLICY_WEAK, POLICY_STRONG]),
+)
+@settings(max_examples=80, deadline=None)
+def test_session_guard_matches_stateless_reference(ops, fds, propagate, policy):
+    """Same accept/reject verdicts and same stored instance as the seed."""
+    from repro.chase import canonical_form
+
+    schema = schema_of("A B C")
+    seed_rows = [("u", "u", "u")]
+    guard = GuardedRelation(
+        schema, fds, rows=seed_rows, policy=policy, propagate=propagate
+    )
+    reference = _ReferenceGuard(schema, fds, seed_rows, policy, propagate)
+    for kind, cells, index, attr, value in ops:
+        values = [null() if c is None else c for c in cells]
+        if kind == "insert":
+            # both guards receive the same value list, so a null inserted
+            # into one is the *same* object in the other — later fills then
+            # exercise identical null patterns on both sides
+            assert guard.insert(values).accepted == reference.insert(values)
+        elif kind == "delete":
+            if len(guard) == 0:
+                continue
+            index %= len(guard)
+            assert guard.delete(index).accepted == reference.delete(index)
+        elif kind == "update":
+            if len(guard) == 0:
+                continue
+            index %= len(guard)
+            changes = {attr: values[0]}
+            assert guard.update(index, changes).accepted == reference.update(
+                index, dict(changes)
+            )
+        else:  # fill
+            if len(guard) == 0:
+                continue
+            index %= len(guard)
+            expected = reference.fill(index, attr, value)
+            outcome = guard.fill(index, attr, value)
+            assert outcome.accepted == expected
+        assert canonical_form(guard.relation) == canonical_form(
+            reference.relation
+        ), (guard.relation.to_text(), reference.relation.to_text())
 
 
 # ---------------------------------------------------------------------------
@@ -230,5 +408,14 @@ def test_guard_invariant_under_random_operations(ops):
                 guard.fill(index % len(guard), attr, value)
         except SchemaError:
             pass
-    # the invariant: whatever happened, the stored state is satisfiable
-    assert weakly_satisfied(["A -> B"], guard.relation)
+    # the invariant: whatever happened, the stored state is satisfiable.
+    # The brute-force completion oracle blows up combinatorially on
+    # instances with many free nulls (6^8 completions is over its guard
+    # limit), so fall back to the chase decision — Theorem 4(b), proven
+    # equivalent to the enumeration in the chase suites — when it refuses.
+    try:
+        assert weakly_satisfied(["A -> B"], guard.relation)
+    except DomainError:
+        from repro.chase import weakly_satisfiable
+
+        assert weakly_satisfiable(guard.relation, ["A -> B"])

@@ -80,7 +80,34 @@ def test_no_benchmarks_matched_is_an_error(tmp_path):
 
 def test_committed_baselines_match_schema():
     """The checked-in baselines obey the same contract the harness emits."""
-    for name in ("BENCH_PR1.json", "BENCH_PR2.json"):
+    for name in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
         assert_bench_schema(json.loads(path.read_text()))
+
+
+def test_pr3_baseline_records_mixed_workload_series():
+    """BENCH_PR3.json carries the session-vs-re-chase series: bench_a2 is
+    discovered by default now, and its mixed-workload speedup line must
+    have been captured by the metric parser."""
+    report = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert a2["status"] == "ok"
+    speedups = a2["speedups"]
+    key = "session mixed-workload speedup at largest configuration"
+    assert key in speedups
+    assert speedups[key] >= 3.0  # the PR 3 acceptance floor
+    assert any("slope" in label for label in a2.get("slopes", {}))
+
+
+def test_quick_discovery_includes_a2(tmp_path):
+    """--quick (no --ablations) runs the mixed-workload series too."""
+    proc, out = _run_quick(tmp_path, only=("a2",))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert set(report["benchmarks"]) == {"bench_a2_incremental"}
+    entry = report["benchmarks"]["bench_a2_incremental"]
+    assert entry["status"] == "ok"
+    assert "session mixed-workload speedup at largest configuration" in entry.get(
+        "speedups", {}
+    )
