@@ -23,6 +23,15 @@ Two series:
   OLTP skew: fresh data gets corrected, old data settles).  Re-chase pays
   a full chase per op regardless of which row changed; the session pays
   for the suffix behind the touched row only.
+* **old-row deletions** (PR 4): the shape the trail is worst at — a long
+  settled prefix (ground rows, unique keys: no NS-rule ever fired on
+  them) under a merge-heavy recent tail, then a stream of deletes at the
+  *oldest* end.  The rewind/replay discipline must either unwind the
+  whole trail or level-rebuild per delete (O(instance) each); in-place
+  retirement (`fast_retire=True`, the default) excises each victim from
+  the occurrence index and bucket member lists in O(its own cells).
+  `session.stats()` is asserted, not inferred: every delete must be
+  served by the `retire_fast` counter with zero rebuilds.
 
 Both strategies must agree on every final fixpoint (`canonical_form`
 compared per size; a divergence aborts the benchmark with a non-zero
@@ -30,9 +39,11 @@ exit, which `run_all.py` records as an error).
 """
 
 import random
+import time
 
 from repro.bench.report import (
     Table,
+    bench_repeat,
     bench_sizes,
     geometric_sizes,
     loglog_slope,
@@ -147,6 +158,116 @@ def run_mixed_session(schema, ops) -> Relation:
     return session.result().relation
 
 
+# ---------------------------------------------------------------------------
+# old-row deletions: in-place retirement vs trail rewind / level rebuild
+# ---------------------------------------------------------------------------
+
+
+def retirement_workload(n_rows: int, seed: int = 71):
+    """``n_rows`` settled ground rows + a merge-heavy recent tail.
+
+    The settled prefix has unique values in every column, so no NS-rule
+    ever fires on those rows — they are exactly the retirable shape.  The
+    tail re-uses keys and carries nulls, so the trail above the prefix is
+    deep and full of merges (the worst case for suffix replay).
+    """
+    rng = random.Random(seed)
+    schema = random_schema(4)
+    rows = [
+        (f"k{i}", f"m{i}", f"n{i}", f"p{i}") for i in range(n_rows)
+    ]
+    tail = max(8, n_rows // 8)
+    for i in range(tail):
+        key = f"hot{rng.randrange(max(2, tail // 4))}"
+        rows.append(
+            (
+                key,
+                null() if rng.random() < 0.5 else f"tm{i}",
+                null() if rng.random() < 0.5 else f"tn{i}",
+                f"tp{rng.randrange(4)}",
+            )
+        )
+    return schema, rows
+
+
+def _build_session(schema, rows, fast_retire: bool) -> ChaseSession:
+    session = ChaseSession(schema, FDS, fast_retire=fast_retire)
+    for row in rows:
+        session.insert(row)
+    return session
+
+
+def time_old_row_deletes(schema, rows, deletes: int, fast_retire: bool):
+    """Best-of-repeats wall time of the delete stream alone (build
+    excluded), plus the last run's session for result/stats checks."""
+    best = None
+    session = None
+    for _ in range(bench_repeat(3)):
+        session = _build_session(schema, rows, fast_retire)
+        start = time.perf_counter()
+        for _ in range(deletes):
+            session.delete(0)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, session
+
+
+def run_retirement_series(sizes):
+    table = Table(
+        "A2c — deleting old rows: in-place retirement vs rewind/rebuild",
+        [
+            "rows",
+            "deletes",
+            "rewind/rebuild (s)",
+            "retirement (s)",
+            "ratio",
+            "same fixpoint",
+        ],
+    )
+    slow_times, fast_times = [], []
+    for n in sizes:
+        schema, rows = retirement_workload(n)
+        deletes = n // 2
+        slow_time, slow_session = time_old_row_deletes(
+            schema, rows, deletes, fast_retire=False
+        )
+        fast_time, fast_session = time_old_row_deletes(
+            schema, rows, deletes, fast_retire=True
+        )
+        stats = fast_session.stats()
+        if stats["retire_fast"] != deletes or stats["level_rebuild"]:
+            raise SystemExit(
+                f"retirement fast path did not serve every old-row delete "
+                f"at n={n}: {stats}"
+            )
+        same = canonical_form(slow_session.result().relation) == canonical_form(
+            fast_session.result().relation
+        ) and canonical_form(fast_session.result().relation) == canonical_form(
+            congruence_chase(fast_session.raw_relation(), FDS).relation
+        )
+        if not same:
+            raise SystemExit(f"old-row-deletion fixpoints diverged at n={n}")
+        slow_times.append(slow_time)
+        fast_times.append(fast_time)
+        table.add_row(
+            n, deletes, slow_time, fast_time,
+            f"{slow_time / fast_time:.1f}x", same,
+        )
+    table.show()
+    print(
+        f"\nrewind/rebuild delete-stream log-log slope: "
+        f"{loglog_slope(sizes, slow_times):.2f}  (expected ~2)"
+    )
+    print(
+        f"retirement delete-stream log-log slope:     "
+        f"{loglog_slope(sizes, fast_times):.2f}  (expected ~1)"
+    )
+    print(
+        f"old-row retirement speedup at largest configuration: "
+        f"{slow_times[-1] / fast_times[-1]:.1f}x"
+    )
+
+
 def main() -> None:
     sizes = bench_sizes(geometric_sizes(50, 2.0, 5))
     table = Table(
@@ -194,6 +315,8 @@ def main() -> None:
         f"session mixed-workload speedup at largest configuration: "
         f"{mixed_re[-1] / mixed_inc[-1]:.1f}x"
     )
+
+    run_retirement_series(sizes)
     print(
         "\nBoth strategies agree on every fixpoint; only the maintenance"
         "\ncost differs."
@@ -213,6 +336,17 @@ def bench_incremental_stream_200(benchmark) -> None:
 def bench_mixed_session_200(benchmark) -> None:
     schema, ops = mixed_ops(200)
     benchmark(lambda: run_mixed_session(schema, ops))
+
+
+def bench_retirement_deletes_200(benchmark) -> None:
+    schema, rows = retirement_workload(200)
+
+    def run() -> None:
+        session = _build_session(schema, rows, fast_retire=True)
+        for _ in range(100):
+            session.delete(0)
+
+    benchmark(run)
 
 
 if __name__ == "__main__":

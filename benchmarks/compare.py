@@ -1,0 +1,226 @@
+"""Bench-regression guard: diff a fresh run against the committed baseline.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_QUICK.json
+    python benchmarks/compare.py --fresh BENCH_QUICK.json
+
+The baseline is the **latest** committed ``BENCH_PR<N>.json`` at the repo
+root (highest ``N``), overridable with ``--baseline``.  Two checks, both
+hard failures (nonzero exit) so CI's bench job goes red:
+
+* **schema equality** — both files must carry the BENCH contract
+  (top-level ``quick``/``python``/``platform``/``benchmarks``; per-entry
+  ``status`` + ``wall_s`` with optional ``slopes``/``speedups`` maps),
+  and every benchmark that was ``ok`` in the baseline must still run and
+  be ``ok``;
+* **ratio tolerance on the headline series** — for every speedup label
+  present in both files, the fresh value must be at least
+  ``baseline / --speedup-tolerance``; for every slope label in both, the
+  fresh value must sit within ``--slope-tolerance`` of the baseline.
+
+Tolerances default loose (3x on speedups, ±1.25 on slopes) because the
+fresh run usually happens on a cold shared runner while the baseline
+came from a quiet box: the guard is meant to catch "the fast path
+stopped firing" and "the scaling curve changed shape", not 10% timing
+noise.  Absolute wall times are never compared — they are
+machine-relative; the speedup ratios are not (both sides of each ratio
+ran on the same machine).
+
+One asymmetry is handled explicitly: a ``--quick`` fresh run halves
+every size ladder, so its "at largest configuration" speedups are taken
+at a much smaller size than a full baseline's and a fixed ratio would
+flag every size-dependent optimization.  When the two files' ``quick``
+flags differ, the speedup check therefore degrades to a floor
+(``--min-speedup``, default 1.0): the optimization must still *win* at
+the quick ladder's top, and the benchmark's own internal assertions
+(``session.stats()`` fast-path counts, fixpoint equality) plus the
+status check cover the rest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+#: the BENCH_PR*.json contract (mirrors tests/workloads/test_run_all.py)
+TOP_LEVEL_KEYS = {"quick", "python", "platform", "benchmarks"}
+ENTRY_STATUSES = ("ok", "error", "timeout")
+
+
+def latest_baseline(root: Path) -> Path:
+    """The committed ``BENCH_PR<N>.json`` with the highest N."""
+    candidates = []
+    for path in root.glob("BENCH_PR*.json"):
+        matched = BASELINE_PATTERN.match(path.name)
+        if matched:
+            candidates.append((int(matched.group(1)), path))
+    if not candidates:
+        raise SystemExit(f"no BENCH_PR*.json baseline found under {root}")
+    return max(candidates)[1]
+
+
+def check_schema(report: dict, label: str, problems: list) -> None:
+    """The BENCH contract, field by field; violations are recorded."""
+    if set(report) != TOP_LEVEL_KEYS:
+        problems.append(
+            f"{label}: top-level keys {sorted(report)} != {sorted(TOP_LEVEL_KEYS)}"
+        )
+        return
+    if not isinstance(report["quick"], bool):
+        problems.append(f"{label}: 'quick' is not a bool")
+    for field in ("python", "platform"):
+        if not isinstance(report[field], str):
+            problems.append(f"{label}: {field!r} is not a string")
+    benchmarks = report["benchmarks"]
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        problems.append(f"{label}: 'benchmarks' empty or not a mapping")
+        return
+    for name, entry in benchmarks.items():
+        if not name.startswith("bench_"):
+            problems.append(f"{label}: unexpected benchmark name {name!r}")
+        if entry.get("status") not in ENTRY_STATUSES:
+            problems.append(
+                f"{label}: {name}: status {entry.get('status')!r} not in "
+                f"{ENTRY_STATUSES}"
+            )
+        if not isinstance(entry.get("wall_s"), (int, float)):
+            problems.append(f"{label}: {name}: missing numeric wall_s")
+        for metrics_key in ("slopes", "speedups"):
+            if metrics_key in entry:
+                metrics = entry[metrics_key]
+                if not metrics:
+                    problems.append(f"{label}: {name}: empty {metrics_key}")
+                    continue
+                for metric_label, value in metrics.items():
+                    if not isinstance(metric_label, str) or not isinstance(
+                        value, (int, float)
+                    ):
+                        problems.append(
+                            f"{label}: {name}: malformed {metrics_key} entry "
+                            f"{metric_label!r}: {value!r}"
+                        )
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    speedup_tolerance: float,
+    slope_tolerance: float,
+    min_speedup: float,
+) -> list:
+    """Regressions of the fresh run relative to the baseline."""
+    problems: list = []
+    same_mode = fresh["quick"] == baseline["quick"]
+    fresh_benchmarks = fresh["benchmarks"]
+    for name, base_entry in baseline["benchmarks"].items():
+        if base_entry["status"] != "ok":
+            continue  # the baseline itself was broken there; nothing to hold
+        fresh_entry = fresh_benchmarks.get(name)
+        if fresh_entry is None:
+            problems.append(f"{name}: present in baseline, missing from fresh run")
+            continue
+        if fresh_entry["status"] != "ok":
+            problems.append(
+                f"{name}: status {fresh_entry['status']!r} (baseline was ok)"
+            )
+            continue
+        for metric_label, base_value in base_entry.get("speedups", {}).items():
+            fresh_value = fresh_entry.get("speedups", {}).get(metric_label)
+            floor = (
+                base_value / speedup_tolerance if same_mode else min_speedup
+            )
+            if fresh_value is None:
+                problems.append(f"{name}: speedup line {metric_label!r} vanished")
+            elif fresh_value < floor:
+                problems.append(
+                    f"{name}: {metric_label!r} regressed: {fresh_value}x vs "
+                    f"baseline {base_value}x (floor {floor:.2f}x)"
+                )
+        for metric_label, base_value in base_entry.get("slopes", {}).items():
+            fresh_value = fresh_entry.get("slopes", {}).get(metric_label)
+            if fresh_value is None:
+                problems.append(f"{name}: slope line {metric_label!r} vanished")
+            elif abs(fresh_value - base_value) > slope_tolerance:
+                problems.append(
+                    f"{name}: {metric_label!r} drifted: {fresh_value} vs "
+                    f"baseline {base_value} (tolerance ±{slope_tolerance})"
+                )
+    return problems
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        default=str(REPO_ROOT / "BENCH_QUICK.json"),
+        help="fresh trajectory to judge (default: BENCH_QUICK.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: the latest committed BENCH_PR*.json)",
+    )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=3.0,
+        help="fresh speedup may be at most this factor below baseline",
+    )
+    parser.add_argument(
+        "--slope-tolerance",
+        type=float,
+        default=1.25,
+        help="fresh log-log slopes may drift at most this far from baseline",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="speedup floor used instead of the ratio tolerance when the "
+        "fresh and baseline runs disagree on --quick (different ladders)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else latest_baseline(REPO_ROOT)
+    )
+    fresh_path = Path(args.fresh)
+    print(f"[compare] baseline: {baseline_path.name}")
+    print(f"[compare] fresh:    {fresh_path}")
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"[compare] cannot load reports: {error}", file=sys.stderr)
+        return 2
+
+    problems: list = []
+    check_schema(baseline, baseline_path.name, problems)
+    check_schema(fresh, "fresh", problems)
+    if not problems:
+        problems = compare(
+            fresh,
+            baseline,
+            args.speedup_tolerance,
+            args.slope_tolerance,
+            args.min_speedup,
+        )
+    if problems:
+        print(f"[compare] REGRESSION ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"[compare]   - {problem}")
+        return 1
+    print("[compare] ok: schema matches, headline series within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

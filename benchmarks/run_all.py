@@ -27,13 +27,15 @@ fast perf smoke test.  Results land in a JSON file::
 
 Per-benchmark wall times plus every printed log-log slope and "...x"
 speedup line are captured, giving later PRs a perf trajectory to compare
-against (committed baselines: ``BENCH_PR1.json``, ``BENCH_PR2.json``,
-``BENCH_PR3.json`` — the latter includes ``bench_a2_incremental``'s
-mixed-workload session series, discovered by default).
+against (committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR4.json`` —
+the latest adds ``bench_a2_incremental``'s old-row-deletion retirement
+series next to the insert-stream and mixed-workload ones).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` — is guarded by
-``tests/workloads/test_run_all.py``.
+``tests/workloads/test_run_all.py``, and ``benchmarks/compare.py`` diffs
+a fresh ``--quick`` run against the latest committed baseline (CI's
+bench-regression guard).
 """
 
 from __future__ import annotations
@@ -152,14 +154,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR3.json at the repo root "
+        help="output JSON path (default: BENCH_PR4.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR3.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR4.json")
         )
 
     scripts = discover(args.only, args.ablations)

@@ -26,8 +26,11 @@ is the single copy both now share:
    poisoning cascades.
 
 4. **Signature buckets + worklist.**  Per FD, a hash table maps the
-   current X-signature (tuple of class roots) to an *anchor* row.  A row
-   whose signature lands on an occupied slot **fires** against the anchor.
+   current X-signature (tuple of class roots) to an *anchor* row, and a
+   parallel member table records every row bucketed under that signature
+   (the use-list inverse a deletion needs: "who shares the victim's
+   bucket").  A row whose signature lands on an occupied slot **fires**
+   against the anchor.
    When a union absorbs a class (delivered through the union-find's
    ``on_union`` hook, so every merge is caught, including
    *nothing*-poisoning ones), only the rows owning an absorbed cell are
@@ -101,6 +104,19 @@ class SignatureChaseCore(ChaseState):
         self._sigs: Dict[Tuple[int, int], Signature] = {}
         #: (fd index, signature) -> anchor row
         self._anchors: Dict[Tuple[int, Signature], int] = {}
+        #: (fd index, signature) -> *all* rows currently bucketed there,
+        #: as an insertion-ordered set (dict keyed by row).  The anchor
+        #: table answers "who do I fire against"; the member list answers
+        #: the inverse question a deletion asks — "who else is in the
+        #: victim's bucket" — so the session can excise a retired row and
+        #: promote a surviving member to anchor without replaying the
+        #: suffix.  Mirrors ``_sigs`` exactly:
+        #: ``_members[(k, s)] == {row : _sigs[(k, row)] == s}``
+        #: (pinned by the integrity property suite).  Member *order* is
+        #: not semantically observable (anchor choice is unobservable in
+        #: extended mode — Theorem 4), which is what lets the trail undo
+        #: re-add members at the end instead of at their old position.
+        self._members: Dict[Tuple[int, Signature], Dict[int, None]] = {}
         #: rows whose signature may have changed, as (fd index, row)
         self._work: Deque[Tuple[int, int]] = deque()
         self.uf.on_union = self._on_union
@@ -144,16 +160,31 @@ class SignatureChaseCore(ChaseState):
         if old == sig:
             return  # duplicate worklist entry; already processed
         trail = self._trail
-        if old is not None and self._anchors.get((k, old)) == row:
-            # rows still bucketed under the stale signature (if any) hold a
-            # cell of the absorbed class themselves, so they are on the
-            # worklist too — dropping the slot cannot orphan them
-            del self._anchors[(k, old)]
+        members = self._members
+        if old is not None:
+            if self._anchors.get((k, old)) == row:
+                # rows still bucketed under the stale signature (if any)
+                # hold a cell of the absorbed class themselves, so they are
+                # on the worklist too — dropping the slot cannot orphan them
+                del self._anchors[(k, old)]
+                if trail is not None:
+                    trail.append(("ancdel", (k, old), row))
+            stale = members[(k, old)]
+            del stale[row]
+            if not stale:
+                del members[(k, old)]
             if trail is not None:
-                trail.append(("ancdel", (k, old), row))
+                trail.append(("memdel", (k, old), row))
         self._sigs[key] = sig
         if trail is not None:
             trail.append(("sig", key, old))
+        bucket = members.get((k, sig))
+        if bucket is None:
+            members[(k, sig)] = {row: None}
+        else:
+            bucket[row] = None
+        if trail is not None:
+            trail.append(("memapp", (k, sig), row))
         anchor = self._anchors.get((k, sig))
         if anchor is None:
             # a row anchored under `sig` would have matched the early

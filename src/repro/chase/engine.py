@@ -128,6 +128,14 @@ class ChaseState:
         self.cells: List[List[int]] = []
         self.applications: List[Application] = []
         self.passes = 0
+        #: row -> number of NS-rule firings the row *witnessed* (took part
+        #: in, as either side of a fired pair).  A row with count 0 never
+        #: justified any merge in the current partition, which is what
+        #: licenses the session's in-place retirement fast path: removing
+        #: such a row cannot strand a merge that surviving rows alone
+        #: could not re-derive.  Journalled (``("wit", ...)`` entries) so
+        #: trail rewinds keep the counts exact.
+        self._row_witness: Dict[int, int] = {}
         self._nothing_node: Optional[int] = None
         self._seen = 0  # union-find merges already counted by fd_order sweeps
         #: mutation journal for backtrackable states (None for the batch
@@ -287,6 +295,15 @@ class ChaseState:
                 Application(fd, first, second, attr, action)
             )
             fired = True
+        if fired:
+            # both rows witnessed at least one merge of this firing; one
+            # count per fired pair is enough for the retirement check
+            # (eligibility only asks whether a count is zero)
+            witness = self._row_witness
+            witness[first] = witness.get(first, 0) + 1
+            witness[second] = witness.get(second, 0) + 1
+            if self._trail is not None:
+                self._trail.append(("wit", first, second))
         return fired
 
     def _x_signature(self, fd: FD, row: int) -> Tuple[int, ...]:
@@ -363,6 +380,15 @@ class ChaseState:
 
     # -- result extraction ------------------------------------------------------------
 
+    def _result_cells(self) -> List[List[int]]:
+        """Encoded rows in *result* order.
+
+        The batch engines materialize rows exactly as encoded; the session
+        overrides this to map its external row order through the slot
+        indirection (retired slots skipped, fast-path replacements kept in
+        place)."""
+        return self.cells
+
     def result(self, strategy: str) -> ChaseResult:
         """Materialize the current partition as a :class:`ChaseResult`.
 
@@ -397,7 +423,7 @@ class ChaseState:
                     nec_classes.append(tuple(members))
 
         rows: List[Row] = []
-        for encoded in self.cells:
+        for encoded in self._result_cells():
             values: List[Any] = []
             for node in encoded:
                 root = find(node)

@@ -21,6 +21,7 @@ the maintained fixpoint.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, Sequence
 
 from ..core.fd import FDInput
@@ -39,6 +40,16 @@ class IncrementalChase(ChaseSession):
         fds: Iterable[FDInput],
         rows: Iterable[Sequence[Any] | Row] = (),
     ) -> None:
+        # the "repro:" prefix is what CI's warning filter keys on
+        # (`-W error:repro:DeprecationWarning`), so library deprecations
+        # escalate without third-party DeprecationWarnings breaking runs
+        warnings.warn(
+            "repro: IncrementalChase is deprecated; construct "
+            "repro.ChaseSession directly and use .result() for the "
+            "maintained fixpoint",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(schema, fds, rows=rows)
 
     def current(self) -> ChaseResult:

@@ -14,15 +14,21 @@ full update vocabulary.
   shared core's worklist; amortized near-linear over a stream, exactly the
   congruence-closure incrementality the paper's Downey-Sethi-Tarjan
   footnote licenses.
-* :meth:`delete` / :meth:`update` / :meth:`replace` — merges are not
-  invertible forward, but they *are* invertible backward: every mutation
-  (union, tag flip, occurrence move, bucket edit, node creation) is
-  journalled on a **trail**, and each row remembers the trail mark taken
-  just before its insertion.  Removing or rewriting row ``i`` rewinds the
-  trail to that mark — restoring the exact engine state that existed
-  before row ``i`` — and replays the surviving suffix.  When the trail to
-  undo is deeper than re-chasing everything (old rows), the session falls
-  back to a level rebuild instead.
+* :meth:`delete` / :meth:`update` / :meth:`replace` — recent victims use
+  the journal: every mutation (union, tag flip, occurrence move, bucket
+  edit, node creation) is journalled on a **trail**, and each row
+  remembers the trail mark taken just before its insertion.  Removing or
+  rewriting row ``i`` rewinds the trail to that mark — restoring the
+  exact engine state that existed before row ``i`` — and replays the
+  surviving suffix.  An *old* victim, whose rewind would be deeper than
+  re-chasing, is **retired in place** instead when it never witnessed an
+  NS-rule firing (per-row witness counts, maintained live) and holds no
+  null shared with survivors: its cells are excised from the occurrence
+  index and its rows from the signature buckets' member lists (promoting
+  a surviving member to anchor where it anchored), with no rewind, no
+  replay and no rebuild — O(the victim's cells and their classes)
+  however old the row is.  Old merge witnesses still level-rebuild.
+  :meth:`stats` counts which path each op took.
 * :meth:`fill` — grounds a null with a user-supplied constant: the
   "internal acquisition" channel of section 7.  Single-column nulls take a
   fast path (merge the null's class with the column's interned constant —
@@ -111,12 +117,23 @@ class ChaseSession(SignatureChaseCore):
         source: Union[Relation, RelationSchema],
         fds: Iterable[FDInput],
         rows: Iterable[Sequence[Any] | Row] = (),
+        fast_retire: bool = True,
     ) -> None:
         if isinstance(source, Relation):
             schema, initial = source.schema, list(source.rows)
         else:
             schema, initial = source, []
         initial.extend(Relation(schema, rows).rows)
+        #: in-place row retirement for deletes/updates of merge-free rows;
+        #: ``False`` forces the PR-3 rewind/rebuild discipline (kept as a
+        #: switch so benchmarks and differential tests can race the two)
+        self._fast_retire = fast_retire
+        #: op-outcome counters, kept across rebuilds (see :meth:`stats`)
+        self._stats: Dict[str, int] = {
+            "retire_fast": 0,
+            "trail_replay": 0,
+            "level_rebuild": 0,
+        }
         super().__init__(Relation(schema, ()), fds)
         self._install()
         for row in initial:
@@ -129,6 +146,12 @@ class ChaseSession(SignatureChaseCore):
         self.uf.trail = self._trail
         #: raw (un-chased) rows, the session's source of truth
         self._raw_rows: List[Row] = []
+        #: external row index -> engine slot (index into ``cells``).  The
+        #: engine's structures are keyed by *slot* and slots are never
+        #: renumbered: a fast-path retirement tombstones the victim's slot
+        #: in place and only this mapping shifts, so the occurrence index
+        #: and bucket tables need no O(n) reindexing
+        self._slots: List[int] = []
         #: per row: (trail length, applications length) just before insert
         self._marks: List[Tuple[int, int]] = []
         #: bumped by every trail rewind; invalidates older snapshots' marks
@@ -183,8 +206,9 @@ class ChaseSession(SignatureChaseCore):
         trail = self._trail
         self._marks.append((len(trail), len(self.applications)))
         self._raw_rows.append(row)
+        slot = len(self.cells)
+        self._slots.append(slot)
         trail.append(("raw",))
-        index = len(self.cells)
         uf = self.uf
         occ = self._occ
         encoded: List[int] = []
@@ -195,10 +219,10 @@ class ChaseSession(SignatureChaseCore):
             root = uf.find(node)
             cells_of = occ.get(root)
             if cells_of is None:
-                occ[root] = [(index, col)]
+                occ[root] = [(slot, col)]
                 trail.append(("occnew", root))
             else:
-                cells_of.append((index, col))
+                cells_of.append((slot, col))
                 trail.append(("occapp", root))
             if node < before:
                 # existing class gains an occurrence; fresh nodes already
@@ -209,9 +233,9 @@ class ChaseSession(SignatureChaseCore):
         trail.append(("cells",))
         work = self._work
         for k in range(len(self.fds)):
-            work.append((k, index))
+            work.append((k, slot))
         self._drain()
-        return index
+        return len(self._raw_rows) - 1
 
     def _rewind_pays(self, mark: int) -> bool:
         """Is undo-to-``mark`` + suffix replay both *safe* and cheaper than
@@ -226,30 +250,172 @@ class ChaseSession(SignatureChaseCore):
         return 2 * (len(self._trail) - mark) < len(self._trail)
 
     def delete(self, index: int) -> None:
-        """Remove the tuple at ``index``; later rows shift down by one."""
+        """Remove the tuple at ``index``; later rows shift down by one.
+
+        Recent victims (rewinding to their mark is cheaper than
+        re-chasing, and no ratchet intervenes) keep the PR-3 discipline:
+        trail rewind + suffix replay.  *Old* victims — where that
+        discipline could only level-rebuild — are **retired in place**
+        (:meth:`_retire`) when they are merge-free: their occurrences and
+        bucket memberships are excised and nothing is replayed —
+        O(victim's cells + their classes), however old the row is.
+        Retirement is deliberately not taken for recent victims even when
+        they are eligible: it fences the trail below it off from future
+        rewinds (see :meth:`_retire`), so spending it to save an
+        already-cheap suffix replay would trade away exactly the path
+        recency-skewed churn lives on.  Old merge witnesses (or
+        shared-null holders) still level-rebuild.
+        """
         self._check_index(index)
-        survivors = self._raw_rows[index + 1 :]
         mark, apps = self._marks[index]
-        if not self._rewind_pays(mark):
-            self._rebuild(self._raw_rows[:index] + survivors)
+        if self._rewind_pays(mark):
+            self._stats["trail_replay"] += 1
+            survivors = self._raw_rows[index + 1 :]
+            self._undo_to(mark, apps)
+            for row in survivors:
+                self.insert(row)
             return
-        self._undo_to(mark, apps)
-        for row in survivors:
-            self.insert(row)
+        if self._retire(index):
+            return
+        self._rebuild(self._raw_rows[:index] + self._raw_rows[index + 1 :])
 
     def replace(self, index: int, values: Sequence[Any] | Row) -> None:
-        """Swap the tuple at ``index`` for a new one, in place."""
+        """Swap the tuple at ``index`` for a new one, in place.
+
+        For *old* victims (rewinding would not pay; see :meth:`delete`
+        for the recency policy) that are retirable, when the new tuple is
+        fully ground (no nulls — so the null registry's row-major order
+        is untouched), the swap is retire + append + one slot rotation:
+        no rewind, no suffix replay, no rebuild.
+        """
         self._check_index(index)
         row = values if isinstance(values, Row) else Row(self.schema, values)
-        survivors = self._raw_rows[index + 1 :]
+        if row.schema.attributes != self.schema.attributes:
+            raise SchemaError(
+                f"row scheme {row.schema!r} does not match {self.schema!r}"
+            )
         mark, apps = self._marks[index]
-        if not self._rewind_pays(mark):
-            self._rebuild(self._raw_rows[:index] + [row] + survivors)
+        if self._rewind_pays(mark):
+            self._stats["trail_replay"] += 1
+            survivors = self._raw_rows[index + 1 :]
+            self._undo_to(mark, apps)
+            self.insert(row)
+            for survivor in survivors:
+                self.insert(survivor)
             return
-        self._undo_to(mark, apps)
-        self.insert(row)
-        for survivor in survivors:
-            self.insert(survivor)
+        if not any(is_null(value) for value in row.values) and self._retire(
+            index
+        ):
+            self.insert(row)
+            # the fresh row appended externally; rotate it back to the
+            # victim's position.  Marks are no longer monotone in external
+            # order below this point, so fence rewinds off (the ratchet)
+            # and snapshot fast paths (the generation bump) — both already
+            # required by the retirement itself.
+            self._slots.insert(index, self._slots.pop())
+            self._raw_rows.insert(index, self._raw_rows.pop())
+            self._marks.insert(index, self._marks.pop())
+            self._gen += 1
+            self._ratchet_mark = len(self._trail)
+            return
+        self._rebuild(
+            self._raw_rows[:index] + [row] + self._raw_rows[index + 1 :]
+        )
+
+    def _retire(self, index: int) -> bool:
+        """Retire the row at ``index`` in place; False when ineligible.
+
+        Eligible when the victim never witnessed an NS-rule firing (its
+        per-row witness count is zero) and every null it holds occurs in
+        the victim alone.  Then *every* merge in the maintained partition
+        is justified by surviving rows (or by raw-row data a fill/adopt
+        committed), so the partition restricted to surviving cells already
+        **is** the Theorem-4 fixpoint of the survivors — the victim's
+        cells can simply be excised:
+
+        * its ``(slot, col)`` entries leave the occurrence index (and its
+          classes' occurrence weights drop accordingly);
+        * it leaves each FD's signature bucket; if it anchored one, a
+          surviving member is promoted (members fired against the victim
+          without merging, so they already agree with each other — anchor
+          choice is unobservable by Theorem 4).  No member is re-signed:
+          the partition is untouched, so no signature changed;
+        * nulls exclusive to the victim leave the registry (they are no
+          longer unknowns of the raw instance).
+
+        Retirement is deliberately **un-journalled** — that is the point:
+        no trail suffix to replay, no entries appended.  The cost is that
+        the trail below this moment can no longer reconstruct state, so
+        the ratchet fences off later rewinds and the generation bump sends
+        older snapshots to their rebuild fallback.
+        """
+        if not self._fast_retire:
+            return False
+        slot = self._slots[index]
+        if self._row_witness.get(slot):
+            return False
+        find = self.uf.find
+        occ = self._occ
+        doomed: List[int] = []  # registry keys of victim-exclusive nulls
+        seen: set = set()
+        for value in self._raw_rows[index].values:
+            if not is_null(value):
+                continue
+            key = id(value)
+            if key in seen:
+                continue
+            seen.add(key)
+            root = find(self._null_nodes[key])
+            if any(row != slot for row, _ in occ.get(root, ())):
+                # the null (or its class) survives the victim: retiring
+                # in place would scramble the registry's row-major order
+                # and the representative the result view picks
+                return False
+            doomed.append(key)
+        # -- commit (nothing below can fail) --------------------------------
+        uf = self.uf
+        by_root: Dict[int, int] = {}
+        for node in self.cells[slot]:
+            root = find(node)
+            by_root[root] = by_root.get(root, 0) + 1
+        for root, count in by_root.items():
+            kept = [cell for cell in occ[root] if cell[0] != slot]
+            if kept:
+                occ[root] = kept
+            else:
+                del occ[root]
+            uf.add_weight(root, -count)
+        members = self._members
+        anchors = self._anchors
+        sigs = self._sigs
+        for k in range(len(self.fds)):
+            sig = sigs.pop((k, slot), None)
+            if sig is None:  # pragma: no cover - every live row is signed
+                continue
+            key = (k, sig)
+            bucket = members[key]
+            del bucket[slot]
+            if bucket:
+                if anchors.get(key) == slot:
+                    anchors[key] = next(iter(bucket))
+            else:
+                del members[key]
+                if anchors.get(key) == slot:
+                    del anchors[key]
+        # no re-signing: the partition is untouched, so every surviving
+        # member's signature — and therefore every bucket — is unchanged;
+        # anchor promotion above is the only repair a lost member needs
+        for key in doomed:
+            del self._null_nodes[key]
+            del self._null_objects[key]
+        self.cells[slot] = []  # tombstone; the slot is never reused
+        del self._raw_rows[index]
+        del self._marks[index]
+        del self._slots[index]
+        self._gen += 1
+        self._ratchet_mark = len(self._trail)
+        self._stats["retire_fast"] += 1
+        return True
 
     def update(self, index: int, changes: Mapping[str, Any]) -> None:
         """Modify attributes of the *raw* tuple at ``index``."""
@@ -318,6 +484,7 @@ class ChaseSession(SignatureChaseCore):
         if not self._rewind_pays(mark):
             self._rebuild(rows)
             return
+        self._stats["trail_replay"] += 1
         self._undo_to(mark, apps)
         for row in rows[first:]:
             self.insert(row)
@@ -484,11 +651,33 @@ class ChaseSession(SignatureChaseCore):
                 del occ[entry[1]]
             elif kind == "wt":
                 uf.add_weight(entry[1], -1)
+            elif kind == "memdel":
+                _, key, row = entry
+                bucket = self._members.get(key)
+                if bucket is None:
+                    self._members[key] = {row: None}
+                else:
+                    # re-added at the end, not at the old position: member
+                    # order is unobservable (it only picks the promoted
+                    # anchor, and anchor choice is unobservable — Theorem 4)
+                    bucket[row] = None
+            elif kind == "memapp":
+                _, key, row = entry
+                bucket = self._members[key]
+                del bucket[row]
+                if not bucket:
+                    del self._members[key]
+            elif kind == "wit":
+                _, first, second = entry
+                witness = self._row_witness
+                witness[first] -= 1
+                witness[second] -= 1
             elif kind == "cells":
                 self.cells.pop()
             elif kind == "raw":
                 self._raw_rows.pop()
                 self._marks.pop()
+                self._slots.pop()
             elif kind == "rawset":
                 self._raw_rows[entry[1]] = entry[2]
             elif kind == "newnull":
@@ -521,6 +710,7 @@ class ChaseSession(SignatureChaseCore):
 
     def _rebuild(self, rows: List[Row]) -> None:
         """Level rebuild: re-chase ``rows`` from scratch in place."""
+        self._stats["level_rebuild"] += 1
         generation = self._gen
         fds = self.fds
         SignatureChaseCore.__init__(self, Relation(self.schema, ()), fds)
@@ -530,6 +720,28 @@ class ChaseSession(SignatureChaseCore):
             self.insert(row)
 
     # -- Theorem-4 views ---------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative op-outcome counters (survive level rebuilds).
+
+        * ``retire_fast`` — deletes/replaces served by in-place retirement
+          (:meth:`_retire`): no rewind, no replay.
+        * ``trail_replay`` — deletes/replaces/fills that rewound the trail
+          to the victim's mark and replayed the surviving suffix.
+        * ``level_rebuild`` — full re-chases, from any cause: deep-victim
+          deletes, ratchet-guarded rewinds, invalidated-snapshot
+          rollbacks, :meth:`reset`, :meth:`compact`, adopt hazards.
+
+        Benchmarks and tests assert against these to prove the fast path
+        actually fires (and that rebuilds stay bounded) instead of
+        trusting wall-clock alone.
+        """
+        return dict(self._stats)
+
+    def _result_cells(self) -> List[List[int]]:
+        """Encoded rows in external order (slot indirection applied)."""
+        cells = self.cells
+        return [cells[slot] for slot in self._slots]
 
     def result(self, strategy: str = STRATEGY_SESSION) -> ChaseResult:
         """The maintained fixpoint as a :class:`ChaseResult`."""

@@ -31,8 +31,15 @@ the inversion exact:
   mutation (further unions, :meth:`add_weight` bumps) is undone first.
 
 :class:`repro.chase.session.ChaseSession` owns the trail and journals its
-own bookkeeping (tags, occurrence lists, signature buckets) onto the same
-list, so one reverse sweep restores the whole engine state.
+own bookkeeping (tags, occurrence lists, signature buckets and their
+member lists, per-row merge-witness counts) onto the same list, so one
+reverse sweep restores the whole engine state.  The one mutation class
+that is deliberately *not* journalled is the session's in-place row
+retirement: it excises a provably merge-free row from the layered
+structures without touching the partition, then fences the trail below
+that moment off from future rewinds (the session's ratchet + generation
+bump), because the excised suffix can no longer be reconstructed
+entry-by-entry.
 """
 
 from __future__ import annotations

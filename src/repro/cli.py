@@ -27,11 +27,16 @@ script from stdin)::
     snapshot                 # push a checkpoint
     rollback                 # pop + restore the latest checkpoint
     check weak               # TEST-FDs against the maintained instance
+    stats                    # print the session's op-outcome counters
     show                     # print the maintained instance
     explain                  # narrate the maintained chase
 
 The final maintained instance is printed on exit; the exit status is 1
-when it is inconsistent (contains *nothing*), 0 otherwise.
+when it is inconsistent (contains *nothing*), 0 otherwise.  With
+``--stats`` the session's op-outcome counters — how many deletes/updates
+were served by in-place retirement (``retire_fast``) vs trail
+rewind + replay (``trail_replay``) vs a full level rebuild
+(``level_rebuild``) — are printed before the final instance.
 """
 
 from __future__ import annotations
@@ -208,6 +213,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 print(f"[{lineno}] check {convention}: {verdict}")
                 if not outcome.satisfied:
                     print(explain_outcome(outcome, session.result().relation))
+            elif op == "stats":
+                print(f"[{lineno}] " + _format_stats(session))
             elif op == "show":
                 print(session.result().relation.to_text())
             elif op == "explain":
@@ -222,12 +229,21 @@ def _cmd_session(args: argparse.Namespace) -> int:
             print(f"[{lineno}] state is now INCONSISTENT (nothing present)")
 
     print()
+    if args.stats:
+        print(_format_stats(session))
     print(session.result().relation.to_text())
     print()
     print(session.result().summary())
     if status:
         return status
     return 1 if session.has_nothing else 0
+
+
+def _format_stats(session: ChaseSession) -> str:
+    counters = ", ".join(
+        f"{name}={value}" for name, value in session.stats().items()
+    )
+    return f"session stats: {counters}"
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -313,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="operation script path, or - for stdin (the default)",
     )
     session.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    session.add_argument(
+        "--stats",
+        action="store_true",
+        help="print op-outcome counters (in-place retirements vs trail "
+        "replays vs level rebuilds) before the final instance",
+    )
     session.set_defaults(func=_cmd_session)
 
     keys = commands.add_parser("keys", help="candidate keys")

@@ -1,13 +1,33 @@
 """Tests for the incremental chase: fixpoint maintenance across inserts."""
 
+import warnings
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.chase import IncrementalChase, canonical_form, congruence_chase
+from repro.chase import ChaseSession, IncrementalChase, canonical_form, congruence_chase
 from repro.core.relation import Relation
 from repro.core.values import NOTHING, null
 
 from ..helpers import rel, schema_of
+
+# this suite exercises the deprecated alias on purpose; the deprecation
+# itself is pinned by TestDeprecation below
+pytestmark = pytest.mark.filterwarnings("ignore:repro:DeprecationWarning")
+
+
+class TestDeprecation:
+    def test_incremental_chase_warns_on_construction(self):
+        with pytest.warns(DeprecationWarning, match="IncrementalChase is deprecated"):
+            IncrementalChase(schema_of("A B"), ["A -> B"])
+
+    def test_chase_session_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = ChaseSession(schema_of("A B"), ["A -> B"])
+            session.insert(("a", null()))
+            session.delete(0)
 
 
 class TestBasics:

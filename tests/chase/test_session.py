@@ -380,7 +380,8 @@ class TestViews:
         assert session.substitutions() == session.result().substitutions
 
     def test_incremental_chase_is_a_session(self):
-        inc = IncrementalChase(SCHEMA, ["A -> B"], rows=[("a", null(), "c")])
+        with pytest.warns(DeprecationWarning, match="IncrementalChase"):
+            inc = IncrementalChase(SCHEMA, ["A -> B"], rows=[("a", null(), "c")])
         assert isinstance(inc, ChaseSession)
         # the old private machinery is gone: the shared core's buckets are
         # the only signature structures

@@ -1,0 +1,34 @@
+"""Shared pytest configuration: Hypothesis profiles for CI vs local runs.
+
+The property suites lean on per-test ``@settings(...)`` for example counts
+and deadlines; what a profile adds is the *environment* discipline:
+
+* ``ci`` — loaded when ``CI`` is set (GitHub Actions exports it).
+  ``derandomize=True`` draws every example from Hypothesis's fixed seed
+  pool, so a red CI run is reproducible locally by exporting ``CI=1`` —
+  no flaky "passed on re-run" property failures; ``deadline=None`` plus a
+  suppressed ``too_slow`` health check keep slow shared runners from
+  failing tests on timing alone; ``print_blob=True`` prints the
+  ``@reproduce_failure`` blob for any counterexample so the failing draw
+  can be replayed verbatim.
+* ``dev`` (default) — Hypothesis defaults except the deadline, which is
+  disabled for parity with CI: a property that only fails under a
+  deadline is a timing artifact, not a finding.
+
+Per-test ``@settings`` decorators override individual fields; everything
+they leave unset falls back to the loaded profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")

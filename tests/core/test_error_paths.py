@@ -98,6 +98,7 @@ class TestSchemaMisuse:
         with pytest.raises(SchemaError):
             GuardedRelation(schema_of("A B"), ["A -> Z"])
 
+    @pytest.mark.filterwarnings("ignore:repro:DeprecationWarning")
     def test_incremental_chase_arity(self):
         from repro.chase import IncrementalChase
 

@@ -227,6 +227,22 @@ class TestSessionCommand:
         assert code == 0
         assert "insert -> row 1" in out
 
+    def test_stats_flag_and_op(self, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        lines = [f"insert a{i}, b{i}, c{i}" for i in range(8)]
+        lines += ["delete 0", "stats"]  # old settled victim: retirement
+        script.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["session", "--attrs", "A B C", "--fds", "A -> B",
+             "--script", str(script), "--stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # once from the script op, once from the --stats flag at exit
+        assert out.count("session stats: retire_fast=1") == 2
+        assert "trail_replay=0" in out
+        assert "level_rebuild=0" in out
+
     def test_needs_data_or_attrs(self, capsys):
         code = main(["session", "--fds", "A -> B", "--script", "/dev/null"])
         assert code == 2

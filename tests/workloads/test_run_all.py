@@ -80,7 +80,12 @@ def test_no_benchmarks_matched_is_an_error(tmp_path):
 
 def test_committed_baselines_match_schema():
     """The checked-in baselines obey the same contract the harness emits."""
-    for name in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"):
+    for name in (
+        "BENCH_PR1.json",
+        "BENCH_PR2.json",
+        "BENCH_PR3.json",
+        "BENCH_PR4.json",
+    ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
         assert_bench_schema(json.loads(path.read_text()))
@@ -111,3 +116,75 @@ def test_quick_discovery_includes_a2(tmp_path):
     assert "session mixed-workload speedup at largest configuration" in entry.get(
         "speedups", {}
     )
+
+
+def test_pr4_baseline_records_retirement_series():
+    """BENCH_PR4.json carries the old-row-deletion series, and the
+    retirement speedup clears the PR 4 acceptance floor (>= 3x over
+    rewind/rebuild at the largest configuration)."""
+    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert a2["status"] == "ok"
+    key = "old-row retirement speedup at largest configuration"
+    assert a2["speedups"][key] >= 3.0
+    assert "retirement delete-stream log-log slope" in a2["slopes"]
+    # the mixed-workload headline must not have been traded away for it
+    assert (
+        a2["speedups"]["session mixed-workload speedup at largest configuration"]
+        >= 3.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# the bench-regression guard (benchmarks/compare.py)
+# ---------------------------------------------------------------------------
+
+COMPARE = REPO_ROOT / "benchmarks" / "compare.py"
+
+
+def _run_compare(fresh_path, *extra):
+    return subprocess.run(
+        [sys.executable, str(COMPARE), "--fresh", str(fresh_path), *extra],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        timeout=60,
+    )
+
+
+def test_compare_accepts_the_baseline_against_itself():
+    proc = _run_compare(REPO_ROOT / "BENCH_PR4.json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok: schema matches" in proc.stdout
+
+
+def test_compare_rejects_a_regressed_speedup(tmp_path):
+    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    key = "old-row retirement speedup at largest configuration"
+    a2["speedups"][key] = 0.5  # below even the cross-mode floor
+    doctored = tmp_path / "regressed.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 1
+    assert "regressed" in proc.stdout
+
+
+def test_compare_rejects_a_broken_benchmark(tmp_path):
+    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    report["benchmarks"]["bench_e5_chase_scaling"]["status"] = "timeout"
+    doctored = tmp_path / "broken.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 1
+    assert "status 'timeout'" in proc.stdout
+
+
+def test_compare_rejects_schema_drift(tmp_path):
+    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    del report["platform"]
+    doctored = tmp_path / "drifted.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 1
+    assert "top-level keys" in proc.stdout
