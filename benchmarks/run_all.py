@@ -27,9 +27,10 @@ fast perf smoke test.  Results land in a JSON file::
 
 Per-benchmark wall times plus every printed log-log slope and "...x"
 speedup line are captured, giving later PRs a perf trajectory to compare
-against (committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR4.json`` —
-the latest adds ``bench_a2_incremental``'s old-row-deletion retirement
-series next to the insert-stream and mixed-workload ones).
+against (committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR5.json`` —
+the latest adds ``bench_a3_durability``'s WAL-overhead and
+recovery-vs-checkpoint-cadence series next to bench_a2's insert-stream,
+mixed-workload and old-row-deletion ones).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` — is guarded by
@@ -64,8 +65,9 @@ SPEEDUP_LINE = re.compile(
 def discover(only: list[str], ablations: bool) -> list[Path]:
     # bench_a2 graduated from optional ablation to default: its mixed
     # insert/delete/update series is the maintained-session perf baseline
-    # (BENCH_PR3.json) and runs in --quick too
-    patterns = ["bench_e*.py", "bench_a2*.py"] + (
+    # (BENCH_PR3.json) and runs in --quick too.  bench_a3 (durability:
+    # WAL overhead + recovery-vs-checkpoint-cadence) joined it in PR 5.
+    patterns = ["bench_e*.py", "bench_a2*.py", "bench_a3*.py"] + (
         ["bench_a*.py"] if ablations else []
     )
     scripts: list[Path] = []
@@ -154,14 +156,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR4.json at the repo root "
+        help="output JSON path (default: BENCH_PR5.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR4.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR5.json")
         )
 
     scripts = discover(args.only, args.ablations)

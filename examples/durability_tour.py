@@ -1,0 +1,186 @@
+"""Durability tour: open → mutate → crash → recover → verify.
+
+The chase fixpoint outlives the process.  ``repro.Database`` journals
+every op to a write-ahead log *before* applying it, so any crash — a
+dropped handle, a torn mid-append write, even ``SIGKILL`` — recovers to
+the last completed op by replaying the log over the last checkpoint.
+
+Two crashes are staged here:
+
+1. an **in-process crash**: the database object is abandoned without
+   ``close()`` and a half-written record is torn onto the log, exactly
+   the bytes a power cut mid-append leaves; the reopened database must
+   match an uninterrupted in-memory reference session;
+2. a **forced kill**: a child process streams scripted ops and
+   ``SIGKILL``\\ s itself mid-stream (no cleanup, no ``atexit``); the
+   parent recovers the directory and verifies the surviving prefix.
+   This mode backs the CI crash-injection smoke step.
+
+Run with ``--kill-after N`` to choose where the child dies.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import ChaseSession, Database
+from repro.chase import canonical_form, chase
+from repro.core.values import null
+from repro.db.storage import WAL_NAME
+
+FDS = ["zip -> city"]
+ATTRS = "name zip city"
+
+
+# ---------------------------------------------------------------------------
+# a deterministic scripted op stream (both processes replay the same one)
+# ---------------------------------------------------------------------------
+
+
+def scripted_ops(count=24):
+    """Mutations only — each op journals exactly one record, so the
+    recovered ``seq`` tells the parent how many ops survived the kill."""
+    ops = []
+    for i in range(count):
+        if i % 7 == 5:
+            ops.append(("delete", 0))
+        elif i % 5 == 3:
+            ops.append(("update", i % 3, {"name": f"patched{i}"}))
+        else:
+            city = "-" if i % 4 == 2 else f"city{i % 6}"
+            ops.append(("insert", (f"user{i}", f"{10000 + i % 6}", city)))
+    return ops
+
+
+def apply_op(target, op):
+    kind = op[0]
+    if kind == "insert":
+        values = [null() if cell == "-" else cell for cell in op[1]]
+        target.insert(values)
+    elif kind == "delete":
+        if len(target):
+            target.delete(op[1] % len(target))
+    else:
+        if len(target):
+            target.update(op[1] % len(target), op[2])
+
+
+# ---------------------------------------------------------------------------
+# child mode: stream ops, then die without warning
+# ---------------------------------------------------------------------------
+
+
+def writer_main(root: str, kill_after: int) -> None:
+    database = Database.open(root, sync="fsync")
+    relation = database.create("people", ATTRS, FDS)
+    for op in scripted_ops()[:kill_after]:
+        apply_op(relation, op)
+    # tear a half-written record onto the log, then die mid-instruction:
+    # the next op "started journalling" when the power went out
+    with open(Path(root) / "relations" / "people" / WAL_NAME, "a") as handle:
+        handle.write('{"seq":9999,"op":"ins')
+        handle.flush()
+    os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+
+
+# ---------------------------------------------------------------------------
+# the tour
+# ---------------------------------------------------------------------------
+
+
+def part_one(base: Path) -> None:
+    print("== part 1: op log, checkpoint, torn-write recovery ==")
+    root = base / "tour"
+    database = Database.open(root, sync="fsync")
+    people = database.create("people", ATTRS, FDS)
+
+    shared = null()  # one unknown, soon occupying two cells
+    people.insert(("Ada", "10001", "New York"))
+    people.insert(("Bob", "10001", null()))   # grounded by zip -> city
+    people.insert(("Cid", "60601", shared))
+    people.insert(("Dan", "60601", shared))
+    print("\nmaintained instance (Bob grounded, Cid/Dan share one unknown):")
+    print(people.result().relation.to_text())
+
+    absorbed = database.checkpoint()["people"]
+    print(f"\ncheckpoint: {absorbed} op(s) absorbed; log truncated")
+
+    people.update(0, {"name": "Ada L."})
+    people.fill(2, "city", "Chicago")        # grounds the *shared* null
+    reference = ChaseSession(people.raw_relation().schema, FDS,
+                             rows=people.rows)
+
+    # crash: abandon the handles and tear a half-written record onto the log
+    with open(root / "relations" / "people" / WAL_NAME, "a") as handle:
+        handle.write('{"seq":9999,"op":"upd')
+
+    recovered = Database.open(root, sync="fsync")["people"]
+    info = recovered.recovery_info
+    print(
+        f"\nreopened: {info['rows']} row(s) = checkpoint seq "
+        f"{info['checkpoint_seq']} + {info['replayed']} replayed op(s); "
+        f"torn tail dropped: {info['torn_tail_dropped']}"
+    )
+    print(recovered.result().relation.to_text())
+    same = canonical_form(recovered.result().relation) == canonical_form(
+        reference.result().relation
+    )
+    print(f"\nrecovered fixpoint verified: {same and recovered.verify()}")
+
+
+def part_two(base: Path, kill_after: int) -> None:
+    print(f"\n== part 2: SIGKILL injection after {kill_after} op(s) ==")
+    root = base / "killed"
+    child = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--writer", str(root), "--kill-after", str(kill_after)],
+        capture_output=True,
+        text=True,
+    )
+    print(f"child exited with {child.returncode} (killed, no cleanup ran)")
+
+    recovered = Database.open(root, sync="fsync")["people"]
+    survived = recovered.stats()["seq"]
+    print(
+        f"recovered {recovered.recovery_info['rows']} row(s) from "
+        f"{survived} journalled op(s); torn tail dropped: "
+        f"{recovered.recovery_info['torn_tail_dropped']}"
+    )
+
+    reference = ChaseSession(recovered.raw_relation().schema, FDS)
+    for op in scripted_ops()[:survived]:
+        apply_op(reference, op)
+    same = canonical_form(recovered.result().relation) == canonical_form(
+        reference.result().relation
+    )
+    fixpoint = recovered.verify()
+    print(
+        f"crash-injected recovery verified: {same and fixpoint} "
+        f"({survived} op(s) survived the kill, the torn one did not apply)"
+    )
+    if not (same and fixpoint and survived == kill_after):
+        raise SystemExit("crash-injection verification FAILED")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kill-after", type=int, default=13,
+                        help="ops the child applies before SIGKILLing itself")
+    parser.add_argument("--writer", help=argparse.SUPPRESS)
+    # parse_known_args: the test suite drives this file through runpy with
+    # pytest's own argv still in place
+    args, _ = parser.parse_known_args()
+    if args.writer:
+        writer_main(args.writer, args.kill_after)
+        return
+    with tempfile.TemporaryDirectory(prefix="repro_tour_") as tmp:
+        part_one(Path(tmp))
+        part_two(Path(tmp), args.kill_after)
+
+
+if __name__ == "__main__":
+    main()

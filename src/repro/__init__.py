@@ -27,6 +27,11 @@ Quick tour::
     session.insert(("a1", "b1", "c2"))           # inserts/deletes/updates
     session.result().relation                    # null grounded to "b1"
 
+    from repro import Database                   # durable: the same session
+    db = Database.open("/var/lib/fds")           # behind a write-ahead op
+    db.create("r", schema, ["A -> B"])           # log with crash recovery
+    db["r"].insert(("a1", null(), "c1"))         # journalled, then applied
+
 See ``README.md`` for the system tour, ``ROADMAP.md`` for the growth plan,
 and ``benchmarks/`` for the per-figure experiment series.
 """
@@ -126,12 +131,13 @@ def _late_imports() -> None:
     the full library always succeeds.
     """
     global minimally_incomplete, weakly_satisfiable, check_fds  # noqa: PLW0603
-    global ChaseSession, GuardedRelation  # noqa: PLW0603
+    global ChaseSession, GuardedRelation, Database  # noqa: PLW0603
     global explain_chase, explain_fd_value  # noqa: PLW0603
 
     from .chase import ChaseSession as _cs
     from .chase import minimally_incomplete as _mi
     from .chase import weakly_satisfiable as _ws
+    from .db import Database as _db
     from .explain import explain_chase as _ec
     from .explain import explain_fd_value as _ef
     from .testfd import check_fds as _cf
@@ -142,6 +148,7 @@ def _late_imports() -> None:
     check_fds = _cf
     ChaseSession = _cs
     GuardedRelation = _gr
+    Database = _db
     explain_chase = _ec
     explain_fd_value = _ef
     __all__.extend(
@@ -151,6 +158,7 @@ def _late_imports() -> None:
             "check_fds",
             "ChaseSession",
             "GuardedRelation",
+            "Database",
             "explain_chase",
             "explain_fd_value",
         ]

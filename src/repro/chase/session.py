@@ -51,6 +51,13 @@ full update vocabulary.
 * :meth:`result` / :attr:`has_nothing` / :meth:`explain` — the Theorem-4
   views: the minimally incomplete instance, the weak-satisfiability
   verdict (live, no materialization), and the narrated chase.
+* :attr:`on_op` — the **op-record hook** the durable layer
+  (:mod:`repro.db`) arms: every top-level mutator emits one replay record
+  (``("insert", values)``, ``("delete", index)``, ...) *after* its
+  argument validation but *before* any state changes, which is exactly
+  the write-ahead discipline a journal needs.  Internal re-application —
+  suffix replays, level rebuilds, rollback restoration — never emits
+  (those inserts are consequences of an op already on record, not ops).
 
 The invariant pinned by ``tests/chase/test_session.py`` after **every**
 operation: ``session.result()`` is field-identical (rows, NEC classes,
@@ -134,6 +141,13 @@ class ChaseSession(SignatureChaseCore):
             "trail_replay": 0,
             "level_rebuild": 0,
         }
+        #: op-record hook: called with one replay record per *top-level*
+        #: mutation, after validation, before application (the WAL shape).
+        #: ``None`` (the default) costs one attribute check per op.
+        #: Internal re-application — suffix replays, rebuilds, rollback
+        #: restoration — goes through the private ``_insert``/``_replace``
+        #: entry points and never emits.
+        self.on_op: Optional[Any] = None
         super().__init__(Relation(schema, ()), fds)
         self._install()
         for row in initial:
@@ -194,6 +208,19 @@ class ChaseSession(SignatureChaseCore):
     def __len__(self) -> int:
         return len(self._raw_rows)
 
+    # -- op records (the durable layer's write-ahead hook) -----------------
+
+    def _emit(self, record: tuple) -> None:
+        """Hand a replay record to :attr:`on_op` (top-level ops only).
+
+        Emission happens after the op's own validation and before any
+        engine mutation: a hook that raises (e.g. a failed journal append)
+        aborts the op with the session state untouched.
+        """
+        hook = self.on_op
+        if hook is not None:
+            hook(record)
+
     # -- update vocabulary -------------------------------------------------
 
     def insert(self, values: Sequence[Any] | Row) -> int:
@@ -203,6 +230,11 @@ class ChaseSession(SignatureChaseCore):
             raise SchemaError(
                 f"row scheme {row.schema!r} does not match {self.schema!r}"
             )
+        self._emit(("insert", row.values))
+        return self._insert(row)
+
+    def _insert(self, row: Row) -> int:
+        """Insert a validated row without emitting an op record."""
         trail = self._trail
         self._marks.append((len(trail), len(self.applications)))
         self._raw_rows.append(row)
@@ -267,13 +299,14 @@ class ChaseSession(SignatureChaseCore):
         shared-null holders) still level-rebuild.
         """
         self._check_index(index)
+        self._emit(("delete", index))
         mark, apps = self._marks[index]
         if self._rewind_pays(mark):
             self._stats["trail_replay"] += 1
             survivors = self._raw_rows[index + 1 :]
             self._undo_to(mark, apps)
             for row in survivors:
-                self.insert(row)
+                self._insert(row)
             return
         if self._retire(index):
             return
@@ -294,19 +327,24 @@ class ChaseSession(SignatureChaseCore):
             raise SchemaError(
                 f"row scheme {row.schema!r} does not match {self.schema!r}"
             )
+        self._emit(("replace", index, row.values))
+        self._replace(index, row)
+
+    def _replace(self, index: int, row: Row) -> None:
+        """Replace a validated row without emitting an op record."""
         mark, apps = self._marks[index]
         if self._rewind_pays(mark):
             self._stats["trail_replay"] += 1
             survivors = self._raw_rows[index + 1 :]
             self._undo_to(mark, apps)
-            self.insert(row)
+            self._insert(row)
             for survivor in survivors:
-                self.insert(survivor)
+                self._insert(survivor)
             return
         if not any(is_null(value) for value in row.values) and self._retire(
             index
         ):
-            self.insert(row)
+            self._insert(row)
             # the fresh row appended externally; rotate it back to the
             # victim's position.  Marks are no longer monotone in external
             # order below this point, so fence rewinds off (the ratchet)
@@ -425,7 +463,8 @@ class ChaseSession(SignatureChaseCore):
             if attr not in self.schema:
                 raise SchemaError(f"unknown attribute {attr!r}")
             mapping[attr] = value
-        self.replace(index, Row.from_mapping(self.schema, mapping))
+        self._emit(("update", index, dict(changes)))
+        self._replace(index, Row.from_mapping(self.schema, mapping))
 
     def fill(self, index: int, attribute: str, value: Any) -> None:
         """Ground the null at ``(index, attribute)`` with a constant.
@@ -442,6 +481,7 @@ class ChaseSession(SignatureChaseCore):
                 f"fill row {index}.{attribute}: cell is not null "
                 f"(holds {cell!r})"
             )
+        self._emit(("fill", index, attribute, value))
         first: Optional[int] = None
         columns: set = set()
         for i, row in enumerate(self._raw_rows):
@@ -487,7 +527,7 @@ class ChaseSession(SignatureChaseCore):
         self._stats["trail_replay"] += 1
         self._undo_to(mark, apps)
         for row in rows[first:]:
-            self.insert(row)
+            self._insert(row)
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < len(self._raw_rows):
@@ -499,7 +539,9 @@ class ChaseSession(SignatureChaseCore):
         Equivalent to constructing a fresh session over ``rows``, in
         place.  Existing snapshots remain honored (their recorded raw rows
         back the rebuild fallback)."""
-        self._rebuild(list(Relation(self.schema, rows).rows))
+        materialized = list(Relation(self.schema, rows).rows)
+        self._emit(("reset", tuple(row.values for row in materialized)))
+        self._rebuild(materialized)
 
     def compact(self) -> None:
         """Shed accumulated trail history (level rebuild over own rows).
@@ -543,6 +585,7 @@ class ChaseSession(SignatureChaseCore):
           class, so a later insert reusing one of those constants would
           spuriously poison where a fresh chase of the rows would not.
         """
+        self._emit(("adopt",))
         trail = self._trail
         adopted = self.result().relation.rows
         committed = self.substitutions()
@@ -717,7 +760,7 @@ class ChaseSession(SignatureChaseCore):
         self._install()
         self._gen = generation + 1
         for row in rows:
-            self.insert(row)
+            self._insert(row)
 
     # -- Theorem-4 views ---------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Command-line interface: FD tools over CSV files.
+"""Command-line interface: FD tools over CSV files and durable databases.
 
 Usage (also via ``python -m repro``)::
 
@@ -7,6 +7,12 @@ Usage (also via ``python -m repro``)::
     repro chase  --data t.csv --fds "zip -> city state" [--mode extended]
                  [--engine auto|sweep|indexed|congruence]
     repro session --data t.csv --fds "zip -> city state" --script ops.txt
+    repro db init PATH --name R --attrs "A B C" --fds "A -> B"
+    repro db ingest PATH --name R [--data t.csv] [--script ops.txt]
+    repro db check PATH --name R [--convention weak]
+    repro db checkpoint PATH [--name R]
+    repro db recover PATH
+    repro db stats PATH [--name R]
     repro keys       --attrs "A B C" --fds "A -> B"
     repro closure    --attrs "A B C" --fds "A -> B; B -> C" --of "A"
     repro normalize  --attrs "A B C" --fds "A -> B; B -> C" [--method bcnf]
@@ -16,27 +22,39 @@ empty cell or a ``-`` cell is read as a fresh null.  Finite domains may be
 declared with ``--domain A=a1,a2,a3`` (repeatable); attributes without a
 declaration get unbounded domains.
 
-``repro session`` drives a long-lived :class:`repro.ChaseSession` through
-a script of operations (one per line, ``#`` comments; ``-`` reads the
-script from stdin)::
+``repro session`` drives a long-lived :class:`repro.ChaseSession` — and
+``repro db ingest`` a durable :class:`repro.Database` relation — through
+the same op-record vocabulary (one op per line, ``#`` comments; ``-``
+reads the script from stdin)::
 
     insert a1, b1, c1        # cells comma-separated; empty or - is a null
     update 0 B=b2, C=c9      # attribute assignments on row 0
+    replace 0 a9, b9, c9     # swap the whole tuple at row 0
     fill 1 C c3              # ground a null with a constant
     delete 0
+    adopt                    # commit forced substitutions into the rows
     snapshot                 # push a checkpoint
     rollback                 # pop + restore the latest checkpoint
+    checkpoint               # db scripts only: snapshot rows, truncate log
     check weak               # TEST-FDs against the maintained instance
     stats                    # print the session's op-outcome counters
     show                     # print the maintained instance
     explain                  # narrate the maintained chase
 
-The final maintained instance is printed on exit; the exit status is 1
-when it is inconsistent (contains *nothing*), 0 otherwise.  With
-``--stats`` the session's op-outcome counters — how many deletes/updates
-were served by in-place retirement (``retire_fast``) vs trail
-rewind + replay (``trail_replay``) vs a full level rebuild
+A failing op aborts the script with its line number and op text (exit
+status 2).  Otherwise the final maintained instance is printed on exit;
+the exit status is 1 when it is inconsistent (contains *nothing*), 0
+otherwise.  With ``--stats`` the session's op-outcome counters — how many
+deletes/updates were served by in-place retirement (``retire_fast``) vs
+trail rewind + replay (``trail_replay``) vs a full level rebuild
 (``level_rebuild``) — are printed before the final instance.
+
+The ``repro db`` family operates on a durable database directory: every
+ingest op is journalled to a write-ahead log *before* it is applied, so a
+crash at any instant (including mid-append) recovers to the last
+completed op on the next ``repro db`` invocation — ``repro db recover``
+makes the replay explicit and verifies the recovered fixpoint against a
+from-scratch chase of the recovered rows.
 """
 
 from __future__ import annotations
@@ -63,7 +81,8 @@ from .core.fd import FDSet
 from .core.relation import Relation
 from .core.schema import RelationSchema
 from .core.values import null
-from .errors import ReproError
+from .db import SYNC_FSYNC, SYNC_MODES, Database
+from .errors import ReproError, ScriptError
 from .explain import explain_chase, explain_outcome
 from .normalization import bcnf_decompose, synthesize_3nf
 from .testfd import CONVENTION_STRONG, CONVENTION_WEAK, check_fds
@@ -148,6 +167,146 @@ def _parse_cells(text: str) -> List:
     return [_parse_cell(cell) for cell in text.split(",")]
 
 
+class _SessionTarget:
+    """Adapt a bare :class:`ChaseSession` to the script-runner surface.
+
+    The runner drives plain sessions and durable
+    :class:`repro.db.ManagedRelation` handles through one interface: the
+    managed relation journals its own snapshot stack, this adapter keeps
+    an in-memory one with the same depth-returning contract.
+    """
+
+    def __init__(self, session: ChaseSession) -> None:
+        self.session = session
+        self._snapshots: List = []
+
+    def __getattr__(self, name):
+        return getattr(self.session, name)
+
+    def __len__(self) -> int:
+        return len(self.session)
+
+    @property
+    def has_nothing(self) -> bool:
+        return self.session.has_nothing
+
+    def snapshot(self) -> int:
+        self._snapshots.append(self.session.snapshot())
+        return len(self._snapshots)
+
+    def rollback(self) -> int:
+        if not self._snapshots:
+            raise ReproError("rollback without a snapshot")
+        self.session.rollback(self._snapshots.pop())
+        return len(self._snapshots) + 1
+
+    def discard_snapshots(self) -> int:
+        discarded = len(self._snapshots)
+        self._snapshots.clear()
+        return discarded
+
+
+def run_script(target, lines: Sequence[str]) -> None:
+    """Execute an op script against a session-shaped target.
+
+    ``target`` is a :class:`_SessionTarget` or a durable
+    :class:`repro.db.ManagedRelation` — the one op-record vocabulary the
+    whole system shares (the ops are exactly the records the write-ahead
+    log journals).  A failing op raises :class:`~repro.errors.ScriptError`
+    carrying the 1-based line number and the op text as written.
+    """
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        op, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if op == "insert":
+                index = target.insert(_parse_cells(rest))
+                print(f"[{lineno}] insert -> row {index}")
+            elif op == "delete":
+                target.delete(int(rest))
+                print(f"[{lineno}] delete row {rest}")
+            elif op == "update":
+                index_text, _, assigns = rest.partition(" ")
+                changes = {}
+                for assign in assigns.split(","):
+                    attr, sep, value = assign.partition("=")
+                    if not sep:
+                        raise ReproError(f"bad assignment {assign.strip()!r}")
+                    changes[attr.strip()] = _parse_cell(value)
+                target.update(int(index_text), changes)
+                print(f"[{lineno}] update row {index_text} with {changes}")
+            elif op == "replace":
+                index_text, _, cells = rest.partition(" ")
+                target.replace(int(index_text), _parse_cells(cells))
+                print(f"[{lineno}] replace row {index_text}")
+            elif op == "fill":
+                index_text, attr, value = rest.split(None, 2)
+                target.fill(int(index_text), attr, value)
+                print(f"[{lineno}] fill row {index_text}.{attr} := {value!r}")
+            elif op == "adopt":
+                committed = target.adopt()
+                print(f"[{lineno}] adopt: {len(committed)} substitution(s) committed")
+            elif op == "snapshot":
+                depth = target.snapshot()
+                print(f"[{lineno}] snapshot #{depth}")
+            elif op == "rollback":
+                depth = target.rollback()
+                print(f"[{lineno}] rollback to snapshot #{depth}")
+            elif op == "checkpoint":
+                if not hasattr(target, "checkpoint"):
+                    raise ReproError(
+                        "checkpoint is a durable-database op; use repro db"
+                    )
+                absorbed = target.checkpoint()
+                print(f"[{lineno}] checkpoint: {absorbed} op(s) absorbed")
+            elif op == "check":
+                convention = rest or CONVENTION_WEAK
+                if convention not in (CONVENTION_WEAK, CONVENTION_STRONG):
+                    raise ReproError(f"unknown convention {convention!r}")
+                outcome = target.check(convention=convention)
+                verdict = "satisfied" if outcome.satisfied else "violated"
+                print(f"[{lineno}] check {convention}: {verdict}")
+                if not outcome.satisfied:
+                    print(explain_outcome(outcome, target.result().relation))
+            elif op == "stats":
+                print(f"[{lineno}] " + _format_stats(target))
+            elif op == "show":
+                print(target.result().relation.to_text())
+            elif op == "explain":
+                print(target.explain())
+            else:
+                raise ReproError(f"unknown session op {op!r}")
+        except ScriptError:
+            raise
+        except (ReproError, ValueError) as error:
+            raise ScriptError(lineno, line, error) from error
+        if target.has_nothing:
+            print(f"[{lineno}] state is now INCONSISTENT (nothing present)")
+
+
+def _read_script(path: str) -> List[str]:
+    if path == "-":
+        return sys.stdin.read().splitlines()
+    with open(path) as handle:
+        return handle.read().splitlines()
+
+
+def _finish_script(target, status: int, show_stats: bool) -> int:
+    """The common epilogue: counters (optional), instance, summary, exit."""
+    print()
+    if show_stats:
+        print(_format_stats(target))
+    print(target.result().relation.to_text())
+    print()
+    print(target.result().summary())
+    if status:
+        return status
+    return 1 if target.has_nothing else 0
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     fds = FDSet.parse(args.fds)
     if args.data:
@@ -161,89 +320,115 @@ def _cmd_session(args: argparse.Namespace) -> int:
     else:
         raise ReproError("session needs --data or --attrs")
 
-    if args.script == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        with open(args.script) as handle:
-            lines = handle.read().splitlines()
-
-    checkpoints: List = []
+    target = _SessionTarget(session)
     status = 0
-    for lineno, raw_line in enumerate(lines, start=1):
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        op, _, rest = line.partition(" ")
-        rest = rest.strip()
-        try:
-            if op == "insert":
-                index = session.insert(_parse_cells(rest))
-                print(f"[{lineno}] insert -> row {index}")
-            elif op == "delete":
-                session.delete(int(rest))
-                print(f"[{lineno}] delete row {rest}")
-            elif op == "update":
-                index_text, _, assigns = rest.partition(" ")
-                changes = {}
-                for assign in assigns.split(","):
-                    attr, sep, value = assign.partition("=")
-                    if not sep:
-                        raise ReproError(f"bad assignment {assign.strip()!r}")
-                    changes[attr.strip()] = _parse_cell(value)
-                session.update(int(index_text), changes)
-                print(f"[{lineno}] update row {index_text} with {changes}")
-            elif op == "fill":
-                index_text, attr, value = rest.split(None, 2)
-                session.fill(int(index_text), attr, value)
-                print(f"[{lineno}] fill row {index_text}.{attr} := {value!r}")
-            elif op == "snapshot":
-                checkpoints.append(session.snapshot())
-                print(f"[{lineno}] snapshot #{len(checkpoints)}")
-            elif op == "rollback":
-                if not checkpoints:
-                    raise ReproError("rollback without a snapshot")
-                session.rollback(checkpoints.pop())
-                print(f"[{lineno}] rollback to snapshot #{len(checkpoints) + 1}")
-            elif op == "check":
-                convention = rest or CONVENTION_WEAK
-                if convention not in (CONVENTION_WEAK, CONVENTION_STRONG):
-                    raise ReproError(f"unknown convention {convention!r}")
-                outcome = session.check(convention=convention)
-                verdict = "satisfied" if outcome.satisfied else "violated"
-                print(f"[{lineno}] check {convention}: {verdict}")
-                if not outcome.satisfied:
-                    print(explain_outcome(outcome, session.result().relation))
-            elif op == "stats":
-                print(f"[{lineno}] " + _format_stats(session))
-            elif op == "show":
-                print(session.result().relation.to_text())
-            elif op == "explain":
-                print(session.explain())
-            else:
-                raise ReproError(f"unknown session op {op!r}")
-        except (ReproError, ValueError) as error:
-            print(f"error: line {lineno}: {error}", file=sys.stderr)
-            status = 2
-            break
-        if session.has_nothing:
-            print(f"[{lineno}] state is now INCONSISTENT (nothing present)")
-
-    print()
-    if args.stats:
-        print(_format_stats(session))
-    print(session.result().relation.to_text())
-    print()
-    print(session.result().summary())
-    if status:
-        return status
-    return 1 if session.has_nothing else 0
+    try:
+        run_script(target, _read_script(args.script))
+    except ScriptError as error:
+        print(f"error: {error}", file=sys.stderr)
+        status = 2
+    return _finish_script(target, status, args.stats)
 
 
-def _format_stats(session: ChaseSession) -> str:
+def _format_stats(target) -> str:
     counters = ", ".join(
-        f"{name}={value}" for name, value in session.stats().items()
+        f"{name}={value}" for name, value in target.stats().items()
     )
     return f"session stats: {counters}"
+
+
+# ---------------------------------------------------------------------------
+# the durable-database commands (repro db ...)
+# ---------------------------------------------------------------------------
+
+
+def _open_db(args: argparse.Namespace, create: bool = False) -> Database:
+    # only `db init` materializes a missing directory; every other
+    # subcommand treats a path with no database as the error it is
+    return Database.open(args.path, sync=args.sync, create=create)
+
+
+def _cmd_db_init(args: argparse.Namespace) -> int:
+    with _open_db(args, create=True) as db:
+        fds = FDSet.parse(args.fds) if args.fds else FDSet()
+        db.create(
+            args.name,
+            args.attrs,
+            fds,
+            domains=parse_domains(args.domain) or None,
+        )
+        print(
+            f"created relation {args.name!r} ({args.attrs}) with "
+            f"{len(list(fds))} FD(s) in {db.path}"
+        )
+    return 0
+
+
+def _cmd_db_ingest(args: argparse.Namespace) -> int:
+    with _open_db(args) as db:
+        relation = db.relation(args.name)
+        if args.data:
+            loaded = load_relation(args.data, parse_domains(args.domain)).rows
+            for row in loaded:
+                relation.insert(row)
+            print(f"ingested {args.data}: {len(loaded)} row(s) journalled")
+        status = 0
+        if args.script:
+            try:
+                run_script(relation, _read_script(args.script))
+            except ScriptError as error:
+                print(f"error: {error}", file=sys.stderr)
+                status = 2
+        return _finish_script(relation, status, args.stats)
+
+
+def _cmd_db_check(args: argparse.Namespace) -> int:
+    with _open_db(args) as db:
+        relation = db.relation(args.name)
+        outcome = relation.check(convention=args.convention, method=args.method)
+        print(
+            f"{args.convention} satisfiability of {args.name!r}: "
+            f"{'yes' if outcome.satisfied else 'no'}"
+        )
+        if not outcome.satisfied:
+            print(explain_outcome(outcome, relation.result().relation))
+        return 0 if outcome.satisfied else 1
+
+
+def _cmd_db_checkpoint(args: argparse.Namespace) -> int:
+    with _open_db(args) as db:
+        for name, absorbed in db.checkpoint(args.name).items():
+            print(f"checkpointed {name!r}: {absorbed} op(s) absorbed into the snapshot")
+    return 0
+
+
+def _cmd_db_recover(args: argparse.Namespace) -> int:
+    with _open_db(args) as db:
+        failures = 0
+        for relation in db:
+            info = relation.recovery_info
+            verified = relation.verify()
+            failures += 0 if verified else 1
+            torn = ", torn tail dropped" if info["torn_tail_dropped"] else ""
+            print(
+                f"{relation.name}: {info['rows']} row(s) = checkpoint seq "
+                f"{info['checkpoint_seq']} + {info['replayed']} replayed "
+                f"op(s){torn}; fixpoint verified: {verified}"
+            )
+        if not len(db):
+            print(f"no relations in {db.path}")
+    return 1 if failures else 0
+
+
+def _cmd_db_stats(args: argparse.Namespace) -> int:
+    with _open_db(args) as db:
+        stats = db.stats()
+        if args.name:
+            stats = {args.name: db.relation(args.name).stats()}
+        for name, counters in stats.items():
+            rendered = ", ".join(f"{key}={value}" for key, value in counters.items())
+            print(f"{name}: {rendered}")
+    return 0
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -336,6 +521,75 @@ def build_parser() -> argparse.ArgumentParser:
         "replays vs level rebuilds) before the final instance",
     )
     session.set_defaults(func=_cmd_session)
+
+    db = commands.add_parser(
+        "db", help="durable multi-relation databases (write-ahead op log)"
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    def _db_parser(name: str, help_text: str, with_name: bool = False):
+        sub = db_commands.add_parser(name, help=help_text)
+        sub.add_argument("path", help="database directory")
+        sub.add_argument(
+            "--sync",
+            choices=list(SYNC_MODES),
+            default=SYNC_FSYNC,
+            help="append durability: fsync (default), flush, or none",
+        )
+        if with_name:
+            sub.add_argument("--name", required=True, help="relation name")
+        return sub
+
+    db_init = _db_parser("init", "create a relation in a database", with_name=True)
+    db_init.add_argument("--attrs", required=True, help='e.g. "A B C"')
+    db_init.add_argument("--fds", default="", help='e.g. "A -> B; B -> C"')
+    db_init.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    db_init.set_defaults(func=_cmd_db_init)
+
+    db_ingest = _db_parser(
+        "ingest", "journal ops into a relation (CSV rows and/or an op script)",
+        with_name=True,
+    )
+    db_ingest.add_argument("--data", help="CSV file whose rows are inserted")
+    db_ingest.add_argument(
+        "--script", help="op script path, or - for stdin (same grammar as session)"
+    )
+    db_ingest.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    db_ingest.add_argument(
+        "--stats", action="store_true",
+        help="print op-outcome + durability counters before the final instance",
+    )
+    db_ingest.set_defaults(func=_cmd_db_ingest)
+
+    db_check = _db_parser(
+        "check", "TEST-FDs against a maintained relation", with_name=True
+    )
+    db_check.add_argument(
+        "--convention",
+        choices=[CONVENTION_WEAK, CONVENTION_STRONG],
+        default=CONVENTION_WEAK,
+    )
+    db_check.add_argument(
+        "--method",
+        choices=["auto", "sortmerge", "pairwise", "bucket", "batched"],
+        default="auto",
+    )
+    db_check.set_defaults(func=_cmd_db_check)
+
+    db_checkpoint = _db_parser(
+        "checkpoint", "snapshot rows + null identity; truncate the op log"
+    )
+    db_checkpoint.add_argument("--name", help="one relation (default: all)")
+    db_checkpoint.set_defaults(func=_cmd_db_checkpoint)
+
+    db_recover = _db_parser(
+        "recover", "replay the log tail and verify every recovered fixpoint"
+    )
+    db_recover.set_defaults(func=_cmd_db_recover)
+
+    db_stats = _db_parser("stats", "row/op/WAL counters per relation")
+    db_stats.add_argument("--name", help="one relation (default: all)")
+    db_stats.set_defaults(func=_cmd_db_stats)
 
     keys = commands.add_parser("keys", help="candidate keys")
     keys.add_argument("--attrs", required=True, help='e.g. "A B C"')

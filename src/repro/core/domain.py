@@ -87,6 +87,32 @@ class Domain:
     def __hash__(self) -> int:
         return hash(self._values)
 
+    # -- durable codec (repro.db) --------------------------------------------
+
+    def to_spec(self) -> dict:
+        """A JSON-able description that :meth:`from_spec` round-trips.
+
+        Values must be JSON scalars (str/int/float/bool/None) — the same
+        constant vocabulary the durable value codec accepts — so a domain
+        written to disk decodes to an equal :class:`Domain`, in the same
+        deterministic order.
+        """
+        for value in self._values:
+            if not (value is None or isinstance(value, (str, int, float, bool))):
+                raise DomainError(
+                    f"domain value {value!r} is not JSON-serializable; "
+                    "durable schemas need scalar domain values"
+                )
+        return {"name": self.name, "values": list(self._values)}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Domain":
+        """Rebuild a domain from :meth:`to_spec` output."""
+        try:
+            return cls(spec["values"], name=spec.get("name", ""))
+        except (TypeError, KeyError) as error:
+            raise DomainError(f"malformed domain spec {spec!r}: {error}") from None
+
     # -- queries used by the algorithms -------------------------------------
 
     def missing_from(self, present: Iterable[Hashable]) -> list:

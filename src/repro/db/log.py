@@ -1,0 +1,164 @@
+"""The write-ahead op log: JSONL append, torn-tail scan, op-record codec.
+
+One line per op record, appended *before* the op is applied to the
+in-memory session (the session's :attr:`~repro.chase.session.ChaseSession.on_op`
+hook fires after validation, before any engine mutation).  Each record
+carries a monotonically increasing ``seq``; checkpoints remember the seq
+they cover, which makes recovery idempotent across the
+checkpoint-written-but-log-not-yet-truncated crash window (stale records
+are skipped by seq, never re-applied).
+
+Crash anatomy of an append-only text log:
+
+* a crash *between* ops leaves whole lines — every record replays;
+* a crash *mid-append* leaves one torn final line — :func:`scan` detects
+  it (no newline, or JSON that does not parse) and reports the byte
+  offset of the last good record so recovery can truncate it away.  The
+  op it belonged to never applied in memory either (journal-then-apply),
+  so dropping it is exactly right;
+* garbage *before* intact records is real corruption and raises
+  :class:`~repro.errors.DatabaseError` — silently resynchronizing could
+  drop acknowledged writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, List, Tuple
+
+from ..core.codec import ValueCodec
+from ..errors import CodecError, DatabaseError
+from .storage import dump_json
+
+SYNC_NONE = "none"
+SYNC_FLUSH = "flush"
+SYNC_FSYNC = "fsync"
+SYNC_MODES = (SYNC_NONE, SYNC_FLUSH, SYNC_FSYNC)
+
+#: ops that carry no operands beyond the op name itself
+_BARE_OPS = ("adopt", "snapshot", "rollback", "discard")
+
+
+class OpLog:
+    """An append handle on one relation's ``wal.jsonl``.
+
+    ``sync`` picks the durability point of each append: ``"fsync"``
+    (default — survives power loss), ``"flush"`` (survives process death,
+    not power loss), or ``"none"`` (buffered; throughput benchmarking).
+    """
+
+    def __init__(self, path: Path, sync: str = SYNC_FSYNC) -> None:
+        if sync not in SYNC_MODES:
+            raise DatabaseError(f"unknown sync mode {sync!r}; use {SYNC_MODES}")
+        self.path = path
+        self.sync = sync
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, payload: dict) -> None:
+        handle = self._handle
+        mark = handle.tell()
+        try:
+            handle.write(dump_json(payload) + "\n")
+            if self.sync != SYNC_NONE:
+                handle.flush()
+                if self.sync == SYNC_FSYNC:
+                    os.fsync(handle.fileno())
+        except Exception:
+            # the op this record announces will now abort unapplied, so
+            # any bytes that did land must not survive: a partial line
+            # would read as corruption (records after it) and a whole one
+            # would replay an op that was reported as failed
+            try:
+                handle.truncate(mark)
+            except OSError:  # pragma: no cover - double-fault: leave torn
+                pass
+            raise
+
+    def truncate(self) -> None:
+        """Drop every record (a checkpoint now covers them)."""
+        handle = self._handle
+        handle.flush()
+        handle.seek(0)
+        handle.truncate()
+        if self.sync == SYNC_FSYNC:
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def scan(path: Path) -> Tuple[List[dict], int, bool]:
+    """Read a log: ``(records, good_bytes, torn_tail_dropped)``.
+
+    ``good_bytes`` is the byte length of the well-formed prefix; when a
+    torn final record was detected the caller truncates the file there.
+    """
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, False
+    records: List[dict] = []
+    offset = 0
+    torn = False
+    while offset < len(blob):
+        newline = blob.find(b"\n", offset)
+        if newline < 0:
+            torn = True  # mid-append crash: no terminator
+            break
+        line = blob[offset:newline]
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("not an object")
+        except ValueError:
+            if blob[newline + 1 :].strip():
+                raise DatabaseError(
+                    f"corrupt op log {path}: unreadable record at byte "
+                    f"{offset} with intact records after it"
+                ) from None
+            torn = True  # torn line that happened to contain a newline byte
+            break
+        records.append(record)
+        offset = newline + 1
+    return records, offset, torn
+
+
+# ---------------------------------------------------------------------------
+# op-record codec (the session's replay vocabulary <-> JSON payloads)
+# ---------------------------------------------------------------------------
+
+
+def encode_op(seq: int, record: tuple, codec: ValueCodec) -> dict:
+    """One session op record as a log payload."""
+    op = record[0]
+    payload: dict = {"seq": seq, "op": op}
+    if op == "insert":
+        payload["row"] = codec.encode_row(record[1])
+    elif op == "delete":
+        payload["index"] = record[1]
+    elif op == "update":
+        payload["index"] = record[1]
+        payload["set"] = {
+            attr: codec.encode(value) for attr, value in record[2].items()
+        }
+    elif op == "replace":
+        payload["index"] = record[1]
+        payload["row"] = codec.encode_row(record[2])
+    elif op == "fill":
+        payload["index"] = record[1]
+        payload["attr"] = record[2]
+        payload["value"] = codec.encode(record[3])
+    elif op == "reset":
+        payload["rows"] = [codec.encode_row(row) for row in record[1]]
+    elif op not in _BARE_OPS:
+        raise CodecError(f"unknown session op record {record!r}")
+    return payload
+
+
+def describe(payload: dict) -> str:
+    """A short human label for a log record (error messages, ``db stats``)."""
+    return f"#{payload.get('seq', '?')} {payload.get('op', '?')}"

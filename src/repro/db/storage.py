@@ -1,0 +1,98 @@
+"""On-disk layout and atomic file primitives for :mod:`repro.db`.
+
+A database is a directory::
+
+    <path>/
+      MANIFEST.json            {"format": 1, "relations": ["people", ...]}
+      relations/<name>/
+        schema.json            {"format": 1, "schema": ..., "fds": [...]}
+        wal.jsonl              append-only op log since the last checkpoint
+        checkpoint.json        {"format": 1, "seq": N, "next_null": M,
+                                "rows": [[...], ...]}
+
+Every non-appending write (manifest, schema, checkpoint) goes through
+:func:`write_json_atomic`: serialize to a temp file in the same directory,
+``fsync``, then ``os.replace`` — so a crash at any instant leaves either
+the old file or the new one, never a torn hybrid.  The op log is the only
+file that is appended in place; its torn-tail tolerance lives in
+:mod:`repro.db.log`.
+
+JSON is always rendered with sorted keys and compact separators: byte
+determinism is part of the storage contract (two runs of the same op
+script must produce identical files — pinned by ``tests/db/test_codec.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import DatabaseError
+
+FORMAT = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+RELATIONS_DIR = "relations"
+SCHEMA_NAME = "schema.json"
+WAL_NAME = "wal.jsonl"
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+def dump_json(payload: dict) -> str:
+    """The canonical (byte-deterministic) JSON rendering."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_json_atomic(path: Path, payload: dict, fsync: bool = True) -> None:
+    """Write ``payload`` so a crash leaves either the old or the new file."""
+    tmp = path.with_name(path.name + ".tmp")
+    data = dump_json(payload) + "\n"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def read_json(path: Path, what: str) -> dict:
+    """Load a JSON object, wrapping failures as :class:`DatabaseError`."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise DatabaseError(f"cannot read {what} at {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise DatabaseError(f"corrupt {what} at {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise DatabaseError(f"corrupt {what} at {path}: not a JSON object")
+    return payload
+
+
+def check_format(payload: dict, what: str) -> None:
+    if payload.get("format") != FORMAT:
+        raise DatabaseError(
+            f"{what} declares format {payload.get('format')!r}; this library "
+            f"reads format {FORMAT}"
+        )
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory entry (rename durability); best-effort on
+    filesystems that refuse directory fds."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def relation_dir(root: Path, name: str) -> Path:
+    return root / RELATIONS_DIR / name

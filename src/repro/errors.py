@@ -68,3 +68,34 @@ class NotMinimallyIncompleteError(ReproError):
 class InconsistentInstanceError(ReproError):
     """An operation that requires a consistent instance met the *nothing*
     element (the inconsistent data value of section 6)."""
+
+
+class CodecError(ReproError):
+    """A value, schema or op record could not be serialized or decoded.
+
+    The durable codec (:mod:`repro.core.codec`) supports JSON-scalar
+    constants plus the library's own :class:`~repro.core.values.Null` /
+    ``NOTHING`` values; anything else — and any malformed record read back
+    from disk — raises this error instead of silently mangling data.
+    """
+
+
+class DatabaseError(ReproError):
+    """A :class:`repro.db.Database` was opened, read or mutated
+    inconsistently: missing or malformed manifest/checkpoint files,
+    corrupt (non-final) op-log records, unknown or duplicate relation
+    names, and similar storage-level failures.
+    """
+
+
+class ScriptError(ReproError):
+    """An op script (``repro session`` / ``repro db ingest``) failed.
+
+    Carries the failing op's location so the CLI can point at it:
+    ``line`` is the 1-based line number, ``text`` the op text as written.
+    """
+
+    def __init__(self, line: int, text: str, cause: Exception | str) -> None:
+        self.line = line
+        self.text = text
+        super().__init__(f"line {line}: {text!r}: {cause}")

@@ -297,6 +297,104 @@ class TestStats:
         assert session.stats()["retire_fast"] == 0
 
 
+class TestCompactionAndResetInterplay:
+    """compact()/reset() after a retire-heavy workload: counters survive,
+    the members ⇄ sigs ⇄ occurrence-index mirror is rebuilt exactly, and
+    the tombstoned slots actually disappear."""
+
+    def retire_heavy_session(self, n=24, deletes=10):
+        session = settled_session(n)
+        session.insert(("hot", null(), "h1"))
+        session.insert(("hot", "hb", null()))
+        for _ in range(deletes):
+            session.delete(0)  # old settled victims: all retire in place
+        assert session.stats()["retire_fast"] == deletes
+        return session
+
+    def test_compact_after_retire_heavy_workload(self):
+        session = self.retire_heavy_session()
+        before = session.stats()
+        rows_before = [tuple(row.values) for row in session.rows]
+        assert len(session.cells) > len(session)  # tombstoned slots linger
+        session.compact()
+        after = session.stats()
+        # cumulative counters survive the rebuild; the rebuild is counted
+        assert after["retire_fast"] == before["retire_fast"]
+        assert after["trail_replay"] == before["trail_replay"]
+        assert after["level_rebuild"] == before["level_rebuild"] + 1
+        # the rebuild dropped the tombstones and rebuilt the mirrors
+        assert len(session.cells) == len(session)
+        assert [tuple(row.values) for row in session.rows] == rows_before
+        assert_core_integrity(session)
+        assert_session_identical(session)
+
+    def test_retirement_keeps_working_after_compact(self):
+        session = self.retire_heavy_session()
+        session.compact()
+        rebuilds = session.stats()["level_rebuild"]
+        # rows are "recent" again right after a rebuild (fresh trail), so
+        # age the trail with a merge-heavy tail before deleting old rows
+        session.insert(("hot2", null(), "t1"))
+        session.insert(("hot2", "tb", null()))
+        retired = session.stats()["retire_fast"]
+        session.delete(0)
+        assert session.stats()["retire_fast"] == retired + 1
+        assert session.stats()["level_rebuild"] == rebuilds
+        assert_core_integrity(session)
+        assert_session_identical(session)
+
+    def test_reset_after_retire_heavy_workload(self):
+        session = self.retire_heavy_session()
+        before = session.stats()
+        session.reset([("r0", "s0", "t0"), ("r1", "s1", "t1")])
+        after = session.stats()
+        assert after["retire_fast"] == before["retire_fast"]
+        assert after["level_rebuild"] == before["level_rebuild"] + 1
+        assert len(session) == 2
+        assert len(session.cells) == 2  # tombstones gone
+        assert_core_integrity(session)
+        assert_session_identical(session)
+
+    def test_snapshot_across_compact_takes_the_rebuild_fallback(self):
+        session = self.retire_heavy_session(n=16, deletes=4)
+        snap = session.snapshot()
+        session.compact()
+        rebuilds = session.stats()["level_rebuild"]
+        session.rollback(snap)  # compaction invalidated the trail mark
+        assert session.stats()["level_rebuild"] == rebuilds + 1
+        assert len(session) == 14  # 16 - 4 + the 2 hot rows
+        assert_core_integrity(session)
+        assert_session_identical(session)
+
+    def test_randomized_retire_then_compact_then_churn(self):
+        import random
+
+        rng = random.Random(91)
+        session = self.retire_heavy_session()
+        for step in range(30):
+            roll = rng.random()
+            if roll < 0.45 or not len(session):
+                session.insert(
+                    (
+                        f"k{rng.randrange(6)}",
+                        null() if rng.random() < 0.3 else f"m{rng.randrange(6)}",
+                        f"c{rng.randrange(4)}",
+                    )
+                )
+            elif roll < 0.7:
+                session.delete(rng.randrange(len(session)))
+            elif roll < 0.9:
+                session.update(
+                    rng.randrange(len(session)), {"B": f"u{rng.randrange(5)}"}
+                )
+            else:
+                session.compact()
+            assert_core_integrity(session)
+            assert_session_identical(session)
+        counters = session.stats()
+        assert counters["retire_fast"] >= 10  # the seed workload's retirements
+
+
 # ---------------------------------------------------------------------------
 # randomized integrity driver: members ⇄ sigs ⇄ occurrence index, always
 # ---------------------------------------------------------------------------

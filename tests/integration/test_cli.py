@@ -248,7 +248,7 @@ class TestSessionCommand:
         assert code == 2
         assert "needs --data or --attrs" in capsys.readouterr().err
 
-    def test_bad_op_reports_line(self, customers_csv, tmp_path, capsys):
+    def test_bad_op_reports_line_and_op_text(self, customers_csv, tmp_path, capsys):
         script = tmp_path / "ops.txt"
         script.write_text("insert Eve, 10001, Boston\nlevitate 3\n")
         code = main(
@@ -256,4 +256,159 @@ class TestSessionCommand:
              "--script", str(script)]
         )
         assert code == 2
-        assert "line 2" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "'levitate 3'" in err  # the op text, as written
+
+    def test_bad_operand_reports_line_and_op_text(self, customers_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text(
+            "insert Eve, 10001, Boston\n"
+            "# a comment line\n"
+            "delete nine   # not an index\n"
+        )
+        code = main(
+            ["session", "--data", customers_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "line 3" in err
+        assert "'delete nine'" in err
+
+    def test_replace_and_adopt_ops(self, customers_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("replace 2 Cid, 10001, -\nadopt\n")
+        code = main(
+            ["session", "--data", customers_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replace row 2" in out
+        # Bob's null and the replaced Cid null were both grounded by the
+        # chase; adopt committed them
+        assert "adopt: 2 substitution(s) committed" in out
+
+    def test_checkpoint_op_is_db_only(self, customers_csv, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("checkpoint\n")
+        code = main(
+            ["session", "--data", customers_csv, "--fds", "zip -> city",
+             "--script", str(script)]
+        )
+        assert code == 2
+        assert "durable-database op" in capsys.readouterr().err
+
+
+class TestDbCommands:
+    FDS = "zip -> city"
+
+    def _init(self, tmp_path, capsys):
+        root = str(tmp_path / "db")
+        code = main(
+            ["db", "init", root, "--name", "people",
+             "--attrs", "name zip city", "--fds", self.FDS, "--sync", "flush"]
+        )
+        assert code == 0
+        assert "created relation 'people'" in capsys.readouterr().out
+        return root
+
+    def test_init_ingest_recover_stats_roundtrip(
+        self, tmp_path, customers_csv, capsys
+    ):
+        root = self._init(tmp_path, capsys)
+        script = tmp_path / "ops.txt"
+        script.write_text(
+            "insert Eve, 10001, -\n"
+            "snapshot\n"
+            "insert Mal, 10001, Newark\n"
+            "rollback\n"
+            "checkpoint\n"
+            "update 3 name=Eva\n"
+        )
+        code = main(
+            ["db", "ingest", root, "--name", "people", "--data", customers_csv,
+             "--script", str(script), "--stats", "--sync", "flush"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ingested" in out and "3 row(s) journalled" in out
+        assert "checkpoint: 7 op(s) absorbed" in out  # 3 CSV + 4 script ops
+        assert "wal_ops=1" in out  # only the post-checkpoint update remains
+
+        # reopening replays the tail over the checkpoint
+        code = main(["db", "recover", root, "--sync", "flush"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpoint seq 7 + 1 replayed op(s)" in out
+        assert "fixpoint verified: True" in out
+
+        code = main(["db", "stats", root, "--sync", "flush"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "people:" in out and "rows=4" in out
+
+    def test_db_check(self, tmp_path, customers_csv, dirty_csv, capsys):
+        root = self._init(tmp_path, capsys)
+        code = main(
+            ["db", "ingest", root, "--name", "people", "--data", customers_csv,
+             "--sync", "flush"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["db", "check", root, "--name", "people", "--sync", "flush"])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_db_ingest_poisoning_exits_one(self, tmp_path, capsys):
+        root = self._init(tmp_path, capsys)
+        script = tmp_path / "ops.txt"
+        script.write_text(
+            "insert Ada, 10001, New York\ninsert Mal, 10001, Newark\n"
+        )
+        code = main(
+            ["db", "ingest", root, "--name", "people", "--script", str(script),
+             "--sync", "flush"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INCONSISTENT" in out
+        # ...and the poisoned state is durable
+        code = main(["db", "recover", root, "--sync", "flush"])
+        assert code == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_db_ingest_script_error_reports_op_text(self, tmp_path, capsys):
+        root = self._init(tmp_path, capsys)
+        script = tmp_path / "ops.txt"
+        script.write_text("insert Ada, 10001, NYC\nfill 0 city x\n")
+        code = main(
+            ["db", "ingest", root, "--name", "people", "--script", str(script),
+             "--sync", "flush"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "line 2" in captured.err
+        assert "'fill 0 city x'" in captured.err
+        # the failed op was never journalled: recovery sees one insert
+        code = main(["db", "recover", root, "--sync", "flush"])
+        assert "1 replayed op(s)" in capsys.readouterr().out
+
+    def test_db_unknown_relation(self, tmp_path, capsys):
+        root = self._init(tmp_path, capsys)
+        code = main(["db", "check", root, "--name", "ghost", "--sync", "flush"])
+        assert code == 2
+        assert "no relation 'ghost'" in capsys.readouterr().err
+
+    def test_db_checkpoint_command(self, tmp_path, customers_csv, capsys):
+        root = self._init(tmp_path, capsys)
+        main(
+            ["db", "ingest", root, "--name", "people", "--data", customers_csv,
+             "--sync", "flush"]
+        )
+        capsys.readouterr()
+        code = main(["db", "checkpoint", root, "--sync", "flush"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpointed 'people': 3 op(s)" in out

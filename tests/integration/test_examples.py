@@ -31,6 +31,7 @@ def test_examples_directory_complete():
         "logic_equivalence.py",
         "null_queries.py",
         "update_workflow.py",
+        "durability_tour.py",
     } <= names
 
 
@@ -85,6 +86,15 @@ def test_null_queries():
     assert "least-ext: true" in out
     assert "certainly married: ['Mary']" in out
     assert "possibly married:  ['John', 'Mary']" in out
+
+
+def test_durability_tour():
+    out = run_example("durability_tour.py")
+    assert "checkpoint: 4 op(s) absorbed" in out
+    assert "torn tail dropped: True" in out
+    assert "recovered fixpoint verified: True" in out
+    assert "child exited with" in out
+    assert "crash-injected recovery verified: True" in out
 
 
 def test_update_workflow():

@@ -122,3 +122,76 @@ def assert_field_identical(fast, slow):
         id(k): v for k, v in slow.substitutions.items()
     }
     assert fast.has_nothing == slow.has_nothing
+
+
+# ---------------------------------------------------------------------------
+# cross-scope alignment: comparing a recovered session with its reference
+# ---------------------------------------------------------------------------
+
+
+def null_alignment(recovered_rows, reference_rows):
+    """A recovered-null → reference-null bijection via canonical ids.
+
+    A session recovered from disk holds *different* ``Null`` objects than
+    the uninterrupted reference, so `assert_field_identical` cannot apply
+    directly.  Encoding both raw-row lists with fresh
+    :class:`~repro.core.codec.ValueCodec` scopes names each side's nulls
+    by first-occurrence order; identical encodings mean identical sharing
+    structure, and matching canonical ids pair up corresponding unknowns.
+    """
+    from repro.core.codec import ValueCodec
+
+    recovered_codec, reference_codec = ValueCodec(), ValueCodec()
+    recovered_encoded = [
+        recovered_codec.encode_row(row.values) for row in recovered_rows
+    ]
+    reference_encoded = [
+        reference_codec.encode_row(row.values) for row in reference_rows
+    ]
+    assert recovered_encoded == reference_encoded, (
+        "raw rows differ structurally:\n"
+        f"recovered: {recovered_encoded}\nreference: {reference_encoded}"
+    )
+    reference_table = reference_codec.table()
+    return {
+        null_obj: reference_table[canonical]
+        for canonical, null_obj in recovered_codec.table().items()
+    }
+
+
+def aligned_result(result, mapping):
+    """``result`` with every null renamed through ``mapping`` (a
+    :class:`~repro.chase.engine.ChaseResult` suitable for
+    `assert_field_identical` against the reference side)."""
+    from repro.chase.engine import ChaseResult
+    from repro.core.relation import Relation
+
+    return ChaseResult(
+        relation=Relation(
+            result.relation.schema,
+            [row.substitute(mapping) for row in result.relation.rows],
+        ),
+        nec_classes=[
+            tuple(mapping.get(null_obj, null_obj) for null_obj in cls)
+            for cls in result.nec_classes
+        ],
+        substitutions={
+            mapping.get(null_obj, null_obj): value
+            for null_obj, value in result.substitutions.items()
+        },
+        applications=[],
+        passes=result.passes,
+        mode=result.mode,
+        strategy=result.strategy,
+    )
+
+
+def assert_recovered_identical(recovered, reference):
+    """The crash-recovery acceptance contract: the recovered session is
+    field-identical to the uninterrupted reference — same rows, same
+    shared-null structure (via canonical-id alignment), same forced
+    substitutions and NEC classes, same NOTHING verdict."""
+    mapping = null_alignment(recovered.rows, reference.rows)
+    assert_field_identical(
+        aligned_result(recovered.result(), mapping), reference.result()
+    )

@@ -85,6 +85,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR2.json",
         "BENCH_PR3.json",
         "BENCH_PR4.json",
+        "BENCH_PR5.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -135,6 +136,44 @@ def test_pr4_baseline_records_retirement_series():
     )
 
 
+def test_pr5_baseline_records_durability_series():
+    """BENCH_PR5.json carries bench_a3_durability: the WAL-overhead slopes
+    and the checkpoint-recovery speedup, which must clear the PR 5
+    acceptance floor (recovery from a checkpoint beats full-log replay by
+    >= 3x at the largest configuration)."""
+    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+    a3 = report["benchmarks"]["bench_a3_durability"]
+    assert a3["status"] == "ok"
+    key = "checkpoint recovery speedup at largest configuration"
+    assert a3["speedups"][key] >= 3.0
+    assert "full-log recovery log-log slope" in a3["slopes"]
+    assert "checkpointed recovery log-log slope" in a3["slopes"]
+    assert "wal-flush insert-stream log-log slope" in a3["slopes"]
+    # the session headlines must not have been traded away for durability
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert (
+        a2["speedups"]["session mixed-workload speedup at largest configuration"]
+        >= 3.0
+    )
+    assert (
+        a2["speedups"]["old-row retirement speedup at largest configuration"]
+        >= 3.0
+    )
+
+
+def test_quick_discovery_includes_a3(tmp_path):
+    """--quick (no --ablations) runs the durability series too."""
+    proc, out = _run_quick(tmp_path, only=("a3",))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert set(report["benchmarks"]) == {"bench_a3_durability"}
+    entry = report["benchmarks"]["bench_a3_durability"]
+    assert entry["status"] == "ok"
+    assert "checkpoint recovery speedup at largest configuration" in entry.get(
+        "speedups", {}
+    )
+
+
 # ---------------------------------------------------------------------------
 # the bench-regression guard (benchmarks/compare.py)
 # ---------------------------------------------------------------------------
@@ -153,13 +192,13 @@ def _run_compare(fresh_path, *extra):
 
 
 def test_compare_accepts_the_baseline_against_itself():
-    proc = _run_compare(REPO_ROOT / "BENCH_PR4.json")
+    proc = _run_compare(REPO_ROOT / "BENCH_PR5.json")
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "ok: schema matches" in proc.stdout
 
 
 def test_compare_rejects_a_regressed_speedup(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
     a2 = report["benchmarks"]["bench_a2_incremental"]
     key = "old-row retirement speedup at largest configuration"
     a2["speedups"][key] = 0.5  # below even the cross-mode floor
@@ -171,7 +210,7 @@ def test_compare_rejects_a_regressed_speedup(tmp_path):
 
 
 def test_compare_rejects_a_broken_benchmark(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
     report["benchmarks"]["bench_e5_chase_scaling"]["status"] = "timeout"
     doctored = tmp_path / "broken.json"
     doctored.write_text(json.dumps(report))
@@ -181,7 +220,7 @@ def test_compare_rejects_a_broken_benchmark(tmp_path):
 
 
 def test_compare_rejects_schema_drift(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
     del report["platform"]
     doctored = tmp_path / "drifted.json"
     doctored.write_text(json.dumps(report))
