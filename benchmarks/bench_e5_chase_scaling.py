@@ -43,6 +43,39 @@ def chain_fds(width: int):
     return [FD(f"A{i}", f"A{i + 1}") for i in range(width - 1, 0, -1)]
 
 
+def component_fds(n_components: int, comp_width: int):
+    """``n_components`` disjoint anti-ordered chains of ``comp_width``
+    attributes each — the shard planner splits them into one shard per
+    chain."""
+    fds = []
+    for c in range(n_components):
+        base = c * comp_width + 1
+        for i in range(base + comp_width - 2, base - 1, -1):
+            fds.append(FD(f"A{i}", f"A{i + 1}"))
+    return fds
+
+
+def component_workload(
+    n_rows: int, n_components: int, comp_width: int, payload_cols: int
+) -> Relation:
+    """Per-component row pairs (full/holey, as in :func:`chain_workload`)
+    plus ``payload_cols`` trailing constant columns no FD mentions — the
+    bypass columns the sharded executor never hands to a chase engine."""
+    width = n_components * comp_width + payload_cols
+    schema = random_schema(width)
+    rows = []
+    for j in range(n_rows // 2):
+        full, holey = [], []
+        for c in range(n_components):
+            full += [f"k{c}_{j}"] + [f"v{c}_{j}_{i}" for i in range(1, comp_width)]
+            holey += [f"k{c}_{j}"] + [null() for _ in range(1, comp_width)]
+        full += [f"p{j}_{i}" for i in range(payload_cols)]
+        holey += [f"q{j}_{i}" for i in range(payload_cols)]
+        rows.append(full)
+        rows.append(holey)
+    return Relation(schema, rows)
+
+
 def chain_workload(width: int, n_rows: int) -> Relation:
     """Row pairs whose null halves fill level by level along the chain."""
     schema = random_schema(width)
@@ -139,6 +172,66 @@ def main() -> None:
         "\nbehaviour is governed by the pass count, which the anti-ordered"
         "\nchain drives to Θ(p) — and both worklist engines avoid outright)"
     )
+
+    # E5c — the sharded parallel executor on a multi-component workload:
+    # 4 independent FD chains (one shard each) plus a wide payload of
+    # bypass columns the planner never hands to any chase engine.  The
+    # speedup is measured through the public chase(workers=N) entry point,
+    # whatever execution shape it picks for this machine (process pool on
+    # multi-core boxes, in-process vector-engine shards on single-core).
+    n_components, comp_width, payload_cols = 4, 4, 48
+    sizes = bench_sizes(geometric_sizes(1000, 2.0, 3))
+    worker_counts = (1, 2, 4)
+    fds = component_fds(n_components, comp_width)
+    table = Table(
+        f"E5c — sharded parallel chase ({n_components} FD components x "
+        f"{comp_width} cols + {payload_cols} bypass cols)",
+        ["n", "unified (s)"]
+        + [f"workers={w} (s)" for w in worker_counts]
+        + ["speedup@2", "same fixpoint"],
+    )
+    unified_times = []
+    worker_times = {w: [] for w in worker_counts}
+    for n in sizes:
+        r = component_workload(n, n_components, comp_width, payload_cols)
+        unified = chase(r, fds)
+        repeat = bench_repeat(2)
+        unified_t = time_call(lambda: chase(r, fds), repeat=repeat)
+        unified_times.append(unified_t)
+        same = True
+        for w in worker_counts:
+            sharded = chase(r, fds, workers=w)
+            same = same and (
+                canonical_form(sharded.relation)
+                == canonical_form(unified.relation)
+            )
+            worker_times[w].append(
+                time_call(lambda w=w: chase(r, fds, workers=w), repeat=repeat)
+            )
+        table.add_row(
+            n,
+            unified_t,
+            *(worker_times[w][-1] for w in worker_counts),
+            f"{unified_t / worker_times[2][-1]:.1f}x",
+            same,
+        )
+    table.show()
+    print()
+    print(
+        "series unified chase wall s by size: "
+        + " ".join(f"{t:.4f}" for t in unified_times)
+    )
+    for w in worker_counts:
+        print(
+            f"series parallel({w}) chase wall s by size: "
+            + " ".join(f"{t:.4f}" for t in worker_times[w])
+        )
+    for w in worker_counts[1:]:
+        print(
+            f"parallel chase speedup at {w} workers at largest configuration: "
+            f"{unified_times[-1] / worker_times[w][-1]:.1f}x "
+            "(PR-6 target at 2+: >=1.5x)"
+        )
 
 
 def bench_sweep_chase_chain(benchmark) -> None:

@@ -11,9 +11,9 @@ hard failures (nonzero exit) so CI's bench job goes red:
 
 * **schema equality** — both files must carry the BENCH contract
   (top-level ``quick``/``python``/``platform``/``benchmarks``; per-entry
-  ``status`` + ``wall_s`` with optional ``slopes``/``speedups`` maps),
-  and every benchmark that was ``ok`` in the baseline must still run and
-  be ``ok``;
+  ``status`` + ``wall_s`` with optional ``slopes``/``speedups``/``series``
+  maps), and every benchmark that was ``ok`` in the baseline must still
+  run and be ``ok``;
 * **ratio tolerance on the headline series** — for every speedup label
   present in both files, the fresh value must be at least
   ``baseline / --speedup-tolerance``; for every slope label in both, the
@@ -36,6 +36,12 @@ flags differ, the speedup check therefore degrades to a floor
 the quick ladder's top, and the benchmark's own internal assertions
 (``session.stats()`` fast-path counts, fixpoint equality) plus the
 status check cover the rest.
+
+The guard is deliberately **one-directional**: benchmarks, speedup
+labels, or slope labels that exist only in the *fresh* run are new work
+being introduced by the current PR and are fine — they become guarded
+once a baseline that contains them is committed.  Only what the
+baseline promised is held.
 """
 
 from __future__ import annotations
@@ -107,6 +113,20 @@ def check_schema(report: dict, label: str, problems: list) -> None:
                             f"{label}: {name}: malformed {metrics_key} entry "
                             f"{metric_label!r}: {value!r}"
                         )
+        if "series" in entry:
+            if not entry["series"]:
+                problems.append(f"{label}: {name}: empty series")
+            for series_label, values in entry["series"].items():
+                if (
+                    not isinstance(series_label, str)
+                    or not isinstance(values, list)
+                    or not values
+                    or not all(isinstance(v, (int, float)) for v in values)
+                ):
+                    problems.append(
+                        f"{label}: {name}: malformed series entry "
+                        f"{series_label!r}: {values!r}"
+                    )
 
 
 def compare(
@@ -116,7 +136,13 @@ def compare(
     slope_tolerance: float,
     min_speedup: float,
 ) -> list:
-    """Regressions of the fresh run relative to the baseline."""
+    """Regressions of the fresh run relative to the baseline.
+
+    The iteration is over the *baseline's* benchmarks and labels only:
+    entries present only in the fresh run (new benchmarks, new speedup or
+    slope lines landing in the current PR) are tolerated by construction —
+    they start being guarded once a baseline containing them is committed.
+    """
     problems: list = []
     same_mode = fresh["quick"] == baseline["quick"]
     fresh_benchmarks = fresh["benchmarks"]
@@ -213,6 +239,12 @@ def main(argv: list | None = None) -> int:
             args.slope_tolerance,
             args.min_speedup,
         )
+        extras = sorted(set(fresh["benchmarks"]) - set(baseline["benchmarks"]))
+        if extras:
+            print(
+                "[compare] note: fresh-only benchmark(s), not yet guarded: "
+                + ", ".join(extras)
+            )
     if problems:
         print(f"[compare] REGRESSION ({len(problems)} problem(s)):")
         for problem in problems:

@@ -19,21 +19,23 @@ fast perf smoke test.  Results land in a JSON file::
           "status": "ok",
           "wall_s": 1.93,
           "slopes": {"sweep log-log slope in p": 1.9, ...},
-          "speedups": {"indexed speedup at largest configuration": 7.6}
+          "speedups": {"indexed speedup at largest configuration": 7.6},
+          "series": {"parallel(2) wall ms by size": [1.2, 2.6, 5.1]}
         },
         ...
       }
     }
 
-Per-benchmark wall times plus every printed log-log slope and "...x"
-speedup line are captured, giving later PRs a perf trajectory to compare
-against (committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR5.json`` —
-the latest adds ``bench_a3_durability``'s WAL-overhead and
-recovery-vs-checkpoint-cadence series next to bench_a2's insert-stream,
-mixed-workload and old-row-deletion ones).
+Per-benchmark wall times plus every printed log-log slope, "...x"
+speedup line, and ``series <label>: v1 v2 ...`` per-size series are
+captured, giving later PRs a perf trajectory to compare against
+(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR6.json`` — the
+latest adds the sharded parallel chase's worker-count series to
+bench_e5 and bench_a2, with per-size wall-time series so scaling-curve
+regressions are guardable, not just the headline ratios).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
-``slopes`` / ``speedups`` — is guarded by
+``slopes`` / ``speedups`` / ``series`` — is guarded by
 ``tests/workloads/test_run_all.py``, and ``benchmarks/compare.py`` diffs
 a fresh ``--quick`` run against the latest committed baseline (CI's
 bench-regression guard).
@@ -60,6 +62,11 @@ SLOPE_LINE = re.compile(r"^(?P<label>[^:]*slope[^:]*):\s*(?P<value>-?\d+(?:\.\d+
 SPEEDUP_LINE = re.compile(
     r"^(?P<label>[^:]*speedup[^:]*):\s*(?P<value>-?\d+(?:\.\d+)?)x"
 )
+#: printed lines like "series parallel(2) wall ms by size: 1.2 2.6 5.1"
+SERIES_LINE = re.compile(
+    r"^series\s+(?P<label>[^:]+):\s*"
+    r"(?P<values>-?\d+(?:\.\d+)?(?:\s+-?\d+(?:\.\d+)?)*)\s*$"
+)
 
 
 def discover(only: list[str], ablations: bool) -> list[Path]:
@@ -85,11 +92,18 @@ def discover(only: list[str], ablations: bool) -> list[Path]:
     return scripts
 
 
-def parse_metrics(stdout: str) -> tuple[dict, dict]:
+def parse_metrics(stdout: str) -> tuple[dict, dict, dict]:
     slopes: dict = {}
     speedups: dict = {}
+    series: dict = {}
     for line in stdout.splitlines():
         line = line.strip()
+        matched = SERIES_LINE.match(line)
+        if matched:
+            series[" ".join(matched["label"].split())] = [
+                float(token) for token in matched["values"].split()
+            ]
+            continue
         matched = SLOPE_LINE.match(line)
         if matched:
             slopes[" ".join(matched["label"].split())] = float(matched["value"])
@@ -97,7 +111,7 @@ def parse_metrics(stdout: str) -> tuple[dict, dict]:
         matched = SPEEDUP_LINE.match(line)
         if matched:
             speedups[" ".join(matched["label"].split())] = float(matched["value"])
-    return slopes, speedups
+    return slopes, speedups, series
 
 
 def run_one(script: Path, quick: bool, timeout: float) -> dict:
@@ -129,12 +143,14 @@ def run_one(script: Path, quick: bool, timeout: float) -> dict:
             "returncode": proc.returncode,
             "stderr_tail": proc.stderr.strip().splitlines()[-5:],
         }
-    slopes, speedups = parse_metrics(proc.stdout)
+    slopes, speedups, series = parse_metrics(proc.stdout)
     entry: dict = {"status": "ok", "wall_s": round(wall, 3)}
     if slopes:
         entry["slopes"] = slopes
     if speedups:
         entry["speedups"] = speedups
+    if series:
+        entry["series"] = series
     return entry
 
 
@@ -156,14 +172,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR5.json at the repo root "
+        help="output JSON path (default: BENCH_PR6.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR5.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR6.json")
         )
 
     scripts = discover(args.only, args.ablations)

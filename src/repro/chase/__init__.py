@@ -4,12 +4,16 @@ from .congruence import CongruenceEngine, congruence_chase
 from .core import SignatureChaseCore
 from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
+from .parallel import parallel_chase
+from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards
 from .session import ChaseSession, SessionSnapshot
+from .vector import VectorChaseState, vectorized_chase
 from .engine import (
     ENGINE_AUTO,
     ENGINE_CONGRUENCE,
     ENGINE_INDEXED,
     ENGINE_SWEEP,
+    ENGINE_VECTOR,
     MODE_BASIC,
     MODE_EXTENDED,
     STRATEGY_FD_ORDER,
@@ -40,6 +44,7 @@ __all__ = [
     "ENGINE_CONGRUENCE",
     "ENGINE_INDEXED",
     "ENGINE_SWEEP",
+    "ENGINE_VECTOR",
     "IncrementalChase",
     "IndexedChaseState",
     "MODE_BASIC",
@@ -48,15 +53,22 @@ __all__ = [
     "STRATEGY_RANDOM",
     "STRATEGY_ROUND_ROBIN",
     "SessionSnapshot",
+    "Shard",
+    "ShardPlan",
     "SignatureChaseCore",
+    "VectorChaseState",
     "XSubstitution",
     "canonical_form",
     "chase",
     "church_rosser_orders",
     "congruence_chase",
+    "fuse_for_rows",
     "indexed_chase",
     "is_minimally_incomplete",
     "minimally_incomplete",
+    "parallel_chase",
+    "plan_shards",
+    "vectorized_chase",
     "weakly_satisfiable",
     "x_side_substitutions",
 ]

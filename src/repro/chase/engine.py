@@ -55,6 +55,7 @@ ENGINE_AUTO = "auto"
 ENGINE_SWEEP = "sweep"
 ENGINE_INDEXED = "indexed"
 ENGINE_CONGRUENCE = "congruence"
+ENGINE_VECTOR = "vector"
 
 _STRATEGIES = (STRATEGY_FD_ORDER, STRATEGY_ROUND_ROBIN, STRATEGY_RANDOM)
 
@@ -453,6 +454,7 @@ def chase(
     strategy: str = STRATEGY_ROUND_ROBIN,
     seed: int = 0,
     engine: str = ENGINE_AUTO,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """Run the NS-rule chase to a fixpoint.
 
@@ -472,7 +474,16 @@ def chase(
     * ``"congruence"`` — the congruence-closure engine on the same shared
       core (extended mode only); an independently derived oracle for the
       differential tests.
+    * ``"vector"`` — the maintained-root-array engine
+      (:mod:`repro.chase.vector`; extended mode only).
     * ``"sweep"`` — force the legacy multi-pass engine (both modes).
+
+    ``workers`` routes to the sharded parallel executor
+    (:mod:`repro.chase.parallel`): FD components chase independently, one
+    worklist each, ``workers`` processes at most (``workers=1`` runs the
+    shards serially in-process).  It is extended-mode only and mutually
+    exclusive with an explicit ``engine`` — the planner itself picks the
+    per-shard engine.
 
     All paths produce identical ``relation`` / ``nec_classes`` /
     ``substitutions`` in extended mode; ``applications`` order and the
@@ -480,9 +491,23 @@ def chase(
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
+    if workers is not None:
+        if mode != MODE_EXTENDED:
+            raise ValueError(
+                "the parallel chase implements the extended (Church-"
+                "Rosser) rules only; drop workers= for basic mode"
+            )
+        if engine != ENGINE_AUTO:
+            raise ValueError(
+                "workers= selects the sharded parallel executor, which "
+                "picks per-shard engines itself; drop engine="
+            )
+        from .parallel import parallel_chase  # local: avoids import cycle
+
+        return parallel_chase(relation, fds, workers=workers)
     if engine == ENGINE_AUTO:
         engine = ENGINE_INDEXED if mode == MODE_EXTENDED else ENGINE_SWEEP
-    if engine in (ENGINE_INDEXED, ENGINE_CONGRUENCE):
+    if engine in (ENGINE_INDEXED, ENGINE_CONGRUENCE, ENGINE_VECTOR):
         if mode != MODE_EXTENDED:
             raise ValueError(
                 f"the {engine} engine implements the extended (Church-"
@@ -494,6 +519,12 @@ def chase(
             congruence_state = CongruenceEngine(relation, fds)
             congruence_state.run_congruence()
             return congruence_state.result(strategy)
+        if engine == ENGINE_VECTOR:
+            from .vector import VectorChaseState  # local: avoids cycle
+
+            vector_state = VectorChaseState(relation, fds)
+            vector_state.run_vectorized()
+            return vector_state.result(strategy)
         from .indexed import IndexedChaseState  # local: avoids import cycle
 
         indexed_state = IndexedChaseState(relation, fds)

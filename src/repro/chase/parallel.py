@@ -1,0 +1,332 @@
+"""Sharded parallel chase: one worklist per FD component, stitched back.
+
+The planner (:mod:`repro.chase.plan`) proves the FD components independent;
+this module exploits it.  Each shard — a column slice of the relation plus
+the FDs it owns — is chased by its own engine: the
+:class:`~repro.chase.vector.VectorChaseState` maintained-root-array engine
+in-process (``workers=1``, a single shard, single-core machines, or as the
+fallback), an :class:`~repro.chase.indexed.IndexedChaseState` worklist per
+worker across a ``multiprocessing`` pool.  Columns no FD mentions bypass
+the chase entirely.  The per-shard results are then **stitched**: row-aligned column
+splices, with the per-shard null bookkeeping remapped so the merged
+:class:`~repro.chase.engine.ChaseResult` is field-identical to the
+single-threaded engines.
+
+Two remappings make the stitch exact:
+
+* **Cross-process identity.**  A child process cannot see the parent's
+  :class:`~repro.core.values.Null` objects, so each shard's rows travel as
+  canonical-id tokens through :class:`~repro.core.codec.ValueCodec` — the
+  same codec scope encodes the payload and decodes the reply, so every id
+  resolves back to the *original* parent-side object, and the child's
+  fresh decode preserves the sharing structure (first-occurrence order is
+  deterministic on both sides).
+* **Global representative order.**  The serial engines display each NEC
+  class as its earliest-*registered* member, where registration order is
+  the row-major scan over *all* columns.  A shard only sees its own
+  columns, so its local representative can differ.  The stitcher indexes
+  every null's global first occurrence once, re-sorts class members and
+  classes by it, and rewrites any cell holding a superseded shard
+  representative — the same pass that applies substitutions and merges to
+  null occurrences in bypass columns.
+
+Constants that the codec refuses (non-JSON-scalar) and pool failures both
+degrade to the in-process path, which needs no serialization at all.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.codec import ValueCodec, fds_from_spec, fds_to_spec
+from ..core.fd import FD, FDInput
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Row
+from ..core.values import Null, is_null
+from ..errors import CodecError
+from .engine import MODE_EXTENDED, Application, ChaseResult
+from .indexed import IndexedChaseState
+from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards
+from .vector import VectorChaseState
+
+STRATEGY_PARALLEL = "parallel"
+
+
+@dataclass
+class _ShardOutcome:
+    """One shard's chase output, in parent-process objects."""
+
+    rows: List[Tuple[Any, ...]]  # result cell values, row-aligned
+    nec_classes: List[Tuple[Null, ...]]
+    substitutions: Dict[Null, Any]
+    applications: List[Application]
+    passes: int
+
+
+def _sub_rows(relation: Relation, shard: Shard) -> List[List[Any]]:
+    return [[row.values[c] for c in shard.columns] for row in relation.rows]
+
+
+def _outcome_from_result(result: ChaseResult) -> _ShardOutcome:
+    return _ShardOutcome(
+        rows=[row.values for row in result.relation.rows],
+        nec_classes=list(result.nec_classes),
+        substitutions=dict(result.substitutions),
+        applications=list(result.applications),
+        passes=result.passes,
+    )
+
+
+def _run_shard_local(
+    relation: Relation, plan: ShardPlan, shard: Shard, vectorized: bool
+) -> _ShardOutcome:
+    sub = Relation(plan.sub_schema(shard), _sub_rows(relation, shard))
+    fds = plan.shard_fds(shard)
+    if vectorized:
+        state: Any = VectorChaseState(sub, fds)
+        state.run_vectorized()
+    else:
+        state = IndexedChaseState(sub, fds)
+        state.run_worklist()
+    return _outcome_from_result(state.result(STRATEGY_PARALLEL))
+
+
+# -- multiprocessing path -----------------------------------------------------
+
+
+def shard_payload(
+    relation: Relation, plan: ShardPlan, shard: Shard
+) -> Tuple[ValueCodec, dict]:
+    """A JSON-able description of one shard's chase job.
+
+    Raises :class:`~repro.errors.CodecError` on non-scalar constants — the
+    caller falls back to the in-process path.
+    """
+    codec = ValueCodec()
+    return codec, {
+        "name": plan.schema.name,
+        "attributes": list(shard.attributes),
+        "fds": fds_to_spec(plan.shard_fds(shard)),
+        "rows": [
+            codec.encode_row([row.values[c] for c in shard.columns])
+            for row in relation.rows
+        ],
+    }
+
+
+def chase_shard_remote(payload: dict) -> dict:
+    """Chase one encoded shard; runs in a worker process (top-level, so
+    every ``multiprocessing`` start method can import it)."""
+    schema = RelationSchema(payload["name"], payload["attributes"])
+    codec = ValueCodec()
+    rows = [codec.decode_row(tokens) for tokens in payload["rows"]]
+    state = IndexedChaseState(
+        Relation(schema, rows), fds_from_spec(payload["fds"])
+    )
+    state.run_worklist()
+    result = state.result(STRATEGY_PARALLEL)
+    fd_pos = {id(fd): k for k, fd in enumerate(state.fds)}
+    return {
+        "rows": [codec.encode_row(row.values) for row in result.relation.rows],
+        "nec": [
+            [codec.id_of(member) for member in cls]
+            for cls in result.nec_classes
+        ],
+        "subs": [
+            [codec.id_of(null_obj), codec.encode(value)]
+            for null_obj, value in result.substitutions.items()
+        ],
+        "apps": [
+            [fd_pos[id(app.fd)], app.first_row, app.second_row,
+             app.attribute, app.action]
+            for app in result.applications
+        ],
+        "passes": result.passes,
+    }
+
+
+def decode_outcome(
+    codec: ValueCodec, shard_fds: Sequence[FD], reply: dict
+) -> _ShardOutcome:
+    """Resolve a worker reply back to parent-process objects through the
+    codec scope that built the payload."""
+    return _ShardOutcome(
+        rows=[tuple(codec.decode_row(tokens)) for tokens in reply["rows"]],
+        nec_classes=[
+            tuple(codec.object_of(member) for member in cls)
+            for cls in reply["nec"]
+        ],
+        substitutions={
+            codec.object_of(canonical): codec.decode(token)
+            for canonical, token in reply["subs"]
+        },
+        applications=[
+            Application(shard_fds[k], first, second, attribute, action)
+            for k, first, second, attribute, action in reply["apps"]
+        ],
+        passes=reply["passes"],
+    )
+
+
+def _run_shards_pooled(
+    relation: Relation, plan: ShardPlan, workers: int
+) -> List[_ShardOutcome]:
+    """Chase every shard across a process pool.
+
+    Raises ``CodecError`` (non-scalar constants) or ``OSError``/
+    ``ImportError`` (pool creation) for the caller's fallback.
+    """
+    import multiprocessing
+
+    jobs = [shard_payload(relation, plan, shard) for shard in plan.shards]
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - platform-dependent
+        context = multiprocessing.get_context()
+    with context.Pool(processes=min(workers, len(jobs))) as pool:
+        replies = pool.map(chase_shard_remote, [payload for _, payload in jobs])
+    return [
+        decode_outcome(codec, plan.shard_fds(shard), reply)
+        for (codec, _), shard, reply in zip(jobs, plan.shards, replies)
+    ]
+
+
+# -- stitching ----------------------------------------------------------------
+
+
+def _stitch(
+    relation: Relation, plan: ShardPlan, outcomes: Sequence[_ShardOutcome]
+) -> ChaseResult:
+    schema = relation.schema
+    # global first-occurrence order of every null object (row-major over
+    # ALL columns) — identical to the serial engines' registration order,
+    # which fixes representatives and class/member ordering
+    order: Dict[int, int] = {}
+    for row in relation.rows:
+        for value in row.values:
+            if is_null(value) and id(value) not in order:
+                order[id(value)] = len(order)
+
+    classes = [cls for outcome in outcomes for cls in outcome.nec_classes]
+    nec_classes = [
+        tuple(sorted(cls, key=lambda member: order[id(member)]))
+        for cls in classes
+    ]
+    nec_classes.sort(key=lambda cls: order[id(cls[0])])
+
+    #: id(null) -> display value for any cell still holding that object:
+    #: superseded shard representatives map to the global representative,
+    #: grounded nulls (shard or bypass occurrences) to their constant/NOTHING
+    null_out: Dict[int, Any] = {}
+    for cls in nec_classes:
+        rep = cls[0]
+        for member in cls:
+            if member is not rep:
+                null_out[id(member)] = rep
+    sub_items = [
+        item for outcome in outcomes for item in outcome.substitutions.items()
+    ]
+    sub_items.sort(key=lambda item: order[id(item[0])])
+    substitutions = dict(sub_items)
+    for null_obj, value in sub_items:
+        null_out[id(null_obj)] = value
+
+    rows: List[Row] = []
+    pairs = [
+        (shard.columns, outcome.rows)
+        for shard, outcome in zip(plan.shards, outcomes)
+    ]
+    for index, row in enumerate(relation.rows):
+        values = list(row.values)
+        for columns, shard_rows in pairs:
+            shard_values = shard_rows[index]
+            for position, col in enumerate(columns):
+                values[col] = shard_values[position]
+        for col, value in enumerate(values):
+            if is_null(value):
+                values[col] = null_out.get(id(value), value)
+        rows.append(Row(schema, values))
+
+    return ChaseResult(
+        relation=Relation(schema, rows),
+        nec_classes=nec_classes,
+        substitutions=substitutions,
+        applications=[
+            app for outcome in outcomes for app in outcome.applications
+        ],
+        passes=sum(outcome.passes for outcome in outcomes),
+        mode=MODE_EXTENDED,
+        strategy=STRATEGY_PARALLEL,
+    )
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def parallel_chase(
+    relation: Relation,
+    fds: Iterable[FDInput],
+    workers: Optional[int] = None,
+    plan: Optional[ShardPlan] = None,
+    processes: Optional[bool] = None,
+) -> ChaseResult:
+    """Chase via component shards, field-identical to the serial engines.
+
+    ``workers`` — pool size; ``None`` means one per CPU, ``1`` forces the
+    in-process path.  ``plan`` — a cached structural plan for this schema
+    and FD list (``plan.fds`` is then authoritative; sessions pass their
+    cached plan here).  ``processes`` — three-valued test/ops hook: ``None``
+    decides automatically, ``False`` forbids process pools, ``True``
+    requires them (errors propagate instead of degrading).
+    """
+    if plan is None:
+        plan = plan_shards(relation.schema, fds)
+    effective = fuse_for_rows(plan, relation.rows)
+    shards = effective.shards
+    if not shards:
+        # no FDs constrain anything: the input is already the fixpoint
+        rows = [Row(relation.schema, row.values) for row in relation.rows]
+        return ChaseResult(
+            relation=Relation(relation.schema, rows),
+            nec_classes=[],
+            substitutions={},
+            applications=[],
+            passes=1,
+            mode=MODE_EXTENDED,
+            strategy=STRATEGY_PARALLEL,
+        )
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    pool_size = workers if workers is not None else (os.cpu_count() or 1)
+    # a process pool only pays when there are several shards to spread AND
+    # several cores to spread them over; on a single-core machine the fork
+    # and serialization overhead is pure loss, so the auto path stays
+    # in-process there (where sharding still wins from column bypass and
+    # the per-shard vector engine)
+    use_pool = processes is True or (
+        processes is None
+        and len(shards) > 1
+        and pool_size > 1
+        and (os.cpu_count() or 1) > 1
+    )
+    outcomes: Optional[List[_ShardOutcome]] = None
+    if use_pool:
+        if processes is True:
+            outcomes = _run_shards_pooled(relation, effective, pool_size)
+        else:
+            try:
+                outcomes = _run_shards_pooled(relation, effective, pool_size)
+            except (CodecError, OSError, ImportError, PermissionError):
+                outcomes = None  # degrade to the in-process path
+    if outcomes is None:
+        # in-process shards run on the vector engine: its maintained root
+        # arrays beat the worklist engine on dense shards, and the one-shard
+        # degenerate case becomes exactly the vectorized signature fallback
+        outcomes = [
+            _run_shard_local(relation, effective, shard, vectorized=True)
+            for shard in shards
+        ]
+    return _stitch(relation, effective, outcomes)

@@ -70,7 +70,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core.fd import FDInput
+from ..core.fd import FDInput, as_fd
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.tuples import Row
@@ -125,6 +125,7 @@ class ChaseSession(SignatureChaseCore):
         fds: Iterable[FDInput],
         rows: Iterable[Sequence[Any] | Row] = (),
         fast_retire: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         if isinstance(source, Relation):
             schema, initial = source.schema, list(source.rows)
@@ -135,6 +136,11 @@ class ChaseSession(SignatureChaseCore):
         #: ``False`` forces the PR-3 rewind/rebuild discipline (kept as a
         #: switch so benchmarks and differential tests can race the two)
         self._fast_retire = fast_retire
+        #: worker count for sharded verification re-chases (``None`` keeps
+        #: them serial); the structural shard plan is computed once per FD
+        #: set and cached — :meth:`set_fds` re-plans
+        self.workers = workers
+        self._plan: Optional[Any] = None
         #: op-outcome counters, kept across rebuilds (see :meth:`stats`)
         self._stats: Dict[str, int] = {
             "retire_fast": 0,
@@ -629,6 +635,69 @@ class ChaseSession(SignatureChaseCore):
             trail.append(("dereg", key, null_obj, node, position))
         self._ratchet_mark = len(trail)
         return committed
+
+    # -- shard planning and verification -----------------------------------
+
+    def plan(self):
+        """The cached structural shard plan for this schema and FD set
+        (:func:`repro.chase.plan.plan_shards`): FD components, their
+        columns, and the bypass columns no FD touches.  Computed lazily,
+        reused across mutations (it depends only on schema + FDs), and
+        invalidated by :meth:`set_fds`."""
+        if self._plan is None:
+            from .plan import plan_shards  # local: avoids import cycle
+
+            self._plan = plan_shards(self.schema, self.fds)
+        return self._plan
+
+    def set_fds(self, fds: Iterable[FDInput]) -> None:
+        """Swap the session's FD set and re-chase (level rebuild).
+
+        The cached shard plan is dropped and re-planned on next use.
+        Refused on journalled sessions (the durable layer fixes a
+        relation's FD set at create time — its WAL records carry no FD
+        changes).  Snapshots taken under the old FD set remain honored,
+        but roll back to their rows chased under the *new* FDs.
+        """
+        if self.on_op is not None:
+            raise ReproError(
+                "set_fds on a journalled session is not supported; the "
+                "durable layer fixes the FD set when the relation is created"
+            )
+        normalized = [as_fd(fd).validate(self.schema).normalized() for fd in fds]
+        self.fds = normalized
+        self._plan = None
+        self._rebuild(list(self._raw_rows))
+
+    def verify(self, workers: Optional[int] = None) -> bool:
+        """Re-chase the raw rows from scratch and compare field-by-field
+        against the maintained fixpoint — the session invariant, on demand.
+
+        ``workers`` selects the sharded parallel executor for the
+        reference chase (defaulting to the session's ``workers``; ``None``
+        keeps it serial), reusing the cached structural plan.
+        """
+        from .engine import chase  # local: avoids import cycle
+
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            reference = chase(self.raw_relation(), list(self.fds))
+        else:
+            from .parallel import parallel_chase  # local: avoids cycle
+
+            reference = parallel_chase(
+                self.raw_relation(), self.fds, workers=workers, plan=self.plan()
+            )
+        mine = self.result()
+        return (
+            [row.values for row in mine.relation.rows]
+            == [row.values for row in reference.relation.rows]
+            and mine.nec_classes == reference.nec_classes
+            and {id(k): v for k, v in mine.substitutions.items()}
+            == {id(k): v for k, v in reference.substitutions.items()}
+            and mine.has_nothing == reference.has_nothing
+        )
 
     # -- snapshots ---------------------------------------------------------
 

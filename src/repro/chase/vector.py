@@ -1,0 +1,148 @@
+"""Vectorized signature recomputation for the dense single-component case.
+
+When every FD touches every other FD's attributes, the shard planner
+degenerates to one component and parallelism buys nothing.  This engine is
+the second attack route: instead of the worklist's per-``(fd, row)``
+signature dict (:class:`~repro.chase.core.SignatureChaseCore`), it keeps a
+**flat integer array of class roots per column** (stdlib ``array('q')``;
+numpy, when importable, accelerates the duplicate scan).  The union-find
+``on_union`` hook rewrites the moved cells' slots in place, so after any
+burst of merges, regrouping an FD is one linear pass over its column
+slices — no ``find`` calls, no per-row dict updates — rebucketing rows by
+reading machine integers out of contiguous memory.
+
+Soundness of the regroup-until-clean loop: a merge that changes some row's
+X-signature for FD ``k`` necessarily moved one of that row's ``k``-lhs
+cells, and the hook re-dirties ``k`` whenever that happens — including for
+merges fired *during* ``k``'s own regroup pass.  So when the dirty set
+drains empty, the last regroup of every FD ran over signatures that were
+stable throughout the pass, i.e. a true fixpoint check.  Termination: a
+regroup either fires a class-reducing merge or retires its FD from the
+dirty set, and only merges re-add entries.
+
+The result is field-identical to the other extended-mode engines (Theorem
+4); the differential suite in ``tests/chase/test_parallel.py`` pins it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.fd import FDInput
+from ..core.relation import Relation
+from .engine import MODE_EXTENDED, ChaseResult, ChaseState
+
+try:  # numpy is optional; the stdlib path is complete without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+STRATEGY_VECTOR = "vector"
+
+#: below this row count the numpy duplicate scan costs more than it saves
+_NUMPY_MIN_ROWS = 512
+
+
+class VectorChaseState(ChaseState):
+    """Extended-mode chase over maintained per-column root arrays."""
+
+    def __init__(self, relation: Relation, fds: Iterable[FDInput]) -> None:
+        super().__init__(relation, fds, MODE_EXTENDED)
+        self._lhs_cols: List[Tuple[int, ...]] = [
+            self._columns_of(fd)[1] for fd in self.fds
+        ]
+        #: col -> FD indices with that column on their left-hand side
+        self._lhs_fds_by_col: List[List[int]] = [
+            [] for _ in range(len(self.schema))
+        ]
+        for k, cols in enumerate(self._lhs_cols):
+            for col in set(cols):
+                self._lhs_fds_by_col[col].append(k)
+        n_rows = len(self.cells)
+        #: per-column root arrays: ``_roots[c][r] == uf.find(cells[r][c])``,
+        #: maintained eagerly by the union hook.  Fresh states intern every
+        #: cell to a root node, so the initial copy is already correct.
+        self._roots: List[array] = [
+            array("q", (self.cells[r][c] for r in range(n_rows)))
+            for c in range(len(self.schema))
+        ]
+        #: occurrence index, as in the worklist core: root -> [(row, col)]
+        self._occ: Dict[int, List[Tuple[int, int]]] = {}
+        for row, encoded in enumerate(self.cells):
+            for col, node in enumerate(encoded):
+                self._occ.setdefault(node, []).append((row, col))
+        for node, cells in self._occ.items():
+            self.uf.set_weight(node, len(cells))
+        #: FDs whose signature groups may be stale
+        self._dirty: Set[int] = set()
+        self.uf.on_union = self._on_union
+
+    def _on_union(self, survivor: int, absorbed: int) -> None:
+        """Rewrite the moved cells' root slots; dirty the FDs that look."""
+        moved = self._occ.pop(absorbed, None)
+        if not moved:
+            return
+        self._occ.setdefault(survivor, []).extend(moved)
+        roots = self._roots
+        dirty = self._dirty
+        by_col = self._lhs_fds_by_col
+        for row, col in moved:
+            roots[col][row] = survivor
+            fds_here = by_col[col]
+            if fds_here:
+                dirty.update(fds_here)
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def run_vectorized(self) -> None:
+        """Regroup dirty FDs until no regroup dirties anything."""
+        dirty = self._dirty
+        dirty.update(range(len(self.fds)))
+        while dirty:
+            k = dirty.pop()
+            self.passes += 1
+            self._regroup(k)
+
+    def _duplicate_rows(self, roots: array):
+        """Row indices worth bucketing: those sharing a root with another
+        row in this column (numpy fast path), or all rows (fallback)."""
+        if _np is not None and len(roots) >= _NUMPY_MIN_ROWS:
+            values = _np.frombuffer(roots, dtype=_np.int64)
+            _, inverse, counts = _np.unique(
+                values, return_inverse=True, return_counts=True
+            )
+            if int(counts.max(initial=0)) <= 1:
+                return ()
+            return _np.nonzero(counts[inverse] > 1)[0].tolist()
+        return range(len(roots))
+
+    def _regroup(self, k: int) -> None:
+        """One linear pass over FD ``k``'s lhs column slices: bucket rows
+        by signature, fire the NS-rule on every collision."""
+        fd = self.fds[k]
+        cols = self._lhs_cols[k]
+        anchors: Dict = {}
+        apply_pair = self._apply_pair
+        if len(cols) == 1:
+            roots = self._roots[cols[0]]
+            for row in self._duplicate_rows(roots):
+                sig = roots[row]
+                anchor = anchors.setdefault(sig, row)
+                if anchor != row:
+                    apply_pair(fd, anchor, row)
+        else:
+            arrays = [self._roots[c] for c in cols]
+            for row in range(len(self.cells)):
+                sig = tuple(arr[row] for arr in arrays)
+                anchor = anchors.setdefault(sig, row)
+                if anchor != row:
+                    apply_pair(fd, anchor, row)
+
+
+def vectorized_chase(relation: Relation, fds: Iterable[FDInput]) -> ChaseResult:
+    """The unique minimally incomplete instance via maintained root arrays —
+    field-identical to :func:`repro.chase.indexed.indexed_chase`."""
+    state = VectorChaseState(relation, fds)
+    state.run_vectorized()
+    return state.result(STRATEGY_VECTOR)

@@ -5,8 +5,9 @@ Usage (also via ``python -m repro``)::
     repro check  --data t.csv --fds "zip -> city state" [--convention weak]
                  [--method auto|sortmerge|pairwise|bucket|batched]
     repro chase  --data t.csv --fds "zip -> city state" [--mode extended]
-                 [--engine auto|sweep|indexed|congruence]
+                 [--engine auto|sweep|indexed|congruence|vector] [--workers N]
     repro session --data t.csv --fds "zip -> city state" --script ops.txt
+                 [--workers N]
     repro db init PATH --name R --attrs "A B C" --fds "A -> B"
     repro db ingest PATH --name R [--data t.csv] [--script ops.txt]
     repro db check PATH --name R [--convention weak]
@@ -70,6 +71,7 @@ from .chase import (
     ENGINE_CONGRUENCE,
     ENGINE_INDEXED,
     ENGINE_SWEEP,
+    ENGINE_VECTOR,
     MODE_BASIC,
     MODE_EXTENDED,
     ChaseSession,
@@ -150,7 +152,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_chase(args: argparse.Namespace) -> int:
     relation = load_relation(args.data, parse_domains(args.domain))
     fds = FDSet.parse(args.fds)
-    result = chase(relation, fds, mode=args.mode, engine=args.engine)
+    if args.workers is not None and args.engine != ENGINE_AUTO:
+        raise ReproError(
+            "--workers selects the sharded parallel executor; drop --engine"
+        )
+    result = chase(
+        relation, fds, mode=args.mode, engine=args.engine, workers=args.workers
+    )
     print(result.relation.to_text())
     print()
     print(explain_chase(result))
@@ -311,12 +319,12 @@ def _cmd_session(args: argparse.Namespace) -> int:
     fds = FDSet.parse(args.fds)
     if args.data:
         relation = load_relation(args.data, parse_domains(args.domain))
-        session = ChaseSession(relation, fds)
+        session = ChaseSession(relation, fds, workers=args.workers)
     elif args.attrs:
         schema = RelationSchema(
             "R", args.attrs, domains=parse_domains(args.domain) or None
         )
-        session = ChaseSession(schema, fds)
+        session = ChaseSession(schema, fds, workers=args.workers)
     else:
         raise ReproError("session needs --data or --attrs")
 
@@ -345,7 +353,9 @@ def _format_stats(target) -> str:
 def _open_db(args: argparse.Namespace, create: bool = False) -> Database:
     # only `db init` materializes a missing directory; every other
     # subcommand treats a path with no database as the error it is
-    return Database.open(args.path, sync=args.sync, create=create)
+    return Database.open(
+        args.path, sync=args.sync, create=create, workers=args.workers
+    )
 
 
 def _cmd_db_init(args: argparse.Namespace) -> int:
@@ -495,9 +505,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chase_cmd.add_argument(
         "--engine",
-        choices=[ENGINE_AUTO, ENGINE_SWEEP, ENGINE_INDEXED, ENGINE_CONGRUENCE],
+        choices=[
+            ENGINE_AUTO,
+            ENGINE_SWEEP,
+            ENGINE_INDEXED,
+            ENGINE_CONGRUENCE,
+            ENGINE_VECTOR,
+        ],
         default=ENGINE_AUTO,
-        help="chase engine (indexed/congruence are extended-mode only)",
+        help="chase engine (indexed/congruence/vector are extended-mode only)",
+    )
+    chase_cmd.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="sharded parallel chase across N processes (extended mode; "
+        "mutually exclusive with --engine)",
     )
     chase_cmd.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
     chase_cmd.set_defaults(func=_cmd_chase)
@@ -520,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print op-outcome counters (in-place retirements vs trail "
         "replays vs level rebuilds) before the final instance",
     )
+    session.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="sharded parallel verification re-chases across N processes",
+    )
     session.set_defaults(func=_cmd_session)
 
     db = commands.add_parser(
@@ -535,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=list(SYNC_MODES),
             default=SYNC_FSYNC,
             help="append durability: fsync (default), flush, or none",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="sharded parallel verification re-chases across N processes",
         )
         if with_name:
             sub.add_argument("--name", required=True, help="relation name")

@@ -209,10 +209,12 @@ class ManagedRelation:
         )
         return merged
 
-    def verify(self) -> bool:
+    def verify(self, workers: Optional[int] = None) -> bool:
         """The recovery acceptance check: maintained fixpoint ==
-        from-scratch chase of the raw rows, field-identically."""
-        return verify_fixpoint(self.session)
+        from-scratch chase of the raw rows, field-identically.
+        ``workers`` routes the reference chase through the sharded
+        parallel executor (default: the session's own setting)."""
+        return verify_fixpoint(self.session, workers=workers)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -267,11 +269,19 @@ class Database:
     protocol closes the log handles.
     """
 
-    def __init__(self, path: Union[str, Path], sync: str = SYNC_FSYNC) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sync: str = SYNC_FSYNC,
+        workers: Optional[int] = None,
+    ) -> None:
         if sync not in SYNC_MODES:
             raise DatabaseError(f"unknown sync mode {sync!r}; use {SYNC_MODES}")
         self.path = Path(path)
         self.sync = sync
+        #: worker count handed to every relation's session: sharded
+        #: parallel re-chases for ``verify`` (``None`` keeps them serial)
+        self.workers = workers
         self._relations: Dict[str, ManagedRelation] = {}
         self._closed = False
 
@@ -283,6 +293,7 @@ class Database:
         path: Union[str, Path],
         sync: str = SYNC_FSYNC,
         create: bool = True,
+        workers: Optional[int] = None,
     ) -> "Database":
         """Open and recover a database directory.
 
@@ -290,8 +301,10 @@ class Database:
         initialized empty; with ``create=False`` it is an error instead —
         the right mode for read/inspect flows, where silently materializing
         a fresh database at a mistyped path would masquerade as success.
+        ``workers`` enables sharded parallel verification re-chases on
+        every relation (see :meth:`ManagedRelation.verify`).
         """
-        db = cls(path, sync)
+        db = cls(path, sync, workers=workers)
         db._load(create)
         return db
 
@@ -348,7 +361,7 @@ class Database:
                     f"malformed checkpoint for {name}: {error}"
                 ) from None
 
-        session = ChaseSession(schema, fds, rows=rows)
+        session = ChaseSession(schema, fds, rows=rows, workers=self.workers)
         wal_path = directory / storage.WAL_NAME
         records, good_bytes, torn = oplog.scan(wal_path)
         if torn:
@@ -404,7 +417,7 @@ class Database:
             schema = attributes
         else:
             schema = RelationSchema(name, attributes, domains=domains)
-        session = ChaseSession(schema, fds)
+        session = ChaseSession(schema, fds, workers=self.workers)
         directory = storage.relation_dir(self.path, name)
         directory.mkdir(parents=True, exist_ok=True)
         # a crashed drop() may have left this directory behind with stale

@@ -124,11 +124,26 @@ def field_identical(first, second) -> bool:
     )
 
 
-def verify_fixpoint(session: ChaseSession) -> bool:
+def verify_fixpoint(session: ChaseSession, workers=None) -> bool:
     """The session invariant, checked live: the maintained fixpoint is
-    field-identical to a from-scratch chase of the raw rows."""
-    from ..chase.engine import chase  # local: avoids import cycle
+    field-identical to a from-scratch chase of the raw rows.
 
-    return field_identical(
-        session.result(), chase(session.raw_relation(), list(session.fds))
-    )
+    ``workers`` routes the reference chase through the sharded parallel
+    executor (defaulting to the session's own ``workers`` setting; ``None``
+    keeps it serial) — big relations verify at parallel speed."""
+    if workers is None:
+        workers = getattr(session, "workers", None)
+    if workers is None:
+        from ..chase.engine import chase  # local: avoids import cycle
+
+        reference = chase(session.raw_relation(), list(session.fds))
+    else:
+        from ..chase.parallel import parallel_chase  # local: avoids cycle
+
+        reference = parallel_chase(
+            session.raw_relation(),
+            session.fds,
+            workers=workers,
+            plan=session.plan(),
+        )
+    return field_identical(session.result(), reference)

@@ -53,6 +53,12 @@ def assert_bench_schema(report):
                 for label, value in entry[metrics_key].items():
                     assert isinstance(label, str)
                     assert isinstance(value, (int, float))
+        if "series" in entry:
+            assert entry["series"], f"{name}: empty series"
+            for label, values in entry["series"].items():
+                assert isinstance(label, str)
+                assert isinstance(values, list) and values
+                assert all(isinstance(v, (int, float)) for v in values)
 
 
 def test_quick_run_exits_zero_and_emits_schema(tmp_path):
@@ -86,6 +92,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR3.json",
         "BENCH_PR4.json",
         "BENCH_PR5.json",
+        "BENCH_PR6.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -191,14 +198,19 @@ def _run_compare(fresh_path, *extra):
     )
 
 
+#: the latest committed baseline — compare.py's default reference, and the
+#: doctoring source for the negative-path tests below
+LATEST_BASELINE = "BENCH_PR6.json"
+
+
 def test_compare_accepts_the_baseline_against_itself():
-    proc = _run_compare(REPO_ROOT / "BENCH_PR5.json")
+    proc = _run_compare(REPO_ROOT / LATEST_BASELINE)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "ok: schema matches" in proc.stdout
 
 
 def test_compare_rejects_a_regressed_speedup(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
     a2 = report["benchmarks"]["bench_a2_incremental"]
     key = "old-row retirement speedup at largest configuration"
     a2["speedups"][key] = 0.5  # below even the cross-mode floor
@@ -210,7 +222,7 @@ def test_compare_rejects_a_regressed_speedup(tmp_path):
 
 
 def test_compare_rejects_a_broken_benchmark(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
     report["benchmarks"]["bench_e5_chase_scaling"]["status"] = "timeout"
     doctored = tmp_path / "broken.json"
     doctored.write_text(json.dumps(report))
@@ -220,10 +232,89 @@ def test_compare_rejects_a_broken_benchmark(tmp_path):
 
 
 def test_compare_rejects_schema_drift(tmp_path):
-    report = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
     del report["platform"]
     doctored = tmp_path / "drifted.json"
     doctored.write_text(json.dumps(report))
     proc = _run_compare(doctored)
     assert proc.returncode == 1
     assert "top-level keys" in proc.stdout
+
+
+def test_compare_rejects_a_vanished_benchmark(tmp_path):
+    """A benchmark the baseline promised must still run in the fresh file."""
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
+    del report["benchmarks"]["bench_e5_chase_scaling"]
+    doctored = tmp_path / "vanished.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 1
+    assert "missing from fresh run" in proc.stdout
+
+
+def test_compare_tolerates_fresh_only_benchmarks_and_labels(tmp_path):
+    """The guard is one-directional: new benchmarks / speedup labels /
+    series landing in the current PR (present only in the fresh run) must
+    pass — they become guarded once a baseline containing them exists."""
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
+    report["benchmarks"]["bench_e99_brand_new"] = {
+        "status": "ok",
+        "wall_s": 0.5,
+        "speedups": {"new optimization speedup at largest configuration": 9.0},
+        "series": {"new wall s by size": [0.1, 0.2]},
+    }
+    e5 = report["benchmarks"]["bench_e5_chase_scaling"]
+    e5.setdefault("speedups", {})["brand-new speedup line"] = 2.0
+    doctored = tmp_path / "extended.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "fresh-only benchmark(s)" in proc.stdout
+    assert "bench_e99_brand_new" in proc.stdout
+
+
+def test_compare_rejects_a_malformed_series(tmp_path):
+    report = json.loads((REPO_ROOT / LATEST_BASELINE).read_text())
+    report["benchmarks"]["bench_e5_chase_scaling"]["series"] = {"bad": []}
+    doctored = tmp_path / "badseries.json"
+    doctored.write_text(json.dumps(report))
+    proc = _run_compare(doctored)
+    assert proc.returncode == 1
+    assert "malformed series" in proc.stdout
+
+
+def test_pr6_baseline_records_parallel_series():
+    """BENCH_PR6.json carries the sharded-parallel-chase series: the
+    worker-count speedups clear the PR 6 acceptance floor (>= 1.5x at 2+
+    workers on the multi-component E5c workload), the per-size wall-time
+    series are present for both bench_e5 and bench_a2, and the serial
+    headlines were not traded away."""
+    report = json.loads((REPO_ROOT / "BENCH_PR6.json").read_text())
+    e5 = report["benchmarks"]["bench_e5_chase_scaling"]
+    assert e5["status"] == "ok"
+    for w in (2, 4):
+        key = f"parallel chase speedup at {w} workers at largest configuration"
+        assert e5["speedups"][key] >= 1.5
+    assert any("parallel(2)" in label for label in e5["series"])
+    assert any("unified" in label for label in e5["series"])
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert a2["status"] == "ok"
+    assert (
+        a2["speedups"]["parallel verify speedup at 2 workers at largest configuration"]
+        >= 1.0
+    )
+    assert any("verify" in label for label in a2["series"])
+    # serial headlines intact
+    assert (
+        a2["speedups"]["session mixed-workload speedup at largest configuration"]
+        >= 3.0
+    )
+    assert (
+        a2["speedups"]["old-row retirement speedup at largest configuration"]
+        >= 3.0
+    )
+    a3 = report["benchmarks"]["bench_a3_durability"]
+    assert (
+        a3["speedups"]["checkpoint recovery speedup at largest configuration"]
+        >= 3.0
+    )
