@@ -29,10 +29,10 @@ fast perf smoke test.  Results land in a JSON file::
 Per-benchmark wall times plus every printed log-log slope, "...x"
 speedup line, and ``series <label>: v1 v2 ...`` per-size series are
 captured, giving later PRs a perf trajectory to compare against
-(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR6.json`` — the
-latest adds the sharded parallel chase's worker-count series to
-bench_e5 and bench_a2, with per-size wall-time series so scaling-curve
-regressions are guardable, not just the headline ratios).
+(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR7.json`` — the
+latest adds bench_s1's serving series: group-commit ops/sec and p99 by
+client count, and writer throughput / max ack gap by snapshot-reader
+count).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` / ``series`` — is guarded by
@@ -73,8 +73,9 @@ def discover(only: list[str], ablations: bool) -> list[Path]:
     # bench_a2 graduated from optional ablation to default: its mixed
     # insert/delete/update series is the maintained-session perf baseline
     # (BENCH_PR3.json) and runs in --quick too.  bench_a3 (durability:
-    # WAL overhead + recovery-vs-checkpoint-cadence) joined it in PR 5.
-    patterns = ["bench_e*.py", "bench_a2*.py", "bench_a3*.py"] + (
+    # WAL overhead + recovery-vs-checkpoint-cadence) joined it in PR 5,
+    # bench_s1 (serving: group commit + snapshot readers) in PR 7.
+    patterns = ["bench_e*.py", "bench_a2*.py", "bench_a3*.py", "bench_s*.py"] + (
         ["bench_a*.py"] if ablations else []
     )
     scripts: list[Path] = []
@@ -172,14 +173,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR6.json at the repo root "
+        help="output JSON path (default: BENCH_PR7.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR6.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR7.json")
         )
 
     scripts = discover(args.only, args.ablations)

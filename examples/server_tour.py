@@ -1,0 +1,124 @@
+"""Serving tour: many clients, one writer, one fsync per burst.
+
+``repro serve`` (backed by :class:`repro.server.ReproServer`) multiplexes
+any number of clients onto **one writer task per relation**.  Three
+things make that worth a tour:
+
+* **group commit** — a burst of concurrent mutations is journalled as a
+  single WAL append + fsync; each client's ack resolves only after its
+  batch is durable, so the per-op fsync tax is shared, not skipped;
+* **snapshot-isolated reads** — every read answers from a consistent
+  cut tagged ``as_of`` (the journal seq it equals), and a reader never
+  blocks the writer: stale cuts re-chase off the event loop;
+* **exclusive ownership** — the served directory is flock'd for the
+  whole run, so a second process cannot scribble on it from the side.
+
+Everything here runs in one process over a real TCP socket on
+loopback; the same requests work against ``repro serve PATH --port N``.
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro.chase import canonical_form
+from repro.db import Database
+from repro.errors import DatabaseError
+from repro.server import Client, ReproServer
+
+ATTRS = "name zip city"
+FDS = "zip -> city"
+N_CLIENTS = 6
+OPS_EACH = 8
+
+
+async def tour(root: Path) -> None:
+    # a tiny auto-checkpoint threshold so the tour shows one firing;
+    # production thresholds are thousands of ops
+    server = ReproServer(
+        root, sync="fsync", create=True, window_s=0.002, checkpoint_wal_ops=40
+    )
+    await server.start()
+    host, port = await server.listen("127.0.0.1", 0)
+    print(f"serving {root.name} on {host} (one writer task, group commit)")
+
+    # -- the directory is exclusively owned while serving ------------------
+    try:
+        Database.open(root)
+    except DatabaseError:
+        print("directory locked while serving: True")
+
+    # -- a burst of concurrent clients over TCP ----------------------------
+    client = await Client.connect(host, port)
+    await client.call("create", name="people", attrs=ATTRS, fds=FDS)
+
+    async def one_client(c: int) -> None:
+        own = await Client.connect(host, port)
+        try:
+            for i in range(OPS_EACH):
+                op = c * OPS_EACH + i
+                await own.call(
+                    "insert",
+                    rel="people",
+                    row=[
+                        f"user{op}",
+                        f"{10000 + op % 4}",
+                        # every fourth city is unknown: the chase grounds
+                        # it from zip -> city once a grounded peer lands
+                        {"n": None} if op % 4 == 2 else f"city{op % 4}",
+                    ],
+                )
+        finally:
+            await own.close()
+
+    await asyncio.gather(*(one_client(c) for c in range(N_CLIENTS)))
+
+    stats = (await client.call("stats", rel="people"))["stats"]
+    n_ops = N_CLIENTS * OPS_EACH
+    print(
+        f"group commit: {stats['batches']} append+fsync(s) for {n_ops} ops "
+        f"(largest batch {stats['largest_batch']})"
+    )
+    print(f"auto-checkpoint fired: {stats['auto_checkpoints'] >= 1}")
+
+    # -- a snapshot-isolated read ------------------------------------------
+    read = await client.call("result", rel="people", isolated=True)
+    grounded = sum(
+        1 for row in read["rows"]
+        if not any(isinstance(cell, dict) for cell in row)
+    )
+    print(
+        f"snapshot read at seq {read['as_of']}: {len(read['rows'])} row(s), "
+        f"{grounded} fully grounded by the chase"
+    )
+    print(f"read equals the acked prefix: {read['as_of'] == n_ops}")
+
+    check = await client.call("check", rel="people", convention="weak")
+    print(f"zip -> city weakly satisfied while serving: {check['satisfied']}")
+
+    await client.close()
+    await server.stop()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro_serve_") as tmp:
+        root = Path(tmp) / "served"
+        asyncio.run(tour(root))
+
+        # -- after shutdown the directory is a plain database again -------
+        with Database.open(root, sync="none", create=False) as db:
+            people = db["people"]
+            fixpoint = canonical_form(people.result().relation)
+            print(
+                f"reopened without the server: seq {people.seq}, "
+                f"{len(people)} row(s), checkpoint at "
+                f"{people.checkpoint_seq}"
+            )
+            print(
+                "recovered fixpoint verified: "
+                f"{people.verify() and len(fixpoint) == len(people)}"
+            )
+
+
+if __name__ == "__main__":
+    main()

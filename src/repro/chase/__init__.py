@@ -6,7 +6,7 @@ from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
 from .parallel import parallel_chase
 from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards
-from .session import ChaseSession, SessionSnapshot
+from .session import ChaseSession, ReadLease, SessionSnapshot
 from .vector import VectorChaseState, vectorized_chase
 from .engine import (
     ENGINE_AUTO,
@@ -52,6 +52,7 @@ __all__ = [
     "STRATEGY_FD_ORDER",
     "STRATEGY_RANDOM",
     "STRATEGY_ROUND_ROBIN",
+    "ReadLease",
     "SessionSnapshot",
     "Shard",
     "ShardPlan",

@@ -913,3 +913,83 @@ class ChaseSession(SignatureChaseCore):
         from ..explain import explain_chase  # local: avoids import cycle
 
         return explain_chase(self.result())
+
+    def lease(self) -> "ReadLease":
+        """An O(1) consistent-cut read handle (see :class:`ReadLease`).
+
+        The snapshot-isolation primitive the serving layer's read path is
+        built on: readers hold the lease, the session keeps mutating."""
+        return ReadLease(self)
+
+
+class ReadLease:
+    """A consistent-cut read handle on a :class:`ChaseSession`.
+
+    Taking a lease costs one raw-row tuple copy — the same cut
+    :meth:`ChaseSession.snapshot` records, minus the trail bookkeeping,
+    because a lease can never roll the session back; it can only *read*
+    the state as of the cut.  Reads then take one of two paths:
+
+    * **live** — while the source session is provably unchanged (its
+      rewind generation and trail length still match the cut; every
+      session mutation moves at least one of them), reads delegate
+      straight to the live session: no copy, no re-chase.  Only valid
+      where nothing can mutate the session mid-read (the server reads
+      live only on its event loop, between ops).
+    * **detached** — once the session has moved on, or when
+      ``detached=True`` forces isolation, the lease materializes its own
+      private fixpoint by chasing the frozen raw rows from scratch
+      (built once, cached).  The cost lands on the reader alone: the
+      source session is never touched again, so a writer never waits on
+      however slow a reader is.  By the session invariant (maintained
+      fixpoint == from-scratch chase of the raw rows, field-identically)
+      the detached answer equals what the source would have said at the
+      cut.
+    """
+
+    __slots__ = ("rows", "_session", "_schema", "_fds", "_mark", "_detached")
+
+    def __init__(self, session: ChaseSession) -> None:
+        self._session = session
+        self._schema = session.schema
+        self._fds = tuple(session.fds)
+        #: the frozen raw rows at the cut (shared Row objects, never
+        #: mutated in place by the session — rewrites replace rows)
+        self.rows: Tuple[Row, ...] = tuple(session._raw_rows)
+        self._mark = (session._gen, len(session._trail))
+        self._detached: Optional[ChaseSession] = None
+
+    @property
+    def fresh(self) -> bool:
+        """True while the source session still *is* the cut."""
+        session = self._session
+        return (
+            self._detached is None
+            and (session._gen, len(session._trail)) == self._mark
+        )
+
+    def instance(self, detached: bool = False) -> ChaseSession:
+        """The session to read from: the live source while :attr:`fresh`
+        (unless ``detached`` forces isolation), else the lease's own
+        chase of the frozen rows."""
+        if not detached and self.fresh:
+            return self._session
+        if self._detached is None:
+            self._detached = ChaseSession(self._schema, self._fds, rows=list(self.rows))
+        return self._detached
+
+    def result(self, detached: bool = False) -> ChaseResult:
+        return self.instance(detached).result()
+
+    def check(self, *args, detached: bool = False, **kwargs):
+        return self.instance(detached).check(*args, **kwargs)
+
+    @property
+    def has_nothing(self) -> bool:
+        return self.instance().has_nothing
+
+    def explain(self, detached: bool = False) -> str:
+        return self.instance(detached).explain()
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -14,6 +14,7 @@ Usage (also via ``python -m repro``)::
     repro db checkpoint PATH [--name R]
     repro db recover PATH
     repro db stats PATH [--name R]
+    repro serve PATH [--port 7407] [--window-ms 2] [--checkpoint-wal-ops N]
     repro keys       --attrs "A B C" --fds "A -> B"
     repro closure    --attrs "A B C" --fds "A -> B; B -> C" --of "A"
     repro normalize  --attrs "A B C" --fds "A -> B; B -> C" [--method bcnf]
@@ -441,6 +442,47 @@ def _cmd_db_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ReproServer  # local: keeps plain CLI startup light
+
+    async def run() -> None:
+        server = ReproServer(
+            args.path,
+            sync=args.sync,
+            create=False,
+            workers=args.workers,
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            checkpoint_wal_ops=args.checkpoint_wal_ops,
+            checkpoint_interval_s=args.checkpoint_interval,
+        )
+        await server.start()
+        recovered = ", ".join(
+            f"{rel.name}({len(rel)} rows, seq {rel.seq})" for rel in server.db
+        )
+        host, port = await server.listen(args.host, args.port)
+        print(f"serving {server.path} on {host}:{port}")
+        print(f"relations: {recovered or 'none'}")
+        print(
+            f"group commit: window {args.window_ms}ms, max batch "
+            f"{args.max_batch}; sync={args.sync}"
+        )
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await asyncio.shield(server.stop())
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        # stop() ran in the finally above: queued ops were applied and
+        # made durable before the handles closed
+        print("\nshut down cleanly")
+    return 0
+
+
 def _cmd_keys(args: argparse.Namespace) -> int:
     fds = FDSet.parse(args.fds) if args.fds else FDSet()
     keys = candidate_keys(args.attrs, fds)
@@ -625,6 +667,57 @@ def build_parser() -> argparse.ArgumentParser:
     db_stats = _db_parser("stats", "row/op/WAL counters per relation")
     db_stats.add_argument("--name", help="one relation (default: all)")
     db_stats.set_defaults(func=_cmd_db_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a database to concurrent clients (group-commit WAL, "
+        "snapshot-isolated reads)",
+    )
+    serve.add_argument("path", help="database directory (must exist: repro db init)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7407, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--sync",
+        choices=list(SYNC_MODES),
+        default=SYNC_FSYNC,
+        help="batch durability: fsync (default), flush, or none",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="group-commit latch window: wait this long for more of a "
+        "burst before syncing (default 0: one event-loop sweep)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        metavar="N",
+        help="max op records per WAL batch append (default 512)",
+    )
+    serve.add_argument(
+        "--checkpoint-wal-ops",
+        type=int,
+        metavar="N",
+        help="auto-checkpoint a relation once its WAL tail holds N ops",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        metavar="SECONDS",
+        help="auto-checkpoint on this wall-clock cadence while ops arrive",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="sharded parallel verification re-chases across N processes",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     keys = commands.add_parser("keys", help="candidate keys")
     keys.add_argument("--attrs", required=True, help='e.g. "A B C"')

@@ -25,11 +25,21 @@ checkpoints share) lives one level down, in :mod:`repro.core.codec`.
 """
 
 from .database import Database, ManagedRelation
-from .log import SYNC_FLUSH, SYNC_FSYNC, SYNC_MODES, SYNC_NONE, OpLog
+from .log import (
+    SYNC_FLUSH,
+    SYNC_FSYNC,
+    SYNC_MODES,
+    SYNC_NONE,
+    GroupCommitter,
+    OpLog,
+)
 from .recovery import verify_fixpoint
+from .storage import DirectoryLock
 
 __all__ = [
     "Database",
+    "DirectoryLock",
+    "GroupCommitter",
     "ManagedRelation",
     "OpLog",
     "SYNC_FLUSH",

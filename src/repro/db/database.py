@@ -34,6 +34,7 @@ Usage::
 
 from __future__ import annotations
 
+import contextlib
 import re
 import shutil
 from pathlib import Path
@@ -107,19 +108,52 @@ class ManagedRelation:
             "checkpoint_seq": checkpoint_seq,
             "rows": len(session),
         }
+        #: where encoded op records go.  The default appends (and syncs)
+        #: each record directly; the serving layer repoints this at a
+        #: :class:`~repro.db.log.GroupCommitter` stage so a burst of ops
+        #: shares one sync — see :mod:`repro.server.writer`.
+        self.journal_sink = wal.append
         session.on_op = self._journal
 
     # -- journaling --------------------------------------------------------
 
     def _journal(self, record: tuple) -> None:
-        """The session op-record hook: encode, then append-and-sync.
+        """The session op-record hook: encode, then hand to the sink.
 
         Raises (aborting the op before it applies) if the value cannot be
-        encoded or the append fails — write-ahead means no record, no op.
+        encoded or the sink rejects the record — write-ahead means no
+        record, no op.
         """
         payload = oplog.encode_op(self._seq + 1, record, self._codec)
-        self._wal.append(payload)
+        self.journal_sink(payload)
         self._seq += 1
+
+    @property
+    def wal(self) -> OpLog:
+        """The relation's op-log handle (the group committer's target)."""
+        return self._wal
+
+    @property
+    def seq(self) -> int:
+        """Ops journalled over the relation's lifetime."""
+        return self._seq
+
+    @property
+    def checkpoint_seq(self) -> int:
+        """The seq the on-disk checkpoint covers."""
+        return self._checkpoint_seq
+
+    @property
+    def outstanding_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    def encode_value(self, value: Any) -> Any:
+        """Encode one cell in the relation's canonical wire/log form."""
+        return self._codec.encode(value)
+
+    def decode_value(self, token: Any) -> Any:
+        """Decode one wire/log cell token (shared nulls keep identity)."""
+        return self._codec.decode(token)
 
     # -- mutation proxies --------------------------------------------------
 
@@ -232,6 +266,11 @@ class ManagedRelation:
         record would leave its later ``rollback`` nothing to restore —
         recovery of such a log could never reproduce the pre-snapshot
         state.  Roll back or discard the snapshots first.
+
+        When :attr:`journal_sink` points at a group committer, the owner
+        must drain staged records before checkpointing (the server's
+        writer does): truncating the log under an in-flight batch append
+        would interleave the two on one file handle.
         """
         if self._snapshots:
             raise DatabaseError(
@@ -274,6 +313,7 @@ class Database:
         path: Union[str, Path],
         sync: str = SYNC_FSYNC,
         workers: Optional[int] = None,
+        exclusive: bool = False,
     ) -> None:
         if sync not in SYNC_MODES:
             raise DatabaseError(f"unknown sync mode {sync!r}; use {SYNC_MODES}")
@@ -282,6 +322,11 @@ class Database:
         #: worker count handed to every relation's session: sharded
         #: parallel re-chases for ``verify`` (``None`` keeps them serial)
         self.workers = workers
+        #: hold the directory lock for the whole lifetime instead of just
+        #: the init/catalog windows — the single-owner mode ``repro serve``
+        #: runs in, so a second process cannot even open the directory
+        self.exclusive = exclusive
+        self._lock = storage.DirectoryLock(self.path)
         self._relations: Dict[str, ManagedRelation] = {}
         self._closed = False
 
@@ -294,6 +339,7 @@ class Database:
         sync: str = SYNC_FSYNC,
         create: bool = True,
         workers: Optional[int] = None,
+        exclusive: bool = False,
     ) -> "Database":
         """Open and recover a database directory.
 
@@ -303,8 +349,14 @@ class Database:
         a fresh database at a mistyped path would masquerade as success.
         ``workers`` enables sharded parallel verification re-chases on
         every relation (see :meth:`ManagedRelation.verify`).
+
+        Initialization and recovery run under an advisory directory lock
+        (``<path>/.lock``), so two processes racing ``create=True`` on one
+        directory cannot both initialize it.  With ``exclusive=True`` the
+        lock is kept for the handle's lifetime (released by
+        :meth:`close`); otherwise it is released once loading completes.
         """
-        db = cls(path, sync, workers=workers)
+        db = cls(path, sync, workers=workers, exclusive=exclusive)
         db._load(create)
         return db
 
@@ -318,18 +370,31 @@ class Database:
                 f"no database at {root} (no {storage.MANIFEST_NAME}); "
                 "create one with Database.open(..., create=True) / repro db init"
             )
-        (root / storage.RELATIONS_DIR).mkdir(parents=True, exist_ok=True)
-        if manifest_path.exists():
-            manifest = storage.read_json(manifest_path, "manifest")
-            storage.check_format(manifest, "manifest")
-            names = manifest.get("relations")
-            if not isinstance(names, list):
-                raise DatabaseError(f"manifest {manifest_path} lists no relations")
-        else:
-            names = []
-            self._write_manifest(names)
-        for name in names:
-            self._relations[name] = self._recover(name)
+        # the lock file needs the root to exist; everything else (including
+        # the manifest decision, so two racing creates serialize on it)
+        # happens under the lock
+        root.mkdir(parents=True, exist_ok=True)
+        self._lock.acquire()
+        try:
+            (root / storage.RELATIONS_DIR).mkdir(parents=True, exist_ok=True)
+            if manifest_path.exists():
+                manifest = storage.read_json(manifest_path, "manifest")
+                storage.check_format(manifest, "manifest")
+                names = manifest.get("relations")
+                if not isinstance(names, list):
+                    raise DatabaseError(
+                        f"manifest {manifest_path} lists no relations"
+                    )
+            else:
+                names = []
+                self._write_manifest(names)
+            for name in names:
+                self._relations[name] = self._recover(name)
+        except BaseException:
+            self._lock.release()
+            raise
+        if not self.exclusive:
+            self._lock.release()
 
     def _write_manifest(self, names: List[str]) -> None:
         storage.write_json_atomic(
@@ -388,6 +453,7 @@ class Database:
         """Flush and close every relation's log handle (idempotent)."""
         for relation in self._relations.values():
             relation.close()
+        self._lock.release()
         self._closed = True
 
     def __enter__(self) -> "Database":
@@ -397,6 +463,32 @@ class Database:
         self.close()
 
     # -- the catalog -------------------------------------------------------
+
+    def _catalog_locked(self):
+        """Context manager holding the directory lock for one catalog
+        mutation (no-op when :attr:`exclusive` already holds it)."""
+        if self._lock.held:
+            return contextlib.nullcontext()
+
+        @contextlib.contextmanager
+        def _scope():
+            self._lock.acquire()
+            try:
+                yield
+            finally:
+                self._lock.release()
+
+        return _scope()
+
+    def _manifest_names_on_disk(self) -> List[str]:
+        """The relation names the on-disk manifest lists right now —
+        another handle may have grown the catalog since we loaded."""
+        manifest_path = self.path / storage.MANIFEST_NAME
+        if not manifest_path.exists():
+            return []
+        manifest = storage.read_json(manifest_path, "manifest")
+        names = manifest.get("relations")
+        return [n for n in names if isinstance(n, str)] if isinstance(names, list) else []
 
     def create(
         self,
@@ -418,32 +510,43 @@ class Database:
         else:
             schema = RelationSchema(name, attributes, domains=domains)
         session = ChaseSession(schema, fds, workers=self.workers)
-        directory = storage.relation_dir(self.path, name)
-        directory.mkdir(parents=True, exist_ok=True)
-        # a crashed drop() may have left this directory behind with stale
-        # files (it was removed from the manifest first, so open() ignored
-        # it) — a fresh relation must not inherit them: the old checkpoint
-        # would resurrect dropped rows and its seq would swallow new ops
-        for stale in (storage.WAL_NAME, storage.CHECKPOINT_NAME):
-            (directory / stale).unlink(missing_ok=True)
-        fsync = self.sync == SYNC_FSYNC
-        storage.write_json_atomic(
-            directory / storage.SCHEMA_NAME,
-            {
-                "format": storage.FORMAT,
-                "schema": schema_to_spec(schema),
-                "fds": fds_to_spec(session.fds),
-            },
-            fsync=fsync,
-        )
-        wal = OpLog(directory / storage.WAL_NAME, sync=self.sync)
-        relation = ManagedRelation(
-            name, directory, session, ValueCodec(), wal, seq=0, checkpoint_seq=0
-        )
-        self._relations[name] = relation
-        # manifest last: a crash before this line leaves an orphan
-        # directory that open() ignores, never a listed-but-missing one
-        self._write_manifest(list(self._relations))
+        with self._catalog_locked():
+            # re-read the manifest under the lock: another handle may have
+            # created relations since we loaded, and a duplicate — or a
+            # manifest write built only from *our* in-memory catalog —
+            # would silently orphan theirs
+            on_disk = self._manifest_names_on_disk()
+            if name in on_disk:
+                raise DatabaseError(
+                    f"relation {name!r} already exists (created by another "
+                    "handle of this database)"
+                )
+            directory = storage.relation_dir(self.path, name)
+            directory.mkdir(parents=True, exist_ok=True)
+            # a crashed drop() may have left this directory behind with stale
+            # files (it was removed from the manifest first, so open() ignored
+            # it) — a fresh relation must not inherit them: the old checkpoint
+            # would resurrect dropped rows and its seq would swallow new ops
+            for stale in (storage.WAL_NAME, storage.CHECKPOINT_NAME):
+                (directory / stale).unlink(missing_ok=True)
+            fsync = self.sync == SYNC_FSYNC
+            storage.write_json_atomic(
+                directory / storage.SCHEMA_NAME,
+                {
+                    "format": storage.FORMAT,
+                    "schema": schema_to_spec(schema),
+                    "fds": fds_to_spec(session.fds),
+                },
+                fsync=fsync,
+            )
+            wal = OpLog(directory / storage.WAL_NAME, sync=self.sync)
+            relation = ManagedRelation(
+                name, directory, session, ValueCodec(), wal, seq=0, checkpoint_seq=0
+            )
+            self._relations[name] = relation
+            # manifest last: a crash before this line leaves an orphan
+            # directory that open() ignores, never a listed-but-missing one
+            self._write_manifest(sorted(set(on_disk) | set(self._relations)))
         return relation
 
     def relation(self, name: str) -> ManagedRelation:
@@ -475,7 +578,10 @@ class Database:
         relation = self.relation(name)
         relation.close()
         del self._relations[name]
-        self._write_manifest(list(self._relations))
+        with self._catalog_locked():
+            names = set(self._manifest_names_on_disk()) | set(self._relations)
+            names.discard(name)
+            self._write_manifest(sorted(names))
         shutil.rmtree(storage.relation_dir(self.path, name), ignore_errors=True)
 
     # -- whole-database operations -----------------------------------------

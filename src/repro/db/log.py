@@ -19,14 +19,24 @@ Crash anatomy of an append-only text log:
 * garbage *before* intact records is real corruption and raises
   :class:`~repro.errors.DatabaseError` — silently resynchronizing could
   drop acknowledged writes.
+
+The serving layer (:mod:`repro.server`) journals through
+:class:`GroupCommitter` instead of per-op :meth:`OpLog.append`: op
+records from a burst of concurrent clients are batched into a single
+:meth:`OpLog.append_many` — one write, one flush, one fsync — and each
+client's future completes only after its batch is durable.  The same
+torn-tail anatomy applies: a batch is appended as consecutive whole
+lines, so a crash mid-batch leaves a whole-record prefix (plus at most
+one torn final record, detected and dropped exactly as above).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 from pathlib import Path
-from typing import Any, List, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..core.codec import ValueCodec
 from ..errors import CodecError, DatabaseError
@@ -76,6 +86,35 @@ class OpLog:
                 pass
             raise
 
+    def append_many(self, payloads: Sequence[dict]) -> None:
+        """Append a batch of records with one write and one sync point.
+
+        The whole blob is encoded before any byte lands, so an
+        unencodable record aborts with the log untouched.  On a failed
+        write/sync every byte of the batch is truncated away: the ops
+        these records announce are being reported as failed (group
+        commit resolves client futures only after this returns), so a
+        surviving partial batch would either read as corruption or
+        replay ops that were never acknowledged.
+        """
+        if not payloads:
+            return
+        blob = "".join(dump_json(payload) + "\n" for payload in payloads)
+        handle = self._handle
+        mark = handle.tell()
+        try:
+            handle.write(blob)
+            if self.sync != SYNC_NONE:
+                handle.flush()
+                if self.sync == SYNC_FSYNC:
+                    os.fsync(handle.fileno())
+        except Exception:
+            try:
+                handle.truncate(mark)
+            except OSError:  # pragma: no cover - double-fault: leave torn
+                pass
+            raise
+
     def truncate(self) -> None:
         """Drop every record (a checkpoint now covers them)."""
         handle = self._handle
@@ -89,6 +128,147 @@ class OpLog:
         if not self._handle.closed:
             self._handle.flush()
             self._handle.close()
+
+
+class GroupCommitter:
+    """Latch bursts of op records into single WAL appends.
+
+    The serving layer's per-relation writer journals through
+    :meth:`stage` instead of :meth:`OpLog.append`: records accumulate
+    while the event loop applies a burst of client ops, and a background
+    flusher task appends the whole batch with **one** write + flush +
+    fsync (:meth:`OpLog.append_many`), completing each record's future
+    only after its batch is durable.  Under N concurrent clients the
+    per-op sync cost becomes a per-burst one.
+
+    Group commit relaxes journal-before-apply to *stage-before-apply,
+    durable-before-ack*: a record is staged (in log order) before its op
+    mutates the session, but only becomes durable at the batch sync.  A
+    crash may therefore lose applied-but-unsynced ops — which is exactly
+    safe, because their clients were never acknowledged; recovery yields
+    a whole-record prefix of the staged order that contains every acked
+    op (the crash-injection suite pins this at every batch boundary).
+
+    ``window_s`` latches the batch window: the flusher waits that long
+    after waking before committing, letting more of a burst land.  The
+    default ``0`` yields the event loop once — whatever the current
+    sweep of ready callbacks stages forms the batch.  ``max_batch`` caps
+    records per append.
+
+    A failed append fails every staged future and **poisons** the
+    committer (:attr:`failed`): the in-memory session is now ahead of a
+    log that cannot be extended contiguously, so the owner must stop
+    accepting ops (the server's writer does, and the failed batch was
+    truncated away whole, so the log on disk stays readable).
+
+    ``on_commit(payloads)`` runs after each batch is durable and before
+    any of its futures resolve — the crash-injection suite's kill point.
+    """
+
+    def __init__(
+        self,
+        wal: OpLog,
+        window_s: float = 0.0,
+        max_batch: int = 512,
+        on_commit: Optional[Callable[[List[dict]], None]] = None,
+    ) -> None:
+        self.wal = wal
+        self.window_s = window_s
+        self.max_batch = max(1, int(max_batch))
+        self.on_commit = on_commit
+        self.failed: Optional[BaseException] = None
+        self.batches = 0
+        self.records = 0
+        self.largest_batch = 0
+        self._pending: List[Tuple[dict, "asyncio.Future"]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._task: Optional["asyncio.Task"] = None
+        self._last: Optional["asyncio.Future"] = None
+        self._closed = False
+
+    async def start(self) -> None:
+        self._wake = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def stage(self, payload: dict) -> "asyncio.Future":
+        """Queue one record; the future resolves when it is durable."""
+        if self.failed is not None:
+            raise DatabaseError(
+                f"group committer poisoned by earlier append failure: {self.failed}"
+            )
+        if self._task is None or self._closed:
+            raise DatabaseError("group committer is not running")
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((payload, future))
+        self._last = future
+        self._wake.set()
+        return future
+
+    async def drain(self) -> None:
+        """Wait until every record staged so far is durable.
+
+        Raises the append failure if the batch containing a staged
+        record could not be made durable.
+        """
+        while self._pending or (self._last is not None and not self._last.done()):
+            await asyncio.shield(self._last)
+
+    async def close(self) -> None:
+        """Flush whatever is pending, then stop the flusher task."""
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "batched_records": self.records,
+            "largest_batch": self.largest_batch,
+            "pending": len(self._pending),
+        }
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if self.window_s > 0:
+                await asyncio.sleep(self.window_s)
+            else:
+                await asyncio.sleep(0)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            payloads = [payload for payload, _ in batch]
+            try:
+                if self.wal.sync == SYNC_NONE:
+                    # no sync point to amortize: stay on the loop
+                    self.wal.append_many(payloads)
+                else:
+                    await loop.run_in_executor(None, self.wal.append_many, payloads)
+            except Exception as error:
+                self.failed = error
+                failure = DatabaseError(f"group-commit append failed: {error}")
+                failure.__cause__ = error
+                for _, future in batch + self._pending:
+                    if not future.done():
+                        future.set_exception(failure)
+                self._pending.clear()
+                continue  # stay alive so stage()/drain() report the poisoning
+            self.batches += 1
+            self.records += len(payloads)
+            self.largest_batch = max(self.largest_batch, len(payloads))
+            if self.on_commit is not None:
+                self.on_commit(payloads)
+            for _, future in batch:
+                if not future.done():
+                    future.set_result(True)
 
 
 def scan(path: Path) -> Tuple[List[dict], int, bool]:

@@ -4,6 +4,7 @@ A database is a directory::
 
     <path>/
       MANIFEST.json            {"format": 1, "relations": ["people", ...]}
+      .lock                    flock target guarding init/catalog races
       relations/<name>/
         schema.json            {"format": 1, "schema": ..., "fds": [...]}
         wal.jsonl              append-only op log since the last checkpoint
@@ -26,9 +27,16 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
+from typing import Optional, TextIO
 
 from ..errors import DatabaseError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 FORMAT = 1
 
@@ -37,6 +45,70 @@ RELATIONS_DIR = "relations"
 SCHEMA_NAME = "schema.json"
 WAL_NAME = "wal.jsonl"
 CHECKPOINT_NAME = "checkpoint.json"
+LOCK_NAME = ".lock"
+
+#: how long :meth:`DirectoryLock.acquire` waits for a contended lock
+#: before raising (module-level so tests can shrink it)
+LOCK_TIMEOUT_S = 5.0
+
+
+class DirectoryLock:
+    """An advisory exclusive lock on a database directory.
+
+    Guards the windows where two handles racing on one directory corrupt
+    it: initialization (two ``open(create=True)`` calls both writing the
+    manifest), catalog mutation (``create``/``drop`` rewriting the
+    manifest), and — for a long-lived owner like ``repro serve`` — the
+    whole session.  Implemented as ``flock`` on ``<root>/.lock``:
+    advisory, conflicting even between two handles in one process, and
+    crash-safe — the kernel drops the lock with the file descriptor, so
+    a SIGKILLed owner never leaves a stale lock behind.  On platforms
+    without ``fcntl`` the lock degrades to a no-op.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.path = root / LOCK_NAME
+        self._handle: Optional[TextIO] = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self, timeout_s: Optional[float] = None) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        if self._handle is not None:
+            raise DatabaseError(f"lock on {self.path.parent} is already held")
+        handle = open(self.path, "a")
+        if timeout_s is None:
+            timeout_s = LOCK_TIMEOUT_S
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    raise DatabaseError(
+                        f"database at {self.path.parent} is locked by another "
+                        "process or handle; close that handle (or its server) "
+                        "first"
+                    ) from None
+                time.sleep(0.02)
+            else:
+                self._handle = handle
+                return
+
+    def release(self) -> None:
+        handle = self._handle
+        if handle is None:
+            return
+        self._handle = None
+        try:
+            if fcntl is not None:  # pragma: no branch
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
 
 def dump_json(payload: dict) -> str:

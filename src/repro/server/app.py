@@ -1,0 +1,267 @@
+"""``ReproServer``: many clients, one writer per relation.
+
+One process, one event loop::
+
+    clients ──▶ protocol (JSON lines) ──▶ ReproServer.handle
+       mutations ─▶ RelationWriter queue ─▶ the relation's session
+                        └─ op records ─▶ GroupCommitter ─▶ one append+fsync per burst
+       reads ─▶ ReadLease (consistent cut) ─▶ live answer, or a detached
+                chase in an executor thread when the writer has moved on
+
+The server opens its database **exclusively** (the directory lock is
+held for the whole run): a served directory has exactly one mutator
+process, and every other access goes through the protocol.
+
+Durability contract, end to end: a mutation response with ``ok: true``
+means the op's record is on disk (synced per the ``sync`` mode) — a
+crash at any instant recovers a state containing every acked op and no
+half-applied batch (see ``tests/server/test_group_commit_crash.py``).
+
+Read contract: responses carry ``as_of`` — the journal seq of the
+consistent cut they were computed against, always an op boundary, so
+every read equals the state after some serial prefix of the acked op
+stream.  Readers never block the writer: a lease outlived by the writer
+re-chases its frozen rows in an executor thread, off the loop.
+
+In-process use (no sockets) is first-class: construct, ``await
+start()``, then ``await handle({...})`` — the concurrency and crash
+suites drive the server this way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..db.database import Database
+from ..db.log import SYNC_FSYNC
+from ..errors import ReproError
+from . import protocol
+from .writer import RelationWriter
+
+
+def _ok(request_id: Any, **fields: Any) -> dict:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def _err(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+class ReproServer:
+    """The serving front end over one :class:`~repro.db.Database`."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sync: str = SYNC_FSYNC,
+        create: bool = False,
+        workers: Optional[int] = None,
+        window_s: float = 0.0,
+        max_batch: int = 512,
+        checkpoint_wal_ops: Optional[int] = None,
+        checkpoint_interval_s: Optional[float] = None,
+        on_commit: Optional[Callable[[list], None]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.create = create
+        self.workers = workers
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.checkpoint_wal_ops = checkpoint_wal_ops
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.on_commit = on_commit
+        self.db: Optional[Database] = None
+        self._writers: Dict[str, RelationWriter] = {}
+        self._catalog_lock: Optional["asyncio.Lock"] = None
+        self._tcp: Optional["asyncio.AbstractServer"] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open (and recover) the database exclusively; start writers."""
+        self.db = Database.open(
+            self.path,
+            sync=self.sync,
+            create=self.create,
+            workers=self.workers,
+            exclusive=True,
+        )
+        self._catalog_lock = asyncio.Lock()
+        for relation in self.db:
+            await self._start_writer(relation.name)
+
+    async def stop(self) -> None:
+        """Drain every writer (queued ops apply and become durable),
+        close the TCP listener and the database."""
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        for writer in self._writers.values():
+            await writer.stop()
+        self._writers.clear()
+        if self.db is not None:
+            self.db.close()
+            self.db = None
+
+    async def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Start the TCP front end; returns the bound ``(host, port)``."""
+        self._tcp = await protocol.run_tcp(self, host, port)
+        bound = self._tcp.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def _start_writer(self, name: str) -> RelationWriter:
+        writer = RelationWriter(
+            self.db.relation(name),
+            window_s=self.window_s,
+            max_batch=self.max_batch,
+            checkpoint_wal_ops=self.checkpoint_wal_ops,
+            checkpoint_interval_s=self.checkpoint_interval_s,
+            on_commit=self.on_commit,
+        )
+        await writer.start()
+        self._writers[name] = writer
+        return writer
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def handle(self, request: Any) -> dict:
+        """Serve one request object; always returns a response object."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            return await self._dispatch(request, request_id)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            return _err(request_id, f"{type(error).__name__}: {error}")
+
+    async def _dispatch(self, request: Any, request_id: Any) -> dict:
+        if self.db is None:
+            raise ReproError("server is not running")
+        if not isinstance(request, dict):
+            raise ReproError("request must be a JSON object")
+        verb = request.get("do")
+        if verb == "ping":
+            return _ok(request_id, pong=True)
+        if verb == "relations":
+            return _ok(request_id, relations=self.db.names())
+        if verb == "create":
+            return await self._create(request, request_id)
+        name = request.get("rel")
+        if not isinstance(name, str):
+            raise ReproError(f"verb {verb!r} needs a relation name in 'rel'")
+        relation = self.db.relation(name)
+        writer = self._writers[name]
+        if verb in protocol.READ_VERBS:
+            return await self._read(relation, writer, verb, request, request_id)
+        if verb == "checkpoint":
+            absorbed = await writer.checkpoint()
+            return _ok(request_id, absorbed=absorbed, seq=relation.seq)
+        if verb in protocol.MUTATION_VERBS:
+            apply_fn = protocol.mutation(relation, verb, request)
+            fields = await writer.submit(apply_fn)
+            return _ok(request_id, **fields)
+        raise ReproError(f"unknown verb {verb!r}")
+
+    async def _create(self, request: dict, request_id: Any) -> dict:
+        name = request.get("name")
+        if not isinstance(name, str):
+            raise ReproError("'create' needs a relation 'name'")
+        attrs = request.get("attrs")
+        if isinstance(attrs, str):
+            attrs = attrs.split()
+        if not isinstance(attrs, list) or not attrs:
+            raise ReproError("'create' needs 'attrs' (list or space-joined string)")
+        fds = request.get("fds", [])
+        if isinstance(fds, str):
+            fds = [clause for clause in fds.split(";") if clause.strip()]
+        async with self._catalog_lock:
+            self.db.create(name, attrs, fds)
+            await self._start_writer(name)
+        return _ok(request_id, created=name, attrs=list(attrs))
+
+    # -- the read path -----------------------------------------------------
+
+    async def _read(
+        self, relation, writer: RelationWriter, verb, request: dict, request_id
+    ) -> dict:
+        if verb == "stats":
+            # counters, not relation state: no cut needed
+            merged = relation.stats()
+            merged.update(writer.stats())
+            return _ok(request_id, stats=merged)
+        lease, as_of = writer.lease()
+        if verb == "rows":
+            # the raw rows are frozen in the lease itself: no chase at all
+            rows = [
+                [relation.encode_value(value) for value in row.values]
+                for row in lease.rows
+            ]
+            return _ok(request_id, rows=rows, as_of=as_of, live=True)
+        # answer from the live session only while it provably *is* the
+        # cut AND the writer is idle: a live answer runs on the loop, so
+        # computing it with mutations queued would stall the writer.
+        # ``"isolated": true`` forces the detached path regardless.
+        isolated = bool(request.get("isolated")) or writer.pending() > 0
+        if not isolated and lease.fresh:
+            return self._answer(relation, lease, verb, request, request_id, as_of, True)
+        # chase the frozen cut off the loop (the writer keeps running;
+        # Python time-slices the threads), then come back to encode —
+        # codec registries belong to the loop, the chase does not
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lease.instance, True)
+        return self._answer(relation, lease, verb, request, request_id, as_of, False)
+
+    def _answer(
+        self, relation, lease, verb, request: dict, request_id, as_of: int, live: bool
+    ) -> dict:
+        detached = not live
+        if verb == "result":
+            result = lease.result(detached=detached)
+            rows = [
+                [relation.encode_value(value) for value in row.values]
+                for row in result.relation.rows
+            ]
+            return _ok(
+                request_id,
+                rows=rows,
+                has_nothing=lease.instance(detached).has_nothing,
+                as_of=as_of,
+                live=live,
+            )
+        if verb == "check":
+            fds = request.get("fds")
+            if isinstance(fds, str):
+                fds = [clause for clause in fds.split(";") if clause.strip()]
+            convention = request.get("convention", "weak")
+            outcome = lease.check(fds=fds, convention=convention, detached=detached)
+            fields: Dict[str, Any] = {
+                "satisfied": bool(outcome),
+                "convention": convention,
+                "as_of": as_of,
+                "live": live,
+            }
+            witness = getattr(outcome, "witness", None)
+            if witness is not None:
+                fields["witness"] = {
+                    "fd": str(witness.fd),
+                    "rows": [witness.first_row, witness.second_row],
+                    "attr": witness.attribute,
+                }
+            return _ok(request_id, **fields)
+        if verb == "has_nothing":
+            return _ok(
+                request_id,
+                has_nothing=lease.instance(detached).has_nothing,
+                as_of=as_of,
+                live=live,
+            )
+        if verb == "explain":
+            return _ok(
+                request_id, explain=lease.explain(detached=detached), as_of=as_of,
+                live=live,
+            )
+        raise ReproError(f"unknown read verb {verb!r}")  # pragma: no cover

@@ -1,0 +1,306 @@
+"""The server's wire vocabulary: JSON lines, codec-shaped cells.
+
+One request per line, one JSON object per request::
+
+    {"id": 7, "do": "insert", "rel": "people", "row": ["Ada", {"n": null}, "NYC"]}
+    {"id": 7, "ok": true, "seq": 42, "index": 3}
+
+Cells use the relation codec's token forms (:mod:`repro.core.codec`):
+plain scalars are constants, ``{"v": ...}`` wraps a literal (escaping),
+``{"n": "x0"}`` names a shared null *within the relation's scope* (send
+the same name again to mean the same unknown), ``{"!": true}`` is the
+NOTHING marker.  One extension over the log format: ``{"n": null}``
+asks the server to mint a fresh null — clients cannot know the
+relation's canonical null counter, so fresh unknowns are server-named;
+the ack's decoded row is the only place the chosen name appears.
+
+Verbs:
+
+=============  =======================================================
+mutations      ``insert`` ``delete`` ``update`` ``replace`` ``fill``
+               ``reset`` ``adopt`` ``snapshot`` ``rollback``
+               ``discard`` — routed through the relation's writer;
+               acked (with the op's ``seq``) once durable
+reads          ``rows`` ``result`` ``check`` ``has_nothing``
+               ``explain`` ``stats`` — answered from a consistent-cut
+               read lease; the response carries ``as_of`` (the seq the
+               cut covers) and ``live`` (False when the answer came
+               from a detached snapshot chase)
+admin          ``create`` ``relations`` ``checkpoint`` ``ping``
+=============  =======================================================
+
+Responses are ``{"id", "ok": true, ...}`` or ``{"id", "ok": false,
+"error": "..."}``; a request the server cannot even parse is answered
+with ``id: null``.  Responses may arrive out of order (reads overtake
+group-committed writes); clients match on ``id``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.values import null
+from ..db.database import ManagedRelation
+from ..errors import ReproError
+
+MUTATION_VERBS = (
+    "insert",
+    "delete",
+    "update",
+    "replace",
+    "fill",
+    "reset",
+    "adopt",
+    "snapshot",
+    "rollback",
+    "discard",
+)
+READ_VERBS = ("rows", "result", "check", "has_nothing", "explain", "stats")
+
+
+def decode_cell(relation: ManagedRelation, token: Any) -> Any:
+    """One wire cell → an engine value (``{"n": null}`` mints a null)."""
+    if isinstance(token, dict) and "n" in token and token["n"] is None:
+        return null()
+    return relation.decode_value(token)
+
+
+def _decode_row(relation: ManagedRelation, cells: Any, what: str) -> list:
+    if not isinstance(cells, (list, tuple)):
+        raise ReproError(f"{what} must be an array of cells")
+    return [decode_cell(relation, token) for token in cells]
+
+
+def _index(request: dict) -> int:
+    index = request.get("index")
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise ReproError("'index' must be an integer")
+    return index
+
+
+def mutation(
+    relation: ManagedRelation, verb: str, request: dict
+) -> Callable[[], Dict[str, Any]]:
+    """Build the closure the relation's writer will run for ``verb``.
+
+    Decoding happens here, on the event loop, *before* the op enqueues —
+    malformed cells fail fast without occupying the writer.  The closure
+    returns the response fields; it reads ``relation.seq`` after
+    applying, which is safe because the writer applies ops one at a
+    time.
+    """
+    if verb == "insert":
+        row = _decode_row(relation, request.get("row"), "'row'")
+
+        def run() -> Dict[str, Any]:
+            index = relation.insert(row)
+            return {"index": index, "seq": relation.seq}
+
+    elif verb == "delete":
+        index = _index(request)
+
+        def run() -> Dict[str, Any]:
+            relation.delete(index)
+            return {"seq": relation.seq}
+
+    elif verb == "update":
+        index = _index(request)
+        changes = request.get("set")
+        if not isinstance(changes, dict) or not changes:
+            raise ReproError("'set' must be a non-empty object of attr: cell")
+        decoded = {
+            attr: decode_cell(relation, token) for attr, token in changes.items()
+        }
+
+        def run() -> Dict[str, Any]:
+            relation.update(index, decoded)
+            return {"seq": relation.seq}
+
+    elif verb == "replace":
+        index = _index(request)
+        row = _decode_row(relation, request.get("row"), "'row'")
+
+        def run() -> Dict[str, Any]:
+            relation.replace(index, row)
+            return {"seq": relation.seq}
+
+    elif verb == "fill":
+        index = _index(request)
+        attr = request.get("attr")
+        if not isinstance(attr, str):
+            raise ReproError("'attr' must be an attribute name")
+        value = decode_cell(relation, request.get("value"))
+
+        def run() -> Dict[str, Any]:
+            relation.fill(index, attr, value)
+            return {"seq": relation.seq}
+
+    elif verb == "reset":
+        rows_spec = request.get("rows")
+        if not isinstance(rows_spec, list):
+            raise ReproError("'rows' must be an array of rows")
+        rows = [_decode_row(relation, cells, "each row") for cells in rows_spec]
+
+        def run() -> Dict[str, Any]:
+            relation.reset(rows)
+            return {"seq": relation.seq, "rows": len(relation)}
+
+    elif verb == "adopt":
+
+        def run() -> Dict[str, Any]:
+            committed = relation.adopt()
+            return {"seq": relation.seq, "committed": len(committed)}
+
+    elif verb == "snapshot":
+
+        def run() -> Dict[str, Any]:
+            return {"depth": relation.snapshot(), "seq": relation.seq}
+
+    elif verb == "rollback":
+
+        def run() -> Dict[str, Any]:
+            return {"depth": relation.rollback(), "seq": relation.seq}
+
+    elif verb == "discard":
+
+        def run() -> Dict[str, Any]:
+            return {"discarded": relation.discard_snapshots(), "seq": relation.seq}
+
+    else:  # pragma: no cover - dispatch guards this
+        raise ReproError(f"unknown mutation verb {verb!r}")
+
+    return run
+
+
+def encode_line(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+async def run_tcp(server, host: str, port: int) -> "asyncio.AbstractServer":
+    """Bind ``server.handle`` to a TCP listener (JSON lines, pipelined).
+
+    Each request line becomes its own task, so a slow detached read never
+    heads-of-line-blocks the ops pipelined behind it; a per-connection
+    lock keeps response lines whole.
+    """
+
+    async def on_connection(reader, writer_stream):
+        write_lock = asyncio.Lock()
+        in_flight = set()
+
+        async def respond(response: dict) -> None:
+            async with write_lock:
+                writer_stream.write(encode_line(response))
+                await writer_stream.drain()
+
+        async def run_one(line: bytes) -> None:
+            try:
+                request = json.loads(line)
+            except ValueError:
+                response = {"id": None, "ok": False, "error": "request is not JSON"}
+            else:
+                response = await server.handle(request)
+            try:
+                await respond(response)
+            except (ConnectionError, RuntimeError):
+                pass  # client went away mid-response
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(run_one(line))
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        if in_flight:
+            await asyncio.gather(*in_flight, return_exceptions=True)
+        writer_stream.close()
+        try:
+            await writer_stream.wait_closed()
+        except ConnectionError:  # pragma: no cover - racing disconnect
+            pass
+
+    return await asyncio.start_server(on_connection, host, port)
+
+
+class Client:
+    """A pipelining TCP client for one connection.
+
+    ``call`` assigns a request id, writes the line, and awaits the
+    matching response — many calls may be in flight at once (that is
+    what makes group commit batch).  A response with ``ok: false``
+    raises :class:`ServerError`.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: Dict[Any, "asyncio.Future"] = {}
+        self._pump: Optional["asyncio.Task"] = None
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "Client":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client._pump = asyncio.get_running_loop().create_task(client._read_loop())
+        return client
+
+    async def call(self, do: str, **fields: Any) -> dict:
+        request_id = next(self._ids)
+        request = {"id": request_id, "do": do, **fields}
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        async with self._lock:
+            self._writer.write(encode_line(request))
+            await self._writer.drain()
+        response = await future
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "unspecified server error"))
+        return response
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - racing disconnect
+            pass
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        finally:
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(ServerError("connection closed"))
+            self._waiting.clear()
+
+
+class ServerError(ReproError):
+    """An ``ok: false`` response, re-raised client-side."""

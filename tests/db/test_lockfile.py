@@ -1,0 +1,202 @@
+"""Directory locking: one mutator per database directory.
+
+Pins the PR 7 fix for the ``open(create=False)`` / concurrent
+``create()`` races:
+
+* two processes (or two handles) cannot both initialize the same
+  directory — the loser sees a clear error and leaves **no** files
+  behind;
+* ``open(create=False)`` on a missing directory materializes nothing;
+* concurrent ``create()`` calls from separate handles merge into the
+  manifest instead of last-writer-wins clobbering each other;
+* an ``exclusive=True`` handle (server mode) holds the lock for its
+  whole lifetime, locking everyone else out until it closes.
+
+The cross-*process* cases use a child that holds the flock and signals
+readiness through a file — ``fcntl.flock`` only conflicts across file
+handles, which the in-process cases cover with two ``DirectoryLock``
+objects.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.db import Database, DirectoryLock
+from repro.db import storage
+from repro.errors import DatabaseError
+
+
+@pytest.fixture(autouse=True)
+def fast_lock_timeout(monkeypatch):
+    """Contended opens should fail in ~0.1s, not the production 5s."""
+    monkeypatch.setattr(storage, "LOCK_TIMEOUT_S", 0.1)
+
+
+def test_lock_is_scoped_to_init_for_normal_opens(tmp_path):
+    """A plain handle locks only while loading: two sequential opens and
+    even two *live* handles are fine (single-writer discipline across
+    non-exclusive handles is the caller's contract, as before PR 7)."""
+    first = Database.open(tmp_path / "db", create=True)
+    first.create("r", "A B").insert(("a", "b"))
+    second = Database.open(tmp_path / "db")  # no exclusive flag: loads fine
+    assert second["r"].seq == 1
+    second.close()
+    first.close()
+
+
+def test_exclusive_open_blocks_other_handles(tmp_path):
+    server_handle = Database.open(tmp_path / "db", create=True, exclusive=True)
+    with pytest.raises(DatabaseError, match="locked by another process or handle"):
+        Database.open(tmp_path / "db")
+    # ... and blocks another exclusive handle too
+    with pytest.raises(DatabaseError, match="locked"):
+        Database.open(tmp_path / "db", exclusive=True)
+    server_handle.close()
+    # close releases: the directory is openable again
+    reopened = Database.open(tmp_path / "db", exclusive=True)
+    reopened.close()
+
+
+def test_open_without_create_materializes_nothing(tmp_path):
+    """A mistyped path must not leave a half-initialized directory."""
+    missing = tmp_path / "no" / "such" / "db"
+    with pytest.raises(DatabaseError, match="no database at"):
+        Database.open(missing, create=False)
+    assert not missing.exists()
+    assert not (tmp_path / "no").exists()
+
+
+def test_loser_of_init_race_leaves_no_files(tmp_path):
+    """While another handle holds the directory lock mid-init, a second
+    initializer must fail cleanly — and must NOT write a manifest the
+    winner would then trip over or silently adopt."""
+    root = tmp_path / "db"
+    root.mkdir()
+    holder = DirectoryLock(root)
+    holder.acquire()
+    try:
+        with pytest.raises(DatabaseError, match="locked"):
+            Database.open(root, create=True)
+        assert not (root / storage.MANIFEST_NAME).exists()
+    finally:
+        holder.release()
+    # lock released: the same call now initializes normally
+    db = Database.open(root, create=True)
+    assert db.names() == []
+    db.close()
+
+
+def test_two_processes_cannot_both_initialize(tmp_path):
+    """The cross-process version: a child process grabs the lock on an
+    empty directory and parks; the parent's ``open(create=True)`` must
+    fail without materializing anything.  flock conflicts are only
+    guaranteed across descriptors, so this is the case the in-process
+    test cannot fully stand in for."""
+    root = tmp_path / "db"
+    root.mkdir()
+    ready = tmp_path / "ready"
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            textwrap.dedent(
+                f"""
+                import pathlib, sys, time
+                sys.path.insert(0, {src!r})
+                from repro.db import DirectoryLock
+                lock = DirectoryLock(pathlib.Path({str(root)!r}))
+                lock.acquire()
+                pathlib.Path({str(ready)!r}).touch()
+                time.sleep(30)
+                """
+            ),
+        ],
+    )
+    try:
+        deadline = time.monotonic() + 10
+        while not ready.exists():
+            assert child.poll() is None, "lock-holder child died early"
+            assert time.monotonic() < deadline, "child never signalled ready"
+            time.sleep(0.01)
+        with pytest.raises(DatabaseError, match="locked by another process"):
+            Database.open(root, create=True)
+        assert not (root / storage.MANIFEST_NAME).exists()
+    finally:
+        child.kill()
+        child.wait()
+    # the kernel dropped the child's flock with its fd: parent can now init
+    db = Database.open(root, create=True)
+    db.create("r", "A B")
+    db.close()
+
+
+def test_concurrent_creates_merge_into_manifest(tmp_path):
+    """Two live handles each create a different relation; the manifest
+    must end up with BOTH (pre-PR 7 this was last-writer-wins, orphaning
+    the other handle's relation on the next open)."""
+    root = tmp_path / "db"
+    db1 = Database.open(root, create=True)
+    db2 = Database.open(root)
+    db1.create("from_one", "A B").insert(("a", "b"))
+    db2.create("from_two", "C D").insert(("c", "d"))
+    db1.close()
+    db2.close()
+
+    reopened = Database.open(root)
+    assert reopened.names() == ["from_one", "from_two"]
+    assert reopened["from_one"].seq == 1
+    assert reopened["from_two"].seq == 1
+    reopened.close()
+
+
+def test_concurrent_create_same_name_raises(tmp_path):
+    """The duplicate is caught even when the other handle created it —
+    the check reads the on-disk manifest, not just this handle's view."""
+    root = tmp_path / "db"
+    db1 = Database.open(root, create=True)
+    db2 = Database.open(root)
+    db1.create("r", "A B")
+    with pytest.raises(DatabaseError, match="already exists"):
+        db2.create("r", "C D")
+    db1.close()
+    db2.close()
+
+
+def test_drop_preserves_other_handles_relations(tmp_path):
+    root = tmp_path / "db"
+    db1 = Database.open(root, create=True)
+    db2 = Database.open(root)
+    db1.create("keep", "A B")
+    db2.create("doomed", "C D")
+    db2.drop("doomed")
+    db1.close()
+    db2.close()
+    reopened = Database.open(root)
+    assert reopened.names() == ["keep"]
+    reopened.close()
+
+
+def test_directory_lock_object_semantics(tmp_path):
+    lock = DirectoryLock(tmp_path)
+    assert not lock.held
+    lock.acquire()
+    assert lock.held
+    with pytest.raises(DatabaseError, match="already held"):
+        lock.acquire()  # double-acquire is a caller bug, flagged loudly
+    # a second handle on the same directory conflicts until release
+    other = DirectoryLock(tmp_path)
+    with pytest.raises(DatabaseError, match="locked"):
+        other.acquire(timeout_s=0.05)
+    lock.release()
+    assert not lock.held
+    lock.release()  # idempotent
+    other.acquire(timeout_s=0.05)
+    other.release()

@@ -1,0 +1,251 @@
+"""`db/log.py` sync-mode coverage: append_many, failure truncation,
+seq continuity, and the GroupCommitter's batching/poisoning semantics.
+
+Async cases run via ``asyncio.run`` inside plain test functions (no
+pytest-asyncio dependency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.db import Database, GroupCommitter, OpLog
+from repro.db import log as oplog
+from repro.errors import DatabaseError
+
+RECORDS = [
+    {"seq": 1, "op": "insert", "row": ["a", {"n": "n0"}]},
+    {"seq": 2, "op": "insert", "row": [{"n": "n0"}, "b"]},
+    {"seq": 3, "op": "delete", "index": 0},
+]
+
+
+# ---------------------------------------------------------------------------
+# append_many across the three sync modes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sync", ["fsync", "flush", "none"])
+def test_append_many_round_trips(tmp_path, sync):
+    path = tmp_path / "wal.jsonl"
+    wal = OpLog(path, sync=sync)
+    wal.append_many(RECORDS)
+    wal.append_many([])  # empty batch: explicit no-op
+    wal.append_many([{"seq": 4, "op": "adopt"}])
+    wal.close()
+    records, good_bytes, torn = oplog.scan(path)
+    assert records == RECORDS + [{"seq": 4, "op": "adopt"}]
+    assert not torn
+    assert good_bytes == path.stat().st_size
+    assert path.read_bytes().endswith(b"\n")
+
+
+@pytest.mark.parametrize("sync", ["fsync", "flush", "none"])
+def test_append_many_matches_per_record_appends_bytewise(tmp_path, sync):
+    """One batch append and N single appends must serialize identically —
+    recovery cannot tell (and must not care) how records were grouped."""
+    batched, single = tmp_path / "batched.jsonl", tmp_path / "single.jsonl"
+    wal = OpLog(batched, sync=sync)
+    wal.append_many(RECORDS)
+    wal.close()
+    wal = OpLog(single, sync=sync)
+    for record in RECORDS:
+        wal.append(record)
+    wal.close()
+    assert batched.read_bytes() == single.read_bytes()
+
+
+def test_append_many_unencodable_record_leaves_log_untouched(tmp_path):
+    """The whole blob is encoded before any byte lands: a bad record
+    anywhere in the batch aborts with prior content intact."""
+    path = tmp_path / "wal.jsonl"
+    wal = OpLog(path, sync="flush")
+    wal.append_many(RECORDS[:1])
+    before = path.read_bytes()
+    with pytest.raises(TypeError):
+        wal.append_many([RECORDS[1], {"seq": 3, "op": "insert", "row": [set()]}])
+    wal.close()
+    assert path.read_bytes() == before
+    records, _, torn = oplog.scan(path)
+    assert records == RECORDS[:1] and not torn
+
+
+def test_append_many_failed_sync_truncates_partial_batch(tmp_path, monkeypatch):
+    """A batch whose fsync fails is reported failed — so every byte of it
+    must be gone: a surviving partial batch would replay unacked ops."""
+    path = tmp_path / "wal.jsonl"
+    wal = OpLog(path, sync="fsync")
+    wal.append_many(RECORDS[:1])
+    before = path.read_bytes()
+
+    def failing_fsync(fd):
+        raise OSError("injected: device error")
+
+    monkeypatch.setattr(oplog.os, "fsync", failing_fsync)
+    with pytest.raises(OSError):
+        wal.append_many(RECORDS[1:])
+    monkeypatch.undo()
+    wal.close()
+    assert path.read_bytes() == before
+    records, _, torn = oplog.scan(path)
+    assert records == RECORDS[:1] and not torn
+
+
+def test_single_append_failed_sync_truncates_too(tmp_path, monkeypatch):
+    path = tmp_path / "wal.jsonl"
+    wal = OpLog(path, sync="fsync")
+    wal.append(RECORDS[0])
+    before = path.read_bytes()
+    monkeypatch.setattr(oplog.os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("x")))
+    with pytest.raises(OSError):
+        wal.append(RECORDS[1])
+    monkeypatch.undo()
+    wal.close()
+    assert path.read_bytes() == before
+
+
+# ---------------------------------------------------------------------------
+# seq continuity across recoveries, including batched tails
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sync", ["fsync", "flush", "none"])
+def test_seq_continuity_across_recoveries(tmp_path, sync):
+    """Three generations of a database — per-op appends, recovery, then a
+    batched tail, then recovery again — must journal one contiguous seq
+    stream with no gaps or reuse."""
+    path = tmp_path / "db"
+    with Database.open(path, sync=sync, create=True) as db:
+        relation = db.create("r", "A B", ["A -> B"])
+        for i in range(3):
+            relation.insert((f"a{i}", f"b{i}"))
+        assert relation.seq == 3
+
+    with Database.open(path, sync=sync) as db:
+        relation = db["r"]
+        assert relation.seq == 3
+        relation.insert(("a3", "b3"))
+        relation.delete(0)
+        assert relation.seq == 5
+        # a batched tail, the way the server journals: buffer records
+        # through the sink, append them in one batch
+        buffered = []
+        relation.journal_sink = buffered.append
+        relation.insert(("a4", "b4"))
+        relation.insert(("a5", "b5"))
+        relation.journal_sink = relation.wal.append
+        assert [record["seq"] for record in buffered] == [6, 7]
+        relation.wal.append_many(buffered)
+        assert relation.seq == 7
+
+    with Database.open(path, sync=sync) as db:
+        relation = db["r"]
+        assert relation.seq == 7
+        assert relation.recovery_info["replayed"] == 7
+        assert len(relation) == 5  # 6 inserts - 1 delete
+        assert relation.verify()
+        # and the next op continues the stream
+        relation.insert(("a6", "b6"))
+        assert relation.seq == 8
+
+
+def test_seq_continuity_across_checkpoint_and_recovery(tmp_path):
+    path = tmp_path / "db"
+    with Database.open(path, sync="flush", create=True) as db:
+        relation = db.create("r", "A B", [])
+        relation.insert(("a", "b"))
+        relation.insert(("c", "d"))
+        assert db.checkpoint() == {"r": 2}
+        relation.insert(("e", "f"))
+
+    with Database.open(path, sync="flush") as db:
+        relation = db["r"]
+        assert relation.seq == 3
+        assert relation.checkpoint_seq == 2
+        assert relation.recovery_info["replayed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# GroupCommitter semantics
+# ---------------------------------------------------------------------------
+
+
+def test_group_committer_batches_and_acks(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    committed_batches = []
+
+    async def run():
+        wal = OpLog(path, sync="flush")
+        committer = GroupCommitter(
+            wal, window_s=0.002, max_batch=64, on_commit=committed_batches.append
+        )
+        await committer.start()
+        futures = [committer.stage(dict(record)) for record in RECORDS]
+        await committer.drain()
+        assert all(f.done() and f.result() for f in futures)
+        await committer.close()
+        wal.close()
+        return committer.stats()
+
+    stats = asyncio.run(run())
+    # all three staged in one sweep -> one batch, one append
+    assert stats["batches"] == 1
+    assert stats["batched_records"] == 3
+    assert stats["largest_batch"] == 3
+    assert [len(batch) for batch in committed_batches] == [3]
+    records, _, torn = oplog.scan(path)
+    assert records == RECORDS and not torn
+
+
+def test_group_committer_max_batch_splits(tmp_path):
+    async def run():
+        wal = OpLog(tmp_path / "wal.jsonl", sync="none")
+        committer = GroupCommitter(wal, window_s=0, max_batch=2)
+        await committer.start()
+        for i in range(5):
+            committer.stage({"seq": i + 1, "op": "adopt"})
+        await committer.drain()
+        await committer.close()
+        wal.close()
+        return committer.stats()
+
+    stats = asyncio.run(run())
+    assert stats["batched_records"] == 5
+    assert stats["largest_batch"] == 2
+    assert stats["batches"] == 3
+
+
+def test_group_committer_append_failure_poisons(tmp_path, monkeypatch):
+    """A failed batch append fails every staged future, poisons the
+    committer, truncates the failed batch whole — and later recovery of
+    the log sees only the records that were made durable."""
+    path = tmp_path / "wal.jsonl"
+
+    async def run():
+        wal = OpLog(path, sync="fsync")
+        committer = GroupCommitter(wal, window_s=0)
+        await committer.start()
+        first = committer.stage(RECORDS[0])
+        await committer.drain()
+        assert first.result() is True
+
+        monkeypatch.setattr(oplog.os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("gone")))
+        doomed = committer.stage(RECORDS[1])
+        with pytest.raises(DatabaseError):
+            await committer.drain()
+        assert isinstance(doomed.exception(), DatabaseError)
+        monkeypatch.undo()
+
+        # poisoned: further stages are refused outright
+        with pytest.raises(DatabaseError):
+            committer.stage(RECORDS[2])
+        assert committer.failed is not None
+        await committer.close()
+        wal.close()
+
+    asyncio.run(run())
+    records, _, torn = oplog.scan(path)
+    assert records == RECORDS[:1] and not torn

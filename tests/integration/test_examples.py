@@ -32,6 +32,7 @@ def test_examples_directory_complete():
         "null_queries.py",
         "update_workflow.py",
         "durability_tour.py",
+        "server_tour.py",
     } <= names
 
 
@@ -95,6 +96,17 @@ def test_durability_tour():
     assert "recovered fixpoint verified: True" in out
     assert "child exited with" in out
     assert "crash-injected recovery verified: True" in out
+
+
+def test_server_tour():
+    out = run_example("server_tour.py")
+    assert "directory locked while serving: True" in out
+    assert "append+fsync(s) for 48 ops" in out
+    assert "auto-checkpoint fired: True" in out
+    assert "snapshot read at seq 48: 48 row(s)" in out
+    assert "read equals the acked prefix: True" in out
+    assert "zip -> city weakly satisfied while serving: True" in out
+    assert "recovered fixpoint verified: True" in out
 
 
 def test_update_workflow():

@@ -1,0 +1,145 @@
+"""Crash-injection child for the group-commit suite (not a test module).
+
+Streams a deterministic multi-client op schedule through an in-process
+:class:`~repro.server.ReproServer` with a group-commit latch window,
+then dies by SIGKILL at an instrumented point:
+
+* ``--kill-after-batch K`` — die inside the committer's ``on_commit``
+  hook, right after batch K became durable and was logged to the commit
+  file, before any of its clients were acked.  Iterating K over every
+  batch boundary is the crash-at-every-boundary sweep.
+* ``--tear-batch N`` — monkeypatch ``OpLog.append_many`` so the Nth
+  batch append writes only *half* of the batch's bytes (no sync) and
+  dies mid-write: the torn-batched-record case.  The doomed batch's
+  intended payloads are journalled to the staged file first, so the
+  parent can check the surviving prefix against the staged order.
+* no kill flag — run to completion and print ``COMPLETED batches=B
+  records=R`` so the parent learns how many boundaries exist.
+
+Two side files instrument the run for the parent:
+
+* ``<out>.commits`` — one line per durable record, appended and fsynced
+  inside ``on_commit`` *before* the kill point: the durable history.
+* ``<out>.acks`` — one line per **client-visible acknowledgement**
+  (seq), flushed as each response returns: recovery must contain every
+  seq in here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+
+sys.path.insert(0, os.environ.get("REPRO_SRC", "src"))
+
+from repro.db import log as oplog  # noqa: E402
+from repro.server import ReproServer  # noqa: E402
+
+ATTRS = "A B C"
+FDS = "A -> B; B -> C"
+
+
+def build_request(client: int, step: int) -> dict:
+    """A deterministic mixed op (no RNG: reruns must agree with reruns)."""
+    tag = (client * 7 + step * 3) % 10
+    if tag < 6:
+        return {
+            "do": "insert",
+            "row": [
+                f"a{(client + step) % 3}",
+                {"n": None} if step % 3 == 0 else f"b{step % 2}",
+                {"n": f"s{client % 2}"} if step % 4 == 0 else f"c{client}_{step}",
+            ],
+        }
+    if tag < 8:
+        return {"do": "delete", "index": step % 5}
+    return {"do": "update", "index": step % 5, "set": {"C": f"u{step}"}}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("root")
+    parser.add_argument("out", help="instrument-file prefix")
+    parser.add_argument("--kill-after-batch", type=int, default=0)
+    parser.add_argument("--tear-batch", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=12)
+    parser.add_argument("--window-ms", type=float, default=4.0)
+    args = parser.parse_args()
+
+    commit_log = open(args.out + ".commits", "a", encoding="utf-8")
+    ack_log = open(args.out + ".acks", "a", encoding="utf-8")
+    batches = 0
+
+    def on_commit(payloads) -> None:
+        nonlocal batches
+        for payload in payloads:
+            commit_log.write(json.dumps(payload, sort_keys=True) + "\n")
+        commit_log.flush()
+        os.fsync(commit_log.fileno())
+        batches += 1
+        if args.kill_after_batch and batches >= args.kill_after_batch:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    if args.tear_batch:
+        staged_log = open(args.out + ".staged", "a", encoding="utf-8")
+        original = oplog.OpLog.append_many
+        calls = 0
+
+        def tearing(self, payloads):
+            nonlocal calls
+            calls += 1
+            if calls == args.tear_batch:
+                for payload in payloads:
+                    staged_log.write(json.dumps(payload, sort_keys=True) + "\n")
+                staged_log.flush()
+                os.fsync(staged_log.fileno())
+                blob = "".join(
+                    oplog.dump_json(payload) + "\n" for payload in payloads
+                )
+                handle = self._handle
+                handle.write(blob[: max(1, len(blob) // 2)])
+                handle.flush()  # the torn bytes must actually land
+                os.fsync(handle.fileno())
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(self, payloads)
+
+        oplog.OpLog.append_many = tearing
+
+    async def run() -> None:
+        server = ReproServer(
+            args.root,
+            sync="fsync",
+            create=True,
+            window_s=args.window_ms / 1000.0,
+            on_commit=on_commit,
+        )
+        await server.start()
+        response = await server.handle(
+            {"do": "create", "name": "r", "attrs": ATTRS, "fds": FDS}
+        )
+        assert response["ok"], response
+
+        async def client(c: int) -> None:
+            for step in range(args.ops):
+                request = build_request(c, step)
+                request.update(id=f"{c}:{step}", rel="r")
+                reply = await server.handle(request)
+                if reply["ok"] and "seq" in reply:
+                    ack_log.write(f"{reply['seq']}\n")
+                    ack_log.flush()
+
+        await asyncio.gather(*(client(c) for c in range(args.clients)))
+        await server.stop()
+        print(f"COMPLETED batches={batches}", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

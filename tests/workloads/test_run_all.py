@@ -93,6 +93,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR4.json",
         "BENCH_PR5.json",
         "BENCH_PR6.json",
+        "BENCH_PR7.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -200,7 +201,7 @@ def _run_compare(fresh_path, *extra):
 
 #: the latest committed baseline — compare.py's default reference, and the
 #: doctoring source for the negative-path tests below
-LATEST_BASELINE = "BENCH_PR6.json"
+LATEST_BASELINE = "BENCH_PR7.json"
 
 
 def test_compare_accepts_the_baseline_against_itself():
@@ -317,4 +318,57 @@ def test_pr6_baseline_records_parallel_series():
     assert (
         a3["speedups"]["checkpoint recovery speedup at largest configuration"]
         >= 3.0
+    )
+
+
+def test_pr7_baseline_records_serving_series():
+    """BENCH_PR7.json carries bench_s1_server: the group-commit speedup
+    at 8 concurrent clients clears the PR 7 acceptance floor (>= 3x over
+    per-op-fsync serving), the throughput/latency-by-clients and
+    writer-vs-readers series are captured, and the serial headlines (a2
+    mixed + retirement, a3 checkpoint recovery, e5 parallel) were not
+    traded away for the serving layer."""
+    report = json.loads((REPO_ROOT / "BENCH_PR7.json").read_text())
+    s1 = report["benchmarks"]["bench_s1_server"]
+    assert s1["status"] == "ok"
+    key = "group-commit speedup at 8 clients over per-op-fsync serving"
+    assert s1["speedups"][key] >= 3.0
+    assert "group-commit ops/sec by clients" in s1["series"]
+    assert "per-op-fsync ops/sec by clients" in s1["series"]
+    assert "group-commit p99 ms by clients" in s1["series"]
+    assert "writer ops/sec by reader count" in s1["series"]
+    assert "writer max ack gap ms by reader count" in s1["series"]
+    # throughput must rise with client count under group commit
+    gc = s1["series"]["group-commit ops/sec by clients"]
+    assert gc[-1] > gc[0]
+    # serial headlines intact
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert (
+        a2["speedups"]["session mixed-workload speedup at largest configuration"]
+        >= 3.0
+    )
+    assert (
+        a2["speedups"]["old-row retirement speedup at largest configuration"]
+        >= 3.0
+    )
+    a3 = report["benchmarks"]["bench_a3_durability"]
+    assert (
+        a3["speedups"]["checkpoint recovery speedup at largest configuration"]
+        >= 3.0
+    )
+    e5 = report["benchmarks"]["bench_e5_chase_scaling"]
+    assert any("parallel chase speedup" in k for k in e5["speedups"])
+
+
+def test_quick_discovery_includes_s1(tmp_path):
+    """--quick (no --ablations) runs the serving series too."""
+    proc, out = _run_quick(tmp_path, only=("s1",))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert set(report["benchmarks"]) == {"bench_s1_server"}
+    entry = report["benchmarks"]["bench_s1_server"]
+    assert entry["status"] == "ok"
+    assert (
+        "group-commit speedup at 8 clients over per-op-fsync serving"
+        in entry.get("speedups", {})
     )
