@@ -29,10 +29,9 @@ fast perf smoke test.  Results land in a JSON file::
 Per-benchmark wall times plus every printed log-log slope, "...x"
 speedup line, and ``series <label>: v1 v2 ...`` per-size series are
 captured, giving later PRs a perf trajectory to compare against
-(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR7.json`` — the
-latest adds bench_s1's serving series: group-commit ops/sec and p99 by
-client count, and writer throughput / max ack gap by snapshot-reader
-count).
+(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR8.json`` — the
+latest adds bench_e5's E5d cover-pruning series: pruned vs unpruned
+plan wall times on a transitive-closure FD workload).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` / ``series`` — is guarded by
@@ -173,14 +172,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR7.json at the repo root "
+        help="output JSON path (default: BENCH_PR8.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR7.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR8.json")
         )
 
     scripts = discover(args.only, args.ablations)

@@ -1,0 +1,47 @@
+"""Static analysis over scripts, batches, and engine state.
+
+Three coordinated passes, none of which executes user ops:
+
+* :mod:`repro.analysis.check` — the ``repro lint`` checker: a whole
+  session/db script or server batch analyzed against a schema + FD set,
+  every finding a structured :class:`Diagnostic` (line, code, message,
+  suggested fix) instead of a first-failure traceback mid-execution;
+* :mod:`repro.analysis.diagnostics` — the diagnostic schema itself,
+  shared verbatim by the CLI, runtime :class:`~repro.errors.ScriptError`
+  reporting, and the server's batch fast-reject payload;
+* :mod:`repro.analysis.sanitize` — the opt-in (``REPRO_SANITIZE=1``)
+  engine-invariant sanitizer: recomputes the occurrence/signature/slot/
+  WAL mirrors from ground truth after mutations and raises precise
+  :class:`~repro.errors.SanitizerError` findings.
+"""
+
+from .check import (
+    BATCH_VERBS,
+    BatchLinter,
+    SCRIPT_OPS,
+    ScriptLinter,
+    has_errors,
+    lint_requests,
+    lint_script,
+)
+from .diagnostics import CODES, Diagnostic, classify_cause, render_report
+from .sanitize import audit_core, audit_relation, audit_session
+from .sanitize import enabled as sanitize_enabled
+
+__all__ = [
+    "BATCH_VERBS",
+    "BatchLinter",
+    "CODES",
+    "Diagnostic",
+    "SCRIPT_OPS",
+    "ScriptLinter",
+    "audit_core",
+    "audit_relation",
+    "audit_session",
+    "classify_cause",
+    "has_errors",
+    "lint_requests",
+    "lint_script",
+    "render_report",
+    "sanitize_enabled",
+]

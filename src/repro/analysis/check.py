@@ -1,0 +1,1000 @@
+"""Static analysis of op scripts and server batches — lint before run.
+
+The checker interprets a script (the ``repro session`` / ``repro db
+ingest`` vocabulary — :func:`repro.cli.run_script`) or a server mutation
+batch (:mod:`repro.server.protocol` request objects) over an *abstract*
+instance instead of a live session, and reports every op that is wrong —
+not just the first, the way execution would.  One abstract cell is one
+of:
+
+* ``("const", v)`` — provably holds the constant ``v``;
+* ``("null", n)`` — provably holds null number ``n`` (numbering is the
+  checker's own; distinct numbers are distinct unknowns);
+* ``("top",)`` — statically unknown.  Only :meth:`~_LintState.adopt`
+  produces tops: adoption commits whatever substitutions the chase
+  *forced*, and which nulls those are is a property of the fixpoint, not
+  the script text.
+
+While no cell is ``top`` the abstract rows *are* the raw rows the real
+run would hold — every script constant and every minted null is tracked
+exactly — so structural checks (arity, attributes, indexes, snapshot
+depth, fill targets) are exact, and admissibility is decided by the same
+oracle the paper provides: the chase of the abstract instance.  An op
+whose post-state chase derives NOTHING is *provably inadmissible* and is
+flagged ``E_FD_CONFLICT`` (a warning: execution does not raise — the
+state poisons, and a later ``rollback`` may be the script's whole
+point).  A ``check`` op on a provably poisoned instance is an *error*:
+TEST-FDs refuses NOTHING-bearing instances at runtime.  When an
+``E_FD_CONFLICT`` fires, the message names an Armstrong witness when a
+pairwise one exists — the FD whose left-hand side two rows provably
+share and the right-hand attribute where their constants differ.
+
+The guarantee ``tests/analysis/test_lint_property.py`` pins: a script
+with **no error-severity diagnostics** executes without raising.
+Warnings do not block execution; the lint CLI exits 0 on clean, 1 on
+warnings only, 2 on errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..armstrong import attribute_closure
+from ..core.fd import FD, FDInput, as_fd
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.values import Null, is_null
+from ..errors import CodecError
+from .diagnostics import Diagnostic
+
+#: the script vocabulary (mirrors :func:`repro.cli.run_script` exactly)
+SCRIPT_OPS = (
+    "insert",
+    "delete",
+    "update",
+    "replace",
+    "fill",
+    "adopt",
+    "snapshot",
+    "rollback",
+    "checkpoint",
+    "check",
+    "stats",
+    "show",
+    "explain",
+)
+
+#: mirrors ``repro.cli.NULL_TOKENS`` (kept here so the analysis layer
+#: does not import the CLI)
+NULL_TOKENS = ("", "-", "NULL", "null")
+
+_CONVENTIONS = ("weak", "strong")
+
+Cell = Tuple[Any, ...]
+_TOP: Cell = ("top",)
+
+
+class _LintState:
+    """The abstract instance a script/batch is interpreted over."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        fds: Sequence[FD],
+        rows: Optional[Iterable[Sequence[Any]]] = None,
+        snapshot_depth: int = 0,
+        durable: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.fds = list(fds)
+        self.durable = durable
+        self._next_null = 0
+        self.rows: List[List[Cell]] = []
+        #: snapshot stack: (rows copy, poisoned flag) per outstanding mark.
+        #: Pre-existing snapshots (a served relation may hold some) have no
+        #: recorded rows — rolling back to one loses precision to tops.
+        self.snapshots: List[Optional[Tuple[List[List[Cell]], bool]]] = [
+            None
+        ] * snapshot_depth
+        #: exact == no ``top`` cell anywhere; the chase oracle is sound
+        #: only while this holds
+        self.exact = True
+        #: opaque == even the row *count* is unknown (a rollback restored
+        #: a snapshot taken before this checker existed); index bounds and
+        #: cell facts are unavailable from here on
+        self.opaque = False
+        self.poisoned = False
+        if rows:
+            for values in rows:
+                self.rows.append([self.lift(value) for value in values])
+            self._refresh_poisoned()
+
+    # -- abstract cells ----------------------------------------------------
+
+    def fresh_null(self) -> Cell:
+        cell = ("null", self._next_null)
+        self._next_null += 1
+        return cell
+
+    def lift(self, value: Any) -> Cell:
+        """A concrete engine value as an abstract cell (initial rows)."""
+        if is_null(value):
+            return self.fresh_null()
+        return ("const", value)
+
+    def parse_cell(self, text: str) -> Cell:
+        """One script cell, by the shared null-token rule."""
+        text = text.strip()
+        if text in NULL_TOKENS:
+            return self.fresh_null()
+        return ("const", text)
+
+    # -- structural facts --------------------------------------------------
+
+    def in_domain(self, attribute: str, value: Any) -> bool:
+        try:
+            return value in self.schema.domain(attribute)
+        except Exception:  # non-hashable constant: not statically checkable
+            return True
+
+    def valid_index(self, index: int) -> bool:
+        if self.opaque:
+            return index >= 0  # count unknown: only negatives are provably bad
+        return 0 <= index < len(self.rows)
+
+    # -- mutations (each mirrors one session op exactly) -------------------
+
+    def insert(self, cells: List[Cell]) -> None:
+        if self.opaque:
+            return
+        self.rows.append(list(cells))
+        self._refresh_poisoned()
+
+    def delete(self, index: int) -> None:
+        if self.opaque:
+            return
+        del self.rows[index]
+        self._refresh_poisoned()
+
+    def update(self, index: int, changes: Dict[str, Cell]) -> None:
+        if self.opaque:
+            return
+        row = list(self.rows[index])
+        for attr, cell in changes.items():
+            row[self.schema.position(attr)] = cell
+        self.rows[index] = row
+        self._refresh_poisoned()
+
+    def replace(self, index: int, cells: List[Cell]) -> None:
+        if self.opaque:
+            return
+        self.rows[index] = list(cells)
+        self._refresh_poisoned()
+
+    def fill(self, index: int, attribute: str, value: Any) -> None:
+        """Substitute the filled null *everywhere* (a shared null is one
+        unknown), exactly as the session does."""
+        if self.opaque:
+            return
+        target = self.rows[index][self.schema.position(attribute)]
+        replacement: Cell = ("const", value)
+        self.rows = [
+            [replacement if cell == target else cell for cell in row]
+            for row in self.rows
+        ]
+        self._refresh_poisoned()
+
+    def adopt(self) -> None:
+        """Forced substitutions become data — which ones is a fixpoint
+        property, so every surviving null degrades to ``top``."""
+        if self.opaque:
+            return
+        had_null = any(cell[0] == "null" for row in self.rows for cell in row)
+        if not had_null:
+            return
+        self.rows = [
+            [_TOP if cell[0] == "null" else cell for cell in row]
+            for row in self.rows
+        ]
+        self.exact = False
+
+    def snapshot(self) -> int:
+        if self.opaque:
+            self.snapshots.append(None)
+        else:
+            self.snapshots.append(
+                ([list(row) for row in self.rows], self.poisoned)
+            )
+        return len(self.snapshots)
+
+    def rollback(self) -> int:
+        saved = self.snapshots.pop()
+        if saved is None:
+            # a snapshot taken before this checker existed (or while
+            # opaque): its rows were never seen statically
+            self.rows = []
+            self.exact = False
+            self.opaque = True
+            self.poisoned = False
+        else:
+            self.rows = [list(row) for row in saved[0]]
+            self.poisoned = saved[1]
+            self.opaque = False
+            self.exact = not any(
+                cell == _TOP for row in self.rows for cell in row
+            )
+        return len(self.snapshots) + 1
+
+    def discard_snapshots(self) -> int:
+        discarded = len(self.snapshots)
+        self.snapshots.clear()
+        return discarded
+
+    # -- the admissibility oracle ------------------------------------------
+
+    def _materialize(self) -> Relation:
+        """The abstract rows as a real relation (fresh nulls per call;
+        only their sharing pattern matters)."""
+        nulls: Dict[int, Null] = {}
+        concrete = []
+        for row in self.rows:
+            values = []
+            for cell in row:
+                if cell[0] == "const":
+                    values.append(cell[1])
+                else:
+                    number = cell[1]
+                    if number not in nulls:
+                        nulls[number] = Null(f"lint{number}")
+                    values.append(nulls[number])
+            concrete.append(values)
+        return Relation(self.schema, concrete)
+
+    def _refresh_poisoned(self) -> None:
+        """Re-decide weak satisfiability of the abstract instance.
+
+        Sound and complete while :attr:`exact`: the abstract rows are the
+        raw rows, and Theorem 4(b) says the chase's NOTHING verdict *is*
+        the weak-satisfiability verdict.  Inexact states never claim
+        poisoning (tops could be anything)."""
+        if not self.exact:
+            self.poisoned = False
+            return
+        if not self.rows or not self.fds:
+            self.poisoned = False
+            return
+        from ..chase.engine import chase  # local: analysis ← chase only here
+
+        self.poisoned = chase(self._materialize(), self.fds).has_nothing
+
+    def conflict_witness(self) -> Optional[str]:
+        """An Armstrong-implication explanation of the poisoning, when a
+        pairwise one exists: two rows provably equal on some FD's
+        left-hand side whose closure forces distinct constants equal."""
+        for fd in self.fds:
+            lhs_positions = [self.schema.position(a) for a in fd.lhs]
+            closure = attribute_closure(fd.lhs, self.fds)
+            forced = [a for a in closure if a not in fd.lhs]
+            if not forced:
+                continue
+            for i, first in enumerate(self.rows):
+                for j in range(i + 1, len(self.rows)):
+                    second = self.rows[j]
+                    if any(
+                        first[p] != second[p]
+                        or first[p][0] != "const"
+                        for p in lhs_positions
+                    ):
+                        continue
+                    for attr in forced:
+                        p = self.schema.position(attr)
+                        a, b = first[p], second[p]
+                        if a[0] == "const" and b[0] == "const" and a[1] != b[1]:
+                            return (
+                                f"rows {i} and {j} agree on {' '.join(fd.lhs)} "
+                                f"but the FD set forces {attr} equal "
+                                f"({a[1]!r} vs {b[1]!r}, via {fd!r})"
+                            )
+        return None
+
+
+class ScriptLinter:
+    """One pass over a whole script, every finding reported.
+
+    A failing op is reported and *skipped* (the abstract state is left
+    unchanged), so later diagnostics stay meaningful — the runtime, by
+    contrast, aborts at the first failure.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        fds: Iterable[FDInput],
+        rows: Optional[Iterable[Sequence[Any]]] = None,
+        durable: bool = False,
+    ) -> None:
+        validated = [as_fd(fd).validate(schema).normalized() for fd in fds]
+        self.state = _LintState(schema, validated, rows=rows, durable=durable)
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- reporting helpers -------------------------------------------------
+
+    def _report(
+        self,
+        line: int,
+        op: str,
+        code: str,
+        message: str,
+        hint: str = "",
+        severity: str = "error",
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                line=line,
+                op=op,
+                message=message,
+                hint=hint,
+                severity=severity,
+            )
+        )
+
+    def _int_arg(self, text: str, line: int, op: str, what: str) -> Optional[int]:
+        text = text.strip()
+        if not text:
+            self._report(
+                line, op, "E_MISSING_ARG", f"{what} is missing",
+                hint=f"write: {op.split()[0]} <index> ...",
+            )
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            self._report(
+                line, op, "E_BAD_INT", f"{what} {text!r} is not an integer"
+            )
+            return None
+
+    def _check_index(self, index: int, line: int, op: str) -> bool:
+        if self.state.valid_index(index):
+            return True
+        self._report(
+            line, op, "E_BAD_INDEX",
+            f"no row at index {index} at this point "
+            f"({len(self.state.rows)} row(s))",
+        )
+        return False
+
+    def _check_row_cells(
+        self, cells: List[Cell], line: int, op: str
+    ) -> bool:
+        schema = self.state.schema
+        if len(cells) != len(schema):
+            self._report(
+                line, op, "E_ARITY",
+                f"row has {len(cells)} cell(s); scheme "
+                f"{schema.name} has {len(schema)} attribute(s)",
+            )
+            return False
+        ok = True
+        for attr, cell in zip(schema.attributes, cells):
+            if cell[0] == "const" and not self.state.in_domain(attr, cell[1]):
+                self._report(
+                    line, op, "E_DOMAIN",
+                    f"{cell[1]!r} is not in the declared domain of {attr}",
+                    hint=f"domain({attr}) = "
+                    f"{list(schema.domain(attr))!r}",
+                )
+                ok = False
+        return ok
+
+    def _maybe_conflict(self, line: int, op: str, was_poisoned: bool) -> None:
+        state = self.state
+        if state.poisoned and not was_poisoned:
+            witness = state.conflict_witness()
+            message = (
+                witness
+                or "the chase of the instance after this op derives NOTHING "
+                "(weak satisfiability provably fails)"
+            )
+            self._report(
+                line, op, "E_FD_CONFLICT", message,
+                hint="the op executes but poisons the state; rollback or "
+                "rewrite it",
+                severity="warning",
+            )
+
+    # -- one op ------------------------------------------------------------
+
+    def lint_line(self, lineno: int, raw_line: str) -> None:
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            return
+        op, _, rest = line.partition(" ")
+        rest = rest.strip()
+        state = self.state
+        was_poisoned = state.poisoned
+
+        if op == "insert":
+            cells = [state.parse_cell(token) for token in rest.split(",")]
+            if self._check_row_cells(cells, lineno, line):
+                state.insert(cells)
+                self._maybe_conflict(lineno, line, was_poisoned)
+
+        elif op == "delete":
+            index = self._int_arg(rest, lineno, line, "row index")
+            if index is not None and self._check_index(index, lineno, line):
+                state.delete(index)
+
+        elif op == "update":
+            index_text, _, assigns = rest.partition(" ")
+            index = self._int_arg(index_text, lineno, line, "row index")
+            changes: Dict[str, Cell] = {}
+            ok = True
+            for assign in assigns.split(","):
+                attr, sep, value = assign.partition("=")
+                if not sep:
+                    self._report(
+                        lineno, line, "E_BAD_ASSIGN",
+                        f"bad assignment {assign.strip()!r}",
+                        hint="write: update <index> ATTR=value, ATTR=value",
+                    )
+                    ok = False
+                    continue
+                attr = attr.strip()
+                if attr not in state.schema:
+                    self._report(
+                        lineno, line, "E_UNKNOWN_ATTR",
+                        f"unknown attribute {attr!r}",
+                        hint=f"scheme attributes: "
+                        f"{' '.join(state.schema.attributes)}",
+                    )
+                    ok = False
+                    continue
+                cell = state.parse_cell(value)
+                if cell[0] == "const" and not state.in_domain(attr, cell[1]):
+                    self._report(
+                        lineno, line, "E_DOMAIN",
+                        f"{cell[1]!r} is not in the declared domain of "
+                        f"{attr}",
+                    )
+                    ok = False
+                    continue
+                changes[attr] = cell
+            if index is None or not self._check_index(index, lineno, line):
+                return
+            if ok and changes:
+                state.update(index, changes)
+                self._maybe_conflict(lineno, line, was_poisoned)
+
+        elif op == "replace":
+            index_text, _, cells_text = rest.partition(" ")
+            index = self._int_arg(index_text, lineno, line, "row index")
+            cells = [state.parse_cell(token) for token in cells_text.split(",")]
+            if index is None or not self._check_index(index, lineno, line):
+                return
+            if self._check_row_cells(cells, lineno, line):
+                state.replace(index, cells)
+                self._maybe_conflict(lineno, line, was_poisoned)
+
+        elif op == "fill":
+            parts = rest.split(None, 2)
+            if len(parts) < 3:
+                self._report(
+                    lineno, line, "E_MISSING_ARG",
+                    "fill needs: fill <index> <attr> <value>",
+                )
+                return
+            index_text, attr, value = parts
+            index = self._int_arg(index_text, lineno, line, "row index")
+            if attr not in state.schema:
+                self._report(
+                    lineno, line, "E_UNKNOWN_ATTR",
+                    f"unknown attribute {attr!r}",
+                )
+                return
+            if index is None or not self._check_index(index, lineno, line):
+                return
+            cell = state.rows[index][state.schema.position(attr)]
+            if cell[0] == "const":
+                self._report(
+                    lineno, line, "E_FILL_CONST",
+                    f"row {index}.{attr} provably holds the constant "
+                    f"{cell[1]!r}; fill targets nulls",
+                )
+                return
+            if cell == _TOP:
+                self._report(
+                    lineno, line, "E_FILL_UNPROVEN",
+                    f"row {index}.{attr} is no longer statically known to "
+                    "be null (an earlier adopt may have committed a "
+                    "constant there)",
+                    hint="move the fill before the adopt, or drop it",
+                )
+                return
+            if not state.in_domain(attr, value):
+                self._report(
+                    lineno, line, "E_DOMAIN",
+                    f"{value!r} is not in the declared domain of {attr}",
+                )
+                return
+            state.fill(index, attr, value)
+            self._maybe_conflict(lineno, line, was_poisoned)
+
+        elif op == "adopt":
+            state.adopt()
+
+        elif op == "snapshot":
+            state.snapshot()
+
+        elif op == "rollback":
+            if not state.snapshots:
+                self._report(
+                    lineno, line, "E_ROLLBACK_UNDERFLOW",
+                    "rollback without a snapshot",
+                    hint="every rollback needs an earlier unmatched snapshot",
+                )
+                return
+            state.rollback()
+
+        elif op == "checkpoint":
+            if not state.durable:
+                self._report(
+                    lineno, line, "E_CHECKPOINT_SCOPE",
+                    "checkpoint is a durable-database op; use repro db",
+                )
+                return
+            if state.snapshots:
+                self._report(
+                    lineno, line, "E_CHECKPOINT_HELD",
+                    f"checkpoint with {len(state.snapshots)} outstanding "
+                    "snapshot(s); roll back (or discard) first",
+                )
+                return
+
+        elif op == "check":
+            convention = rest or "weak"
+            if convention not in _CONVENTIONS:
+                self._report(
+                    lineno, line, "E_CONVENTION",
+                    f"unknown convention {convention!r}",
+                    hint=f"conventions: {', '.join(_CONVENTIONS)}",
+                )
+                return
+            if state.poisoned:
+                self._report(
+                    lineno, line, "E_FD_CONFLICT",
+                    "check on a provably inconsistent instance (the chase "
+                    "derives NOTHING here); TEST-FDs refuses it at runtime",
+                )
+
+        elif op in ("stats", "show", "explain"):
+            pass
+
+        else:
+            self._report(
+                lineno, line, "E_UNKNOWN_OP",
+                f"unknown session op {op!r}",
+                hint=f"ops: {', '.join(SCRIPT_OPS)}",
+            )
+
+    def lint(self, lines: Iterable[str]) -> List[Diagnostic]:
+        for lineno, raw_line in enumerate(lines, start=1):
+            self.lint_line(lineno, raw_line)
+        return list(self.diagnostics)
+
+
+def lint_script(
+    schema: RelationSchema,
+    fds: Iterable[FDInput],
+    lines: Iterable[str],
+    rows: Optional[Iterable[Sequence[Any]]] = None,
+    durable: bool = False,
+) -> List[Diagnostic]:
+    """Analyze a whole op script; return every finding, in line order.
+
+    ``rows`` seeds the abstract instance (the CSV a session would open
+    with); ``durable`` switches to ``repro db ingest`` semantics (the
+    ``checkpoint`` op becomes legal).
+    """
+    return ScriptLinter(schema, fds, rows=rows, durable=durable).lint(lines)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# server batches
+# ---------------------------------------------------------------------------
+
+#: duplicated from repro.server.protocol to keep this layer server-free;
+#: tests/analysis/test_batch_lint.py pins the two tuples equal
+BATCH_VERBS = (
+    "insert",
+    "delete",
+    "update",
+    "replace",
+    "fill",
+    "reset",
+    "adopt",
+    "snapshot",
+    "rollback",
+    "discard",
+)
+
+
+def _summarize_request(request: Any) -> str:
+    if not isinstance(request, dict):
+        return repr(request)[:80]
+    verb = request.get("do", "?")
+    keys = [k for k in sorted(request) if k not in ("do", "id", "rel")]
+    return f"{verb}({', '.join(keys)})" if keys else str(verb)
+
+
+class BatchLinter:
+    """Static admission check for a server mutation batch.
+
+    Indexes are 0-based request positions (the ``line`` field of each
+    diagnostic).  Bounds use *admission-time* semantics: the relation's
+    current row count plus the batch's own net effect so far — exact
+    because the writer applies an admitted batch contiguously (it is one
+    queue item; no interleaving op can change the count mid-batch).
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        fds: Iterable[FDInput],
+        rows: Iterable[Sequence[Any]],
+        snapshot_depth: int = 0,
+        known_null: Optional[Any] = None,
+        decode: Optional[Any] = None,
+    ) -> None:
+        validated = [as_fd(fd).validate(schema).normalized() for fd in fds]
+        self.state = _LintState(
+            schema, validated, rows=rows, snapshot_depth=snapshot_depth,
+            durable=True,
+        )
+        #: ``known_null(name) -> bool``: has the relation's codec scope
+        #: minted this canonical id?  (decode is lenient — an unknown id
+        #: silently materializes a fresh null — so this is static-only)
+        self._known_null = known_null or (lambda name: True)
+        #: optional concrete decoder (the relation codec) used to type-check
+        #: tokens; falls back to a structural check
+        self._decode = decode
+        self.diagnostics: List[Diagnostic] = []
+        #: cells decoded for tracking share the checker's null numbering
+        #: per canonical id, so ``{"n": "x"}`` twice is one unknown
+        self._null_cells: Dict[str, Cell] = {}
+
+    def _report(
+        self, index: int, request: Any, code: str, message: str,
+        hint: str = "", severity: str = "error",
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                line=index,
+                op=_summarize_request(request),
+                message=message,
+                hint=hint,
+                severity=severity,
+            )
+        )
+
+    # -- cells -------------------------------------------------------------
+
+    def _lift_token(
+        self, token: Any, index: int, request: dict
+    ) -> Optional[Cell]:
+        """One wire cell token → abstract cell; None reports and fails."""
+        if isinstance(token, dict):
+            if "n" in token:
+                name = token["n"]
+                if name is None:  # mint-a-fresh-null extension
+                    return self.state.fresh_null()
+                if not isinstance(name, str):
+                    self._report(
+                        index, request, "E_BAD_CELL",
+                        f"malformed null token {token!r}",
+                    )
+                    return None
+                if not self._known_null(name):
+                    self._report(
+                        index, request, "E_UNKNOWN_NULL",
+                        f"null id {name!r} was never minted by this "
+                        "relation",
+                        hint='send {"n": null} to mint a fresh null',
+                    )
+                    return None
+                cell = self._null_cells.get(name)
+                if cell is None:
+                    cell = self.state.fresh_null()
+                    self._null_cells[name] = cell
+                return cell
+            if "!" in token:
+                return _TOP  # NOTHING: legal to store, nothing provable
+            if "v" in token:
+                value = token["v"]
+                if value is not None and not isinstance(
+                    value, (str, int, float, bool)
+                ):
+                    # decoding is lenient about the payload, but the op's
+                    # own journal record would fail to *encode* it
+                    self._report(
+                        index, request, "E_BAD_CELL",
+                        f"constant {value!r} of type "
+                        f"{type(value).__name__} is not JSON-serializable",
+                    )
+                    return None
+                return ("const", value)
+            self._report(
+                index, request, "E_BAD_CELL",
+                f"unknown value token {token!r}",
+            )
+            return None
+        if self._decode is not None:
+            try:
+                self._decode(token)
+            except CodecError as error:
+                self._report(index, request, "E_BAD_CELL", str(error))
+                return None
+        elif not (
+            token is None or isinstance(token, (str, int, float, bool))
+        ):
+            self._report(
+                index, request, "E_BAD_CELL",
+                f"unknown value token {token!r}",
+            )
+            return None
+        return ("const", token)
+
+    def _lift_row(
+        self, cells: Any, index: int, request: dict, what: str
+    ) -> Optional[List[Cell]]:
+        if not isinstance(cells, (list, tuple)):
+            self._report(
+                index, request, "E_BAD_REQUEST",
+                f"{what} must be an array of cells",
+            )
+            return None
+        lifted = []
+        for token in cells:
+            cell = self._lift_token(token, index, request)
+            if cell is None:
+                return None
+            lifted.append(cell)
+        schema = self.state.schema
+        if len(lifted) != len(schema):
+            self._report(
+                index, request, "E_ARITY",
+                f"row has {len(lifted)} cell(s); scheme {schema.name} "
+                f"has {len(schema)} attribute(s)",
+            )
+            return None
+        for attr, cell in zip(schema.attributes, lifted):
+            if cell[0] == "const" and not self.state.in_domain(attr, cell[1]):
+                self._report(
+                    index, request, "E_DOMAIN",
+                    f"{cell[1]!r} is not in the declared domain of {attr}",
+                )
+                return None
+        return lifted
+
+    def _int_field(
+        self, request: dict, index: int
+    ) -> Optional[int]:
+        value = request.get("index")
+        if not isinstance(value, int) or isinstance(value, bool):
+            self._report(
+                index, request, "E_BAD_INT", "'index' must be an integer"
+            )
+            return None
+        if not self.state.valid_index(value):
+            self._report(
+                index, request, "E_BAD_INDEX",
+                f"no row at index {value} at this point in the batch "
+                f"({len(self.state.rows)} row(s))",
+            )
+            return None
+        return value
+
+    # -- one request -------------------------------------------------------
+
+    def lint_request(self, index: int, request: Any) -> None:
+        state = self.state
+        if not isinstance(request, dict):
+            self._report(
+                index, request, "E_BAD_REQUEST",
+                "each batch op must be a JSON object with a 'do' verb",
+            )
+            return
+        verb = request.get("do")
+        if verb not in BATCH_VERBS:
+            self._report(
+                index, request, "E_UNKNOWN_VERB",
+                f"unknown mutation verb {verb!r}",
+                hint=f"mutation verbs: {', '.join(BATCH_VERBS)}",
+            )
+            return
+        was_poisoned = state.poisoned
+
+        if verb == "insert":
+            cells = self._lift_row(request.get("row"), index, request, "'row'")
+            if cells is not None:
+                state.insert(cells)
+                self._batch_conflict(index, request, was_poisoned)
+
+        elif verb == "delete":
+            row_index = self._int_field(request, index)
+            if row_index is not None:
+                state.delete(row_index)
+
+        elif verb == "update":
+            row_index = self._int_field(request, index)
+            changes = request.get("set")
+            if not isinstance(changes, dict) or not changes:
+                self._report(
+                    index, request, "E_BAD_REQUEST",
+                    "'set' must be a non-empty object of attr: cell",
+                )
+                return
+            decoded: Dict[str, Cell] = {}
+            for attr, token in changes.items():
+                if attr not in state.schema:
+                    self._report(
+                        index, request, "E_UNKNOWN_ATTR",
+                        f"unknown attribute {attr!r}",
+                    )
+                    return
+                cell = self._lift_token(token, index, request)
+                if cell is None:
+                    return
+                if cell[0] == "const" and not state.in_domain(attr, cell[1]):
+                    self._report(
+                        index, request, "E_DOMAIN",
+                        f"{cell[1]!r} is not in the declared domain of "
+                        f"{attr}",
+                    )
+                    return
+                decoded[attr] = cell
+            if row_index is None:
+                return
+            state.update(row_index, decoded)
+            self._batch_conflict(index, request, was_poisoned)
+
+        elif verb == "replace":
+            row_index = self._int_field(request, index)
+            cells = self._lift_row(request.get("row"), index, request, "'row'")
+            if row_index is None or cells is None:
+                return
+            state.replace(row_index, cells)
+            self._batch_conflict(index, request, was_poisoned)
+
+        elif verb == "fill":
+            row_index = self._int_field(request, index)
+            attr = request.get("attr")
+            if not isinstance(attr, str):
+                self._report(
+                    index, request, "E_BAD_REQUEST",
+                    "'attr' must be an attribute name",
+                )
+                return
+            if attr not in state.schema:
+                self._report(
+                    index, request, "E_UNKNOWN_ATTR",
+                    f"unknown attribute {attr!r}",
+                )
+                return
+            cell = self._lift_token(request.get("value"), index, request)
+            if row_index is None or cell is None:
+                return
+            if state.opaque:
+                return  # cell facts unavailable past an opaque rollback
+            target = state.rows[row_index][state.schema.position(attr)]
+            if target[0] == "const":
+                self._report(
+                    index, request, "E_FILL_CONST",
+                    f"row {row_index}.{attr} provably holds the constant "
+                    f"{target[1]!r}; fill targets nulls",
+                )
+                return
+            if target == _TOP:
+                self._report(
+                    index, request, "E_FILL_UNPROVEN",
+                    f"row {row_index}.{attr} is no longer statically known "
+                    "to be null",
+                )
+                return
+            if cell[0] != "const":
+                return  # filling with a null: no static claim
+            if not state.in_domain(attr, cell[1]):
+                self._report(
+                    index, request, "E_DOMAIN",
+                    f"{cell[1]!r} is not in the declared domain of {attr}",
+                )
+                return
+            state.fill(row_index, attr, cell[1])
+            self._batch_conflict(index, request, was_poisoned)
+
+        elif verb == "reset":
+            rows_spec = request.get("rows")
+            if not isinstance(rows_spec, list):
+                self._report(
+                    index, request, "E_BAD_REQUEST",
+                    "'rows' must be an array of rows",
+                )
+                return
+            lifted_rows = []
+            for cells in rows_spec:
+                lifted = self._lift_row(cells, index, request, "each row")
+                if lifted is None:
+                    return
+                lifted_rows.append(lifted)
+            # reset replaces the state wholesale, so it restores full
+            # static visibility even past an opaque rollback
+            state.rows = lifted_rows
+            state.opaque = False
+            state.exact = not any(
+                cell == _TOP for row in lifted_rows for cell in row
+            )
+            state._refresh_poisoned()
+            self._batch_conflict(index, request, was_poisoned)
+
+        elif verb == "adopt":
+            state.adopt()
+
+        elif verb == "snapshot":
+            state.snapshot()
+
+        elif verb == "rollback":
+            if not state.snapshots:
+                self._report(
+                    index, request, "E_ROLLBACK_UNDERFLOW",
+                    "rollback without a snapshot",
+                )
+                return
+            state.rollback()
+
+        elif verb == "discard":
+            state.discard_snapshots()
+
+    def _batch_conflict(
+        self, index: int, request: dict, was_poisoned: bool
+    ) -> None:
+        if self.state.poisoned and not was_poisoned:
+            witness = self.state.conflict_witness()
+            self._report(
+                index, request, "E_FD_CONFLICT",
+                witness
+                or "the chase of the instance after this op derives NOTHING",
+                severity="warning",
+            )
+
+    def lint(self, requests: Sequence[Any]) -> List[Diagnostic]:
+        for index, request in enumerate(requests):
+            self.lint_request(index, request)
+        return list(self.diagnostics)
+
+
+def lint_requests(
+    schema: RelationSchema,
+    fds: Iterable[FDInput],
+    requests: Sequence[Any],
+    rows: Iterable[Sequence[Any]] = (),
+    snapshot_depth: int = 0,
+    known_null: Optional[Any] = None,
+    decode: Optional[Any] = None,
+) -> List[Diagnostic]:
+    """Analyze a server mutation batch against the relation's live state.
+
+    ``rows`` is the relation's current raw rows (the admission-time
+    baseline), ``snapshot_depth`` its outstanding snapshot count,
+    ``known_null`` the codec-scope membership test, ``decode`` the
+    concrete cell decoder used for token type checks.
+    """
+    return BatchLinter(
+        schema, fds, rows, snapshot_depth=snapshot_depth,
+        known_null=known_null, decode=decode,
+    ).lint(requests)

@@ -5,7 +5,7 @@ from .core import SignatureChaseCore
 from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
 from .parallel import parallel_chase
-from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards
+from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards, prune_fds
 from .session import ChaseSession, ReadLease, SessionSnapshot
 from .vector import VectorChaseState, vectorized_chase
 from .engine import (
@@ -69,6 +69,7 @@ __all__ = [
     "minimally_incomplete",
     "parallel_chase",
     "plan_shards",
+    "prune_fds",
     "vectorized_chase",
     "weakly_satisfiable",
     "x_side_substitutions",

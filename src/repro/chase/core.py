@@ -225,3 +225,7 @@ class SignatureChaseCore(ChaseState):
         while work:
             k, row = work.popleft()
             sign(k, row)
+        from ..analysis import sanitize  # local: keeps the core import-light
+
+        if sanitize.enabled():
+            sanitize.audit_core(self)

@@ -283,7 +283,10 @@ def parallel_chase(
     requires them (errors propagate instead of degrading).
     """
     if plan is None:
-        plan = plan_shards(relation.schema, fds)
+        # no cached plan: pay the (cheap, schema-level) cover pruning —
+        # an equivalent FD set chases to the identical fixpoint with
+        # fewer signature streams and firings
+        plan = plan_shards(relation.schema, fds, prune=True)
     effective = fuse_for_rows(plan, relation.rows)
     shards = effective.shards
     if not shards:

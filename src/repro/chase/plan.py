@@ -37,6 +37,69 @@ from ..core.schema import RelationSchema
 from ..core.values import is_null
 
 
+def prune_fds(
+    schema: RelationSchema, fds: Iterable[FDInput]
+) -> Tuple[Tuple[FD, ...], Tuple[FD, ...]]:
+    """An equivalent, smaller FD list for chase execution.
+
+    Returns ``(kept, dropped)``: ``kept`` is Armstrong-equivalent to the
+    input — same closure, hence by Theorem 4 the *same* chase fixpoint
+    (rows, NEC classes, substitutions) with fewer rule firings — and
+    ``dropped`` lists the input FDs (normalized) that no longer appear in
+    ``kept`` verbatim.  The passes, in order:
+
+    1. drop trivial FDs (``Y ⊆ X`` — they can never fire);
+    2. merge same-LHS FDs (``X -> Y, X -> Z  ⇒  X -> YZ`` — one
+       signature stream instead of two);
+    3. remove extraneous LHS attributes (:func:`~repro.armstrong.cover.
+       left_reduce` — narrower signatures);
+    4. drop FDs implied by the rest (:func:`~repro.armstrong.cover.
+       remove_redundant` — the cover pruning proper).
+
+    A final :func:`~repro.armstrong.implication.equivalent` check guards
+    the rewrite: if it ever failed (it cannot, but the chase's
+    correctness must not hang on "cannot"), the unpruned input is
+    returned untouched.
+    """
+    from ..armstrong.cover import left_reduce, remove_redundant
+    from ..armstrong.implication import equivalent
+
+    normalized = [as_fd(fd).validate(schema).normalized() for fd in fds]
+    working = [fd for fd in normalized if not fd.is_trivial()]
+
+    def merge_same_lhs(fd_list: List[FD]) -> List[FD]:
+        grouped: Dict[frozenset, FD] = {}
+        for fd in fd_list:
+            key = frozenset(fd.lhs)
+            prior = grouped.get(key)
+            if prior is None:
+                grouped[key] = fd
+            elif set(fd.rhs) - set(prior.rhs):
+                grouped[key] = FD(
+                    prior.lhs,
+                    prior.rhs + tuple(a for a in fd.rhs if a not in prior.rhs),
+                )
+        return list(grouped.values())
+
+    working = merge_same_lhs(working)
+    working = left_reduce(working)
+    working = merge_same_lhs(working)  # reductions can collide LHSs
+    working = remove_redundant(working)
+    if not equivalent(working, normalized):  # pragma: no cover - safety net
+        return tuple(normalized), ()
+    kept = tuple(working)
+    # multiset accounting: each kept FD absolves at most ONE input copy,
+    # so duplicates count as dropped even though their content survives
+    remaining = list(kept)
+    dropped: List[FD] = []
+    for fd in normalized:
+        if fd in remaining:
+            remaining.remove(fd)
+        else:
+            dropped.append(fd)
+    return kept, tuple(dropped)
+
+
 @dataclass(frozen=True)
 class Shard:
     """One connected component of the FD attribute graph."""
@@ -63,6 +126,8 @@ class ShardPlan:
     fds: Tuple[FD, ...]
     shards: Tuple[Shard, ...]
     bypass: Tuple[int, ...]
+    #: input FDs pruned away before sharding (empty unless ``prune=True``)
+    dropped: Tuple[FD, ...] = ()
 
     def shard_fds(self, shard: Shard) -> List[FD]:
         """The FD objects a shard owns, in input order."""
@@ -78,6 +143,8 @@ class ShardPlan:
             f"{len(self.shards)} shard(s) over {len(self.fds)} FD(s)",
             f"{len(self.bypass)} bypass column(s)",
         ]
+        if self.dropped:
+            parts.append(f"{len(self.dropped)} FD(s) pruned")
         return "; ".join(parts)
 
 
@@ -90,14 +157,24 @@ def _find(parent: List[int], item: int) -> int:
     return root
 
 
-def plan_shards(schema: RelationSchema, fds: Iterable[FDInput]) -> ShardPlan:
+def plan_shards(
+    schema: RelationSchema, fds: Iterable[FDInput], prune: bool = False
+) -> ShardPlan:
     """The structural plan: components of the FD attribute graph.
 
     Depends only on the schema and FD set, so sessions cache it across
     mutations; instance-level null sharing is handled separately by
-    :func:`fuse_for_rows`.
+    :func:`fuse_for_rows`.  With ``prune=True`` the FD set is first
+    rewritten to an equivalent cover (:func:`prune_fds`) — same fixpoint,
+    fewer rules to sign and fire; the pruned-away inputs are recorded in
+    ``plan.dropped``.
     """
-    normalized = tuple(as_fd(fd).validate(schema).normalized() for fd in fds)
+    dropped: Tuple[FD, ...] = ()
+    if prune:
+        kept, dropped = prune_fds(schema, fds)
+        normalized = kept
+    else:
+        normalized = tuple(as_fd(fd).validate(schema).normalized() for fd in fds)
     fd_cols: List[Tuple[int, ...]] = [
         tuple(sorted(set(schema.positions(fd.lhs) + schema.positions(fd.rhs))))
         for fd in normalized
@@ -130,7 +207,11 @@ def plan_shards(schema: RelationSchema, fds: Iterable[FDInput]) -> ShardPlan:
     in_shards = set(mentioned)
     bypass = tuple(c for c in range(len(schema)) if c not in in_shards)
     return ShardPlan(
-        schema=schema, fds=normalized, shards=tuple(shards), bypass=bypass
+        schema=schema,
+        fds=normalized,
+        shards=tuple(shards),
+        bypass=bypass,
+        dropped=dropped,
     )
 
 
@@ -185,4 +266,5 @@ def fuse_for_rows(plan: ShardPlan, rows: Sequence) -> ShardPlan:
         fds=plan.fds,
         shards=tuple(fused),
         bypass=plan.bypass,
+        dropped=plan.dropped,
     )

@@ -67,6 +67,7 @@ fds)`` from scratch.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -80,6 +81,28 @@ from .core import SignatureChaseCore
 from .engine import _TAG_CONST, _TAG_NOTHING, ChaseResult
 
 STRATEGY_SESSION = "session"
+
+
+def _audited(method):
+    """Run the sanitizer sweep after a successful public mutation.
+
+    A no-op unless the session opted in (``sanitize=True`` or
+    ``REPRO_SANITIZE=1``): the guard is one attribute read, so production
+    paths pay nothing.  Audits only on success — an op that raised is
+    specified to leave the state untouched, which the *next* audited op
+    will confirm against the same invariants.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        value = method(self, *args, **kwargs)
+        if self._sanitize:
+            from ..analysis.sanitize import audit_session
+
+            audit_session(self)
+        return value
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -126,7 +149,16 @@ class ChaseSession(SignatureChaseCore):
         rows: Iterable[Sequence[Any] | Row] = (),
         fast_retire: bool = True,
         workers: Optional[int] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
+        #: opt-in invariant sweep after every public mutation
+        #: (:mod:`repro.analysis.sanitize`); ``None`` defers to the
+        #: ``REPRO_SANITIZE`` environment flag
+        if sanitize is None:
+            from ..analysis.sanitize import enabled
+
+            sanitize = enabled()
+        self._sanitize = bool(sanitize)
         if isinstance(source, Relation):
             schema, initial = source.schema, list(source.rows)
         else:
@@ -229,6 +261,7 @@ class ChaseSession(SignatureChaseCore):
 
     # -- update vocabulary -------------------------------------------------
 
+    @_audited
     def insert(self, values: Sequence[Any] | Row) -> int:
         """Add a tuple and restore the fixpoint; returns its row index."""
         row = values if isinstance(values, Row) else Row(self.schema, values)
@@ -287,6 +320,7 @@ class ChaseSession(SignatureChaseCore):
             return False
         return 2 * (len(self._trail) - mark) < len(self._trail)
 
+    @_audited
     def delete(self, index: int) -> None:
         """Remove the tuple at ``index``; later rows shift down by one.
 
@@ -318,6 +352,7 @@ class ChaseSession(SignatureChaseCore):
             return
         self._rebuild(self._raw_rows[:index] + self._raw_rows[index + 1 :])
 
+    @_audited
     def replace(self, index: int, values: Sequence[Any] | Row) -> None:
         """Swap the tuple at ``index`` for a new one, in place.
 
@@ -461,6 +496,7 @@ class ChaseSession(SignatureChaseCore):
         self._stats["retire_fast"] += 1
         return True
 
+    @_audited
     def update(self, index: int, changes: Mapping[str, Any]) -> None:
         """Modify attributes of the *raw* tuple at ``index``."""
         self._check_index(index)
@@ -472,6 +508,7 @@ class ChaseSession(SignatureChaseCore):
         self._emit(("update", index, dict(changes)))
         self._replace(index, Row.from_mapping(self.schema, mapping))
 
+    @_audited
     def fill(self, index: int, attribute: str, value: Any) -> None:
         """Ground the null at ``(index, attribute)`` with a constant.
 
@@ -539,6 +576,7 @@ class ChaseSession(SignatureChaseCore):
         if not 0 <= index < len(self._raw_rows):
             raise SchemaError(f"no row at index {index}")
 
+    @_audited
     def reset(self, rows: Iterable[Sequence[Any] | Row]) -> None:
         """Replace the session's contents wholesale (level rebuild).
 
@@ -549,6 +587,7 @@ class ChaseSession(SignatureChaseCore):
         self._emit(("reset", tuple(row.values for row in materialized)))
         self._rebuild(materialized)
 
+    @_audited
     def compact(self) -> None:
         """Shed accumulated trail history (level rebuild over own rows).
 
@@ -561,6 +600,7 @@ class ChaseSession(SignatureChaseCore):
         deletes level-rebuild, which is what deep rewinds did anyway)."""
         self._rebuild(list(self._raw_rows))
 
+    @_audited
     def adopt(self) -> Dict[Null, Any]:
         """Commit the maintained fixpoint into the raw rows.
 
@@ -641,15 +681,19 @@ class ChaseSession(SignatureChaseCore):
     def plan(self):
         """The cached structural shard plan for this schema and FD set
         (:func:`repro.chase.plan.plan_shards`): FD components, their
-        columns, and the bypass columns no FD touches.  Computed lazily,
-        reused across mutations (it depends only on schema + FDs), and
-        invalidated by :meth:`set_fds`."""
+        columns, and the bypass columns no FD touches.  Cover-pruned
+        (``plan.dropped`` lists the redundant FDs) — the pruned set is
+        Armstrong-equivalent, so every verification chase it feeds
+        reaches the same fixpoint.  Computed lazily, reused across
+        mutations (it depends only on schema + FDs), and invalidated by
+        :meth:`set_fds`."""
         if self._plan is None:
             from .plan import plan_shards  # local: avoids import cycle
 
-            self._plan = plan_shards(self.schema, self.fds)
+            self._plan = plan_shards(self.schema, self.fds, prune=True)
         return self._plan
 
+    @_audited
     def set_fds(self, fds: Iterable[FDInput]) -> None:
         """Swap the session's FD set and re-chase (level rebuild).
 
@@ -710,6 +754,7 @@ class ChaseSession(SignatureChaseCore):
             tuple(self._raw_rows),
         )
 
+    @_audited
     def rollback(self, token: SessionSnapshot) -> None:
         """Restore the state :meth:`snapshot` captured.
 

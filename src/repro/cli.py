@@ -334,9 +334,36 @@ def _cmd_session(args: argparse.Namespace) -> int:
     try:
         run_script(target, _read_script(args.script))
     except ScriptError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"error: {error.diagnostic().render()}", file=sys.stderr)
         status = 2
     return _finish_script(target, status, args.stats)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_script, render_report
+
+    fds = FDSet.parse(args.fds)
+    rows = None
+    if args.data:
+        relation = load_relation(args.data, parse_domains(args.domain))
+        schema, rows = relation.schema, relation.rows
+    elif args.attrs:
+        schema = RelationSchema(
+            "R", args.attrs, domains=parse_domains(args.domain) or None
+        )
+    else:
+        raise ReproError("lint needs --data or --attrs")
+    diagnostics = lint_script(
+        schema, fds, _read_script(args.script), rows=rows, durable=args.db
+    )
+    if not diagnostics:
+        print("clean: no diagnostics")
+        return 0
+    print(render_report(diagnostics))
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = len(diagnostics) - errors
+    print(f"{errors} error(s), {warnings} warning(s)")
+    return 2 if errors else 1
 
 
 def _format_stats(target) -> str:
@@ -388,7 +415,7 @@ def _cmd_db_ingest(args: argparse.Namespace) -> int:
             try:
                 run_script(relation, _read_script(args.script))
             except ScriptError as error:
-                print(f"error: {error}", file=sys.stderr)
+                print(f"error: {error.diagnostic().render()}", file=sys.stderr)
                 status = 2
         return _finish_script(relation, status, args.stats)
 
@@ -592,6 +619,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded parallel verification re-chases across N processes",
     )
     session.set_defaults(func=_cmd_session)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyze an op script without executing it "
+        "(exit 0 clean / 1 warnings / 2 errors)",
+    )
+    lint.add_argument("--data", help="CSV file with the initial instance")
+    lint.add_argument("--attrs", help='start empty over e.g. "A B C"')
+    lint.add_argument("--fds", required=True)
+    lint.add_argument(
+        "--script",
+        default="-",
+        help="operation script path, or - for stdin (the default)",
+    )
+    lint.add_argument("--domain", action="append", metavar="ATTR=v1,v2")
+    lint.add_argument(
+        "--db",
+        action="store_true",
+        help="lint with repro db ingest semantics (checkpoint is legal)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     db = commands.add_parser(
         "db", help="durable multi-relation databases (write-ahead op log)"

@@ -110,6 +110,16 @@ class ValueCodec:
         """
         return dict(self._objects)
 
+    def knows(self, canonical: str) -> bool:
+        """Has this scope minted (or decoded) the canonical null id?
+
+        Unlike :meth:`object_of`, asking never mints: this is the static
+        membership test the batch linter uses to flag references to nulls
+        the relation has never named (lenient decoding would silently
+        materialize a fresh unknown instead).
+        """
+        return canonical in self._objects
+
     def object_of(self, canonical: str) -> Null:
         """The null object behind a canonical id (creating it if unseen —
         see the class docstring on lenient decoding)."""

@@ -155,6 +155,11 @@ class ManagedRelation:
         """Decode one wire/log cell token (shared nulls keep identity)."""
         return self._codec.decode(token)
 
+    def knows_null(self, canonical: str) -> bool:
+        """Has this relation's codec scope ever named this null id?
+        (Static check only — decoding stays lenient.)"""
+        return self._codec.knows(canonical)
+
     # -- mutation proxies --------------------------------------------------
 
     def insert(self, values: Sequence[Any] | Row) -> int:
@@ -250,6 +255,19 @@ class ManagedRelation:
         parallel executor (default: the session's own setting)."""
         return verify_fixpoint(self.session, workers=workers)
 
+    def audit(self) -> None:
+        """One sanitizer sweep over this relation, explicitly.
+
+        Runs :func:`repro.analysis.sanitize.audit_relation` — the session
+        audit plus the durable bookkeeping (``checkpoint_seq <= seq``, WAL
+        record/seq contiguity in direct-append mode) — regardless of the
+        ``REPRO_SANITIZE`` flag.  Raises
+        :class:`~repro.errors.SanitizerError` on the first violation.
+        """
+        from ..analysis.sanitize import audit_relation
+
+        audit_relation(self)
+
     # -- checkpointing -----------------------------------------------------
 
     def checkpoint(self) -> int:
@@ -293,6 +311,10 @@ class ManagedRelation:
         absorbed = self._seq - self._checkpoint_seq
         self._wal.truncate()
         self._checkpoint_seq = self._seq
+        from ..analysis import sanitize  # local: keeps the layer import-light
+
+        if sanitize.enabled():
+            sanitize.audit_relation(self)
         return absorbed
 
     def close(self) -> None:
@@ -444,10 +466,15 @@ class Database:
             "rows": len(session),
         }
         wal = OpLog(wal_path, sync=self.sync)
-        return ManagedRelation(
+        managed = ManagedRelation(
             name, directory, session, codec, wal, seq, base_seq, info,
             snapshots=snapshots,
         )
+        from ..analysis import sanitize  # local: keeps the layer import-light
+
+        if sanitize.enabled():
+            sanitize.audit_relation(managed)
+        return managed
 
     def close(self) -> None:
         """Flush and close every relation's log handle (idempotent)."""
@@ -593,3 +620,10 @@ class Database:
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {name: rel.stats() for name, rel in sorted(self._relations.items())}
+
+    def audit(self) -> None:
+        """Sanitizer sweep over every open relation (explicit, un-gated).
+        Raises :class:`~repro.errors.SanitizerError` on the first
+        violation; see :meth:`ManagedRelation.audit`."""
+        for relation in self._relations.values():
+            relation.audit()

@@ -93,9 +93,48 @@ class ScriptError(ReproError):
 
     Carries the failing op's location so the CLI can point at it:
     ``line`` is the 1-based line number, ``text`` the op text as written.
+    ``code`` is the diagnostic code from :mod:`repro.analysis.diagnostics`
+    (classified from ``cause`` when not given explicitly), so runtime
+    failures and static ``repro lint`` findings report identically.
     """
 
-    def __init__(self, line: int, text: str, cause: Exception | str) -> None:
+    def __init__(
+        self,
+        line: int,
+        text: str,
+        cause: Exception | str,
+        code: str | None = None,
+    ) -> None:
         self.line = line
         self.text = text
+        self.cause = cause
+        if code is None:
+            from .analysis.diagnostics import classify_cause
+
+            code = classify_cause(cause)
+        self.code = code
         super().__init__(f"line {line}: {text!r}: {cause}")
+
+    def diagnostic(self):
+        """This failure as a :class:`repro.analysis.Diagnostic` — the same
+        schema ``repro lint`` and the server's batch pre-pass emit."""
+        from .analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            code=self.code, line=self.line, op=self.text, message=str(self.cause)
+        )
+
+
+class SanitizerError(ReproError):
+    """An engine structural invariant was violated (sanitizer finding).
+
+    Raised only when the opt-in invariant sanitizer
+    (:mod:`repro.analysis.sanitize`, armed via ``REPRO_SANITIZE=1`` or
+    ``sanitize=True``) audits a core/session/database after a mutation and
+    finds its mirrored structures out of sync — an occurrence-index entry
+    pointing at a cell whose class root moved, a signature bucket whose
+    members disagree with the recorded signatures, a slot-indirection table
+    that stopped being injective, a WAL whose seq numbers skipped.  The
+    message names the structure, the keys involved, and both sides of the
+    disagreement.
+    """

@@ -160,11 +160,49 @@ class ReproServer:
         if verb == "checkpoint":
             absorbed = await writer.checkpoint()
             return _ok(request_id, absorbed=absorbed, seq=relation.seq)
+        if verb == "batch":
+            return await self._batch(relation, writer, request, request_id)
         if verb in protocol.MUTATION_VERBS:
             apply_fn = protocol.mutation(relation, verb, request)
             fields = await writer.submit(apply_fn)
             return _ok(request_id, **fields)
         raise ReproError(f"unknown verb {verb!r}")
+
+    async def _batch(
+        self, relation, writer: RelationWriter, request: dict, request_id: Any
+    ) -> dict:
+        """Lint-gated contiguous application of several mutation ops.
+
+        The static pre-pass (:func:`protocol.lint_batch`) runs on the
+        event loop against the relation's current rows — exact, because
+        the writer applies an admitted batch as one queue item, so no op
+        can interleave and move the baseline.  A batch with any
+        error-severity finding is refused *here*: nothing is enqueued, no
+        group-commit slot is taken, no WAL byte is written.  Warnings
+        (e.g. a provable FD conflict, which executes but poisons) ride
+        along in the response either way.
+        """
+        ops = request.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ReproError("'batch' needs 'ops' (a non-empty array of ops)")
+        diagnostics = protocol.lint_batch(relation, ops)
+        payloads = [diagnostic.to_payload() for diagnostic in diagnostics]
+        if any(d.severity == "error" for d in diagnostics):
+            errors = sum(1 for d in diagnostics if d.severity == "error")
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"batch refused by lint: {errors} error(s)",
+                "diagnostics": payloads,
+            }
+        apply_fns = [
+            protocol.mutation(relation, op.get("do"), op) for op in ops
+        ]
+        outcomes = await writer.submit_many(apply_fns)
+        fields: Dict[str, Any] = {"results": outcomes}
+        if payloads:
+            fields["diagnostics"] = payloads  # warnings only, by now
+        return _ok(request_id, **fields)
 
     async def _create(self, request: dict, request_id: Any) -> dict:
         name = request.get("name")

@@ -175,6 +175,29 @@ def mutation(
     return run
 
 
+def lint_batch(relation: ManagedRelation, requests: Any) -> list:
+    """Statically check a mutation batch against the relation's live state.
+
+    The server's fast-reject pre-pass: no closure is built, nothing is
+    enqueued, no WAL byte moves.  Returns
+    :class:`repro.analysis.Diagnostic` findings — error severity means
+    the batch is provably doomed (the writer would fail the op at apply
+    time) and must be refused before it consumes a group-commit slot.
+    """
+    from ..analysis import lint_requests
+
+    session = relation.session
+    return lint_requests(
+        session.schema,
+        session.fds,
+        requests,
+        rows=[row.values for row in session.rows],
+        snapshot_depth=relation.outstanding_snapshots,
+        known_null=relation.knows_null,
+        decode=relation.decode_value,
+    )
+
+
 def encode_line(payload: dict) -> bytes:
     return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
         "utf-8"

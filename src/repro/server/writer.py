@@ -43,6 +43,20 @@ class _Checkpoint:
     """Queue marker for an explicit, writer-serialized checkpoint."""
 
 
+class _Batch:
+    """Queue marker bundling several op closures into ONE queue item.
+
+    The writer applies the bundle contiguously — no op from another
+    client can interleave — which is what makes the batch linter's
+    admission-time index bounds exact.
+    """
+
+    __slots__ = ("apply_fns",)
+
+    def __init__(self, apply_fns: list) -> None:
+        self.apply_fns = apply_fns
+
+
 class RelationWriter:
     """The single mutator of one served relation."""
 
@@ -90,6 +104,19 @@ class RelationWriter:
         after the op record it journalled (if any) is durable."""
         future = asyncio.get_running_loop().create_future()
         await self._queue.put((apply_fn, future))
+        return await future
+
+    async def submit_many(self, apply_fns: list) -> list:
+        """Run several mutation closures contiguously (one queue item).
+
+        Returns one outcome object per closure (``{"ok": True, ...}``
+        with the op's response fields, or ``{"ok": False, "error": ...}``),
+        resolved only after the last record the batch journalled is
+        durable — the committer acks staged records in order, so the last
+        record's durability covers the whole batch.
+        """
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((_Batch(list(apply_fns)), future))
         return await future
 
     async def checkpoint(self) -> Any:
@@ -160,6 +187,52 @@ class RelationWriter:
                 future.set_exception(record_future.exception())
             else:
                 future.set_result(value)
+
+        staged.add_done_callback(_ack)
+
+    def _apply_batch(self, batch: _Batch, future: "asyncio.Future") -> None:
+        """Apply a bundle contiguously; one ack covers every outcome.
+
+        A failing op is recorded in its outcome slot and the bundle
+        continues — per-op atomicity, exactly as if the ops had been
+        submitted singly, just without interleaving.
+        """
+        if future.done():
+            return
+        if self.committer.failed is not None:
+            self._refuse(future)
+            return
+        outcomes: list = []
+        staged = None
+        for apply_fn in batch.apply_fns:
+            self._last_staged = None
+            try:
+                value = apply_fn()
+            except Exception as error:
+                outcomes.append(
+                    {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                )
+                continue
+            self.ops_applied += 1
+            if self._last_staged is not None:
+                staged = self._last_staged
+            outcomes.append({"ok": True, **(value or {})})
+        if staged is None:
+            # nothing journalled (every op failed validation, or the
+            # bundle was read-only): ack immediately
+            if not future.done():
+                future.set_result(outcomes)
+            return
+
+        def _ack(record_future: "asyncio.Future") -> None:
+            if future.done():
+                return
+            if record_future.cancelled():
+                future.cancel()
+            elif record_future.exception() is not None:
+                future.set_exception(record_future.exception())
+            else:
+                future.set_result(outcomes)
 
         staged.add_done_callback(_ack)
 
@@ -237,6 +310,8 @@ class RelationWriter:
                     stopping = True
                 elif apply_fn is _Checkpoint:
                     await self._checkpoint_now(future)
+                elif isinstance(apply_fn, _Batch):
+                    self._apply_batch(apply_fn, future)
                 else:
                     self._apply(apply_fn, future)
             await self._maybe_checkpoint()

@@ -1,0 +1,191 @@
+"""The invariant sanitizer: green on healthy engines, loud on tampering.
+
+Each tampering test corrupts exactly one mirror/discipline the audits
+cover and asserts a :class:`SanitizerError` naming that structure — the
+sanitizer's precision is the point: a violation report must say *which*
+invariant broke, not just "something is off".
+"""
+
+import pytest
+
+from repro.analysis import audit_core, audit_relation, audit_session
+from repro.analysis.sanitize import enabled
+from repro.chase.session import ChaseSession
+from repro.core.schema import RelationSchema
+from repro.core.values import null
+from repro.errors import SanitizerError
+
+SCHEMA = RelationSchema("R", "A B C")
+FDS = ["A -> B", "B -> C"]
+
+
+def healthy_session(**kwargs):
+    session = ChaseSession(SCHEMA, FDS, **kwargs)
+    session.insert(("a1", null(), "c1"))
+    session.insert(("a1", "b1", null()))
+    session.insert(("a2", "b2", "c2"))
+    session.delete(1)
+    session.fill(0, "B", "b7")
+    return session
+
+
+class TestEnvironmentFlag:
+    def test_enabled_reads_the_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert enabled()
+
+    def test_constructor_flag_overrides_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert ChaseSession(SCHEMA, FDS, sanitize=True)._sanitize
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert not ChaseSession(SCHEMA, FDS, sanitize=False)._sanitize
+
+
+class TestHealthyStates:
+    def test_session_audits_clean_after_every_op_kind(self):
+        session = healthy_session()
+        audit_session(session)
+        session.update(0, {"C": "c9"})
+        audit_session(session)
+        snap = session.snapshot()
+        session.insert(("a9", "b9", "c9"))
+        session.rollback(snap)
+        audit_session(session)
+        session.adopt()
+        session.compact()
+        audit_session(session)
+
+    def test_poisoned_session_still_audits_clean(self):
+        session = ChaseSession(SCHEMA, ["A -> B"], sanitize=True)
+        session.insert(("a", "b1", "c"))
+        session.insert(("a", "b2", "c"))  # conflict: poisons, never corrupts
+        assert session.has_nothing
+        audit_session(session)
+
+    def test_sanitizing_session_self_audits_on_mutators(self):
+        # the decorator path: every public op sweeps without raising
+        healthy_session(sanitize=True)
+
+    def test_audit_core_accepts_a_quiescent_session(self):
+        audit_core(healthy_session())
+
+
+class TestTamperingDetection:
+    def test_occurrence_index_mismatch(self):
+        session = healthy_session()
+        root = next(iter(session._occ))
+        session._occ[root] = session._occ[root] + [(999, 0)]
+        with pytest.raises(SanitizerError, match="occ"):
+            audit_session(session)
+
+    def test_members_sigs_mirror_break(self):
+        session = healthy_session()
+        key = next(iter(session._members))
+        bucket = session._members[key]
+        bucket[4242] = True
+        with pytest.raises(SanitizerError, match="bucket"):
+            audit_session(session)
+
+    def test_signature_drift(self):
+        session = healthy_session()
+        key = next(iter(session._sigs))
+        session._sigs[key] = ("no", "such", "signature")
+        with pytest.raises(SanitizerError):
+            audit_session(session)
+
+    def test_tag_on_a_non_root(self):
+        session = healthy_session()
+        dead = object()
+        session.tags[len(session.uf.parent) + 10] = ("const", dead)
+        with pytest.raises(SanitizerError, match="tags"):
+            audit_session(session)
+
+    def test_weight_below_occurrence_count(self):
+        session = healthy_session()
+        root = max(session._occ, key=lambda r: len(session._occ[r]))
+        session.uf.weight[root] = 0
+        with pytest.raises(SanitizerError, match="weight"):
+            audit_session(session)
+
+    def test_slot_table_break(self):
+        session = healthy_session()
+        session._slots[0] = session._slots[1]  # injectivity gone
+        with pytest.raises(SanitizerError, match="slot"):
+            audit_session(session)
+
+    def test_trail_identity_break(self):
+        session = healthy_session()
+        session.uf.trail = []  # journal detached from the session's trail
+        with pytest.raises(SanitizerError, match="trail"):
+            audit_session(session)
+
+    def test_null_registry_leak(self):
+        session = healthy_session()
+        ghost = null()
+        session._null_nodes[id(ghost)] = 0
+        session._null_objects[id(ghost)] = ghost
+        with pytest.raises(SanitizerError, match="null"):
+            audit_session(session)
+
+    def test_raw_constant_tag_drift(self):
+        session = healthy_session()
+        slot = session._slots[0]
+        node = session.cells[slot][0]
+        root = session.uf.find(node)
+        session.tags[root] = ("const", "someone-else")
+        with pytest.raises(SanitizerError):
+            audit_session(session)
+
+
+class TestRelationAudits:
+    def test_durable_relation_audits_clean_through_its_lifecycle(self, tmp_path):
+        from repro.db import Database
+
+        with Database.open(tmp_path / "db", sync="flush", create=True) as db:
+            relation = db.create("r", "A B C", FDS)
+            relation.insert(("a1", null(), "c1"))
+            relation.insert(("a2", "b2", "c2"))
+            audit_relation(relation)
+            db.audit()
+            # regression: scan() returns (records, good_bytes, TORN) — an
+            # early sanitizer read the third element inverted and failed
+            # every audit of a freshly-truncated (empty, clean) log
+            relation.checkpoint()
+            audit_relation(relation)
+            relation.fill(0, "B", "b9")
+            audit_relation(relation)
+
+    def test_wal_seq_drift_detected(self, tmp_path):
+        from repro.db import Database
+
+        with Database.open(tmp_path / "db", sync="flush", create=True) as db:
+            relation = db.create("r", "A B C", FDS)
+            relation.insert(("a1", "b1", "c1"))
+            relation._seq += 1  # counter ahead of the journal
+            with pytest.raises(SanitizerError, match="wal"):
+                audit_relation(relation)
+
+    def test_torn_wal_tail_detected(self, tmp_path):
+        from repro.db import Database
+
+        with Database.open(tmp_path / "db", sync="flush", create=True) as db:
+            relation = db.create("r", "A B C", FDS)
+            relation.insert(("a1", "b1", "c1"))
+            with open(relation.wal.path, "ab") as handle:
+                handle.write(b'{"seq": 2, "op"')  # mid-append torn record
+            with pytest.raises(SanitizerError, match="torn"):
+                audit_relation(relation)
+
+    def test_recovery_audits_when_flag_set(self, tmp_path, monkeypatch):
+        from repro.db import Database
+
+        with Database.open(tmp_path / "db", sync="flush", create=True) as db:
+            relation = db.create("r", "A B C", FDS)
+            relation.insert(("a1", null(), "c1"))
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with Database.open(tmp_path / "db", sync="flush") as db:
+            assert len(db.relation("r")) == 1

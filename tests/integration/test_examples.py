@@ -33,6 +33,7 @@ def test_examples_directory_complete():
         "update_workflow.py",
         "durability_tour.py",
         "server_tour.py",
+        "lint_tour.py",
     } <= names
 
 
@@ -107,6 +108,19 @@ def test_server_tour():
     assert "read equals the acked prefix: True" in out
     assert "zip -> city weakly satisfied while serving: True" in out
     assert "recovered fixpoint verified: True" in out
+
+
+def test_lint_tour():
+    out = run_example("lint_tour.py")
+    assert "one pass over 8 lines: 6 finding(s)" in out
+    assert "E_ARITY" in out and "E_BAD_INDEX" in out
+    assert "E_UNKNOWN_ATTR" in out and "E_FILL_CONST" in out
+    assert "E_ROLLBACK_UNDERFLOW" in out
+    assert "errors: 5, warnings: 1" in out
+    assert "clean script: 0 finding(s) (errors: False)" in out
+    assert "lint-clean script executed without raising: True" in out
+    assert "line 2: E_FD_CONFLICT (warning)" in out
+    assert "line 3: E_FD_CONFLICT (error)" in out
 
 
 def test_update_workflow():

@@ -94,6 +94,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR5.json",
         "BENCH_PR6.json",
         "BENCH_PR7.json",
+        "BENCH_PR8.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -169,6 +170,19 @@ def test_pr5_baseline_records_durability_series():
     )
 
 
+def test_pr8_baseline_records_pruning_series():
+    """BENCH_PR8.json carries the E5d cover-pruning series: the pruned
+    plan must beat the spelled-out transitive-closure FD set by >= 1.2x
+    at the largest configuration (the PR 8 acceptance floor)."""
+    report = json.loads((REPO_ROOT / "BENCH_PR8.json").read_text())
+    e5 = report["benchmarks"]["bench_e5_chase_scaling"]
+    assert e5["status"] == "ok"
+    key = "cover-pruning speedup at largest configuration"
+    assert e5["speedups"][key] >= 1.2
+    assert "unpruned plan chase wall s by width" in e5["series"]
+    assert "pruned plan chase wall s by width" in e5["series"]
+
+
 def test_quick_discovery_includes_a3(tmp_path):
     """--quick (no --ablations) runs the durability series too."""
     proc, out = _run_quick(tmp_path, only=("a3",))
@@ -201,7 +215,7 @@ def _run_compare(fresh_path, *extra):
 
 #: the latest committed baseline — compare.py's default reference, and the
 #: doctoring source for the negative-path tests below
-LATEST_BASELINE = "BENCH_PR7.json"
+LATEST_BASELINE = "BENCH_PR8.json"
 
 
 def test_compare_accepts_the_baseline_against_itself():
