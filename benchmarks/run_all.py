@@ -29,9 +29,10 @@ fast perf smoke test.  Results land in a JSON file::
 Per-benchmark wall times plus every printed log-log slope, "...x"
 speedup line, and ``series <label>: v1 v2 ...`` per-size series are
 captured, giving later PRs a perf trajectory to compare against
-(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR8.json`` — the
-latest adds bench_e5's E5d cover-pruning series: pruned vs unpruned
-plan wall times on a transitive-closure FD workload).
+(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR9.json`` — the
+latest adds bench_q1's query series: least vs kleene evaluation wall
+times over a size × null-density ladder, plus writer ack gaps under
+query-verb readers).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` / ``series`` — is guarded by
@@ -73,8 +74,13 @@ def discover(only: list[str], ablations: bool) -> list[Path]:
     # insert/delete/update series is the maintained-session perf baseline
     # (BENCH_PR3.json) and runs in --quick too.  bench_a3 (durability:
     # WAL overhead + recovery-vs-checkpoint-cadence) joined it in PR 5,
-    # bench_s1 (serving: group commit + snapshot readers) in PR 7.
-    patterns = ["bench_e*.py", "bench_a2*.py", "bench_a3*.py", "bench_s*.py"] + (
+    # bench_s1 (serving: group commit + snapshot readers) in PR 7, and
+    # bench_q1 (querying: certain/maybe evaluation + query readers) in
+    # PR 9.
+    patterns = [
+        "bench_e*.py", "bench_a2*.py", "bench_a3*.py", "bench_s*.py",
+        "bench_q*.py",
+    ] + (
         ["bench_a*.py"] if ablations else []
     )
     scripts: list[Path] = []
@@ -172,14 +178,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR8.json at the repo root "
+        help="output JSON path (default: BENCH_PR9.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR8.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR9.json")
         )
 
     scripts = discover(args.only, args.ablations)

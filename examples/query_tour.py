@@ -1,0 +1,149 @@
+"""Tour of the query layer: certain and maybe answers over incomplete
+relations.
+
+Walks the PR 9 surface end to end:
+
+1. a disjunctive select where *least-extension* evaluation proves rows
+   certain that truth-functional (Kleene) evaluation can only call
+   maybe — the paper's central point about evaluating queries over
+   nulls;
+2. a join across two relations sharing one null, where the shared
+   unknown makes the joined row certain while a distinct null would
+   leave it maybe;
+3. query results as first-class relations: a maybe-answer materializes
+   (nulls intact, by identity) and seeds a chase session;
+4. the server's ``query`` verb: the same evaluation over a leased
+   consistent cut, tagged with the journal seq it equals (``as_of``).
+
+Run: ``PYTHONPATH=src python examples/query_tour.py``
+"""
+
+import asyncio
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import ChaseSession, Domain, FDSet, Relation, RelationSchema, null
+from repro.query import MODE_KLEENE, MODE_LEAST, evaluate, parse_query
+from repro.server import ReproServer
+
+
+def show(title, result):
+    print(f"\n{title}")
+    print(f"  certain: {sorted(map(str, result.certain))}")
+    print(f"  maybe:   {sorted(map(str, result.maybe))}")
+
+
+def banner(text):
+    print(f"\n=== {text} ===")
+
+
+# ---------------------------------------------------------------------------
+# 1. Kleene vs least-extension evaluation
+# ---------------------------------------------------------------------------
+
+banner("kleene vs least: a domain-exhausting disjunction")
+
+dept_domain = Domain(["sales", "eng"], name="dept")
+emp_schema = RelationSchema("emp", "name dept", domains={"dept": dept_domain})
+emp = Relation(
+    emp_schema,
+    [["ann", "sales"], ["bob", null()]],
+)
+
+query = parse_query("emp where dept = 'sales' or dept = 'eng'")
+kleene = evaluate(query, {"emp": emp}, mode=MODE_KLEENE)
+least = evaluate(query, {"emp": emp}, mode=MODE_LEAST)
+
+# bob's department is unknown — but it is SOME department, and the
+# disjunction covers the whole (finite) domain.  Kleene evaluation is
+# truth-functional: unknown or unknown = unknown, so bob stays maybe.
+# Least-extension evaluation grounds the condition over the consistent
+# domain and finds it true in every completion: bob is certain.
+show("kleene (truth-functional):", kleene)
+show("least (the paper's semantics):", least)
+assert len(kleene.certain) == 1 and len(kleene.maybe) == 1
+assert len(least.certain) == 2 and len(least.maybe) == 0
+print("\nleast evaluation promoted bob: the disjunction exhausts the domain")
+
+# ---------------------------------------------------------------------------
+# 2. a join where one shared null decides certainty
+# ---------------------------------------------------------------------------
+
+banner("joins and shared nulls")
+
+unknown_dept = null()
+emp2 = Relation(emp_schema, [["carol", unknown_dept]])
+# declare dept's domain here too: both relations' unknowns range over
+# the same set of departments, so the evaluator can compare them
+mgr_schema = RelationSchema("mgr", "dept boss", domains={"dept": dept_domain})
+mgr = Relation(mgr_schema, [[unknown_dept, "dana"]])
+
+joined = evaluate(parse_query("emp join mgr"), {"emp": emp2, "mgr": mgr})
+show("emp join mgr (ONE null shared across both relations):", joined)
+# whatever carol's department is, it is the SAME unknown the mgr row
+# names, so the join holds in every completion
+assert len(joined.certain) == 1
+
+mgr_distinct = Relation(mgr_schema, [[null(), "dana"]])
+joined_distinct = evaluate(
+    parse_query("emp join mgr"), {"emp": emp2, "mgr": mgr_distinct}
+)
+show("the same join with two DISTINCT nulls:", joined_distinct)
+assert len(joined_distinct.certain) == 0
+assert len(joined_distinct.maybe) == 1
+print("\nnull identity is semantics: shared null -> certain, distinct -> maybe")
+
+# ---------------------------------------------------------------------------
+# 3. query results are first-class: feed a chase
+# ---------------------------------------------------------------------------
+
+banner("query result -> relation -> chase input")
+
+materialized = joined.relation(name="staffing")
+print(f"\nmaterialized scheme: {materialized.schema.attributes}")
+session = ChaseSession(materialized.schema, FDSet.parse("name -> dept boss"))
+for row in materialized.rows:
+    session.insert(list(row.values))
+outcome = session.result()
+print(f"chased rows: {[tuple(map(str, r.values)) for r in outcome.relation.rows]}")
+assert not outcome.has_nothing
+
+# ---------------------------------------------------------------------------
+# 4. the server's query verb
+# ---------------------------------------------------------------------------
+
+banner("the server query verb: evaluation at a consistent cut")
+
+
+async def serve_and_query(root: Path):
+    server = ReproServer(root / "db", sync="flush", create=True)
+    await server.start()
+    await server.handle(
+        {"do": "create", "name": "emp", "attrs": "name dept", "fds": []}
+    )
+    await server.handle(
+        {"id": 1, "do": "insert", "rel": "emp", "row": ["ann", "sales"]}
+    )
+    await server.handle(
+        {"id": 2, "do": "insert", "rel": "emp", "row": ["bob", {"n": None}]}
+    )
+    reply = await server.handle(
+        {"id": 3, "do": "query", "q": "emp[name]", "mode": "least"}
+    )
+    await server.stop()
+    return reply
+
+
+root = Path(tempfile.mkdtemp(prefix="query_tour_"))
+try:
+    reply = asyncio.run(serve_and_query(root))
+finally:
+    shutil.rmtree(root, ignore_errors=True)
+
+assert reply["ok"] and reply["v"] == 1
+print(f"\nanswer as_of journal seq: {reply['certain']['as_of']}")
+print(f"certain names: {sorted(r[0] for r in reply['certain']['rows'])}")
+assert reply["certain"]["as_of"] == 2
+assert sorted(r[0] for r in reply["certain"]["rows"]) == ["ann", "bob"]
+print("\nevery answer is a serial prefix: as_of names the cut it equals")

@@ -21,6 +21,8 @@ from .check import (
     SCRIPT_OPS,
     ScriptLinter,
     has_errors,
+    lint_query_request,
+    lint_query_script,
     lint_requests,
     lint_script,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "audit_session",
     "classify_cause",
     "has_errors",
+    "lint_query_request",
+    "lint_query_script",
     "lint_requests",
     "lint_script",
     "render_report",

@@ -37,7 +37,7 @@ warnings only, 2 on errors.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..armstrong import attribute_closure
 from ..core.fd import FD, FDInput, as_fd
@@ -45,28 +45,8 @@ from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.values import Null, is_null
 from ..errors import CodecError
+from ..opschema import NULL_TOKENS, SCRIPT_OPS
 from .diagnostics import Diagnostic
-
-#: the script vocabulary (mirrors :func:`repro.cli.run_script` exactly)
-SCRIPT_OPS = (
-    "insert",
-    "delete",
-    "update",
-    "replace",
-    "fill",
-    "adopt",
-    "snapshot",
-    "rollback",
-    "checkpoint",
-    "check",
-    "stats",
-    "show",
-    "explain",
-)
-
-#: mirrors ``repro.cli.NULL_TOKENS`` (kept here so the analysis layer
-#: does not import the CLI)
-NULL_TOKENS = ("", "-", "NULL", "null")
 
 _CONVENTIONS = ("weak", "strong")
 
@@ -608,20 +588,10 @@ def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
 # server batches
 # ---------------------------------------------------------------------------
 
-#: duplicated from repro.server.protocol to keep this layer server-free;
-#: tests/analysis/test_batch_lint.py pins the two tuples equal
-BATCH_VERBS = (
-    "insert",
-    "delete",
-    "update",
-    "replace",
-    "fill",
-    "reset",
-    "adopt",
-    "snapshot",
-    "rollback",
-    "discard",
-)
+#: re-exported from :mod:`repro.opschema` — the server's
+#: ``MUTATION_VERBS`` derives from the same table, so the two tuples
+#: cannot drift (tests/analysis/test_batch_lint.py pins them equal)
+from ..opschema import BATCH_VERBS  # noqa: E402
 
 
 def _summarize_request(request: Any) -> str:
@@ -998,3 +968,123 @@ def lint_requests(
         schema, fds, rows, snapshot_depth=snapshot_depth,
         known_null=known_null, decode=decode,
     ).lint(requests)
+
+
+# ---------------------------------------------------------------------------
+# query scripts and the query verb
+# ---------------------------------------------------------------------------
+
+_QUERY_MODES = ("least", "kleene")
+
+
+def _query_diag(code, line, op, message, hint=""):
+    return Diagnostic(code=code, line=line, op=op, message=message, hint=hint)
+
+
+def lint_query_script(
+    catalog: Mapping[str, RelationSchema], lines: Iterable[str]
+) -> List[Diagnostic]:
+    """Statically check a ``repro query`` script against a catalog.
+
+    One diagnostic per failing statement, pinned to its 1-based line
+    number: parse failures as ``E_BAD_REQUEST``, scans of relations the
+    catalog lacks as ``E_UNKNOWN_RELATION``, attribute/scheme mistakes
+    as ``E_UNKNOWN_ATTR`` / ``E_ARITY`` (the same
+    :func:`repro.query.algebra.output_schema` checker the evaluator and
+    the server run, so lint verdicts match execution exactly).
+    Bindings accumulate like the REPL's; a statement that failed does
+    not bind, and later uses of its name surface as unknown relations.
+    """
+    from ..query.algebra import QueryError, output_schema
+    from ..query.parser import QueryParseError, parse_statement
+
+    diagnostics: List[Diagnostic] = []
+    bindings: Dict[str, Any] = {}
+    for lineno, raw_line in enumerate(lines, start=1):
+        op_text = raw_line.strip()
+        try:
+            statement = parse_statement(raw_line, bindings)
+        except QueryParseError as error:
+            diagnostics.append(
+                _query_diag(
+                    "E_BAD_REQUEST", lineno, op_text, str(error),
+                    hint="syntax: scan | where | [attrs] | rename | join "
+                    "| union | minus",
+                )
+            )
+            continue
+        if statement.kind == "blank":
+            continue
+        assert statement.node is not None
+        try:
+            output_schema(statement.node, catalog)
+        except QueryError as error:
+            hint = ""
+            if error.code == "E_UNKNOWN_RELATION" and bindings:
+                # the message lists catalog relations; bound names are
+                # also scannable here, so surface them too
+                hint = f"bound here: {', '.join(sorted(bindings))}"
+            diagnostics.append(
+                _query_diag(error.code, lineno, op_text, str(error), hint)
+            )
+            continue
+        if statement.kind == "bind":
+            assert statement.name is not None
+            bindings[statement.name] = statement.node
+    return diagnostics
+
+
+def lint_query_request(
+    catalog: Mapping[str, RelationSchema],
+    request: Any,
+    line: int = 0,
+) -> List[Diagnostic]:
+    """Statically check one wire ``query`` request (no evaluation).
+
+    The serving layer runs this as its admission gate, exactly like the
+    batch pre-pass: a request with any error-severity finding is refused
+    before a single relation is leased.  ``line`` is the request index
+    in the server's refusal payload convention (0-based).
+    """
+    from ..query.algebra import QueryError, output_schema
+    from ..query.parser import QueryParseError, parse_query
+
+    summary = _summarize_request(request)
+    if not isinstance(request, dict):
+        return [
+            _query_diag(
+                "E_BAD_REQUEST", line, summary, "request must be an object"
+            )
+        ]
+    text = request.get("q")
+    if not isinstance(text, str) or not text.strip():
+        return [
+            _query_diag(
+                "E_BAD_REQUEST", line, summary,
+                "'query' needs 'q' (a non-empty query string)",
+            )
+        ]
+    diagnostics: List[Diagnostic] = []
+    mode = request.get("mode", "least")
+    if mode not in _QUERY_MODES:
+        diagnostics.append(
+            _query_diag(
+                "E_BAD_REQUEST", line, summary,
+                f"unknown evaluation mode {mode!r}",
+                hint=f"modes: {', '.join(_QUERY_MODES)}",
+            )
+        )
+    try:
+        node = parse_query(text)
+    except QueryParseError as error:
+        diagnostics.append(
+            _query_diag("E_BAD_REQUEST", line, summary, str(error))
+        )
+        return diagnostics
+    try:
+        output_schema(node, catalog)
+    except QueryError as error:
+        diagnostics.append(
+            _query_diag(error.code, line, summary, str(error))
+        )
+    return diagnostics

@@ -47,6 +47,8 @@ CODES: Dict[str, str] = {
     # -- server batch requests ---------------------------------------------
     "E_BAD_REQUEST": "request is not a well-formed op object",
     "E_UNKNOWN_VERB": "verb is not a mutation verb",
+    # -- query scripts and the query verb ----------------------------------
+    "E_UNKNOWN_RELATION": "query scans a relation the catalog does not have",
     "E_BAD_CELL": "cell token is not decodable",
     "E_UNKNOWN_NULL": "canonical null id was never minted by this relation",
     # -- runtime fallback ----------------------------------------------------

@@ -6,7 +6,7 @@ from .incremental import IncrementalChase
 from .indexed import IndexedChaseState, indexed_chase
 from .parallel import parallel_chase
 from .plan import Shard, ShardPlan, fuse_for_rows, plan_shards, prune_fds
-from .session import ChaseSession, ReadLease, SessionSnapshot
+from .session import ChaseSession, ReadLease, ResultAnswer, SessionSnapshot
 from .vector import VectorChaseState, vectorized_chase
 from .engine import (
     ENGINE_AUTO,
@@ -53,6 +53,7 @@ __all__ = [
     "STRATEGY_RANDOM",
     "STRATEGY_ROUND_ROBIN",
     "ReadLease",
+    "ResultAnswer",
     "SessionSnapshot",
     "Shard",
     "ShardPlan",

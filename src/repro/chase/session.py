@@ -68,9 +68,10 @@ fds)`` from scratch.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..api import TAG_CERTAIN, Answer, provenance_of
 from ..core.fd import FDInput, as_fd
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
@@ -79,6 +80,62 @@ from ..core.values import NOTHING, Null, is_null
 from ..errors import ReproError, SchemaError
 from .core import SignatureChaseCore
 from .engine import _TAG_CONST, _TAG_NOTHING, ChaseResult
+
+
+class ResultAnswer(ChaseResult):
+    """A :class:`ChaseResult` that also speaks the unified answer schema.
+
+    Every ``ChaseResult`` field and method is intact — existing callers
+    see no difference — plus the cut bookkeeping (``as_of``/``live``,
+    stamped by durable surfaces via :meth:`at`) and :meth:`answer`,
+    which renders the maintained fixpoint as a :class:`repro.api.Answer`.
+    The tag is ``certain``: the fixpoint is the representative instance
+    itself, not a quantified claim about its completions.
+    """
+
+    def __init__(
+        self, base: ChaseResult, as_of: Any = None, live: bool = True
+    ) -> None:
+        super().__init__(
+            **{
+                f.name: getattr(base, f.name)
+                for f in dataclass_fields(ChaseResult)
+            }
+        )
+        self.as_of = as_of
+        self.live = live
+
+    def at(self, as_of: Any, live: bool = True) -> "ResultAnswer":
+        """The same result stamped with a journal cut."""
+        self.as_of = as_of
+        self.live = live
+        return self
+
+    def answer(self) -> Answer:
+        rows = tuple(tuple(row.values) for row in self.relation.rows)
+        attributes = self.relation.schema.attributes
+        domains = {
+            attribute: self.relation.schema.domain(attribute)
+            for attribute in attributes
+            if self.relation.schema.domain(attribute).is_finite
+        }
+        return Answer(
+            tag=TAG_CERTAIN,
+            attributes=attributes,
+            rows=rows,
+            as_of=self.as_of,
+            live=self.live,
+            provenance=provenance_of(
+                rows, attributes, relation_name=self.relation.schema.name
+            ),
+            meta={
+                "has_nothing": self.has_nothing,
+                "passes": self.passes,
+                "mode": self.mode,
+                "strategy": self.strategy,
+            },
+            domains=domains or None,
+        )
 
 STRATEGY_SESSION = "session"
 
@@ -900,9 +957,10 @@ class ChaseSession(SignatureChaseCore):
         cells = self.cells
         return [cells[slot] for slot in self._slots]
 
-    def result(self, strategy: str = STRATEGY_SESSION) -> ChaseResult:
-        """The maintained fixpoint as a :class:`ChaseResult`."""
-        return super().result(strategy)
+    def result(self, strategy: str = STRATEGY_SESSION) -> "ResultAnswer":
+        """The maintained fixpoint (a :class:`ChaseResult` that also
+        speaks the unified answer schema — see :class:`ResultAnswer`)."""
+        return ResultAnswer(super().result(strategy))
 
     @property
     def has_nothing(self) -> bool:
@@ -943,15 +1001,16 @@ class ChaseSession(SignatureChaseCore):
         (``has_nothing``) is rejected by TEST-FDs like any
         NOTHING-bearing instance.
         """
-        from ..testfd import check_fds  # local: keeps partial checkouts importable
+        from ..testfd import CheckAnswer, check_fds  # local: avoids import cycle
 
-        return check_fds(
+        outcome = check_fds(
             self.result().relation,
             list(self.fds) if fds is None else fds,
             convention=convention,
             method=method,
             null_classes=null_classes,
         )
+        return CheckAnswer.wrap(outcome, convention)
 
     def explain(self) -> str:
         """The narrated chase of the maintained instance."""

@@ -88,9 +88,8 @@ from .db import SYNC_FSYNC, SYNC_MODES, Database
 from .errors import ReproError, ScriptError
 from .explain import explain_chase, explain_outcome
 from .normalization import bcnf_decompose, synthesize_3nf
+from .opschema import NULL_TOKENS, SCRIPT_OPS
 from .testfd import CONVENTION_STRONG, CONVENTION_WEAK, check_fds
-
-NULL_TOKENS = ("", "-", "NULL", "null")
 
 
 def load_relation(
@@ -287,7 +286,10 @@ def run_script(target, lines: Sequence[str]) -> None:
             elif op == "explain":
                 print(target.explain())
             else:
-                raise ReproError(f"unknown session op {op!r}")
+                raise ReproError(
+                    f"unknown session op {op!r} "
+                    f"(ops: {', '.join(SCRIPT_OPS)})"
+                )
         except ScriptError:
             raise
         except (ReproError, ValueError) as error:
@@ -339,23 +341,58 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return _finish_script(target, status, args.stats)
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import lint_script, render_report
-
-    fds = FDSet.parse(args.fds)
-    rows = None
+def _lint_query_catalog(args: argparse.Namespace) -> Dict[str, RelationSchema]:
+    """The relation catalog a ``lint --query`` run checks against."""
+    domains = parse_domains(args.domain) or {}
+    catalog: Dict[str, RelationSchema] = {}
+    for spec in args.rel or []:
+        name, _, attrs = spec.partition("=")
+        if not name or not attrs.strip():
+            raise ReproError(f'--rel needs NAME="A B C", got {spec!r}')
+        schema = RelationSchema(name, attrs)
+        scoped = {a: d for a, d in domains.items() if a in schema.attributes}
+        catalog[name] = RelationSchema(name, attrs, domains=scoped or None)
     if args.data:
-        relation = load_relation(args.data, parse_domains(args.domain))
-        schema, rows = relation.schema, relation.rows
+        relation = load_relation(args.data, domains)
+        catalog.setdefault(relation.schema.name, relation.schema)
     elif args.attrs:
-        schema = RelationSchema(
-            "R", args.attrs, domains=parse_domains(args.domain) or None
+        scoped = {
+            a: d
+            for a, d in domains.items()
+            if a in RelationSchema("R", args.attrs).attributes
+        }
+        catalog.setdefault(
+            "R", RelationSchema("R", args.attrs, domains=scoped or None)
+        )
+    if not catalog:
+        raise ReproError("lint --query needs --rel, --data or --attrs")
+    return catalog
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_query_script, lint_script, render_report
+
+    if args.query:
+        diagnostics = lint_query_script(
+            _lint_query_catalog(args), _read_script(args.script)
         )
     else:
-        raise ReproError("lint needs --data or --attrs")
-    diagnostics = lint_script(
-        schema, fds, _read_script(args.script), rows=rows, durable=args.db
-    )
+        if not args.fds:
+            raise ReproError("lint needs --fds (unless linting --query)")
+        fds = FDSet.parse(args.fds)
+        rows = None
+        if args.data:
+            relation = load_relation(args.data, parse_domains(args.domain))
+            schema, rows = relation.schema, relation.rows
+        elif args.attrs:
+            schema = RelationSchema(
+                "R", args.attrs, domains=parse_domains(args.domain) or None
+            )
+        else:
+            raise ReproError("lint needs --data or --attrs")
+        diagnostics = lint_script(
+            schema, fds, _read_script(args.script), rows=rows, durable=args.db
+        )
     if not diagnostics:
         print("clean: no diagnostics")
         return 0
@@ -364,6 +401,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     warnings = len(diagnostics) - errors
     print(f"{errors} error(s), {warnings} warning(s)")
     return 2 if errors else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .query.evaluate import Evaluator
+    from .query.parser import parse_query
+    from .query.repl import QueryRepl, render_result, run_repl
+
+    env: Dict[str, Relation] = {}
+    db: Optional[Database] = None
+    try:
+        if args.db:
+            db = Database.open(args.db, create=False)
+            for managed in db:
+                # queries run over the maintained fixpoint, the same
+                # instance every other durable read surface answers from
+                env[managed.name] = managed.result().relation
+        for spec in args.csv or []:
+            name, _, path = spec.partition("=")
+            if not name or not path:
+                raise ReproError(f"--csv needs NAME=PATH, got {spec!r}")
+            env[name] = load_relation(
+                path, parse_domains(args.domain), name=name
+            )
+        if not env:
+            raise ReproError("query needs a source: --db DIR and/or --csv")
+        if args.expr:
+            result = Evaluator(env).run(
+                parse_query(args.expr), mode=args.mode
+            )
+            print(render_result(result))
+            return 0
+        if args.script:
+            repl = QueryRepl(env, mode=args.mode)
+            failed = False
+            for line in _read_script(args.script):
+                block = repl.execute(line)
+                if block:
+                    print(block)
+                    failed = failed or block.startswith(
+                        ("error:", "domain error:")
+                    )
+            return 1 if failed else 0
+        if args.repl or sys.stdin.isatty():
+            print("repro query shell — .help for help, .quit to leave")
+            run_repl(env, sys.stdin, sys.stdout, mode=args.mode, prompt="query> ")
+            print()
+            return 0
+        raise ReproError("query needs -e EXPR, --script FILE, or --repl")
+    finally:
+        if db is not None:
+            db.close()
 
 
 def _format_stats(target) -> str:
@@ -627,7 +715,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--data", help="CSV file with the initial instance")
     lint.add_argument("--attrs", help='start empty over e.g. "A B C"')
-    lint.add_argument("--fds", required=True)
+    lint.add_argument("--fds", help="FD set (required unless --query)")
+    lint.add_argument(
+        "--query",
+        action="store_true",
+        help="lint a query script (repro query --script syntax) instead "
+        "of an op script",
+    )
+    lint.add_argument(
+        "--rel",
+        action="append",
+        metavar='NAME="A B C"',
+        help="catalog relation for --query lint (repeatable)",
+    )
     lint.add_argument(
         "--script",
         default="-",
@@ -640,6 +740,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint with repro db ingest semantics (checkpoint is legal)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    query = commands.add_parser(
+        "query",
+        help="relational-algebra queries with certain/maybe answer sets",
+    )
+    query.add_argument(
+        "--db",
+        help="durable database directory (queries the maintained fixpoints)",
+    )
+    query.add_argument(
+        "--csv",
+        action="append",
+        metavar="NAME=PATH",
+        help="ad-hoc relation loaded from CSV (repeatable)",
+    )
+    query.add_argument(
+        "--domain",
+        action="append",
+        metavar="ATTR=v1,v2",
+        help="finite domain for CSV columns (repeatable)",
+    )
+    query.add_argument(
+        "-e",
+        "--expr",
+        help="evaluate one query expression and exit",
+    )
+    query.add_argument(
+        "--script",
+        help="run query statements from a file, or - for stdin",
+    )
+    query.add_argument(
+        "--repl",
+        action="store_true",
+        help="interactive shell (the default on a terminal)",
+    )
+    query.add_argument(
+        "--mode",
+        choices=("least", "kleene"),
+        default="least",
+        help="condition evaluation: exact least-extension grounding "
+        "(default) or linear Kleene",
+    )
+    query.set_defaults(func=_cmd_query)
 
     db = commands.add_parser(
         "db", help="durable multi-relation databases (write-ahead op log)"

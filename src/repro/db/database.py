@@ -213,10 +213,14 @@ class ManagedRelation:
     # -- read proxies ------------------------------------------------------
 
     def result(self):
-        return self.session.result()
+        """The maintained fixpoint, stamped with the relation's journal
+        cut (``as_of`` = ops journalled so far) per the unified answer
+        schema (:mod:`repro.api`)."""
+        return self.session.result().at(self.seq)
 
     def check(self, *args, **kwargs):
-        return self.session.check(*args, **kwargs)
+        """TEST-FDs, stamped with the relation's journal cut."""
+        return self.session.check(*args, **kwargs).at(self.seq)
 
     def explain(self) -> str:
         return self.session.explain()

@@ -1,0 +1,128 @@
+"""The one op/request vocabulary every surface shares.
+
+Before this module, three surfaces spelled the same vocabulary three
+times: :func:`repro.cli.run_script` (the ``repro session`` / ``repro db
+ingest`` script ops), :mod:`repro.analysis.check` (the lint checker's
+``SCRIPT_OPS`` / ``BATCH_VERBS`` mirrors), and
+:mod:`repro.server.protocol` (the wire verbs).  A new op meant three
+edits and a pinning test to keep them honest.  Now each op is **one**
+:class:`OpSpec` row in :data:`OPS`; the per-surface tuples the rest of
+the system consumes (:data:`SCRIPT_OPS`, :data:`MUTATION_VERBS`,
+:data:`READ_VERBS`, :data:`BATCH_VERBS`) are *derived* from it, so lint,
+CLI, and server pick a new op up together.
+
+The module is deliberately dependency-free (stdlib only): the analysis
+layer imports it without touching the server, and the server without
+touching the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: script/CSV cell spellings that read as "a fresh null" — shared by the
+#: CLI cell parser and the static checker's abstract cell lifter.
+NULL_TOKENS: Tuple[str, ...] = ("", "-", "NULL", "null")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operation, described once for every surface.
+
+    ``kind`` is ``"mutation"`` (journalled, goes through a writer),
+    ``"read"`` (answered from a consistent cut), or ``"admin"``
+    (catalog/durability control).  ``script`` / ``wire`` say which
+    surfaces expose it; ``scope`` is ``"relation"`` for ops addressed to
+    one relation and ``"database"`` for ops that may span several (the
+    ``query`` verb joins across relations).  ``script_rank`` /
+    ``wire_rank`` order the derived tuples (the orders predate this
+    module and are kept stable for rendered hints and docs).
+    """
+
+    name: str
+    kind: str
+    script: bool
+    wire: bool
+    scope: str = "relation"
+    durable_only: bool = False
+    script_rank: int = 0
+    wire_rank: int = 0
+    summary: str = ""
+
+
+OPS: Tuple[OpSpec, ...] = (
+    OpSpec("insert", "mutation", True, True, script_rank=0, wire_rank=0,
+           summary="append one row"),
+    OpSpec("delete", "mutation", True, True, script_rank=1, wire_rank=1,
+           summary="remove the row at an index"),
+    OpSpec("update", "mutation", True, True, script_rank=2, wire_rank=2,
+           summary="assign attributes on the row at an index"),
+    OpSpec("replace", "mutation", True, True, script_rank=3, wire_rank=3,
+           summary="swap the whole tuple at an index"),
+    OpSpec("fill", "mutation", True, True, script_rank=4, wire_rank=4,
+           summary="ground a null cell with a value"),
+    OpSpec("reset", "mutation", False, True, wire_rank=5,
+           summary="replace the instance wholesale"),
+    OpSpec("adopt", "mutation", True, True, script_rank=5, wire_rank=6,
+           summary="commit forced substitutions into the rows"),
+    OpSpec("snapshot", "mutation", True, True, script_rank=6, wire_rank=7,
+           summary="push a rollback mark"),
+    OpSpec("rollback", "mutation", True, True, script_rank=7, wire_rank=8,
+           summary="pop + restore the latest mark"),
+    OpSpec("discard", "mutation", False, True, wire_rank=9,
+           summary="drop all outstanding marks"),
+    OpSpec("checkpoint", "admin", True, True, durable_only=True,
+           script_rank=8,
+           summary="absorb the WAL tail into the snapshot"),
+    OpSpec("rows", "read", False, True, wire_rank=0,
+           summary="the raw rows at the cut"),
+    OpSpec("result", "read", False, True, wire_rank=1,
+           summary="the maintained fixpoint at the cut"),
+    OpSpec("check", "read", True, True, script_rank=9, wire_rank=2,
+           summary="TEST-FDs against the maintained instance"),
+    OpSpec("has_nothing", "read", False, True, wire_rank=3,
+           summary="Theorem 4(b) weak-satisfiability verdict"),
+    OpSpec("explain", "read", True, True, script_rank=12, wire_rank=4,
+           summary="narrate the maintained chase"),
+    OpSpec("stats", "read", True, True, script_rank=10, wire_rank=5,
+           summary="op-outcome and durability counters"),
+    OpSpec("show", "read", True, False, script_rank=11,
+           summary="print the maintained instance"),
+    OpSpec("query", "read", False, True, scope="database",
+           wire_rank=6,
+           summary="relational-algebra query with certain/maybe answers"),
+)
+
+SPECS: Dict[str, OpSpec] = {spec.name: spec for spec in OPS}
+
+
+def _ordered(names, key):
+    return tuple(sorted(names, key=key))
+
+
+#: the session/db op-script vocabulary (``repro session`` / ``repro db
+#: ingest`` / ``repro lint``), in documentation order.
+SCRIPT_OPS: Tuple[str, ...] = _ordered(
+    (s.name for s in OPS if s.script), lambda n: SPECS[n].script_rank
+)
+
+#: wire verbs routed through a relation's writer (journalled mutations).
+MUTATION_VERBS: Tuple[str, ...] = _ordered(
+    (s.name for s in OPS if s.wire and s.kind == "mutation"),
+    lambda n: SPECS[n].wire_rank,
+)
+
+#: wire verbs answered from a single relation's consistent-cut lease.
+READ_VERBS: Tuple[str, ...] = _ordered(
+    (s.name for s in OPS
+     if s.wire and s.kind == "read" and s.scope == "relation"),
+    lambda n: SPECS[n].wire_rank,
+)
+
+#: the database-scoped read verb (may lease several relations at once).
+QUERY_VERB: str = "query"
+
+#: verbs admissible inside a server ``batch`` bundle — exactly the
+#: journalled mutations (reads and admin verbs cannot ride in a batch).
+BATCH_VERBS: Tuple[str, ...] = MUTATION_VERBS

@@ -1,0 +1,71 @@
+"""``repro.query`` — relational algebra over incomplete instances.
+
+The paper's Section 2 gives exact *least-extension* semantics for
+queries over instances with nulls; :mod:`repro.nullsem.queries` has
+implemented it for one-row predicates since the seed.  This package
+turns that kernel into a usable query layer:
+
+* :mod:`~repro.query.algebra` — the operator AST
+  (``select``/``project``/``join``/``union``/``difference``/``rename``)
+  and its static schema checker;
+* :mod:`~repro.query.conditions` — the condition kernel the evaluator
+  threads through the algebra: per-derived-row constraint formulas over
+  null/constant equalities, evaluated Kleene-style (linear,
+  under-informative) or by least-extension grounding (exact, local);
+* :mod:`~repro.query.evaluate` — the evaluator: **certain** answers
+  (rows in the query result under *every* completion of the database)
+  and **maybe** answers (under *some* completion), with nulls
+  propagated by identity so a null shared across relations equates
+  across a join; plus the ground answer sets the differential test
+  suite compares against brute-force completion enumeration;
+* :mod:`~repro.query.parser` — the concrete syntax behind ``repro
+  query`` and the REPL;
+* :mod:`~repro.query.repl` — the interactive shell.
+
+Answers are :class:`repro.api.ResultSet` objects — materializable as
+relations and usable as chase/session inputs.
+"""
+
+from .algebra import (
+    Difference,
+    Join,
+    Node,
+    Project,
+    QueryError,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    output_schema,
+    relation_names,
+)
+from .evaluate import (
+    MODE_KLEENE,
+    MODE_LEAST,
+    Evaluator,
+    evaluate,
+    ground_answers,
+)
+from .parser import QueryParseError, parse_query, parse_statement
+
+__all__ = [
+    "Difference",
+    "Evaluator",
+    "Join",
+    "MODE_KLEENE",
+    "MODE_LEAST",
+    "Node",
+    "Project",
+    "QueryError",
+    "QueryParseError",
+    "Rename",
+    "Scan",
+    "Select",
+    "Union",
+    "evaluate",
+    "ground_answers",
+    "output_schema",
+    "parse_query",
+    "parse_statement",
+    "relation_names",
+]

@@ -1,0 +1,467 @@
+"""Query evaluation with **certain** and **maybe** answer sets.
+
+The evaluator is a small conditional-table algebra (Imielinski–Lipski
+style, restricted to the equality atoms this library needs): every
+derived row is a ``(values, cond)`` pair where ``cond`` is the
+:mod:`~repro.query.conditions` formula under which the row belongs to
+the result.  Base rows enter with the vacuous condition; ``select``
+conjoins the resolved predicate, a natural ``join`` conjoins equality
+atoms on shared attributes, and ``difference`` conjoins the negation of
+"some right row matches".  Nulls flow through by **identity** — the
+same :class:`~repro.core.values.Null` object scanned from two relations
+is one unknown, so a shared null equates across a join exactly as the
+chase's substitution machinery would force it to.
+
+A finished row is then tagged by the truth of its condition:
+
+* ``TRUE`` → a **certain** answer (in the result under every
+  completion of the database);
+* ``UNKNOWN`` → a **maybe** answer (in the result under some
+  completion, not provably all);
+* ``FALSE`` → dropped.
+
+Two modes mirror :mod:`repro.nullsem.queries`: :data:`MODE_KLEENE`
+evaluates conditions truth-functionally (linear, under-informative —
+some certain answers are reported as maybe), :data:`MODE_LEAST`
+grounds each condition's nulls over their consistent domains (the
+declared finite domain of every column the null occurs in, intersected
+across *all* its occurrences in the environment) and takes the least
+upper bound — the paper's least-extension semantics, exact but local:
+exponential only in the nulls one condition references.
+
+:func:`ground_answers` produces the fully ground certain/possible
+answer *sets* the differential suite compares against brute-force
+completion enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..api import TAG_CERTAIN, TAG_MAYBE, Answer, ResultSet
+from ..core.domain import Domain
+from ..core.relation import Relation
+from ..core.truth import FALSE, TRUE, UNKNOWN
+from ..core.values import NOTHING, Null, is_null
+from ..errors import InconsistentInstanceError
+from ..nullsem.queries import AndP, AttrEq, Eq, In, NotP, OrP, Pred
+from .algebra import (
+    Difference,
+    Join,
+    Node,
+    Project,
+    QueryError,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    output_schema,
+)
+from .conditions import (
+    ALWAYS,
+    Cond,
+    EqV,
+    all_of,
+    any_of,
+    evaluate_ground,
+    groundings,
+    kleene,
+    least_truth,
+    neg,
+    nulls_of,
+)
+
+MODE_KLEENE = "kleene"
+MODE_LEAST = "least"
+_MODES = (MODE_KLEENE, MODE_LEAST)
+
+#: default cap on grounding enumeration, matching the guard style of
+#: :meth:`repro.core.relation.Relation.completions`.
+DEFAULT_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class CRow:
+    """One conditional row: the tuple plus its membership condition."""
+
+    __slots__ = ("values", "cond")
+    values: Tuple[Any, ...]
+    cond: Cond
+
+
+def _row_key(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """A dedup key distinguishing nulls by identity, constants by value."""
+    return tuple(
+        ("n", id(value)) if is_null(value) else ("c", value)
+        for value in values
+    )
+
+
+class Evaluator:
+    """Evaluate query trees against a fixed environment of relations.
+
+    ``env`` maps relation name → :class:`~repro.core.relation.Relation`.
+    Construction indexes every null in the environment: its consistent
+    enumeration domain (declared column domains intersected across all
+    occurrences, including occurrences in relations the query does not
+    scan — the whole environment constrains an unknown) and its scan
+    provenance.  A :data:`~repro.core.values.NOTHING` cell anywhere in
+    the environment raises
+    :class:`~repro.errors.InconsistentInstanceError` — the inconsistent
+    element has no completions to quantify over.
+    """
+
+    def __init__(
+        self,
+        env: Mapping[str, Relation],
+        limit: int = DEFAULT_LIMIT,
+    ) -> None:
+        self.env: Dict[str, Relation] = dict(env)
+        self.limit = limit
+        #: id(null) → candidate constants (consistent enumeration domain)
+        self.domains: Dict[int, Tuple[Any, ...]] = {}
+        #: id(null) → the null object (keeps ids stable for the session)
+        self._nulls: Dict[int, Null] = {}
+        #: id(null) → {"relation", "attribute"} of the first occurrence
+        self._provenance: Dict[int, Dict[str, Any]] = {}
+        for name, relation in self.env.items():
+            attributes = relation.schema.attributes
+            for row in relation.rows:
+                for attribute, value in zip(attributes, row.values):
+                    if value is NOTHING:
+                        raise InconsistentInstanceError(
+                            f"relation {name!r} contains NOTHING; an "
+                            "inconsistent instance has no completions "
+                            "to answer queries over"
+                        )
+                    if not is_null(value):
+                        continue
+                    self._nulls[id(value)] = value
+                    domain = relation.enumeration_domain(attribute)
+                    previous = self.domains.get(id(value))
+                    if previous is None:
+                        self.domains[id(value)] = tuple(domain)
+                    else:
+                        self.domains[id(value)] = tuple(
+                            constant
+                            for constant in previous
+                            if constant in domain
+                        )
+                    self._provenance.setdefault(
+                        id(value),
+                        {"relation": name, "attribute": attribute},
+                    )
+
+    # -- public API ---------------------------------------------------------
+
+    def schema(self, node: Node, name: str = "answer"):
+        """The output scheme (static check included)."""
+        return output_schema(
+            node,
+            {name_: rel.schema for name_, rel in self.env.items()},
+            name=name,
+        )
+
+    def symbolic(
+        self, node: Node
+    ) -> Tuple[Tuple[str, ...], List[CRow]]:
+        """The conditional-table result: attributes + conditional rows."""
+        self.schema(node)  # static check first; errors carry lint codes
+        return self._eval(node)
+
+    def run(
+        self,
+        node: Node,
+        mode: str = MODE_LEAST,
+        as_of: Any = None,
+        live: bool = True,
+    ) -> ResultSet:
+        """Evaluate and tag every surviving row certain/maybe."""
+        if mode not in _MODES:
+            raise QueryError(
+                f"unknown evaluation mode {mode!r}; expected one of {_MODES}"
+            )
+        schema = self.schema(node)
+        attrs, crows = self._eval(node)
+        certain_rows: List[Tuple[Any, ...]] = []
+        maybe_rows: List[Tuple[Any, ...]] = []
+        for crow in crows:
+            if mode == MODE_LEAST:
+                truth = least_truth(crow.cond, self.domains, limit=self.limit)
+            else:
+                truth = kleene(crow.cond)
+            if truth is TRUE:
+                certain_rows.append(crow.values)
+            elif truth is UNKNOWN:
+                maybe_rows.append(crow.values)
+        domains: Dict[str, Domain] = {
+            attribute: schema.domain(attribute)  # type: ignore[misc]
+            for attribute in attrs
+            if schema.domain(attribute).is_finite
+        }
+        meta = {"mode": mode}
+        return ResultSet(
+            certain=Answer(
+                tag=TAG_CERTAIN,
+                attributes=attrs,
+                rows=tuple(certain_rows),
+                as_of=as_of,
+                live=live,
+                provenance=self._answer_provenance(certain_rows),
+                meta=dict(meta),
+                domains=domains or None,
+            ),
+            maybe=Answer(
+                tag=TAG_MAYBE,
+                attributes=attrs,
+                rows=tuple(maybe_rows),
+                as_of=as_of,
+                live=live,
+                provenance=self._answer_provenance(maybe_rows),
+                meta=dict(meta),
+                domains=domains or None,
+            ),
+        )
+
+    # -- provenance ---------------------------------------------------------
+
+    def _answer_provenance(
+        self, rows: List[Tuple[Any, ...]]
+    ) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in rows:
+            for value in row:
+                if not is_null(value) or value.label in out:
+                    continue
+                record = self._provenance.get(id(value))
+                out[value.label] = dict(record) if record else {}
+        return out
+
+    # -- the conditional-table algebra --------------------------------------
+
+    def _eval(self, node: Node) -> Tuple[Tuple[str, ...], List[CRow]]:
+        if isinstance(node, Scan):
+            relation = self.env.get(node.name)
+            if relation is None:  # pragma: no cover - schema() catches first
+                raise QueryError(
+                    f"unknown relation {node.name!r}",
+                    code="E_UNKNOWN_RELATION",
+                )
+            attrs = relation.schema.attributes
+            crows = [
+                CRow(tuple(row.values), ALWAYS) for row in relation.rows
+            ]
+            return attrs, _dedup(crows)
+
+        if isinstance(node, Select):
+            attrs, crows = self._eval(node.source)
+            positions = {attribute: i for i, attribute in enumerate(attrs)}
+            out: List[CRow] = []
+            for crow in crows:
+                resolved = _pred_cond(node.pred, positions, crow.values)
+                combined = all_of([crow.cond, resolved])
+                if kleene(combined) is FALSE:
+                    continue
+                out.append(CRow(crow.values, combined))
+            return attrs, out
+
+        if isinstance(node, Project):
+            attrs, crows = self._eval(node.source)
+            positions = {attribute: i for i, attribute in enumerate(attrs)}
+            keep = tuple(positions[attribute] for attribute in node.attributes)
+            projected = [
+                CRow(tuple(crow.values[i] for i in keep), crow.cond)
+                for crow in crows
+            ]
+            return node.attributes, _dedup(projected)
+
+        if isinstance(node, Join):
+            left_attrs, left_rows = self._eval(node.left)
+            right_attrs, right_rows = self._eval(node.right)
+            shared = [a for a in left_attrs if a in right_attrs]
+            extra = [a for a in right_attrs if a not in left_attrs]
+            attrs = left_attrs + tuple(extra)
+            left_pos = {a: i for i, a in enumerate(left_attrs)}
+            right_pos = {a: i for i, a in enumerate(right_attrs)}
+            out = []
+            for lrow in left_rows:
+                for rrow in right_rows:
+                    conds = [lrow.cond, rrow.cond]
+                    values = list(lrow.values)
+                    for attribute in shared:
+                        lv = lrow.values[left_pos[attribute]]
+                        rv = rrow.values[right_pos[attribute]]
+                        if lv is not rv:
+                            conds.append(EqV(lv, rv))
+                        # given the equality holds, the two cells are one
+                        # value; prefer the constant representative
+                        if is_null(lv) and not is_null(rv):
+                            values[left_pos[attribute]] = rv
+                    values.extend(
+                        rrow.values[right_pos[attribute]]
+                        for attribute in extra
+                    )
+                    combined = all_of(conds)
+                    if kleene(combined) is FALSE:
+                        continue
+                    out.append(CRow(tuple(values), combined))
+            return attrs, _dedup(out)
+
+        if isinstance(node, Rename):
+            attrs, crows = self._eval(node.source)
+            mapping = dict(node.mapping)
+            return tuple(mapping.get(a, a) for a in attrs), crows
+
+        if isinstance(node, Union):
+            left_attrs, left_rows = self._eval(node.left)
+            _, right_rows = self._eval(node.right)
+            return left_attrs, _dedup(left_rows + right_rows)
+
+        if isinstance(node, Difference):
+            left_attrs, left_rows = self._eval(node.left)
+            _, right_rows = self._eval(node.right)
+            out = []
+            for lrow in left_rows:
+                parts: List[Cond] = [lrow.cond]
+                for rrow in right_rows:
+                    matches = all_of(
+                        [rrow.cond]
+                        + [
+                            EqV(lv, rv)
+                            for lv, rv in zip(lrow.values, rrow.values)
+                            if lv is not rv
+                        ]
+                    )
+                    parts.append(neg(matches))
+                combined = all_of(parts)
+                if kleene(combined) is FALSE:
+                    continue
+                out.append(CRow(lrow.values, combined))
+            return left_attrs, _dedup(out)
+
+        raise QueryError(f"not a query node: {node!r}")
+
+
+def _dedup(crows: List[CRow]) -> List[CRow]:
+    """Set semantics: merge identical tuples, disjoining their conditions.
+
+    Identity-keyed for nulls — two *different* nulls with equal ground
+    values collapse per-completion instead, when the ground answer sets
+    are formed.  Merging conditions with :func:`any_of` is where
+    least-extension evaluation gains power: disjuncts that jointly
+    exhaust a domain make a merged row certain.
+    """
+    order: List[Tuple[Any, ...]] = []
+    merged: Dict[Tuple[Any, ...], CRow] = {}
+    for crow in crows:
+        key = _row_key(crow.values)
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = crow
+            order.append(key)
+        elif existing.cond != crow.cond:
+            merged[key] = CRow(
+                existing.values, any_of([existing.cond, crow.cond])
+            )
+    return [merged[key] for key in order]
+
+
+def _pred_cond(
+    pred: Pred, positions: Mapping[str, int], values: Tuple[Any, ...]
+) -> Cond:
+    """Resolve a row predicate into a value-level condition."""
+    if isinstance(pred, Eq):
+        return EqV(values[positions[pred.attribute]], pred.constant)
+    if isinstance(pred, In):
+        cell = values[positions[pred.attribute]]
+        return any_of([EqV(cell, constant) for constant in pred.constants])
+    if isinstance(pred, AttrEq):
+        first = values[positions[pred.first]]
+        second = values[positions[pred.second]]
+        if first is second:
+            return ALWAYS
+        return EqV(first, second)
+    if isinstance(pred, NotP):
+        return neg(_pred_cond(pred.operand, positions, values))
+    if isinstance(pred, AndP):
+        return all_of(
+            [_pred_cond(p, positions, values) for p in pred.operands]
+        )
+    if isinstance(pred, OrP):
+        return any_of(
+            [_pred_cond(p, positions, values) for p in pred.operands]
+        )
+    raise QueryError(f"not a predicate: {pred!r}")
+
+
+def evaluate(
+    node: Node,
+    env: Mapping[str, Relation],
+    mode: str = MODE_LEAST,
+    limit: int = DEFAULT_LIMIT,
+    as_of: Any = None,
+    live: bool = True,
+) -> ResultSet:
+    """One-shot evaluation: build an :class:`Evaluator` and run."""
+    return Evaluator(env, limit=limit).run(
+        node, mode=mode, as_of=as_of, live=live
+    )
+
+
+def ground_answers(
+    node: Node,
+    env: Mapping[str, Relation],
+    limit: int = DEFAULT_LIMIT,
+) -> Tuple[FrozenSet[Tuple[Any, ...]], FrozenSet[Tuple[Any, ...]]]:
+    """The fully ground ``(certain, possible)`` answer sets.
+
+    * a ground tuple is **possible** iff some grounding of the nulls its
+      conditional row references puts it in the result;
+    * it is **certain** iff *every* grounding of the nulls referenced by
+      its membership formula ``F_t = ⋁_rows (cond ∧ values = t)`` makes
+      ``F_t`` true (nulls the formula never mentions cannot change it,
+      so quantifying over just the referenced ones is exact).
+
+    This is what the randomized differential suite compares against
+    brute-force completion enumeration — note it shares no code path
+    with that oracle, only the domain convention
+    (:meth:`~repro.core.relation.Relation.enumeration_domain`).
+    """
+    evaluator = Evaluator(env, limit=limit)
+    _, crows = evaluator.symbolic(node)
+    possible: set = set()
+    for crow in crows:
+        mentioned: Dict[int, Null] = {
+            id(value): value for value in crow.values if is_null(value)
+        }
+        for null_obj in nulls_of(crow.cond):
+            mentioned.setdefault(id(null_obj), null_obj)
+        nulls = tuple(mentioned.values())
+        for binding in groundings(nulls, evaluator.domains, limit=limit):
+            if not evaluate_ground(crow.cond, binding):
+                continue
+            possible.add(
+                tuple(
+                    binding[id(value)] if is_null(value) else value
+                    for value in crow.values
+                )
+            )
+    certain: set = set()
+    for candidate in possible:
+        membership = any_of(
+            [
+                all_of(
+                    [crow.cond]
+                    + [
+                        EqV(value, constant)
+                        for value, constant in zip(crow.values, candidate)
+                        if value is not constant
+                    ]
+                )
+                for crow in crows
+            ]
+        )
+        if least_truth(membership, evaluator.domains, limit=limit) is TRUE:
+            certain.add(candidate)
+    return frozenset(certain), frozenset(possible)

@@ -34,9 +34,13 @@ import asyncio
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
+from ..api import TAG_CERTAIN, WIRE_VERSION, Answer
+from ..core.values import is_null
 from ..db.database import Database
 from ..db.log import SYNC_FSYNC
 from ..errors import ReproError
+from ..query import parse_query, relation_names
+from ..query.evaluate import Evaluator
 from . import protocol
 from .writer import RelationWriter
 
@@ -150,6 +154,9 @@ class ReproServer:
             return _ok(request_id, relations=self.db.names())
         if verb == "create":
             return await self._create(request, request_id)
+        if verb == protocol.QUERY_VERB:
+            # database-scoped: may lease several relations at once
+            return await self._query(request, request_id)
         name = request.get("rel")
         if not isinstance(name, str):
             raise ReproError(f"verb {verb!r} needs a relation name in 'rel'")
@@ -238,7 +245,15 @@ class ReproServer:
                 [relation.encode_value(value) for value in row.values]
                 for row in lease.rows
             ]
-            return _ok(request_id, rows=rows, as_of=as_of, live=True)
+            return _ok(
+                request_id,
+                v=WIRE_VERSION,
+                tag=TAG_CERTAIN,
+                attrs=list(relation.session.schema.attributes),
+                rows=rows,
+                as_of=as_of,
+                live=True,
+            )
         # answer from the live session only while it provably *is* the
         # cut AND the writer is idle: a live answer runs on the loop, so
         # computing it with mutations queued would stall the writer.
@@ -256,19 +271,20 @@ class ReproServer:
     def _answer(
         self, relation, lease, verb, request: dict, request_id, as_of: int, live: bool
     ) -> dict:
+        """One read verb's response: the unified answer schema
+        (``v``/``tag``/``attrs``/``rows``/``meta`` — :mod:`repro.api`)
+        with the legacy top-level fields riding alongside, so pre-v1
+        clients keep working unchanged."""
         detached = not live
         if verb == "result":
-            result = lease.result(detached=detached)
-            rows = [
-                [relation.encode_value(value) for value in row.values]
-                for row in result.relation.rows
-            ]
+            answer = (
+                lease.result(detached=detached).at(as_of, live=live).answer()
+            )
+            payload = answer.to_payload(encode=relation.encode_value)
             return _ok(
                 request_id,
-                rows=rows,
-                has_nothing=lease.instance(detached).has_nothing,
-                as_of=as_of,
-                live=live,
+                has_nothing=answer.meta["has_nothing"],  # legacy field
+                **payload,
             )
         if verb == "check":
             fds = request.get("fds")
@@ -276,30 +292,130 @@ class ReproServer:
                 fds = [clause for clause in fds.split(";") if clause.strip()]
             convention = request.get("convention", "weak")
             outcome = lease.check(fds=fds, convention=convention, detached=detached)
-            fields: Dict[str, Any] = {
-                "satisfied": bool(outcome),
-                "convention": convention,
-                "as_of": as_of,
-                "live": live,
-            }
-            witness = getattr(outcome, "witness", None)
+            answer = outcome.at(as_of, live=live).answer()
+            fields: Dict[str, Any] = answer.to_payload()
+            fields["satisfied"] = bool(outcome)  # legacy fields
+            fields["convention"] = convention
+            witness = outcome.witness_payload()
             if witness is not None:
-                fields["witness"] = {
-                    "fd": str(witness.fd),
-                    "rows": [witness.first_row, witness.second_row],
-                    "attr": witness.attribute,
-                }
+                fields["witness"] = witness
             return _ok(request_id, **fields)
         if verb == "has_nothing":
+            has_nothing = lease.instance(detached).has_nothing
             return _ok(
                 request_id,
-                has_nothing=lease.instance(detached).has_nothing,
+                v=WIRE_VERSION,
+                tag=TAG_CERTAIN,
+                attrs=[],
+                rows=[],
+                meta={"has_nothing": has_nothing},
+                has_nothing=has_nothing,  # legacy field
                 as_of=as_of,
                 live=live,
             )
         if verb == "explain":
+            narration = lease.explain(detached=detached)
             return _ok(
-                request_id, explain=lease.explain(detached=detached), as_of=as_of,
+                request_id,
+                v=WIRE_VERSION,
+                tag=TAG_CERTAIN,
+                attrs=[],
+                rows=[],
+                meta={"explain": narration},
+                explain=narration,  # legacy field
+                as_of=as_of,
                 live=live,
             )
         raise ReproError(f"unknown read verb {verb!r}")  # pragma: no cover
+
+    # -- the query verb ----------------------------------------------------
+
+    async def _query(self, request: dict, request_id: Any) -> dict:
+        """Evaluate a relational-algebra query at one consistent cut.
+
+        Every relation the query scans is leased *before* anything is
+        evaluated, so the answer reflects one serial prefix per relation
+        (``as_of`` maps each scanned relation to its cut seq; a scalar
+        when only one relation is scanned).  The read contract matches
+        the single-relation path: a live answer only while every writer
+        is provably idle at its cut; otherwise the frozen rows are
+        re-chased and evaluated in an executor thread — however long the
+        grounding enumeration takes, the writers never wait on it.
+        """
+        from ..analysis import lint_query_request  # local: keeps startup light
+
+        catalog = {
+            name: self.db.relation(name).session.schema
+            for name in self.db.names()
+        }
+        diagnostics = lint_query_request(catalog, request)
+        if any(d.severity == "error" for d in diagnostics):
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"query refused by lint: "
+                f"{sum(1 for d in diagnostics if d.severity == 'error')} "
+                "error(s)",
+                "diagnostics": [d.to_payload() for d in diagnostics],
+            }
+        text = request["q"]
+        mode = request.get("mode", "least")
+        node = parse_query(text)
+        names = relation_names(node)
+        known = [name for name in names if name in self.db]
+        leases = {}
+        cuts: Dict[str, int] = {}
+        for name in known:
+            lease, seq = self._writers[name].lease()
+            leases[name] = lease
+            cuts[name] = seq
+        as_of: Any = (
+            cuts[known[0]] if len(names) == 1 and known else dict(cuts)
+        )
+        isolated = bool(request.get("isolated")) or any(
+            self._writers[name].pending() > 0 for name in known
+        )
+        live = (
+            not isolated
+            and all(lease.fresh for lease in leases.values())
+        )
+
+        def materialize_and_evaluate():
+            env = {
+                name: lease.result(detached=not live).relation
+                for name, lease in leases.items()
+            }
+            evaluator = Evaluator(env)
+            return evaluator.run(node, mode=mode, as_of=as_of, live=live)
+
+        if live:
+            result = materialize_and_evaluate()
+        else:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(None, materialize_and_evaluate)
+        # back on the loop: enrich provenance with durable null ids and
+        # encode each null with the codec of the relation it came from
+        provenance: Dict[str, dict] = {}
+        for answer in (result.certain, result.maybe):
+            provenance.update(answer.provenance)
+        null_codecs: Dict[str, Any] = {}
+        for answer in (result.certain, result.maybe):
+            for row in answer.rows:
+                for value in row:
+                    if not is_null(value):
+                        continue
+                    record = provenance.get(value.label)
+                    origin = record.get("relation") if record else None
+                    if origin is None:
+                        continue
+                    token = self.db.relation(origin).encode_value(value)
+                    if isinstance(token, dict) and "n" in token:
+                        record["id"] = token["n"]
+                        null_codecs[value.label] = token
+
+        def encode(value: Any) -> Any:
+            if is_null(value):
+                return null_codecs.get(value.label, {"n": value.label})
+            return value
+
+        return _ok(request_id, **result.to_payload(encode))

@@ -42,23 +42,14 @@ import itertools
 import json
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from ..core.values import null
+from ..api import WIRE_VERSION, Answer, ResultSet
+from ..core.values import Null, null
 from ..db.database import ManagedRelation
 from ..errors import ReproError
 
-MUTATION_VERBS = (
-    "insert",
-    "delete",
-    "update",
-    "replace",
-    "fill",
-    "reset",
-    "adopt",
-    "snapshot",
-    "rollback",
-    "discard",
-)
-READ_VERBS = ("rows", "result", "check", "has_nothing", "explain", "stats")
+# the wire vocabulary is derived from the shared op table, so the CLI,
+# the linter, and the server agree on it by construction
+from ..opschema import MUTATION_VERBS, QUERY_VERB, READ_VERBS  # noqa: F401
 
 
 def decode_cell(relation: ManagedRelation, token: Any) -> Any:
@@ -272,6 +263,9 @@ class Client:
         self._waiting: Dict[Any, "asyncio.Future"] = {}
         self._pump: Optional["asyncio.Task"] = None
         self._lock = asyncio.Lock()
+        #: wire null id → the client-side Null object (one per id, so
+        #: shared unknowns keep identity across answers on this client)
+        self._nulls: Dict[Any, Null] = {}
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "Client":
@@ -292,6 +286,38 @@ class Client:
         if not response.get("ok"):
             raise ServerError(response.get("error", "unspecified server error"))
         return response
+
+    # -- the unified answer schema (repro.api) -----------------------------
+
+    def decode_token(self, token: Any) -> Any:
+        """One wire cell → a client-side value (nulls keep identity)."""
+        if isinstance(token, dict) and "n" in token:
+            key = token["n"]
+            null_obj = self._nulls.get(key)
+            if null_obj is None:
+                null_obj = Null(str(key))
+                self._nulls[key] = null_obj
+            return null_obj
+        return token
+
+    async def read(self, rel: str, verb: str, **fields: Any) -> Answer:
+        """A read verb, parsed into a unified :class:`repro.api.Answer`.
+
+        The raw response dict (legacy fields included) stays available
+        via :meth:`call`; this is the schema-checked path — it raises on
+        a wire-version mismatch instead of silently misreading.
+        """
+        response = await self.call(verb, rel=rel, **fields)
+        return Answer.from_payload(response, decode=self.decode_token)
+
+    async def query(
+        self, q: str, mode: Optional[str] = None, **fields: Any
+    ) -> ResultSet:
+        """A database-scoped query, parsed into certain/maybe answers."""
+        if mode is not None:
+            fields["mode"] = mode
+        response = await self.call(QUERY_VERB, q=q, **fields)
+        return ResultSet.from_payload(response, decode=self.decode_token)
 
     async def close(self) -> None:
         if self._pump is not None:

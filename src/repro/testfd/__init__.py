@@ -31,12 +31,13 @@ from .conventions import (
     x_equal,
     y_unequal,
 )
-from .pairwise import TestFDsOutcome, Witness, check_fds_pairwise
+from .pairwise import CheckAnswer, TestFDsOutcome, Witness, check_fds_pairwise
 from .sortmerge import check_fds_sortmerge
 
 __all__ = [
     "CONVENTION_STRONG",
     "CONVENTION_WEAK",
+    "CheckAnswer",
     "TestFDsOutcome",
     "Witness",
     "check_fds",

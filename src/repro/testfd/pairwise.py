@@ -46,6 +46,74 @@ class TestFDsOutcome(NamedTuple):
         return self.satisfied
 
 
+class CheckAnswer(TestFDsOutcome):
+    """A :class:`TestFDsOutcome` that also speaks the unified answer
+    schema (:mod:`repro.api`).
+
+    Still a ``(satisfied, witness)`` named tuple — unpacking, indexing
+    and truthiness are unchanged — but it remembers the convention it
+    was checked under and the cut it was computed against, and
+    :meth:`answer` renders the verdict as a :class:`repro.api.Answer`.
+    The tag follows the paper's duality: a *weak* verdict quantifies
+    existentially over completions (``maybe``), a *strong* verdict
+    universally (``certain``).
+    """
+
+    convention: str
+    as_of: Any
+    live: bool
+
+    @classmethod
+    def wrap(
+        cls,
+        outcome: "TestFDsOutcome",
+        convention: str,
+        as_of: Any = None,
+        live: bool = True,
+    ) -> "CheckAnswer":
+        wrapped = cls(outcome.satisfied, outcome.witness)
+        wrapped.convention = convention
+        wrapped.as_of = as_of
+        wrapped.live = live
+        return wrapped
+
+    def at(self, as_of: Any, live: bool = True) -> "CheckAnswer":
+        """The same verdict stamped with a journal cut."""
+        self.as_of = as_of
+        self.live = live
+        return self
+
+    def witness_payload(self) -> Optional[dict]:
+        """The witness in the wire shape the server has always used."""
+        if self.witness is None:
+            return None
+        return {
+            "fd": str(self.witness.fd),
+            "rows": [self.witness.first_row, self.witness.second_row],
+            "attr": self.witness.attribute,
+        }
+
+    def answer(self):
+        """The verdict as a unified :class:`repro.api.Answer`."""
+        from ..api import TAG_CERTAIN, TAG_MAYBE, Answer  # no import cycle
+
+        meta: dict = {
+            "satisfied": self.satisfied,
+            "convention": self.convention,
+        }
+        witness = self.witness_payload()
+        if witness is not None:
+            meta["witness"] = witness
+        return Answer(
+            tag=TAG_CERTAIN if self.convention == "strong" else TAG_MAYBE,
+            attributes=(),
+            rows=(),
+            as_of=self.as_of,
+            live=self.live,
+            meta=meta,
+        )
+
+
 def check_fds_pairwise(
     relation: Relation,
     fds: Iterable[FDInput],

@@ -34,6 +34,7 @@ def test_examples_directory_complete():
         "durability_tour.py",
         "server_tour.py",
         "lint_tour.py",
+        "query_tour.py",
     } <= names
 
 
@@ -108,6 +109,15 @@ def test_server_tour():
     assert "read equals the acked prefix: True" in out
     assert "zip -> city weakly satisfied while serving: True" in out
     assert "recovered fixpoint verified: True" in out
+
+
+def test_query_tour():
+    out = run_example("query_tour.py")
+    assert "least evaluation promoted bob" in out
+    assert "shared null -> certain, distinct -> maybe" in out
+    assert "chased rows:" in out
+    assert "answer as_of journal seq: 2" in out
+    assert "every answer is a serial prefix" in out
 
 
 def test_lint_tour():

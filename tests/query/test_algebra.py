@@ -1,0 +1,133 @@
+"""The static schema checker: output schemes, domains, diagnostic codes."""
+
+import pytest
+
+from repro.core.domain import UNBOUNDED
+from repro.nullsem.queries import Eq
+from repro.query.algebra import (
+    Difference,
+    Join,
+    Project,
+    QueryError,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    output_schema,
+    relation_names,
+)
+
+from ..helpers import schema_of
+
+
+CATALOG = {
+    "emp": schema_of(
+        "name dept", domains={"dept": ["sales", "eng"]}, name="emp"
+    ),
+    "mgr": schema_of(
+        "dept boss", domains={"dept": ["sales", "ops"]}, name="mgr"
+    ),
+}
+
+
+class TestOutputSchemes:
+    def test_scan_returns_the_catalog_scheme(self):
+        schema = output_schema(Scan("emp"), CATALOG)
+        assert schema.attributes == ("name", "dept")
+        assert list(schema.domain("dept")) == ["sales", "eng"]
+        assert not schema.domain("name").is_finite
+
+    def test_select_keeps_the_scheme(self):
+        node = Select(Scan("emp"), Eq("dept", "sales"))
+        assert output_schema(node, CATALOG).attributes == ("name", "dept")
+
+    def test_project_reorders_and_restricts(self):
+        node = Project(Scan("emp"), ("dept", "name"))
+        schema = output_schema(node, CATALOG)
+        assert schema.attributes == ("dept", "name")
+        assert schema.domain("dept").is_finite
+
+    def test_join_concatenates_left_then_right_extras(self):
+        schema = output_schema(Join(Scan("emp"), Scan("mgr")), CATALOG)
+        assert schema.attributes == ("name", "dept", "boss")
+
+    def test_join_intersects_shared_domains(self):
+        schema = output_schema(Join(Scan("emp"), Scan("mgr")), CATALOG)
+        assert list(schema.domain("dept")) == ["sales"]
+
+    def test_join_with_empty_intersection_drops_to_unbounded(self):
+        catalog = {
+            "a": schema_of("X", domains={"X": ["p"]}, name="a"),
+            "b": schema_of("X", domains={"X": ["q"]}, name="b"),
+        }
+        schema = output_schema(Join(Scan("a"), Scan("b")), catalog)
+        assert schema.domain("X") is UNBOUNDED
+
+    def test_rename_carries_domains(self):
+        node = Rename(Scan("emp"), (("dept", "unit"),))
+        schema = output_schema(node, CATALOG)
+        assert schema.attributes == ("name", "unit")
+        assert list(schema.domain("unit")) == ["sales", "eng"]
+
+    def test_union_unions_finite_domains(self):
+        node = Union(
+            Project(Scan("emp"), ("dept",)), Project(Scan("mgr"), ("dept",))
+        )
+        schema = output_schema(node, CATALOG)
+        assert list(schema.domain("dept")) == ["sales", "eng", "ops"]
+
+    def test_difference_keeps_left_domains(self):
+        node = Difference(
+            Project(Scan("emp"), ("dept",)), Project(Scan("mgr"), ("dept",))
+        )
+        schema = output_schema(node, CATALOG)
+        assert list(schema.domain("dept")) == ["sales", "eng"]
+
+
+class TestErrors:
+    def check(self, node, code):
+        with pytest.raises(QueryError) as excinfo:
+            output_schema(node, CATALOG)
+        assert excinfo.value.code == code
+        return str(excinfo.value)
+
+    def test_unknown_relation(self):
+        message = self.check(Scan("ghost"), "E_UNKNOWN_RELATION")
+        assert "ghost" in message and "emp" in message
+
+    def test_select_unknown_attribute(self):
+        self.check(
+            Select(Scan("emp"), Eq("salary", 3)), "E_UNKNOWN_ATTR"
+        )
+
+    def test_project_unknown_attribute(self):
+        self.check(Project(Scan("emp"), ("salary",)), "E_UNKNOWN_ATTR")
+
+    def test_project_duplicate_attribute(self):
+        self.check(Project(Scan("emp"), ("name", "name")), "E_ARITY")
+
+    def test_empty_projection(self):
+        self.check(Project(Scan("emp"), ()), "E_ARITY")
+
+    def test_rename_unknown_attribute(self):
+        self.check(
+            Rename(Scan("emp"), (("salary", "pay"),)), "E_UNKNOWN_ATTR"
+        )
+
+    def test_rename_collision(self):
+        self.check(Rename(Scan("emp"), (("name", "dept"),)), "E_ARITY")
+
+    def test_union_scheme_mismatch(self):
+        self.check(Union(Scan("emp"), Scan("mgr")), "E_ARITY")
+
+    def test_difference_scheme_mismatch(self):
+        self.check(Difference(Scan("emp"), Scan("mgr")), "E_ARITY")
+
+
+class TestRelationNames:
+    def test_first_occurrence_order(self):
+        node = Union(
+            Project(Join(Scan("mgr"), Scan("emp")), ("dept",)),
+            Project(Scan("mgr"), ("dept",)),
+        )
+        assert relation_names(node) == ("mgr", "emp")

@@ -1,0 +1,267 @@
+"""The query-layer acceptance oracle: brute-force completion enumeration.
+
+:func:`repro.query.evaluate.ground_answers` computes ground certain /
+possible answer sets *locally* — per conditional row, grounding only the
+nulls each membership formula references.  The oracle here shares no
+code with that: it enumerates every joint completion of the whole
+environment (every assignment of constants to every null, one constant
+per null *object* across all its occurrences in all relations), runs a
+classical two-valued evaluator over each ground database, and takes the
+intersection (certain) and union (possible) of the classical results.
+The two must be field-identical — including joins across relations that
+share a null object, where per-completion both occurrences ground to
+the same constant.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import is_null, null
+from repro.nullsem.queries import AndP, AttrEq, Eq, In, NotP, OrP
+from repro.query import ground_answers, parse_query
+from repro.query.algebra import (
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+
+from ..helpers import rel
+
+# ---------------------------------------------------------------------------
+# the oracle: joint completions + classical evaluation
+# ---------------------------------------------------------------------------
+
+
+def environment_nulls(env):
+    """Every null in the environment with its intersected domain —
+    the documented convention (declared-finite domains, intersected
+    across all occurrences), recomputed independently here."""
+    domains = {}
+    order = []
+    for relation in env.values():
+        attributes = relation.schema.attributes
+        for row in relation.rows:
+            for attribute, value in zip(attributes, row.values):
+                if not is_null(value):
+                    continue
+                column = tuple(relation.enumeration_domain(attribute))
+                if id(value) not in domains:
+                    domains[id(value)] = column
+                    order.append(value)
+                else:
+                    domains[id(value)] = tuple(
+                        c for c in domains[id(value)] if c in column
+                    )
+    return order, domains
+
+
+def classical(node, genv):
+    """Two-valued evaluation over a ground environment.
+
+    Returns ``(attributes, frozenset of tuples)``.
+    """
+    if isinstance(node, Scan):
+        attrs, rows = genv[node.name]
+        return attrs, frozenset(rows)
+    if isinstance(node, Select):
+        attrs, rows = classical(node.source, genv)
+        positions = {a: i for i, a in enumerate(attrs)}
+        return attrs, frozenset(
+            row for row in rows if holds(node.pred, positions, row)
+        )
+    if isinstance(node, Project):
+        attrs, rows = classical(node.source, genv)
+        positions = {a: i for i, a in enumerate(attrs)}
+        keep = [positions[a] for a in node.attributes]
+        return node.attributes, frozenset(
+            tuple(row[i] for i in keep) for row in rows
+        )
+    if isinstance(node, Join):
+        left_attrs, left_rows = classical(node.left, genv)
+        right_attrs, right_rows = classical(node.right, genv)
+        shared = [a for a in left_attrs if a in right_attrs]
+        extra = [a for a in right_attrs if a not in left_attrs]
+        lpos = {a: i for i, a in enumerate(left_attrs)}
+        rpos = {a: i for i, a in enumerate(right_attrs)}
+        out = set()
+        for lrow in left_rows:
+            for rrow in right_rows:
+                if any(lrow[lpos[a]] != rrow[rpos[a]] for a in shared):
+                    continue
+                out.add(lrow + tuple(rrow[rpos[a]] for a in extra))
+        return left_attrs + tuple(extra), frozenset(out)
+    if isinstance(node, Rename):
+        attrs, rows = classical(node.source, genv)
+        mapping = dict(node.mapping)
+        return tuple(mapping.get(a, a) for a in attrs), rows
+    if isinstance(node, Union):
+        attrs, left_rows = classical(node.left, genv)
+        _, right_rows = classical(node.right, genv)
+        return attrs, left_rows | right_rows
+    if isinstance(node, Difference):
+        attrs, left_rows = classical(node.left, genv)
+        _, right_rows = classical(node.right, genv)
+        return attrs, left_rows - right_rows
+    raise AssertionError(node)
+
+
+def holds(pred, positions, row) -> bool:
+    if isinstance(pred, Eq):
+        return row[positions[pred.attribute]] == pred.constant
+    if isinstance(pred, In):
+        return row[positions[pred.attribute]] in pred.constants
+    if isinstance(pred, AttrEq):
+        return row[positions[pred.first]] == row[positions[pred.second]]
+    if isinstance(pred, NotP):
+        return not holds(pred.operand, positions, row)
+    if isinstance(pred, AndP):
+        return all(holds(p, positions, row) for p in pred.operands)
+    if isinstance(pred, OrP):
+        return any(holds(p, positions, row) for p in pred.operands)
+    raise AssertionError(pred)
+
+
+def brute_force(node, env):
+    """(certain, possible) by enumerating every joint completion."""
+    nulls, domains = environment_nulls(env)
+    certain = None
+    possible = set()
+    for combo in itertools.product(*(domains[id(n)] for n in nulls)):
+        binding = dict(zip((id(n) for n in nulls), combo))
+        genv = {}
+        for name, relation in env.items():
+            rows = {
+                tuple(
+                    binding[id(v)] if is_null(v) else v for v in row.values
+                )
+                for row in relation.rows
+            }
+            genv[name] = (relation.schema.attributes, rows)
+        _, result = classical(node, genv)
+        possible |= result
+        certain = result if certain is None else certain & result
+    return frozenset(certain or ()), frozenset(possible)
+
+
+def assert_matches_oracle(node, env):
+    got_certain, got_possible = ground_answers(node, env)
+    want_certain, want_possible = brute_force(node, env)
+    assert got_possible == want_possible, (
+        f"possible answers diverge:\n got  {sorted(got_possible)}\n"
+        f" want {sorted(want_possible)}"
+    )
+    assert got_certain == want_certain, (
+        f"certain answers diverge:\n got  {sorted(got_certain)}\n"
+        f" want {sorted(want_certain)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# hand-written cases the acceptance criteria single out
+# ---------------------------------------------------------------------------
+
+DOM = ["a", "b"]
+
+
+class TestSharedNullAcrossRelations:
+    def test_join_on_a_shared_null(self):
+        x = null()
+        env = {
+            "r": rel("A B", [["a", x]], domains={"B": DOM}),
+            "s": rel("B C", [[x, "c"]], domains={"B": DOM}),
+        }
+        assert_matches_oracle(parse_query("r join s"), env)
+
+    def test_join_on_distinct_nulls(self):
+        x, y = null(), null()
+        env = {
+            "r": rel("A B", [["a", x]], domains={"B": DOM}),
+            "s": rel("B C", [[y, "c"]], domains={"B": DOM}),
+        }
+        assert_matches_oracle(parse_query("r join s"), env)
+
+    def test_unscanned_relation_still_constrains_a_shared_null(self):
+        """s appears in the environment but not in the query; its column
+        domain {a} still narrows x, making ``A = 'a'`` certain."""
+        x = null()
+        env = {
+            "r": rel("A", [[x]], domains={"A": DOM}),
+            "s": rel("A", [[x]], domains={"A": ["a"]}),
+        }
+        assert_matches_oracle(parse_query("r where A = 'a'"), env)
+
+    def test_difference_with_shared_null_on_both_sides(self):
+        x = null()
+        env = {
+            "r": rel("A", [["a"], [x]], domains={"A": DOM}),
+            "s": rel("A", [[x]], domains={"A": DOM}),
+        }
+        assert_matches_oracle(parse_query("r minus s"), env)
+
+
+# ---------------------------------------------------------------------------
+# the randomized sweep
+# ---------------------------------------------------------------------------
+
+QUERIES = (
+    "r",
+    "r[A]",
+    "r[B]",
+    "r where A = 'a'",
+    "r where A != 'a'",
+    "r where A = B",
+    "r where A in ('a', 'b') and B = 'a'",
+    "r join s",
+    "r join s [A, C]",
+    "r join s where C = 'b'",
+    "r[B] union s[B]",
+    "r[B] minus s[B]",
+    "s rename C -> A [A] minus r[A]",
+    "(r where A = 'a') union (r where A = 'b')",
+    "r minus (r where A = B)",
+)
+
+
+@st.composite
+def environments(draw):
+    """Two relations r(A B), s(B C) over the domain {a, b} with
+    constants, fresh nulls and nulls shared within *and across* the
+    relations (≤ 4 null objects total keeps the joint enumeration
+    ≤ 2⁴ completions)."""
+    shared = [null() for _ in range(2)]
+    fresh_budget = [2]
+    tokens = ["a", "b", "fresh", "s0", "s1"]
+
+    def cell(token):
+        if token == "fresh":
+            if fresh_budget[0] == 0:
+                return "a"
+            fresh_budget[0] -= 1
+            return null()
+        if token.startswith("s"):
+            return shared[int(token[1])]
+        return token
+
+    def build(attrs):
+        n_rows = draw(st.integers(min_value=0, max_value=3))
+        rows = [
+            [cell(draw(st.sampled_from(tokens))) for _ in range(2)]
+            for _ in range(n_rows)
+        ]
+        return rel(attrs, rows, domains={a: DOM for a in attrs.split()})
+
+    return {"r": build("A B"), "s": build("B C")}
+
+
+@settings(max_examples=60)
+@given(env=environments(), query=st.sampled_from(QUERIES))
+def test_ground_answers_match_brute_force(env, query):
+    assert_matches_oracle(parse_query(query), env)

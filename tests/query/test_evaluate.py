@@ -1,0 +1,221 @@
+"""Evaluator semantics: certain/maybe tagging, null identity, modes.
+
+Hand-sized instances whose answer sets are verifiable by inspection —
+the randomized differential suite (test_differential.py) covers the
+same semantics at scale against a brute-force oracle.
+"""
+
+import pytest
+
+from repro.core.values import NOTHING, null
+from repro.errors import InconsistentInstanceError
+from repro.query import (
+    Evaluator,
+    MODE_KLEENE,
+    MODE_LEAST,
+    QueryError,
+    evaluate,
+    ground_answers,
+    parse_query,
+)
+
+from ..helpers import rel
+
+
+def rows_of(answer):
+    return [tuple(row) for row in answer.rows]
+
+
+class TestTagging:
+    def test_ground_rows_are_certain(self):
+        env = {"r": rel("A B", [["a", "b"], ["c", "d"]])}
+        result = evaluate(parse_query("r where A = 'a'"), env)
+        assert rows_of(result.certain) == [("a", "b")]
+        assert rows_of(result.maybe) == []
+
+    def test_null_in_a_selected_cell_is_maybe(self):
+        x = null()
+        env = {
+            "r": rel("A B", [[x, "b"]], domains={"A": ["a", "c"]})
+        }
+        result = evaluate(parse_query("r where A = 'a'"), env)
+        assert rows_of(result.certain) == []
+        assert rows_of(result.maybe) == [(x, "b")]
+
+    def test_false_rows_are_dropped(self):
+        env = {"r": rel("A B", [["c", "b"]])}
+        result = evaluate(parse_query("r where A = 'a'"), env)
+        assert rows_of(result.certain) == []
+        assert rows_of(result.maybe) == []
+
+    def test_meta_records_the_mode(self):
+        env = {"r": rel("A", [["a"]])}
+        result = evaluate(parse_query("r"), env, mode=MODE_KLEENE)
+        assert result.certain.meta["mode"] == MODE_KLEENE
+
+    def test_unknown_mode_rejected(self):
+        env = {"r": rel("A", [["a"]])}
+        with pytest.raises(QueryError, match="unknown evaluation mode"):
+            evaluate(parse_query("r"), env, mode="fuzzy")
+
+    def test_possible_is_certain_union_maybe(self):
+        x = null()
+        env = {"r": rel("A B", [[x, "b"], ["a", "c"]],
+                        domains={"A": ["a", "z"]})}
+        result = evaluate(parse_query("r where A = 'a'"), env)
+        assert rows_of(result.possible()) == (
+            rows_of(result.certain) + rows_of(result.maybe)
+        )
+
+
+class TestLeastExtensionVsKleene:
+    def test_domain_exhaustion_is_certain_only_under_least(self):
+        """``B='a' or B='b'`` over domain {a, b}: a tautology the
+        truth-functional evaluation cannot see (the paper's central
+        Kleene-vs-least separation)."""
+        x = null()
+        env = {"r": rel("A B", [["c", x]], domains={"B": ["a", "b"]})}
+        node = parse_query("r where B = 'a' or B = 'b'")
+        least = evaluate(node, env, mode=MODE_LEAST)
+        kleene = evaluate(node, env, mode=MODE_KLEENE)
+        assert rows_of(least.certain) == [("c", x)]
+        assert rows_of(kleene.certain) == []
+        assert rows_of(kleene.maybe) == [("c", x)]
+
+    def test_contradiction_is_dropped_only_under_least(self):
+        x = null()
+        env = {"r": rel("A B", [["c", x]], domains={"B": ["a", "b"]})}
+        node = parse_query("r where B = 'a' and B = 'b'")
+        least = evaluate(node, env, mode=MODE_LEAST)
+        kleene = evaluate(node, env, mode=MODE_KLEENE)
+        assert rows_of(least.certain) == rows_of(least.maybe) == []
+        assert rows_of(kleene.maybe) == [("c", x)]
+
+    def test_self_equality_is_certain_in_both_modes(self):
+        x = null()
+        env = {"r": rel("A B", [[x, x]], domains={"A": ["a", "b"],
+                                                  "B": ["a", "b"]})}
+        node = parse_query("r where A = B")
+        for mode in (MODE_LEAST, MODE_KLEENE):
+            result = evaluate(node, env, mode=mode)
+            assert rows_of(result.certain) == [(x, x)], mode
+
+
+class TestNullIdentityAcrossRelations:
+    def test_shared_null_joins_as_one_unknown(self):
+        """The same null object in r.B and s.B equates identically, so
+        the join row is certain even though the value is unknown."""
+        x = null()
+        env = {
+            "r": rel("A B", [["a", x]], domains={"B": ["p", "q"]}),
+            "s": rel("B C", [[x, "c"]], domains={"B": ["p", "q"]}),
+        }
+        result = evaluate(parse_query("r join s"), env)
+        assert rows_of(result.certain) == [("a", x, "c")]
+        assert rows_of(result.maybe) == []
+
+    def test_distinct_nulls_join_as_maybe(self):
+        x, y = null(), null()
+        env = {
+            "r": rel("A B", [["a", x]], domains={"B": ["p", "q"]}),
+            "s": rel("B C", [[y, "c"]], domains={"B": ["p", "q"]}),
+        }
+        result = evaluate(parse_query("r join s"), env)
+        assert rows_of(result.certain) == []
+        assert len(result.maybe) == 1
+
+    def test_environment_intersects_domains_across_occurrences(self):
+        """A null constrained to {p} by one column and {p, q} by another
+        grounds over the intersection {p} — so equality with 'p' is
+        certain under least evaluation."""
+        x = null()
+        env = {
+            "r": rel("A B", [["a", x]], domains={"B": ["p", "q"]}),
+            "s": rel("B C", [[x, "c"]], domains={"B": ["p"]}),
+        }
+        result = evaluate(parse_query("r where B = 'p'"), env)
+        assert rows_of(result.certain) == [("a", x)]
+
+
+class TestDifferenceAndUnion:
+    def test_difference_removes_certain_matches(self):
+        env = {
+            "r": rel("A", [["a"], ["b"]]),
+            "s": rel("A", [["a"]]),
+        }
+        result = evaluate(parse_query("r minus s"), env)
+        assert rows_of(result.certain) == [("b",)]
+        assert rows_of(result.maybe) == []
+
+    def test_difference_against_a_null_is_maybe(self):
+        x = null()
+        env = {
+            "r": rel("A", [["a"], ["b"]]),
+            "s": rel("A", [[x]], domains={"A": ["a", "b", "c"]}),
+        }
+        result = evaluate(parse_query("r minus s"), env)
+        assert rows_of(result.certain) == []
+        assert rows_of(result.maybe) == [("a",), ("b",)]
+
+    def test_union_merges_duplicate_rows(self):
+        env = {
+            "r": rel("A", [["a"]]),
+            "s": rel("A", [["a"], ["b"]]),
+        }
+        result = evaluate(parse_query("r union s"), env)
+        assert rows_of(result.certain) == [("a",), ("b",)]
+
+    def test_projection_merge_can_promote_to_certain(self):
+        """Two maybe-rows projecting onto the same tuple whose conditions
+        jointly exhaust the domain: the merged row is certain under
+        least evaluation (the dedup/any_of path)."""
+        x = null()
+        env = {"r": rel("A B", [[x, "k"], ["q", "k"]],
+                        domains={"A": ["p", "q"]})}
+        node = parse_query("((r where A = 'p') union (r where A = 'q'))[B]")
+        result = evaluate(node, env, mode=MODE_LEAST)
+        assert rows_of(result.certain) == [("k",)]
+
+
+class TestEnvironmentGuards:
+    def test_nothing_anywhere_raises(self):
+        env = {
+            "r": rel("A", [["a"]]),
+            "s": rel("A", [[NOTHING]]),
+        }
+        with pytest.raises(InconsistentInstanceError, match="NOTHING"):
+            Evaluator(env)
+
+    def test_answer_domains_carry_finite_schema_domains(self):
+        env = {"r": rel("A B", [["a", "b"]], domains={"A": ["a", "z"]})}
+        result = evaluate(parse_query("r"), env)
+        assert set(result.certain.domains) == {"A"}
+
+    def test_provenance_points_at_first_occurrence(self):
+        x = null()
+        env = {"r": rel("A B", [[x, "b"]], domains={"A": ["a", "z"]})}
+        result = evaluate(parse_query("r"), env)
+        assert rows_of(result.maybe) == [] and len(result.certain) == 1
+        record = result.certain.provenance[x.label]
+        assert record == {"relation": "r", "attribute": "A"}
+
+
+class TestGroundAnswers:
+    def test_ground_certain_requires_every_grounding(self):
+        x = null()
+        env = {"r": rel("A B", [["c", x]], domains={"B": ["a", "b"]})}
+        certain, possible = ground_answers(
+            parse_query("r where B = 'a' or B = 'b'"), env
+        )
+        # every grounding keeps the row, but the ground *tuple* differs
+        # per grounding — so possible has both, certain has neither
+        assert possible == {("c", "a"), ("c", "b")}
+        assert certain == frozenset()
+
+    def test_ground_certain_for_fully_ground_tuple(self):
+        x = null()
+        env = {"r": rel("A B", [[x, "k"], ["q", "k"]],
+                        domains={"A": ["p", "q"]})}
+        certain, possible = ground_answers(parse_query("r[B]"), env)
+        assert certain == {("k",)}
+        assert possible == {("k",)}

@@ -1,0 +1,123 @@
+"""Golden lint output for query scripts and wire query requests.
+
+The exact line numbers and codes are the contract: editor integrations
+and the server's refusal payload both navigate by them.
+"""
+
+import pytest
+
+from repro.analysis import lint_query_request, lint_query_script
+from repro.cli import main
+
+from ..helpers import schema_of
+
+CATALOG = {
+    "emp": schema_of("name dept", name="emp"),
+    "mgr": schema_of("dept boss", name="mgr"),
+}
+
+
+SCRIPT = """\
+# staffing queries
+emp[name]
+emp where salary = 30
+emp joi mgr
+ans = emp join mgr
+ans where boss = 'carol'
+bad = emp[ghost]
+bad[name]
+emp[name, name]
+"""
+
+
+class TestQueryScriptGoldens:
+    def test_codes_pin_to_exact_lines(self):
+        diagnostics = lint_query_script(CATALOG, SCRIPT.splitlines())
+        assert [(d.line, d.code) for d in diagnostics] == [
+            (3, "E_UNKNOWN_ATTR"),      # salary not in emp
+            (4, "E_BAD_REQUEST"),       # 'joi' is a parse error
+            (7, "E_UNKNOWN_ATTR"),      # ghost not in emp
+            (8, "E_UNKNOWN_RELATION"),  # 'bad' never bound (line 7 failed)
+            (9, "E_ARITY"),             # duplicate projection attribute
+        ]
+
+    def test_messages_carry_the_op_text(self):
+        diagnostics = lint_query_script(CATALOG, SCRIPT.splitlines())
+        assert diagnostics[0].op == "emp where salary = 30"
+        assert "salary" in diagnostics[0].message
+
+    def test_failed_binding_hint_lists_successful_bindings(self):
+        lines = ["ok = emp[name]", "bad = emp[ghost]", "bad[name]"]
+        diagnostics = lint_query_script(CATALOG, lines)
+        assert [(d.line, d.code) for d in diagnostics] == [
+            (2, "E_UNKNOWN_ATTR"),
+            (3, "E_UNKNOWN_RELATION"),
+        ]
+        assert diagnostics[1].hint == "bound here: ok"
+
+    def test_clean_script_has_no_diagnostics(self):
+        lines = ["ans = emp join mgr", "ans[name, boss]"]
+        assert lint_query_script(CATALOG, lines) == []
+
+
+class TestQueryRequestGoldens:
+    def codes(self, request):
+        return [d.code for d in lint_query_request(CATALOG, request)]
+
+    def test_well_formed_request_is_clean(self):
+        assert self.codes({"do": "query", "q": "emp[name]"}) == []
+
+    def test_non_object_request(self):
+        assert self.codes(["emp"]) == ["E_BAD_REQUEST"]
+
+    def test_missing_query_string(self):
+        assert self.codes({"do": "query"}) == ["E_BAD_REQUEST"]
+        assert self.codes({"do": "query", "q": "  "}) == ["E_BAD_REQUEST"]
+
+    def test_unknown_mode(self):
+        diagnostics = lint_query_request(
+            CATALOG, {"do": "query", "q": "emp[name]", "mode": "fuzzy"}
+        )
+        assert [d.code for d in diagnostics] == ["E_BAD_REQUEST"]
+        assert "fuzzy" in diagnostics[0].message
+
+    def test_parse_error(self):
+        assert self.codes({"do": "query", "q": "emp where ="}) == [
+            "E_BAD_REQUEST"
+        ]
+
+    def test_unknown_relation(self):
+        assert self.codes({"do": "query", "q": "ghost[name]"}) == [
+            "E_UNKNOWN_RELATION"
+        ]
+
+
+class TestLintQueryCli:
+    def run(self, tmp_path, capsys, script, *extra):
+        path = tmp_path / "queries.txt"
+        path.write_text(script)
+        code = main(
+            ["lint", "--query", "--rel", "emp=name dept",
+             "--rel", "mgr=dept boss", "--script", str(path), *extra]
+        )
+        return code, capsys.readouterr().out
+
+    def test_clean_script_exits_zero(self, tmp_path, capsys):
+        code, out = self.run(tmp_path, capsys, "emp join mgr [name, boss]\n")
+        assert code == 0
+        assert "clean" in out
+
+    def test_errors_exit_two_with_line_numbers(self, tmp_path, capsys):
+        code, out = self.run(tmp_path, capsys, "emp[name]\nemp[ghost]\n")
+        assert code == 2
+        assert "line 2:" in out and "E_UNKNOWN_ATTR" in out
+
+    def test_query_lint_needs_a_catalog(self, capsys, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("emp[name]\n")
+        code = main(["lint", "--query", "--script", str(path)])
+        assert code == 2
+
+    def test_op_lint_still_requires_fds(self, capsys):
+        code = main(["lint", "--attrs", "A B"])
+        assert code == 2

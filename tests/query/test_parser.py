@@ -1,0 +1,163 @@
+"""The query surface syntax: pipeline precedence, predicates, statements."""
+
+import pytest
+
+from repro.nullsem.queries import AndP, AttrEq, Eq, In, NotP, OrP
+from repro.query.algebra import (
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.query.parser import (
+    QueryParseError,
+    parse_query,
+    parse_statement,
+)
+
+
+class TestPipelinePrecedence:
+    def test_postfix_steps_apply_left_to_right(self):
+        node = parse_query("emp join mgr [name]")
+        assert node == Project(Join(Scan("emp"), Scan("mgr")), ("name",))
+
+    def test_parens_scope_a_step_to_one_operand(self):
+        node = parse_query("emp join (mgr[dept])")
+        assert node == Join(Scan("emp"), Project(Scan("mgr"), ("dept",)))
+
+    def test_where_after_join_filters_the_join(self):
+        node = parse_query("emp join mgr where boss = 'carol'")
+        assert node == Select(
+            Join(Scan("emp"), Scan("mgr")), Eq("boss", "carol")
+        )
+
+    def test_union_binds_looser_than_the_pipeline(self):
+        node = parse_query("emp[dept] union mgr[dept]")
+        assert node == Union(
+            Project(Scan("emp"), ("dept",)), Project(Scan("mgr"), ("dept",))
+        )
+
+    def test_minus_binds_looser_than_the_pipeline(self):
+        node = parse_query("emp[dept] minus mgr[dept]")
+        assert node == Difference(
+            Project(Scan("emp"), ("dept",)), Project(Scan("mgr"), ("dept",))
+        )
+
+    def test_union_chain_associates_left(self):
+        node = parse_query("a union b minus c")
+        assert node == Difference(Union(Scan("a"), Scan("b")), Scan("c"))
+
+    def test_rename_pairs(self):
+        node = parse_query("emp rename dept -> unit, name -> who")
+        assert node == Rename(
+            Scan("emp"), (("dept", "unit"), ("name", "who"))
+        )
+
+
+class TestPredicates:
+    def test_equality_with_string_constant(self):
+        node = parse_query("emp where dept = 'sales'")
+        assert node == Select(Scan("emp"), Eq("dept", "sales"))
+
+    def test_bare_name_on_the_right_is_an_attribute(self):
+        node = parse_query("emp where boss = name")
+        assert node == Select(Scan("emp"), AttrEq("boss", "name"))
+
+    def test_not_equal_wraps_in_negation(self):
+        node = parse_query("emp where dept != 'sales'")
+        assert node == Select(Scan("emp"), NotP(Eq("dept", "sales")))
+
+    def test_in_list(self):
+        node = parse_query("emp where dept in ('sales', 'eng')")
+        assert node == Select(Scan("emp"), In("dept", ("sales", "eng")))
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_query(
+            "emp where dept = 'sales' and boss = 'ada' or dept = 'eng'"
+        )
+        assert node == Select(
+            Scan("emp"),
+            OrP(
+                (
+                    AndP((Eq("dept", "sales"), Eq("boss", "ada"))),
+                    Eq("dept", "eng"),
+                )
+            ),
+        )
+
+    def test_not_and_predicate_parens(self):
+        node = parse_query("emp where not (dept = 'sales' or dept = 'eng')")
+        assert node == Select(
+            Scan("emp"),
+            NotP(OrP((Eq("dept", "sales"), Eq("dept", "eng")))),
+        )
+
+    def test_numeric_constants(self):
+        assert parse_query("emp where n = 30") == Select(
+            Scan("emp"), Eq("n", 30)
+        )
+        assert parse_query("emp where n = 1.5") == Select(
+            Scan("emp"), Eq("n", 1.5)
+        )
+
+    def test_string_escapes(self):
+        node = parse_query(r"emp where name = 'o\'brien'")
+        assert node == Select(Scan("emp"), Eq("name", "o'brien"))
+
+
+class TestBindingsAndStatements:
+    def test_bindings_splice_at_parse_time(self):
+        bound = Select(Scan("emp"), Eq("dept", "sales"))
+        node = parse_query("ans[name]", {"ans": bound})
+        assert node == Project(bound, ("name",))
+
+    def test_blank_and_comment_statements(self):
+        assert parse_statement("").kind == "blank"
+        assert parse_statement("   # a comment").kind == "blank"
+
+    def test_bind_statement(self):
+        statement = parse_statement("ans = emp[name]")
+        assert statement.kind == "bind"
+        assert statement.name == "ans"
+        assert statement.node == Project(Scan("emp"), ("name",))
+
+    def test_bare_expression_statement(self):
+        statement = parse_statement("emp join mgr")
+        assert statement.kind == "query"
+        assert statement.name is None
+        assert statement.node == Join(Scan("emp"), Scan("mgr"))
+
+
+class TestParseErrors:
+    def test_unreadable_input_reports_a_column(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query("emp where dept = $$$")
+        assert excinfo.value.column == 18
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryParseError, match="unexpected"):
+            parse_query("emp mgr")
+
+    def test_missing_comparison(self):
+        with pytest.raises(QueryParseError, match="expected '=', '!=' or 'in'"):
+            parse_query("emp where dept")
+
+    def test_unclosed_projection(self):
+        with pytest.raises(QueryParseError, match="expected ']'"):
+            parse_query("emp[name")
+
+    def test_rename_needs_arrow(self):
+        with pytest.raises(QueryParseError, match="expected '->'"):
+            parse_query("emp rename dept unit")
+
+    def test_unquoted_string_constant_hint(self):
+        with pytest.raises(QueryParseError, match="quote strings"):
+            parse_query("emp where dept = in")
+
+    def test_error_carries_bad_request_code(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query("[x]")
+        assert excinfo.value.code == "E_BAD_REQUEST"

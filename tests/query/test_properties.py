@@ -1,0 +1,94 @@
+"""Property suites over the query layer.
+
+* certain ⊆ possible, and the mode ladder
+  ``kleene-certain ⊆ least-certain`` / ``least-possible ⊆
+  kleene-possible`` (least-extension evaluation is sharper, never
+  contradictory);
+* monotonicity under least-extension refinement: substituting a
+  constant from a null's consistent domain restricts the completion
+  set, so certain answers can only grow and possible answers can only
+  shrink.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.values import is_null
+from repro.query import (
+    MODE_KLEENE,
+    MODE_LEAST,
+    evaluate,
+    ground_answers,
+    parse_query,
+)
+
+from .test_differential import QUERIES, environment_nulls, environments
+
+
+def row_keys(answer):
+    """Row multiset as identity-keyed tuples (null = object id)."""
+    return {
+        tuple(("n", id(v)) if is_null(v) else ("c", v) for v in row)
+        for row in answer.rows
+    }
+
+
+@settings(max_examples=40)
+@given(env=environments(), query=st.sampled_from(QUERIES))
+def test_certain_disjoint_from_maybe_and_modes_nest(env, query):
+    node = parse_query(query)
+    least = evaluate(node, env, mode=MODE_LEAST)
+    kleene = evaluate(node, env, mode=MODE_KLEENE)
+
+    # within one mode: certain and maybe partition the surviving rows
+    for result in (least, kleene):
+        assert not (row_keys(result.certain) & row_keys(result.maybe))
+
+    # the mode ladder on the same conditional table
+    k_certain, l_certain = row_keys(kleene.certain), row_keys(least.certain)
+    k_possible = k_certain | row_keys(kleene.maybe)
+    l_possible = l_certain | row_keys(least.maybe)
+    assert k_certain <= l_certain
+    assert l_possible <= k_possible
+
+
+@settings(max_examples=40)
+@given(env=environments(), query=st.sampled_from(QUERIES))
+def test_ground_certain_subset_of_possible(env, query):
+    certain, possible = ground_answers(parse_query(query), env)
+    assert certain <= possible
+
+
+@settings(max_examples=40)
+@given(
+    env=environments(),
+    query=st.sampled_from(QUERIES),
+    pick=st.integers(min_value=0, max_value=7),
+)
+def test_certain_answers_monotone_under_refinement(env, query, pick):
+    """Filling one null with a constant from its consistent domain is a
+    least-extension refinement: every completion of the refined
+    database is a completion of the original, so certain answers grow
+    monotonically and possible answers shrink."""
+    nulls, domains = environment_nulls(env)
+    candidates = [n for n in nulls if domains[id(n)]]
+    if not candidates:
+        return
+    target = candidates[pick % len(candidates)]
+    constant = domains[id(target)][pick % len(domains[id(target)])]
+    refined = {
+        name: Relation(
+            relation.schema,
+            [row.substitute({target: constant}) for row in relation.rows],
+        )
+        for name, relation in env.items()
+    }
+
+    node = parse_query(query)
+    certain, possible = ground_answers(node, env)
+    refined_certain, refined_possible = ground_answers(node, refined)
+    assert certain <= refined_certain
+    assert refined_possible <= possible

@@ -95,6 +95,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR6.json",
         "BENCH_PR7.json",
         "BENCH_PR8.json",
+        "BENCH_PR9.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -215,7 +216,7 @@ def _run_compare(fresh_path, *extra):
 
 #: the latest committed baseline — compare.py's default reference, and the
 #: doctoring source for the negative-path tests below
-LATEST_BASELINE = "BENCH_PR8.json"
+LATEST_BASELINE = "BENCH_PR9.json"
 
 
 def test_compare_accepts_the_baseline_against_itself():
@@ -372,6 +373,59 @@ def test_pr7_baseline_records_serving_series():
     )
     e5 = report["benchmarks"]["bench_e5_chase_scaling"]
     assert any("parallel chase speedup" in k for k in e5["speedups"])
+
+
+def test_pr9_baseline_records_query_series():
+    """BENCH_PR9.json carries bench_q1_query: the least-vs-kleene
+    evaluation series over the size ladder, the rows each mode proves
+    certain, and the writer ack-gap series under query-verb readers
+    (the query layer's no-stall guarantee, measured)."""
+    report = json.loads((REPO_ROOT / "BENCH_PR9.json").read_text())
+    q1 = report["benchmarks"]["bench_q1_query"]
+    assert q1["status"] == "ok"
+    series = q1["series"]
+    assert "least select wall ms by size" in series
+    assert "kleene select wall ms by size" in series
+    assert "least join wall ms by size" in series
+    # least-extension evaluation pays for exactness: never cheaper than
+    # the truth-functional pass on the same instance ladder
+    key = "kleene over least evaluation speedup at largest configuration"
+    assert q1["speedups"][key] >= 1.0
+    # more nulls -> more rows only least evaluation can prove certain
+    promoted = series["rows promoted to certain by density"]
+    assert promoted[0] == 0 and promoted[-1] > 0
+    # the writer kept streaming while query readers hammered the verb
+    gaps = series["writer max ack gap ms by query-reader count"]
+    assert len(gaps) >= 2
+    assert max(gaps) <= max(50.0, 10.0 * gaps[0])
+    # serial + serving headlines intact
+    a2 = report["benchmarks"]["bench_a2_incremental"]
+    assert (
+        a2["speedups"]["session mixed-workload speedup at largest configuration"]
+        >= 3.0
+    )
+    a3 = report["benchmarks"]["bench_a3_durability"]
+    assert (
+        a3["speedups"]["checkpoint recovery speedup at largest configuration"]
+        >= 3.0
+    )
+    s1 = report["benchmarks"]["bench_s1_server"]
+    assert (
+        "group-commit speedup at 8 clients over per-op-fsync serving"
+        in s1["speedups"]
+    )
+
+
+def test_quick_discovery_includes_q1(tmp_path):
+    """--quick (no --ablations) runs the query series too."""
+    proc, out = _run_quick(tmp_path, only=("q1",))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert set(report["benchmarks"]) == {"bench_q1_query"}
+    entry = report["benchmarks"]["bench_q1_query"]
+    assert entry["status"] == "ok"
+    assert "least select wall ms by size" in entry.get("series", {})
+    assert "writer max ack gap ms by query-reader count" in entry["series"]
 
 
 def test_quick_discovery_includes_s1(tmp_path):
