@@ -29,10 +29,10 @@ fast perf smoke test.  Results land in a JSON file::
 Per-benchmark wall times plus every printed log-log slope, "...x"
 speedup line, and ``series <label>: v1 v2 ...`` per-size series are
 captured, giving later PRs a perf trajectory to compare against
-(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR9.json`` — the
-latest adds bench_q1's query series: least vs kleene evaluation wall
-times over a size × null-density ladder, plus writer ack gaps under
-query-verb readers).
+(committed baselines: ``BENCH_PR1.json`` … ``BENCH_PR10.json`` — the
+latest adds bench_q1's Q1c planner series: the optimizer's bucket
+equi-join vs the naive nested loop over a size ladder, field-identity
+asserted in-bench).
 The JSON schema — top-level ``quick`` / ``python`` / ``platform`` /
 ``benchmarks``, per-benchmark ``status`` + ``wall_s`` with optional
 ``slopes`` / ``speedups`` / ``series`` — is guarded by
@@ -178,14 +178,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_PR9.json at the repo root "
+        help="output JSON path (default: BENCH_PR10.json at the repo root "
         "for full runs, BENCH_QUICK.json for --quick runs, so a smoke pass "
         "never overwrites the committed full baseline)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = str(
-            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR9.json")
+            REPO_ROOT / ("BENCH_QUICK.json" if args.quick else "BENCH_PR10.json")
         )
 
     scripts = discover(args.only, args.ablations)

@@ -9,9 +9,15 @@ Three coordinated passes, none of which executes user ops:
 * :mod:`repro.analysis.diagnostics` — the diagnostic schema itself,
   shared verbatim by the CLI, runtime :class:`~repro.errors.ScriptError`
   reporting, and the server's batch fast-reject payload;
+* :mod:`repro.analysis.plan` — the query-plan linter: coded findings
+  (``W_CROSS_PRODUCT`` / ``W_GROUND_BLOWUP`` / ``E_EMPTY_CERTAIN`` /
+  ``W_DEAD_BRANCH``) over the facts the static planner
+  (:mod:`repro.query.optimize`) infers, wired into ``repro lint
+  --query``, the REPL, and the server ``query`` verb;
 * :mod:`repro.analysis.sanitize` — the opt-in (``REPRO_SANITIZE=1``)
   engine-invariant sanitizer: recomputes the occurrence/signature/slot/
-  WAL mirrors from ground truth after mutations and raises precise
+  WAL mirrors from ground truth after mutations (and audits evaluator
+  answer invariants after each query run) and raises precise
   :class:`~repro.errors.SanitizerError` findings.
 """
 
@@ -27,7 +33,13 @@ from .check import (
     lint_script,
 )
 from .diagnostics import CODES, Diagnostic, classify_cause, render_report
-from .sanitize import audit_core, audit_relation, audit_session
+from .plan import lint_query_plan
+from .sanitize import (
+    audit_core,
+    audit_evaluator,
+    audit_relation,
+    audit_session,
+)
 from .sanitize import enabled as sanitize_enabled
 
 __all__ = [
@@ -38,10 +50,12 @@ __all__ = [
     "SCRIPT_OPS",
     "ScriptLinter",
     "audit_core",
+    "audit_evaluator",
     "audit_relation",
     "audit_session",
     "classify_cause",
     "has_errors",
+    "lint_query_plan",
     "lint_query_request",
     "lint_query_script",
     "lint_requests",

@@ -982,7 +982,11 @@ def _query_diag(code, line, op, message, hint=""):
 
 
 def lint_query_script(
-    catalog: Mapping[str, RelationSchema], lines: Iterable[str]
+    catalog: Mapping[str, RelationSchema],
+    lines: Iterable[str],
+    stats: Optional[Mapping[str, Any]] = None,
+    fds: Optional[Mapping[str, Any]] = None,
+    mode: str = "least",
 ) -> List[Diagnostic]:
     """Statically check a ``repro query`` script against a catalog.
 
@@ -994,9 +998,16 @@ def lint_query_script(
     the server run, so lint verdicts match execution exactly).
     Bindings accumulate like the REPL's; a statement that failed does
     not bind, and later uses of its name surface as unknown relations.
+
+    Statements that pass the schema check are then plan-linted
+    (:func:`repro.analysis.plan.lint_query_plan`): cross products, dead
+    union arms, statically unsatisfiable subtrees, and — when ``stats``
+    carries instance statistics — grounding blow-ups, all pinned to the
+    same line numbers.
     """
     from ..query.algebra import QueryError, output_schema
     from ..query.parser import QueryParseError, parse_statement
+    from .plan import lint_query_plan
 
     diagnostics: List[Diagnostic] = []
     bindings: Dict[str, Any] = {}
@@ -1028,6 +1039,17 @@ def lint_query_script(
                 _query_diag(error.code, lineno, op_text, str(error), hint)
             )
             continue
+        diagnostics.extend(
+            lint_query_plan(
+                catalog,
+                statement.node,
+                stats=stats,
+                fds=fds,
+                mode=mode,
+                line=lineno,
+                op=op_text,
+            )
+        )
         if statement.kind == "bind":
             assert statement.name is not None
             bindings[statement.name] = statement.node
@@ -1038,6 +1060,8 @@ def lint_query_request(
     catalog: Mapping[str, RelationSchema],
     request: Any,
     line: int = 0,
+    stats: Optional[Mapping[str, Any]] = None,
+    fds: Optional[Mapping[str, Any]] = None,
 ) -> List[Diagnostic]:
     """Statically check one wire ``query`` request (no evaluation).
 
@@ -1045,9 +1069,16 @@ def lint_query_request(
     batch pre-pass: a request with any error-severity finding is refused
     before a single relation is leased.  ``line`` is the request index
     in the server's refusal payload convention (0-based).
+
+    With ``stats`` (relation name →
+    :class:`~repro.query.optimize.RelationStats`) the plan linter also
+    runs, so a grounding blow-up in least mode — a certain runtime
+    :class:`~repro.errors.DomainError` — refuses the request up front;
+    warning-grade plan findings ride back in the success payload.
     """
     from ..query.algebra import QueryError, output_schema
     from ..query.parser import QueryParseError, parse_query
+    from .plan import lint_query_plan
 
     summary = _summarize_request(request)
     if not isinstance(request, dict):
@@ -1087,4 +1118,17 @@ def lint_query_request(
         diagnostics.append(
             _query_diag(error.code, line, summary, str(error))
         )
+        return diagnostics
+    lint_mode = mode if mode in _QUERY_MODES else "least"
+    diagnostics.extend(
+        lint_query_plan(
+            catalog,
+            node,
+            stats=stats,
+            fds=fds,
+            mode=lint_mode,
+            line=line,
+            op=summary,
+        )
+    )
     return diagnostics

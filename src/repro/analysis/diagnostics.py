@@ -51,6 +51,12 @@ CODES: Dict[str, str] = {
     "E_UNKNOWN_RELATION": "query scans a relation the catalog does not have",
     "E_BAD_CELL": "cell token is not decodable",
     "E_UNKNOWN_NULL": "canonical null id was never minted by this relation",
+    # -- query plans (repro.analysis.plan) -----------------------------------
+    "W_CROSS_PRODUCT": "join shares no attributes; it is a cross product",
+    "W_GROUND_BLOWUP": "a condition's grounding space exceeds the limit",
+    "E_EMPTY_CERTAIN": "subtree is statically unsatisfiable; no completion "
+    "produces a row",
+    "W_DEAD_BRANCH": "union arm is provably empty and contributes nothing",
     # -- runtime fallback ----------------------------------------------------
     "E_RUNTIME": "runtime failure with no static code",
 }

@@ -447,3 +447,78 @@ def audit_relation(managed: Any) -> None:
             f"empty log but {managed.seq - managed.checkpoint_seq} ops "
             f"journalled past the checkpoint",
         )
+
+
+# ---------------------------------------------------------------------------
+# query evaluator answers
+# ---------------------------------------------------------------------------
+
+
+def audit_evaluator(
+    evaluator: Any,
+    attrs: Tuple[str, ...],
+    crows: Any,
+    certain_rows: Any,
+    maybe_rows: Any,
+) -> None:
+    """Audit one finished :meth:`~repro.query.evaluate.Evaluator.run`.
+
+    The evaluator's output discipline, recomputed from ground truth:
+
+    * the conditional table is deduplicated — every surviving row key
+      (nulls by identity, constants by value) appears exactly once;
+    * **certain** and **maybe** answers partition the surviving rows —
+      no key is tagged both ways, and every answer row is one of the
+      conditional rows;
+    * every null any row condition references was registered at
+      construction, with an enumeration domain — a condition over an
+      unregistered null could never be ground, so its truth was
+      made up.
+    """
+    from ..query.conditions import nulls_of
+    from ..query.evaluate import _row_key
+
+    seen: Set[Tuple[Any, ...]] = set()
+    for crow in crows:
+        if len(crow.values) != len(attrs):
+            _fail(
+                "evaluator",
+                f"conditional row arity {len(crow.values)} does not "
+                f"match the output scheme {attrs}",
+            )
+        key = _row_key(crow.values)
+        if key in seen:
+            _fail(
+                "evaluator",
+                f"conditional table holds a duplicate row key: "
+                f"{_sample([key])}",
+            )
+        seen.add(key)
+        for null_obj in nulls_of(crow.cond):
+            if id(null_obj) not in evaluator._nulls:
+                _fail(
+                    "evaluator",
+                    f"condition references unregistered null "
+                    f"{null_obj!r}",
+                )
+            if id(null_obj) not in evaluator.domains:
+                _fail(
+                    "evaluator",
+                    f"registered null {null_obj!r} has no enumeration "
+                    f"domain",
+                )
+    certain_keys = {_row_key(row) for row in certain_rows}
+    maybe_keys = {_row_key(row) for row in maybe_rows}
+    overlap = certain_keys & maybe_keys
+    if overlap:
+        _fail(
+            "evaluator",
+            f"rows tagged both certain and maybe: {_sample(overlap)}",
+        )
+    stray = (certain_keys | maybe_keys) - seen
+    if stray:
+        _fail(
+            "evaluator",
+            f"answer rows missing from the conditional table: "
+            f"{_sample(stray)}",
+        )

@@ -341,10 +341,19 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return _finish_script(target, status, args.stats)
 
 
-def _lint_query_catalog(args: argparse.Namespace) -> Dict[str, RelationSchema]:
-    """The relation catalog a ``lint --query`` run checks against."""
+def _lint_query_catalog(args: argparse.Namespace):
+    """The relation catalog (and instance stats) ``lint --query`` checks
+    against.
+
+    ``--data`` contributes more than a scheme: the loaded instance's
+    null counts and verified value pools power the plan linter's
+    null-flow and grounding-space findings.
+    """
+    from .query.optimize import relation_stats
+
     domains = parse_domains(args.domain) or {}
     catalog: Dict[str, RelationSchema] = {}
+    stats = {}
     for spec in args.rel or []:
         name, _, attrs = spec.partition("=")
         if not name or not attrs.strip():
@@ -355,6 +364,7 @@ def _lint_query_catalog(args: argparse.Namespace) -> Dict[str, RelationSchema]:
     if args.data:
         relation = load_relation(args.data, domains)
         catalog.setdefault(relation.schema.name, relation.schema)
+        stats[relation.schema.name] = relation_stats(relation)
     elif args.attrs:
         scoped = {
             a: d
@@ -366,15 +376,16 @@ def _lint_query_catalog(args: argparse.Namespace) -> Dict[str, RelationSchema]:
         )
     if not catalog:
         raise ReproError("lint --query needs --rel, --data or --attrs")
-    return catalog
+    return catalog, (stats or None)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import lint_query_script, lint_script, render_report
 
     if args.query:
+        catalog, stats = _lint_query_catalog(args)
         diagnostics = lint_query_script(
-            _lint_query_catalog(args), _read_script(args.script)
+            catalog, _read_script(args.script), stats=stats
         )
     else:
         if not args.fds:
@@ -409,6 +420,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .query.repl import QueryRepl, render_result, run_repl
 
     env: Dict[str, Relation] = {}
+    fds: Dict[str, tuple] = {}
     db: Optional[Database] = None
     try:
         if args.db:
@@ -417,6 +429,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 # queries run over the maintained fixpoint, the same
                 # instance every other durable read surface answers from
                 env[managed.name] = managed.result().relation
+                fds[managed.name] = tuple(managed.session.fds)
         for spec in args.csv or []:
             name, _, path = spec.partition("=")
             if not name or not path:
@@ -426,14 +439,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
         if not env:
             raise ReproError("query needs a source: --db DIR and/or --csv")
+        optimize = not args.no_optimize
         if args.expr:
-            result = Evaluator(env).run(
-                parse_query(args.expr), mode=args.mode
-            )
+            evaluator = Evaluator(env, fds=fds or None, optimize=optimize)
+            node = parse_query(args.expr)
+            if args.explain:
+                print(evaluator.explain(node, mode=args.mode))
+                return 0
+            result = evaluator.run(node, mode=args.mode)
             print(render_result(result))
             return 0
+        if args.explain:
+            raise ReproError(
+                "--explain needs -e EXPR (in the shell, use `explain Q`)"
+            )
         if args.script:
-            repl = QueryRepl(env, mode=args.mode)
+            repl = QueryRepl(env, mode=args.mode, fds=fds or None,
+                             optimize=optimize)
             failed = False
             for line in _read_script(args.script):
                 block = repl.execute(line)
@@ -445,7 +467,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 1 if failed else 0
         if args.repl or sys.stdin.isatty():
             print("repro query shell — .help for help, .quit to leave")
-            run_repl(env, sys.stdin, sys.stdout, mode=args.mode, prompt="query> ")
+            run_repl(env, sys.stdin, sys.stdout, mode=args.mode,
+                     prompt="query> ", fds=fds or None, optimize=optimize)
             print()
             return 0
         raise ReproError("query needs -e EXPR, --script FILE, or --repl")
@@ -781,6 +804,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="least",
         help="condition evaluation: exact least-extension grounding "
         "(default) or linear Kleene",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="with -e: print the optimized plan (inferred keys, join "
+        "strategies, fired rewrites) instead of evaluating",
+    )
+    query.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="evaluate the query tree exactly as written (no rewrites, "
+        "nested-loop joins)",
     )
     query.set_defaults(func=_cmd_query)
 

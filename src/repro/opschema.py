@@ -91,7 +91,9 @@ OPS: Tuple[OpSpec, ...] = (
            summary="print the maintained instance"),
     OpSpec("query", "read", False, True, scope="database",
            wire_rank=6,
-           summary="relational-algebra query with certain/maybe answers"),
+           summary="relational-algebra query with certain/maybe answers; "
+           "plan-linted before any lease, optimized before evaluation, "
+           "`explain: true` returns the plan instead"),
 )
 
 SPECS: Dict[str, OpSpec] = {spec.name: spec for spec in OPS}

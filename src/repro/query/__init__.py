@@ -18,6 +18,11 @@ turns that kernel into a usable query layer:
   propagated by identity so a null shared across relations equates
   across a join; plus the ground answer sets the differential test
   suite compares against brute-force completion enumeration;
+* :mod:`~repro.query.optimize` — the static planner: bottom-up fact
+  inference (schemas, null-flow, verified value supersets, FD/key
+  propagation, grounding-space bounds) feeding proved-equivalent
+  rewrites (select/projection pushdown, tautology/contradiction
+  elimination, cross-product fusion) and ``EXPLAIN`` rendering;
 * :mod:`~repro.query.parser` — the concrete syntax behind ``repro
   query`` and the REPL;
 * :mod:`~repro.query.repl` — the interactive shell.
@@ -28,6 +33,7 @@ relations and usable as chase/session inputs.
 
 from .algebra import (
     Difference,
+    Empty,
     Join,
     Node,
     Project,
@@ -46,26 +52,43 @@ from .evaluate import (
     evaluate,
     ground_answers,
 )
+from .optimize import (
+    Plan,
+    PlanInfo,
+    RelationStats,
+    analyze,
+    collect_stats,
+    optimize_tree,
+    render_plan,
+)
 from .parser import QueryParseError, parse_query, parse_statement
 
 __all__ = [
     "Difference",
+    "Empty",
     "Evaluator",
     "Join",
     "MODE_KLEENE",
     "MODE_LEAST",
     "Node",
+    "Plan",
+    "PlanInfo",
     "Project",
     "QueryError",
     "QueryParseError",
+    "RelationStats",
     "Rename",
     "Scan",
     "Select",
     "Union",
+    "analyze",
+    "collect_stats",
     "evaluate",
     "ground_answers",
+    "optimize_tree",
     "output_schema",
     "parse_query",
     "parse_statement",
     "relation_names",
+    "render_plan",
 ]

@@ -111,6 +111,21 @@ class Difference(Node):
     right: Node
 
 
+@dataclass(frozen=True)
+class Empty(Node):
+    """A statically empty relation over a fixed scheme.
+
+    Not parseable — the optimizer introduces it when a subtree is proved
+    unsatisfiable (contradictory select, empty difference remainder), so
+    downstream rewrites can cascade (``Join(Empty, x) → Empty``,
+    ``Union(Empty, x) → x``) and the plan linter can point at the
+    original site with ``E_EMPTY_CERTAIN`` / ``W_DEAD_BRANCH``.
+    """
+
+    __slots__ = ("attributes",)
+    attributes: Tuple[str, ...]
+
+
 def relation_names(node: Node) -> Tuple[str, ...]:
     """Every base relation the tree scans, first-occurrence order."""
     seen: Dict[str, None] = {}
@@ -118,6 +133,8 @@ def relation_names(node: Node) -> Tuple[str, ...]:
     def walk(current: Node) -> None:
         if isinstance(current, Scan):
             seen.setdefault(current.name)
+        elif isinstance(current, Empty):
+            pass
         elif isinstance(current, (Select, Project, Rename)):
             walk(current.source)
         elif isinstance(current, (Join, Union, Difference)):
@@ -170,6 +187,15 @@ def _check(
             )
         return schema.attributes, {
             attr: schema.domain(attr) for attr in schema.attributes
+        }
+
+    if isinstance(node, Empty):
+        if not node.attributes:
+            raise QueryError(
+                "empty relation needs at least one attribute", code="E_ARITY"
+            )
+        return tuple(node.attributes), {
+            attr: UNBOUNDED for attr in node.attributes
         }
 
     if isinstance(node, Select):

@@ -37,7 +37,16 @@ completion enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..api import TAG_CERTAIN, TAG_MAYBE, Answer, ResultSet
 from ..core.domain import Domain
@@ -48,6 +57,7 @@ from ..errors import InconsistentInstanceError
 from ..nullsem.queries import AndP, AttrEq, Eq, In, NotP, OrP, Pred
 from .algebra import (
     Difference,
+    Empty,
     Join,
     Node,
     Project,
@@ -116,9 +126,23 @@ class Evaluator:
         self,
         env: Mapping[str, Relation],
         limit: int = DEFAULT_LIMIT,
+        fds: Optional[Mapping[str, Any]] = None,
+        optimize: bool = True,
+        hash_joins: bool = True,
     ) -> None:
         self.env: Dict[str, Relation] = dict(env)
         self.limit = limit
+        #: relation name → FD set (optional; informs key inference in
+        #: EXPLAIN output, never correctness)
+        self.fds: Dict[str, Any] = dict(fds) if fds else {}
+        #: apply proved-equivalent tree rewrites before evaluation
+        self.optimize = optimize
+        #: route natural joins through constant-key buckets (pair order
+        #: is pinned identical to the nested loop)
+        self.hash_joins = hash_joins
+        #: the :class:`~repro.query.optimize.Plan` of the last ``run()``
+        self.last_plan: Optional[Any] = None
+        self._stats: Optional[Dict[str, Any]] = None
         #: id(null) → candidate constants (consistent enumeration domain)
         self.domains: Dict[int, Tuple[Any, ...]] = {}
         #: id(null) → the null object (keeps ids stable for the session)
@@ -166,9 +190,45 @@ class Evaluator:
     def symbolic(
         self, node: Node
     ) -> Tuple[Tuple[str, ...], List[CRow]]:
-        """The conditional-table result: attributes + conditional rows."""
+        """The conditional-table result: attributes + conditional rows.
+
+        Always evaluates the tree *as given* (no rewrites) — this is the
+        oracle surface the differential suites compare against, so it
+        stays independent of the optimizer.
+        """
         self.schema(node)  # static check first; errors carry lint codes
         return self._eval(node)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-relation instance statistics, collected once per session."""
+        if self._stats is None:
+            from .optimize import collect_stats
+
+            self._stats = collect_stats(self.env)
+        return self._stats
+
+    def plan(self, node: Node, mode: str = MODE_LEAST) -> Any:
+        """The optimized :class:`~repro.query.optimize.Plan` for ``node``."""
+        from .optimize import optimize_tree
+
+        catalog = {name: rel.schema for name, rel in self.env.items()}
+        hazard_free = all(pool for pool in self.domains.values())
+        return optimize_tree(
+            node,
+            catalog,
+            stats=self.stats(),
+            fds=self.fds,
+            mode=mode,
+            limit=self.limit,
+            least_safe=hazard_free,
+        )
+
+    def explain(self, node: Node, mode: str = MODE_LEAST) -> str:
+        """Human-readable plan: optimized tree, inferred keys, strategies."""
+        from .optimize import render_plan
+
+        self.schema(node)  # static check first; errors carry lint codes
+        return render_plan(self.plan(node, mode=mode))
 
     def run(
         self,
@@ -182,8 +242,21 @@ class Evaluator:
             raise QueryError(
                 f"unknown evaluation mode {mode!r}; expected one of {_MODES}"
             )
+        # the answer scheme (attribute order, domains metadata) always
+        # comes from the tree as written, not from the rewritten plan
         schema = self.schema(node)
-        attrs, crows = self._eval(node)
+        target: Node = node
+        self.last_plan = None
+        if self.optimize:
+            plan = self.plan(node, mode=mode)
+            self.last_plan = plan
+            target = plan.node
+        attrs, crows = self._eval(target)
+        if attrs != schema.attributes:  # pragma: no cover - rewrite bug guard
+            raise QueryError(
+                f"optimizer changed the output scheme: {attrs} vs "
+                f"{schema.attributes}"
+            )
         certain_rows: List[Tuple[Any, ...]] = []
         maybe_rows: List[Tuple[Any, ...]] = []
         for crow in crows:
@@ -195,6 +268,12 @@ class Evaluator:
                 certain_rows.append(crow.values)
             elif truth is UNKNOWN:
                 maybe_rows.append(crow.values)
+        from ..analysis.sanitize import enabled as _sanitize_enabled
+
+        if _sanitize_enabled():
+            from ..analysis.sanitize import audit_evaluator
+
+            audit_evaluator(self, attrs, crows, certain_rows, maybe_rows)
         domains: Dict[str, Domain] = {
             attribute: schema.domain(attribute)  # type: ignore[misc]
             for attribute in attrs
@@ -284,28 +363,59 @@ class Evaluator:
             attrs = left_attrs + tuple(extra)
             left_pos = {a: i for i, a in enumerate(left_attrs)}
             right_pos = {a: i for i, a in enumerate(right_attrs)}
-            out = []
-            for lrow in left_rows:
-                for rrow in right_rows:
-                    conds = [lrow.cond, rrow.cond]
-                    values = list(lrow.values)
-                    for attribute in shared:
-                        lv = lrow.values[left_pos[attribute]]
-                        rv = rrow.values[right_pos[attribute]]
-                        if lv is not rv:
-                            conds.append(EqV(lv, rv))
-                        # given the equality holds, the two cells are one
-                        # value; prefer the constant representative
-                        if is_null(lv) and not is_null(rv):
-                            values[left_pos[attribute]] = rv
-                    values.extend(
-                        rrow.values[right_pos[attribute]]
-                        for attribute in extra
-                    )
-                    combined = all_of(conds)
-                    if kleene(combined) is FALSE:
+            shared_l = [left_pos[a] for a in shared]
+            shared_r = [right_pos[a] for a in shared]
+            extra_r = [right_pos[a] for a in extra]
+            out: List[CRow] = []
+
+            def emit(lrow: CRow, rrow: CRow) -> None:
+                conds = [lrow.cond, rrow.cond]
+                values = list(lrow.values)
+                for i, j in zip(shared_l, shared_r):
+                    lv = lrow.values[i]
+                    rv = rrow.values[j]
+                    if lv is not rv:
+                        conds.append(EqV(lv, rv))
+                    # given the equality holds, the two cells are one
+                    # value; prefer the constant representative
+                    if is_null(lv) and not is_null(rv):
+                        values[i] = rv
+                values.extend(rrow.values[j] for j in extra_r)
+                combined = all_of(conds)
+                if kleene(combined) is FALSE:
+                    return
+                out.append(CRow(tuple(values), combined))
+
+            if self.hash_joins and shared:
+                # bucket right rows by their constant shared-key tuple;
+                # rows with a null in a shared cell can never be refuted
+                # by a constant mismatch, so they are wildcards every
+                # left row must still see.  Merging the bucket hits with
+                # the wildcards in ascending row index reproduces the
+                # nested loop's pair order exactly, so the output —
+                # values, conditions, dedup merges — is bit-identical.
+                buckets: Dict[Tuple[Any, ...], List[int]] = {}
+                wildcards: List[int] = []
+                for index, rrow in enumerate(right_rows):
+                    cells = tuple(rrow.values[j] for j in shared_r)
+                    if any(is_null(cell) for cell in cells):
+                        wildcards.append(index)
+                    else:
+                        buckets.setdefault(cells, []).append(index)
+                for lrow in left_rows:
+                    cells = tuple(lrow.values[i] for i in shared_l)
+                    if any(is_null(cell) for cell in cells):
+                        for rrow in right_rows:
+                            emit(lrow, rrow)
                         continue
-                    out.append(CRow(tuple(values), combined))
+                    for index in _merge_indices(
+                        buckets.get(cells, ()), wildcards
+                    ):
+                        emit(lrow, right_rows[index])
+            else:
+                for lrow in left_rows:
+                    for rrow in right_rows:
+                        emit(lrow, rrow)
             return attrs, _dedup(out)
 
         if isinstance(node, Rename):
@@ -340,7 +450,26 @@ class Evaluator:
                 out.append(CRow(lrow.values, combined))
             return left_attrs, _dedup(out)
 
+        if isinstance(node, Empty):
+            return tuple(node.attributes), []
+
         raise QueryError(f"not a query node: {node!r}")
+
+
+def _merge_indices(first: Sequence[int], second: Sequence[int]) -> List[int]:
+    """Merge two ascending index lists, preserving ascending order."""
+    merged: List[int] = []
+    i = j = 0
+    while i < len(first) and j < len(second):
+        if first[i] < second[j]:
+            merged.append(first[i])
+            i += 1
+        else:
+            merged.append(second[j])
+            j += 1
+    merged.extend(first[i:])
+    merged.extend(second[j:])
+    return merged
 
 
 def _dedup(crows: List[CRow]) -> List[CRow]:

@@ -13,6 +13,9 @@ Dot-commands::
     .schema NAME          one relation's attributes and domains
     .mode [kleene|least]  show or switch the evaluation mode
     .quit                 leave the shell
+
+``explain Q`` prints the optimized plan for ``Q`` (inferred keys, join
+strategies, fired rewrites) without evaluating it.
 """
 
 from __future__ import annotations
@@ -30,7 +33,8 @@ from .parser import parse_statement
 _HELP = """\
 Enter a query (e.g.  emp where dept = 'sales' [name])  or bind one
 (ans = emp join dept_mgr).  Operators: where, [attrs], rename a -> b,
-join, union, minus.  Dot-commands: .help .relations .schema NAME
+join, union, minus.  `explain Q` shows Q's optimized plan without
+running it.  Dot-commands: .help .relations .schema NAME
 .mode [kleene|least] .quit"""
 
 
@@ -84,11 +88,18 @@ class QueryRepl:
         self,
         env: Mapping[str, Relation],
         mode: str = MODE_LEAST,
+        fds: Optional[Mapping[str, Any]] = None,
+        optimize: bool = True,
     ) -> None:
         self.env = dict(env)
         self.mode = mode
+        self.fds = fds
+        self.optimize = optimize
         self.bindings: Dict[str, Node] = {}
         self.done = False
+
+    def _evaluator(self) -> Evaluator:
+        return Evaluator(self.env, fds=self.fds, optimize=self.optimize)
 
     # -- one line in, one block of text out ---------------------------------
 
@@ -97,11 +108,24 @@ class QueryRepl:
         if stripped.startswith("."):
             return self._command(stripped)
         try:
+            parts = stripped.split(None, 1)
+            head = parts[0] if parts else ""
+            rest = parts[1] if len(parts) > 1 else ""
+            # `explain = q` is still a binding of the name "explain"
+            if head == "explain" and not rest.lstrip().startswith("="):
+                if not rest.strip():
+                    return "usage: explain QUERY"
+                statement = parse_statement(rest, self.bindings)
+                if statement.kind == "blank" or statement.node is None:
+                    return "usage: explain QUERY"
+                return self._evaluator().explain(
+                    statement.node, mode=self.mode
+                )
             statement = parse_statement(line, self.bindings)
             if statement.kind == "blank":
                 return ""
             assert statement.node is not None
-            result = Evaluator(self.env).run(statement.node, mode=self.mode)
+            result = self._evaluator().run(statement.node, mode=self.mode)
             if statement.kind == "bind":
                 assert statement.name is not None
                 self.bindings[statement.name] = statement.node
@@ -164,13 +188,15 @@ def run_repl(
     out: IO[str],
     mode: str = MODE_LEAST,
     prompt: Optional[str] = None,
+    fds: Optional[Mapping[str, Any]] = None,
+    optimize: bool = True,
 ) -> QueryRepl:
     """Feed ``lines`` through a shell, writing each block to ``out``.
 
     The CLI passes a stdin iterator and a prompt; tests pass a list and
     capture ``out``.  Returns the shell so callers can inspect state.
     """
-    repl = QueryRepl(env, mode=mode)
+    repl = QueryRepl(env, mode=mode, fds=fds, optimize=optimize)
     if prompt:
         out.write(prompt)
         out.flush()

@@ -34,7 +34,7 @@ import asyncio
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
-from ..api import TAG_CERTAIN, WIRE_VERSION, Answer
+from ..api import TAG_CERTAIN, WIRE_VERSION
 from ..core.values import is_null
 from ..db.database import Database
 from ..db.log import SYNC_FSYNC
@@ -117,9 +117,16 @@ class ReproServer:
         bound = self._tcp.sockets[0].getsockname()
         return bound[0], bound[1]
 
+    def _database(self) -> Database:
+        """The open database, or a refusal — narrows ``Optional`` for
+        every verb handler that runs only while the server is up."""
+        if self.db is None:
+            raise ReproError("server is not running")
+        return self.db
+
     async def _start_writer(self, name: str) -> RelationWriter:
         writer = RelationWriter(
-            self.db.relation(name),
+            self._database().relation(name),
             window_s=self.window_s,
             max_batch=self.max_batch,
             checkpoint_wal_ops=self.checkpoint_wal_ops,
@@ -143,15 +150,14 @@ class ReproServer:
             return _err(request_id, f"{type(error).__name__}: {error}")
 
     async def _dispatch(self, request: Any, request_id: Any) -> dict:
-        if self.db is None:
-            raise ReproError("server is not running")
+        db = self._database()
         if not isinstance(request, dict):
             raise ReproError("request must be a JSON object")
         verb = request.get("do")
         if verb == "ping":
             return _ok(request_id, pong=True)
         if verb == "relations":
-            return _ok(request_id, relations=self.db.names())
+            return _ok(request_id, relations=db.names())
         if verb == "create":
             return await self._create(request, request_id)
         if verb == protocol.QUERY_VERB:
@@ -160,7 +166,7 @@ class ReproServer:
         name = request.get("rel")
         if not isinstance(name, str):
             raise ReproError(f"verb {verb!r} needs a relation name in 'rel'")
-        relation = self.db.relation(name)
+        relation = db.relation(name)
         writer = self._writers[name]
         if verb in protocol.READ_VERBS:
             return await self._read(relation, writer, verb, request, request_id)
@@ -223,8 +229,10 @@ class ReproServer:
         fds = request.get("fds", [])
         if isinstance(fds, str):
             fds = [clause for clause in fds.split(";") if clause.strip()]
+        if self._catalog_lock is None:
+            raise ReproError("server is not running")
         async with self._catalog_lock:
-            self.db.create(name, attrs, fds)
+            self._database().create(name, attrs, fds)
             await self._start_writer(name)
         return _ok(request_id, created=name, attrs=list(attrs))
 
@@ -341,14 +349,36 @@ class ReproServer:
         is provably idle at its cut; otherwise the frozen rows are
         re-chased and evaluated in an executor thread — however long the
         grounding enumeration takes, the writers never wait on it.
+
+        The plan linter runs before any lease is taken: refusal-grade
+        findings (least-mode grounding blow-up, statically unsatisfiable
+        tree) reject the request outright, warnings ride along in the
+        success payload, and ``explain: true`` returns the optimized
+        plan text — lease-free — instead of evaluating.
         """
         from ..analysis import lint_query_request  # local: keeps startup light
+        from ..query.optimize import relation_stats
 
+        db = self._database()
         catalog = {
-            name: self.db.relation(name).session.schema
-            for name in self.db.names()
+            name: db.relation(name).session.schema for name in db.names()
         }
-        diagnostics = lint_query_request(catalog, request)
+        # instance stats and FDs come from the maintained fixpoint's raw
+        # rows — no lease, no chase; the plan linter runs *before any
+        # lease is taken*, so a doomed read (least-mode grounding blow-up,
+        # statically unsatisfiable tree) is refused without ever holding
+        # up group commit
+        stats = {
+            name: relation_stats(db.relation(name).raw_relation())
+            for name in db.names()
+        }
+        fds = {
+            name: tuple(db.relation(name).session.fds)
+            for name in db.names()
+        }
+        diagnostics = lint_query_request(
+            catalog, request, stats=stats, fds=fds
+        )
         if any(d.severity == "error" for d in diagnostics):
             return {
                 "id": request_id,
@@ -361,8 +391,18 @@ class ReproServer:
         text = request["q"]
         mode = request.get("mode", "least")
         node = parse_query(text)
+        if request.get("explain"):
+            # plan-only: answered from the raw instance, lease-free
+            env = {
+                name: db.relation(name).raw_relation() for name in db.names()
+            }
+            plan_text = Evaluator(env, fds=fds).explain(node, mode=mode)
+            payload: Dict[str, Any] = {"plan": plan_text}
+            if diagnostics:
+                payload["diagnostics"] = [d.to_payload() for d in diagnostics]
+            return _ok(request_id, **payload)
         names = relation_names(node)
-        known = [name for name in names if name in self.db]
+        known = [name for name in names if name in db]
         leases = {}
         cuts: Dict[str, int] = {}
         for name in known:
@@ -385,7 +425,7 @@ class ReproServer:
                 name: lease.result(detached=not live).relation
                 for name, lease in leases.items()
             }
-            evaluator = Evaluator(env)
+            evaluator = Evaluator(env, fds=fds)
             return evaluator.run(node, mode=mode, as_of=as_of, live=live)
 
         if live:
@@ -408,7 +448,7 @@ class ReproServer:
                     origin = record.get("relation") if record else None
                     if origin is None:
                         continue
-                    token = self.db.relation(origin).encode_value(value)
+                    token = db.relation(origin).encode_value(value)
                     if isinstance(token, dict) and "n" in token:
                         record["id"] = token["n"]
                         null_codecs[value.label] = token
@@ -418,4 +458,8 @@ class ReproServer:
                 return null_codecs.get(value.label, {"n": value.label})
             return value
 
-        return _ok(request_id, **result.to_payload(encode))
+        payload = result.to_payload(encode)
+        if diagnostics:
+            # warning-grade findings ride along with the answer
+            payload["diagnostics"] = [d.to_payload() for d in diagnostics]
+        return _ok(request_id, **payload)

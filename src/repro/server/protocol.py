@@ -40,7 +40,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set
 
 from ..api import WIRE_VERSION, Answer, ResultSet
 from ..core.values import Null, null
@@ -195,7 +195,7 @@ def encode_line(payload: dict) -> bytes:
     )
 
 
-async def run_tcp(server, host: str, port: int) -> "asyncio.AbstractServer":
+async def run_tcp(server: Any, host: str, port: int) -> "asyncio.AbstractServer":
     """Bind ``server.handle`` to a TCP listener (JSON lines, pipelined).
 
     Each request line becomes its own task, so a slow detached read never
@@ -203,9 +203,11 @@ async def run_tcp(server, host: str, port: int) -> "asyncio.AbstractServer":
     lock keeps response lines whole.
     """
 
-    async def on_connection(reader, writer_stream):
+    async def on_connection(
+        reader: asyncio.StreamReader, writer_stream: asyncio.StreamWriter
+    ) -> None:
         write_lock = asyncio.Lock()
-        in_flight = set()
+        in_flight: Set["asyncio.Task[None]"] = set()
 
         async def respond(response: dict) -> None:
             async with write_lock:
@@ -256,12 +258,14 @@ class Client:
     raises :class:`ServerError`.
     """
 
-    def __init__(self, reader, writer) -> None:
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
-        self._waiting: Dict[Any, "asyncio.Future"] = {}
-        self._pump: Optional["asyncio.Task"] = None
+        self._waiting: Dict[Any, "asyncio.Future[dict]"] = {}
+        self._pump: Optional["asyncio.Task[None]"] = None
         self._lock = asyncio.Lock()
         #: wire null id → the client-side Null object (one per id, so
         #: shared unknowns keep identity across answers on this client)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..chase.session import ReadLease
 from ..db.database import ManagedRelation
@@ -37,6 +37,10 @@ from ..errors import DatabaseError
 
 #: queue sentinel asking the writer to stop after the current burst
 _STOP = object()
+
+#: one writer-queue item: an op closure (or a control marker — ``_STOP``,
+#: ``_Checkpoint``, a ``_Batch``) plus the future that acks it
+_QueueItem = Tuple[Any, Optional["asyncio.Future[Any]"]]
 
 
 class _Checkpoint:
@@ -53,7 +57,7 @@ class _Batch:
 
     __slots__ = ("apply_fns",)
 
-    def __init__(self, apply_fns: list) -> None:
+    def __init__(self, apply_fns: List[Callable[[], Any]]) -> None:
         self.apply_fns = apply_fns
 
 
@@ -77,9 +81,9 @@ class RelationWriter:
         self.checkpoint_interval_s = checkpoint_interval_s
         self.ops_applied = 0
         self.auto_checkpoints = 0
-        self._queue: "asyncio.Queue" = asyncio.Queue()
-        self._task: Optional["asyncio.Task"] = None
-        self._last_staged: Optional["asyncio.Future"] = None
+        self._queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue()
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._last_staged: Optional["asyncio.Future[Any]"] = None
         self._last_checkpoint = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
@@ -106,7 +110,7 @@ class RelationWriter:
         await self._queue.put((apply_fn, future))
         return await future
 
-    async def submit_many(self, apply_fns: list) -> list:
+    async def submit_many(self, apply_fns: List[Callable[[], Any]]) -> List[dict]:
         """Run several mutation closures contiguously (one queue item).
 
         Returns one outcome object per closure (``{"ok": True, ...}``
@@ -153,7 +157,9 @@ class RelationWriter:
         """The relation's journal sink while the writer runs."""
         self._last_staged = self.committer.stage(payload)
 
-    def _apply(self, apply_fn: Callable[[], Any], future: "asyncio.Future") -> None:
+    def _apply(
+        self, apply_fn: Callable[[], Any], future: "asyncio.Future[Any]"
+    ) -> None:
         """Apply one op; wire its ack to its record's durability."""
         if future.done():  # client went away before the op ran: skip it
             return
@@ -178,19 +184,23 @@ class RelationWriter:
                 future.set_result(value)
             return
 
-        def _ack(record_future: "asyncio.Future") -> None:
+        def _ack(record_future: "asyncio.Future[Any]") -> None:
             if future.done():
                 return
             if record_future.cancelled():
                 future.cancel()
-            elif record_future.exception() is not None:
-                future.set_exception(record_future.exception())
+                return
+            error = record_future.exception()
+            if error is not None:
+                future.set_exception(error)
             else:
                 future.set_result(value)
 
         staged.add_done_callback(_ack)
 
-    def _apply_batch(self, batch: _Batch, future: "asyncio.Future") -> None:
+    def _apply_batch(
+        self, batch: _Batch, future: "asyncio.Future[Any]"
+    ) -> None:
         """Apply a bundle contiguously; one ack covers every outcome.
 
         A failing op is recorded in its outcome slot and the bundle
@@ -202,8 +212,8 @@ class RelationWriter:
         if self.committer.failed is not None:
             self._refuse(future)
             return
-        outcomes: list = []
-        staged = None
+        outcomes: List[dict] = []
+        staged: Optional["asyncio.Future[Any]"] = None
         for apply_fn in batch.apply_fns:
             self._last_staged = None
             try:
@@ -224,19 +234,21 @@ class RelationWriter:
                 future.set_result(outcomes)
             return
 
-        def _ack(record_future: "asyncio.Future") -> None:
+        def _ack(record_future: "asyncio.Future[Any]") -> None:
             if future.done():
                 return
             if record_future.cancelled():
                 future.cancel()
-            elif record_future.exception() is not None:
-                future.set_exception(record_future.exception())
+                return
+            error = record_future.exception()
+            if error is not None:
+                future.set_exception(error)
             else:
                 future.set_result(outcomes)
 
         staged.add_done_callback(_ack)
 
-    def _refuse(self, future: "asyncio.Future") -> None:
+    def _refuse(self, future: "asyncio.Future[Any]") -> None:
         if not future.done():
             future.set_exception(
                 DatabaseError(
@@ -274,7 +286,7 @@ class RelationWriter:
         self.auto_checkpoints += 1
         self._last_checkpoint = time.monotonic()
 
-    async def _checkpoint_now(self, future: "asyncio.Future") -> None:
+    async def _checkpoint_now(self, future: "asyncio.Future[Any]") -> None:
         try:
             await self.committer.drain()
             absorbed = self.relation.checkpoint()

@@ -1,0 +1,194 @@
+"""Golden findings for every plan-lint code, pinned to exact lines.
+
+One four-line query script triggers each code once; the suite asserts
+the full ``(line, code, severity)`` inventory — no extra findings, no
+missing ones — plus the message fragments clients key on.  The server
+half proves the refuse-before-lease contract: refusal-grade findings
+(and ``explain: true`` requests) never touch a writer's lease.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.analysis import lint_query_plan, lint_query_script
+from repro.query import collect_stats, parse_query
+from repro.server import ReproServer
+from repro.server.writer import RelationWriter
+
+from ..helpers import rel
+
+SCRIPT = (
+    "r join s",
+    "r where A = 'zz' and A != 'zz'",
+    "(r where A = 'zz' and A != 'zz') union r",
+    "r[A] minus t",
+)
+
+
+def environment():
+    """r(A B), s(C D) — disjoint, so joining them is a cross product —
+    and t(A): twenty nulls over an effective domain, so a difference
+    against it grounds past the 200 000 budget."""
+    return {
+        "r": rel("A B", [["a1", "b1"], ["a2", "b2"]]),
+        "s": rel("C D", [["c1", "d1"]]),
+        "t": rel("A", [["-"] for _ in range(20)], domains={"A": ["a", "b"]}),
+    }
+
+
+class TestGoldenFindings:
+    def lint(self, mode="least"):
+        env = environment()
+        catalog = {name: r.schema for name, r in env.items()}
+        return lint_query_script(
+            catalog, SCRIPT, stats=collect_stats(env), mode=mode
+        )
+
+    def test_the_exact_finding_inventory(self):
+        found = [(d.line, d.code, d.severity) for d in self.lint()]
+        assert found == [
+            (1, "W_CROSS_PRODUCT", "warning"),
+            (2, "E_EMPTY_CERTAIN", "error"),
+            (3, "W_DEAD_BRANCH", "warning"),
+            (4, "W_GROUND_BLOWUP", "warning"),
+        ]
+
+    def test_message_fragments(self):
+        by_code = {d.code: d for d in self.lint()}
+        assert "cross product" in by_code["W_CROSS_PRODUCT"].message
+        assert "up to 2 rows" in by_code["W_CROSS_PRODUCT"].message
+        assert "no completion" in by_code["E_EMPTY_CERTAIN"].message
+        assert "contributes no rows" in by_code["W_DEAD_BRANCH"].message
+        blowup = by_code["W_GROUND_BLOWUP"].message
+        assert "1048576" in blowup  # 2^20 groundings, budget 200000
+        assert "200000" in blowup
+        assert "DomainError" in blowup
+
+    def test_kleene_mode_describes_the_mode_switch_instead(self):
+        by_code = {d.code: d for d in self.lint(mode="kleene")}
+        assert by_code["W_GROUND_BLOWUP"].severity == "warning"
+        assert "switching to least mode" in by_code["W_GROUND_BLOWUP"].message
+
+    def test_blowup_is_reported_at_the_crossing_node_only(self):
+        env = environment()
+        catalog = {name: r.schema for name, r in env.items()}
+        findings = lint_query_plan(
+            catalog,
+            parse_query("(r[A] minus t) union (r[A] minus t)"),
+            stats=collect_stats(env),
+        )
+        assert [d.code for d in findings] == [
+            "W_GROUND_BLOWUP", "W_GROUND_BLOWUP"
+        ]
+
+    def test_without_stats_only_domain_independent_findings_fire(self):
+        env = environment()
+        catalog = {name: r.schema for name, r in env.items()}
+        codes = {d.code for d in lint_query_script(catalog, SCRIPT)}
+        assert codes == {"W_CROSS_PRODUCT", "E_EMPTY_CERTAIN", "W_DEAD_BRANCH"}
+
+
+# ---------------------------------------------------------------------------
+# the server contract: lint (and explain) before any lease
+# ---------------------------------------------------------------------------
+
+
+def count_leases(monkeypatch):
+    """Instrument RelationWriter.lease with a shared call counter."""
+    counter = {"leases": 0}
+    original = RelationWriter.lease
+
+    def counting(self):
+        counter["leases"] += 1
+        return original(self)
+
+    monkeypatch.setattr(RelationWriter, "lease", counting)
+    return counter
+
+
+async def blowup_server(tmp_path):
+    """A served relation whose difference-against-itself grounds past
+    the budget: twenty server-minted nulls in one unbounded column."""
+    server = ReproServer(tmp_path / "db", sync="none", create=True)
+    await server.start()
+    await server.handle({"do": "create", "name": "t", "attrs": "A"})
+    for _ in range(20):
+        ack = await server.handle(
+            {"do": "insert", "rel": "t", "row": [{"n": None}]}
+        )
+        assert ack["ok"], ack
+    return server
+
+
+def test_blowup_fires_before_any_lease(tmp_path, monkeypatch):
+    """The crafted W_GROUND_BLOWUP query: the finding is computed and
+    reported pre-lease — ``explain: true`` answers with it having taken
+    no lease at all, and the evaluating path carries it as a warning."""
+
+    async def go():
+        server = await blowup_server(tmp_path)
+        counter = count_leases(monkeypatch)
+        explained = await server.handle(
+            {"id": 1, "do": "query", "q": "t minus t", "explain": True}
+        )
+        assert explained["ok"], explained
+        assert counter["leases"] == 0  # plan + findings, no lease taken
+        codes = [d["code"] for d in explained["diagnostics"]]
+        assert "W_GROUND_BLOWUP" in codes
+        assert "Difference" in explained["plan"]
+        evaluated = await server.handle(
+            {"id": 2, "do": "query", "q": "t minus t", "mode": "kleene"}
+        )
+        assert evaluated["ok"], evaluated
+        codes = [d["code"] for d in evaluated.get("diagnostics", [])]
+        assert "W_GROUND_BLOWUP" in codes
+        await server.stop()
+
+    asyncio.run(go())
+
+
+def test_statically_dead_query_is_refused_without_leasing(
+    tmp_path, monkeypatch
+):
+    async def go():
+        server = ReproServer(tmp_path / "db", sync="none", create=True)
+        await server.start()
+        await server.handle({"do": "create", "name": "r", "attrs": "A B"})
+        await server.handle(
+            {"do": "insert", "rel": "r", "row": ["a", "b"]}
+        )
+        counter = count_leases(monkeypatch)
+        refused = await server.handle(
+            {"id": 1, "do": "query", "q": "r where A = 'x' and A != 'x'"}
+        )
+        assert refused["ok"] is False
+        assert "refused by lint" in refused["error"]
+        assert refused["diagnostics"][0]["code"] == "E_EMPTY_CERTAIN"
+        assert counter["leases"] == 0
+        await server.stop()
+
+    asyncio.run(go())
+
+
+def test_cross_product_warning_rides_in_the_answer(tmp_path):
+    async def go():
+        server = ReproServer(tmp_path / "db", sync="none", create=True)
+        await server.start()
+        await server.handle({"do": "create", "name": "r", "attrs": "A B"})
+        await server.handle({"do": "create", "name": "s", "attrs": "C D"})
+        await server.handle(
+            {"do": "insert", "rel": "r", "row": ["a", "b"]}
+        )
+        await server.handle(
+            {"do": "insert", "rel": "s", "row": ["c", "d"]}
+        )
+        answer = await server.handle({"id": 1, "do": "query", "q": "r join s"})
+        assert answer["ok"], answer
+        assert [d["code"] for d in answer["diagnostics"]] == [
+            "W_CROSS_PRODUCT"
+        ]
+        assert answer["certain"]["rows"] == [["a", "b", "c", "d"]]
+        await server.stop()
+
+    asyncio.run(go())

@@ -189,3 +189,89 @@ class TestRelationAudits:
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         with Database.open(tmp_path / "db", sync="flush") as db:
             assert len(db.relation("r")) == 1
+
+
+class TestEvaluatorAudit:
+    """The query-layer audit: ``REPRO_SANITIZE=1`` sweeps every
+    finished :meth:`Evaluator.run`, and each tampering probe violates
+    exactly one output invariant."""
+
+    def evaluator_parts(self):
+        from repro.analysis import audit_evaluator
+        from repro.query import Evaluator, parse_query
+
+        from ..helpers import rel
+
+        x = null()
+        env = {
+            "r": rel("A B", [["a1", x], ["a2", "b1"]],
+                     domains={"B": ["b1", "b2"]}),
+        }
+        evaluator = Evaluator(env)
+        node = parse_query("r where B = 'b1'")
+        result = evaluator.run(node)
+        attrs = result.attributes
+        crows = evaluator._eval(evaluator.plan(node).node)[1]
+        certain = [tuple(row) for row in result.certain.rows]
+        maybe = [tuple(row) for row in result.maybe.rows]
+        return audit_evaluator, evaluator, attrs, crows, certain, maybe
+
+    def test_healthy_run_audits_clean(self):
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        audit(evaluator, attrs, crows, certain, maybe)
+
+    def test_sanitizing_run_self_audits(self, monkeypatch):
+        from repro.query import Evaluator, parse_query
+
+        from ..helpers import rel
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        env = {"r": rel("A B", [["a1", null()]], domains={"B": ["b1"]})}
+        result = Evaluator(env).run(parse_query("r where B = 'b1'"))
+        assert len(result.certain.rows) == 1
+
+    def test_duplicate_row_key_detected(self):
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        with pytest.raises(SanitizerError, match="duplicate"):
+            audit(evaluator, attrs, crows + [crows[0]], certain, maybe)
+
+    def test_arity_drift_detected(self):
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        with pytest.raises(SanitizerError, match="arity"):
+            audit(evaluator, attrs + ("Z",), crows, certain, maybe)
+
+    def test_certain_maybe_overlap_detected(self):
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        assert maybe, "the probe needs a maybe row to duplicate"
+        with pytest.raises(SanitizerError, match="both certain and maybe"):
+            audit(evaluator, attrs, crows, certain + [maybe[0]], maybe)
+
+    def test_answer_row_outside_the_table_detected(self):
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        with pytest.raises(SanitizerError, match="missing from"):
+            audit(
+                evaluator, attrs, crows, certain + [("zz", "zz")], maybe
+            )
+
+    def test_unregistered_null_in_a_condition_detected(self):
+        from repro.nullsem.queries import Eq
+        from repro.query.evaluate import CRow, _pred_cond
+
+        audit, evaluator, attrs, crows, certain, maybe = (
+            self.evaluator_parts()
+        )
+        stranger = null()
+        cond = _pred_cond(Eq("B", "b1"), {"B": 1}, ("a9", stranger))
+        tampered = crows + [CRow(("a9", stranger), cond)]
+        with pytest.raises(SanitizerError, match="unregistered null"):
+            audit(evaluator, attrs, tampered, certain, maybe)

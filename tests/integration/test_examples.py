@@ -35,6 +35,7 @@ def test_examples_directory_complete():
         "server_tour.py",
         "lint_tour.py",
         "query_tour.py",
+        "optimize_tour.py",
     } <= names
 
 
@@ -118,6 +119,18 @@ def test_query_tour():
     assert "chased rows:" in out
     assert "answer as_of journal seq: 2" in out
     assert "every answer is a serial prefix" in out
+
+
+def test_optimize_tour():
+    out = run_example("optimize_tour.py")
+    assert "select-pushdown(join)" in out
+    assert "contradiction-elimination" in out
+    assert "field-identical to naive evaluation: True" in out
+    assert "line 1: W_CROSS_PRODUCT (warning)" in out
+    assert "line 2: E_EMPTY_CERTAIN (error)" in out
+    assert "line 3: W_GROUND_BLOWUP (warning)" in out
+    assert "explain reply carries a plan, no lease: True" in out
+    assert "refused before any lease: True" in out
 
 
 def test_lint_tour():

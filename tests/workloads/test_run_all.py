@@ -96,6 +96,7 @@ def test_committed_baselines_match_schema():
         "BENCH_PR7.json",
         "BENCH_PR8.json",
         "BENCH_PR9.json",
+        "BENCH_PR10.json",
     ):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
@@ -114,6 +115,20 @@ def test_pr3_baseline_records_mixed_workload_series():
     assert key in speedups
     assert speedups[key] >= 3.0  # the PR 3 acceptance floor
     assert any("slope" in label for label in a2.get("slopes", {}))
+
+
+def test_pr10_baseline_records_planner_series():
+    """BENCH_PR10.json carries the Q1c planner series: the bucket
+    equi-join's speedup over the nested loop, captured by the metric
+    parser, at or above the PR 10 acceptance floor."""
+    report = json.loads((REPO_ROOT / "BENCH_PR10.json").read_text())
+    q1 = report["benchmarks"]["bench_q1_query"]
+    assert q1["status"] == "ok"
+    key = "optimized over naive equi-join speedup at largest configuration"
+    assert key in q1["speedups"]
+    assert q1["speedups"][key] >= 2.0  # the PR 10 acceptance floor
+    assert "naive join wall ms by size" in q1["series"]
+    assert "optimized join wall ms by size" in q1["series"]
 
 
 def test_quick_discovery_includes_a2(tmp_path):
@@ -216,7 +231,7 @@ def _run_compare(fresh_path, *extra):
 
 #: the latest committed baseline — compare.py's default reference, and the
 #: doctoring source for the negative-path tests below
-LATEST_BASELINE = "BENCH_PR9.json"
+LATEST_BASELINE = "BENCH_PR10.json"
 
 
 def test_compare_accepts_the_baseline_against_itself():
